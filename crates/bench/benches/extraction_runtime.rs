@@ -1,0 +1,38 @@
+//! Criterion benchmark of the parasitic extraction itself: the dense
+//! partial-inductance matrix is O(n²) in segments — the very growth that
+//! motivates Section 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ind101_core::PeecParasitics;
+use ind101_extract::PartialInductance;
+use ind101_geom::generators::{generate_bus, BusSpec};
+use ind101_geom::{um, Technology};
+
+fn bench_extraction(c: &mut Criterion) {
+    let tech = Technology::example_copper_6lm();
+    let mut g = c.benchmark_group("extraction");
+    g.sample_size(10);
+    for signals in [8usize, 16, 32] {
+        let spec = BusSpec {
+            signals,
+            length_nm: um(2000),
+            ..BusSpec::default()
+        };
+        let bus = generate_bus(&tech, &spec);
+        let mut subdivided = bus.clone();
+        subdivided.subdivide_segments(um(250));
+        let n = subdivided.segments().len();
+        g.bench_with_input(
+            BenchmarkId::new("partial_l_matrix", n),
+            &subdivided,
+            |b, layout| b.iter(|| PartialInductance::extract(&tech, layout.segments())),
+        );
+        g.bench_with_input(BenchmarkId::new("full_parasitics", n), &bus, |b, layout| {
+            b.iter(|| PeecParasitics::extract(layout, um(250)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_extraction);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion benchmark of the Section 4 sparsification techniques on
+//! the clock-over-grid partial-inductance matrix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ind101_bench::{clock_case, Scale};
+use ind101_sparsify::block_diagonal::{block_diagonal, sections_by_signal_distance};
+use ind101_sparsify::halo::halo_sparsify;
+use ind101_sparsify::kmatrix::k_sparsify;
+use ind101_sparsify::shell::shell_sparsify;
+use ind101_sparsify::truncation::truncate_relative;
+
+fn bench_sparsify(c: &mut Criterion) {
+    let case = clock_case(Scale::Small);
+    let l = &case.par.partial_l;
+    let mut g = c.benchmark_group("sparsify");
+    g.sample_size(10);
+    g.bench_function("truncate_relative", |b| {
+        b.iter(|| truncate_relative(l, 0.5))
+    });
+    g.bench_function("block_diagonal", |b| {
+        let labels = sections_by_signal_distance(l, &case.par.layout, 3);
+        b.iter(|| block_diagonal(l, &labels))
+    });
+    g.bench_function("shell", |b| b.iter(|| shell_sparsify(l, 20e-6)));
+    g.bench_function("halo", |b| b.iter(|| halo_sparsify(l, &case.par.layout)));
+    g.bench_function("k_matrix", |b| b.iter(|| k_sparsify(l, 0.02).expect("k")));
+    g.finish();
+}
+
+criterion_group!(benches, bench_sparsify);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion benchmark behind Table 1's run-time column: the three
+//! flows (PEEC RC, PEEC RLC, LOOP) on the same clock-over-grid
+//! testcase. Absolute 2001 wall-clock numbers cannot transfer; the
+//! *ordering* (RC < LOOP ≪ RLC) is the reproducible claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ind101_bench::flows::{run_loop_flow, run_peec_flow};
+use ind101_bench::{clock_case, Scale};
+use ind101_core::InductanceMode;
+
+fn bench_flows(c: &mut Criterion) {
+    let case = clock_case(Scale::Small);
+    let dt = 4e-12;
+    let t_stop = 400e-12;
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("peec_rc", |b| {
+        b.iter(|| {
+            run_peec_flow(&case, "PEEC (RC)", InductanceMode::None, dt, t_stop).expect("rc")
+        })
+    });
+    g.bench_function("peec_rlc", |b| {
+        b.iter(|| {
+            run_peec_flow(&case, "PEEC (RLC)", InductanceMode::Full, dt, t_stop).expect("rlc")
+        })
+    });
+    g.bench_function("loop_rlc", |b| {
+        b.iter(|| run_loop_flow(&case, 2.5e9, dt, t_stop).expect("loop"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_flows);
+criterion_main!(benches);

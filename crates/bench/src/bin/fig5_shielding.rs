@@ -1,0 +1,38 @@
+//! FIG5 — reproduces the paper's Figure 5 (shielding): loop inductance
+//! of a signal sandwiched between ground return lines, versus shield
+//! spacing, against the unshielded baseline.
+
+use ind101_bench::table::{eng, TextTable};
+use ind101_design::shielding::{run_shielding_study, ShieldingStudy};
+use ind101_geom::Technology;
+
+fn main() {
+    println!("== Figure 5: shielding (guard traces) ==");
+    let tech = Technology::example_copper_6lm();
+    let study = ShieldingStudy::default();
+    let pts = run_shielding_study(&tech, &study).expect("shielding study");
+
+    let mut t = TextTable::new(vec!["configuration", "loop R", "loop L"]);
+    for p in &pts {
+        let name = match p.spacing_nm {
+            None => "no shields (far return)".to_owned(),
+            Some(s) => format!("shields at {:.1} µm", s as f64 * 1e-3),
+        };
+        t.row(vec![name, format!("{:.3}Ω", p.r_ohm), eng(p.l_h, "H")]);
+    }
+    println!("{}", t.render());
+    let base = pts[0].l_h;
+    let best = pts[1..].iter().map(|p| p.l_h).fold(f64::INFINITY, f64::min);
+    println!(
+        "L reduction from closest shields: {:.1}×",
+        base / best
+    );
+    println!(
+        "shape check: every shielded point below baseline [{}]",
+        if pts[1..].iter().all(|p| p.l_h < base) {
+            "ok"
+        } else {
+            "MISMATCH"
+        }
+    );
+}

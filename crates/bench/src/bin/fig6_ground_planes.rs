@@ -1,0 +1,43 @@
+//! FIG6 — reproduces the paper's Figure 6 (dedicated ground planes):
+//! loop inductance vs frequency for a bare line, a shielded line, and a
+//! line over a dedicated ground plane. The plane barely helps at low
+//! frequency (wide resistive returns dominate) and wins at high
+//! frequency — the curve shape the figure sketches.
+
+use ind101_bench::table::{eng, TextTable};
+use ind101_design::ground_plane::{loop_l_vs_freq, GroundPlaneStudy, PlaneConfig};
+use ind101_geom::Technology;
+
+fn main() {
+    println!("== Figure 6: dedicated ground planes, L vs frequency ==");
+    let tech = Technology::example_copper_6lm();
+    let study = GroundPlaneStudy::default();
+    let bare = loop_l_vs_freq(&tech, &study, PlaneConfig::Bare).expect("bare");
+    let shields = loop_l_vs_freq(&tech, &study, PlaneConfig::Shields).expect("shields");
+    let plane = loop_l_vs_freq(&tech, &study, PlaneConfig::GroundPlane).expect("plane");
+
+    let mut t = TextTable::new(vec!["freq", "L bare", "L with shields", "L with planes"]);
+    for (k, &f) in study.freqs_hz.iter().enumerate() {
+        t.row(vec![
+            eng(f, "Hz"),
+            eng(bare.l_h[k], "H"),
+            eng(shields.l_h[k], "H"),
+            eng(plane.l_h[k], "H"),
+        ]);
+    }
+    println!("{}", t.render());
+    let n = study.freqs_hz.len() - 1;
+    let rel_low = plane.l_h[0] / bare.l_h[0];
+    let rel_high = plane.l_h[n] / bare.l_h[n];
+    println!(
+        "plane benefit: ×{:.2} at {}, ×{:.2} at {}",
+        1.0 / rel_low,
+        eng(study.freqs_hz[0], "Hz"),
+        1.0 / rel_high,
+        eng(study.freqs_hz[n], "Hz")
+    );
+    println!(
+        "shape check: plane benefit grows with frequency [{}]",
+        if rel_high < rel_low { "ok" } else { "MISMATCH" }
+    );
+}

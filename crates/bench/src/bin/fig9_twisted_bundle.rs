@@ -1,0 +1,55 @@
+//! FIG9 — reproduces the paper's Figure 9 (twisted-bundle layout):
+//! loop-to-loop inductive coupling and transient crosstalk of a
+//! parallel bundle vs the twisted bundle.
+
+use ind101_bench::table::TextTable;
+use ind101_design::twisted::{bundle_coupling, bundle_noise};
+use ind101_geom::generators::{BundleStyle, TwistedBundleSpec};
+use ind101_geom::Technology;
+
+fn main() {
+    println!("== Figure 9: twisted-bundle layout structure ==");
+    let tech = Technology::example_copper_6lm();
+    let spec_of = |style| TwistedBundleSpec {
+        style,
+        ..TwistedBundleSpec::default()
+    };
+
+    let mut t = TextTable::new(vec![
+        "bundle",
+        "worst |kappa|",
+        "mean |kappa|",
+        "worst victim noise (V)",
+    ]);
+    let mut results = Vec::new();
+    for (name, style) in [
+        ("parallel", BundleStyle::Parallel),
+        ("twisted", BundleStyle::Twisted),
+    ] {
+        let c = bundle_coupling(&tech, &spec_of(style));
+        let n = bundle_noise(&tech, &spec_of(style)).expect("bundle noise");
+        t.row(vec![
+            name.to_owned(),
+            format!("{:.4}", c.worst),
+            format!("{:.4}", c.mean),
+            format!("{:.4}", n),
+        ]);
+        results.push((c, n));
+    }
+    println!("{}", t.render());
+    let (pc, pn) = &results[0];
+    let (tc, tn) = &results[1];
+    println!(
+        "coupling reduction: worst κ ×{:.1}, transient noise ×{:.1}",
+        pc.worst / tc.worst,
+        pn / tn
+    );
+    println!(
+        "shape check: twisted bundle couples less [{}]",
+        if tc.worst < pc.worst && tn < pn {
+            "ok"
+        } else {
+            "MISMATCH"
+        }
+    );
+}

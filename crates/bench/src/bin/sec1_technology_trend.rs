@@ -1,0 +1,156 @@
+//! SEC1 — the paper's opening claim, reproduced as an experiment:
+//! "Inductance effects in on-chip interconnect structures have become
+//! increasingly significant due to longer metal interconnects,
+//! reductions in wire resistance (as a result of copper interconnects
+//! and wider upper-layer metal lines) and higher clock frequencies."
+//!
+//! The same clock-over-grid topology is analyzed in a mid-90s aluminum
+//! technology and in the paper-era copper technology, at two line
+//! widths. The inductance *delay impact* (RLC vs RC) and the ringing
+//! metrics grow from Al to Cu and from narrow to wide — the trend that
+//! motivated the paper.
+
+use ind101_bench::table::TextTable;
+use ind101_circuit::{measure, TranOptions};
+use ind101_core::testbench::{build_testbench, TestbenchSpec};
+use ind101_core::{InductanceMode, PeecParasitics};
+use ind101_geom::generators::{
+    generate_clock_spine, generate_power_grid, ClockNetSpec, PowerGridSpec,
+};
+use ind101_geom::{um, LayerId, Technology};
+use ind101_loop::{extract_loop_rl, LoopPortSpec};
+
+struct Row {
+    label: String,
+    rc_ps: f64,
+    rlc_ps: f64,
+    impact_pct: f64,
+    undershoot_mv: f64,
+    /// ωL/R of the clock loop at 2.5 GHz — the classic "is this wire
+    /// inductive or resistive" quality factor.
+    q_at_fclk: f64,
+}
+
+fn main() {
+    println!("== Section 1: why inductance became significant ==");
+    let al = Technology::example_aluminum_4lm();
+    let cu = Technology::example_copper_6lm();
+    let mut rows = Vec::new();
+    for (tech, tech_name, layer_h, layer_v) in [
+        (&al, "Al 4LM", LayerId(3), LayerId(2)),
+        (&cu, "Cu 6LM", LayerId(5), LayerId(4)),
+    ] {
+        for width_um in [1i64, 8] {
+            rows.push(evaluate(tech, tech_name, layer_h, layer_v, width_um));
+        }
+    }
+    let mut t = TextTable::new(vec![
+        "technology / clock width",
+        "RC delay",
+        "RLC delay",
+        "L impact",
+        "undershoot",
+        "wL/R @2.5GHz",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.label.clone(),
+            format!("{:.1} ps", r.rc_ps),
+            format!("{:.1} ps", r.rlc_ps),
+            format!("{:+.1} %", r.impact_pct),
+            format!("{:.0} mV", r.undershoot_mv),
+            format!("{:.3}", r.q_at_fclk),
+        ]);
+    }
+    println!("{}", t.render());
+    // The paper's trend, on its own terms: lower wire resistance (copper,
+    // wider lines) pushes the wire from resistive toward inductive
+    // behaviour — i.e. ωL/R grows; and the delay impact of ignoring L is
+    // larger in copper than in aluminum.
+    let q_trend = rows[1].q_at_fclk > rows[0].q_at_fclk // Al: wide > narrow
+        && rows[3].q_at_fclk > rows[2].q_at_fclk // Cu: wide > narrow
+        && rows[2].q_at_fclk > rows[0].q_at_fclk; // Cu > Al at equal width
+    let impact_trend =
+        rows[2].impact_pct > rows[0].impact_pct && rows[3].impact_pct > rows[1].impact_pct;
+    println!(
+        "shape check: wL/R grows with copper and wider lines [{}]; \
+         inductance delay impact larger in copper [{}]",
+        if q_trend { "ok" } else { "MISMATCH" },
+        if impact_trend { "ok" } else { "MISMATCH" },
+    );
+}
+
+fn evaluate(
+    tech: &Technology,
+    tech_name: &str,
+    layer_h: LayerId,
+    layer_v: LayerId,
+    width_um: i64,
+) -> Row {
+    let span = um(400);
+    let mut layout = generate_power_grid(
+        tech,
+        &PowerGridSpec {
+            width_nm: span,
+            height_nm: span,
+            pitch_nm: um(50),
+            layer_h,
+            layer_v,
+            ..PowerGridSpec::default()
+        },
+    );
+    let clock = generate_clock_spine(
+        tech,
+        &ClockNetSpec {
+            width_nm: span,
+            height_nm: span,
+            fingers: 2,
+            spine_width_nm: um(width_um),
+            layer_h,
+            layer_v,
+            ..ClockNetSpec::default()
+        },
+    );
+    layout.merge(&clock);
+    let par = PeecParasitics::extract(&layout, um(60));
+    // Strong driver so the line, not the gate, dominates the transition
+    // (the regime the paper's global clocks live in).
+    let spec = TestbenchSpec {
+        driver: ind101_core::testbench::DriverKind::Inverter(
+            ind101_circuit::InverterParams::default().scaled(3.0),
+        ),
+        ..TestbenchSpec::default()
+    };
+    let mut delays = Vec::new();
+    let mut undershoot = 0.0f64;
+    for mode in [InductanceMode::None, InductanceMode::Full] {
+        let tb = build_testbench(&par, mode.clone(), &spec).expect("testbench");
+        let res = tb
+            .circuit
+            .transient(&TranOptions::new(2e-12, 900e-12))
+            .expect("transient");
+        let input = res.voltage(tb.input);
+        let mut worst = 0.0f64;
+        for (_, node) in &tb.sinks {
+            let v = res.voltage(*node);
+            if let Some(d) = measure::delay_50(&input, &v, 0.0, spec.vdd) {
+                worst = worst.max(d);
+            }
+            if mode == InductanceMode::Full {
+                undershoot = undershoot.max(measure::undershoot(&v, 0.0));
+            }
+        }
+        delays.push(worst);
+    }
+    let port = LoopPortSpec::from_layout(&par).expect("clock ports");
+    let ext = extract_loop_rl(&par, &port, &[2.5e9]).expect("loop extraction");
+    let (r_loop, l_loop) = ext.at(0);
+    Row {
+        label: format!("{tech_name}, {width_um} µm clock"),
+        rc_ps: delays[0] * 1e12,
+        rlc_ps: delays[1] * 1e12,
+        impact_pct: 100.0 * (delays[1] / delays[0] - 1.0),
+        undershoot_mv: undershoot * 1e3,
+        q_at_fclk: 2.0 * std::f64::consts::PI * 2.5e9 * l_loop / r_loop,
+    }
+}

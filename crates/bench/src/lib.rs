@@ -1,0 +1,93 @@
+//! Experiment harness shared by the table/figure reproduction binaries
+//! and the Criterion benches.
+//!
+//! The headline testcase mirrors the paper's Section 6 setup: "a global
+//! clock net in the presence of a multi-layer power grid", built at
+//! three scales so the unit tests stay fast while the harness binaries
+//! exercise a larger topology. `EXPERIMENTS.md` maps each binary to the
+//! table/figure it regenerates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flows;
+pub mod table;
+
+use ind101_core::PeecParasitics;
+use ind101_geom::generators::{
+    generate_clock_spine, generate_power_grid, ClockNetSpec, PowerGridSpec,
+};
+use ind101_geom::{um, Technology};
+
+/// Testcase scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// ~100 segments — unit tests.
+    Small,
+    /// ~400 segments — harness default.
+    Medium,
+    /// ~1200 segments — run-time benchmarking.
+    Large,
+}
+
+/// The global-clock-over-grid testcase.
+#[derive(Clone, Debug)]
+pub struct ClockCase {
+    /// Extracted parasitics (layout inside).
+    pub par: PeecParasitics,
+    /// The technology.
+    pub tech: Technology,
+    /// Names of the clock sink ports.
+    pub sink_ports: Vec<String>,
+}
+
+/// Builds the clock-over-grid testcase at a given scale.
+pub fn clock_case(scale: Scale) -> ClockCase {
+    let tech = Technology::example_copper_6lm();
+    let (span, pitch, fingers, seg) = match scale {
+        Scale::Small => (um(200), um(50), 2, um(60)),
+        Scale::Medium => (um(400), um(50), 3, um(60)),
+        Scale::Large => (um(700), um(45), 4, um(55)),
+    };
+    let grid_spec = PowerGridSpec {
+        width_nm: span,
+        height_nm: span,
+        pitch_nm: pitch,
+        ..PowerGridSpec::default()
+    };
+    let mut layout = generate_power_grid(&tech, &grid_spec);
+    let clk_spec = ClockNetSpec {
+        width_nm: span,
+        height_nm: span,
+        fingers,
+        ..ClockNetSpec::default()
+    };
+    let clock = generate_clock_spine(&tech, &clk_spec);
+    layout.merge(&clock);
+    let sink_ports = (0..fingers)
+        .flat_map(|k| [format!("clk_sink_b{k}"), format!("clk_sink_t{k}")])
+        .collect();
+    let par = PeecParasitics::extract(&layout, seg);
+    ClockCase {
+        par,
+        tech,
+        sink_ports,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_grow_monotonically() {
+        let s = clock_case(Scale::Small);
+        let m = clock_case(Scale::Medium);
+        assert!(m.par.len() > s.par.len());
+        assert!(!s.sink_ports.is_empty());
+        // Every sink port resolves.
+        for p in &s.sink_ports {
+            assert!(s.par.layout.port(p).is_some(), "{p}");
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Plain-text table rendering for the harness binaries.
+
+/// A simple aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header length).
+    ///
+    /// # Panics
+    ///
+    /// Panics on column-count mismatch.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for r in &self.rows {
+            for (c, cell) in r.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for c in 0..ncols {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<w$}", cells[c], w = widths[c]));
+            }
+            line.trim_end().to_owned()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Engineering-notation formatting: `3.25e-9 → "3.25n"`, etc.
+pub fn eng(value: f64, unit: &str) -> String {
+    if value == 0.0 {
+        return format!("0 {unit}");
+    }
+    let prefixes = [
+        (1e-15, "f"),
+        (1e-12, "p"),
+        (1e-9, "n"),
+        (1e-6, "µ"),
+        (1e-3, "m"),
+        (1.0, ""),
+        (1e3, "k"),
+        (1e6, "M"),
+        (1e9, "G"),
+    ];
+    let mag = value.abs();
+    let (scale, prefix) = prefixes
+        .iter()
+        .rev()
+        .find(|(s, _)| mag >= *s)
+        .copied()
+        .unwrap_or((1e-15, "f"));
+    format!("{:.3}{}{}", value / scale, prefix, unit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["a", "1"]);
+        t.row(vec!["longer", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn row_width_checked() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn engineering_notation() {
+        assert_eq!(eng(3.25e-9, "H"), "3.250nH");
+        assert_eq!(eng(0.0121, "s"), "12.100ms");
+        assert_eq!(eng(0.0, "F"), "0 F");
+        assert_eq!(eng(2.5e3, "Hz"), "2.500kHz");
+        assert!(eng(-4e-12, "F").starts_with("-4.000p"));
+    }
+}

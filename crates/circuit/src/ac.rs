@@ -1,0 +1,311 @@
+//! Small-signal AC (frequency-domain) analysis.
+//!
+//! Used by the loop-inductance flow (paper Section 5): a current probe
+//! at the driver port with all capacitance removed gives the loop
+//! impedance `Z(jω)`, from which `R(f) = Re Z` and `L(f) = Im Z / ω`.
+
+use crate::elements::Element;
+use crate::error::CircuitError;
+use crate::mna::{MnaLayout, GMIN};
+use crate::netlist::{Circuit, NodeId};
+use crate::solver::Solver;
+use crate::Result;
+use ind101_numeric::{Complex64, Triplets};
+
+/// AC sweep options: explicit frequency list.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AcOptions {
+    /// Frequencies to analyze, hertz.
+    pub freqs_hz: Vec<f64>,
+}
+
+impl AcOptions {
+    /// Logarithmic sweep from `f_start` to `f_stop` with
+    /// `points_per_decade` points per decade (inclusive of endpoints).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive or inverted range.
+    pub fn log_sweep(f_start: f64, f_stop: f64, points_per_decade: usize) -> Self {
+        assert!(f_start > 0.0 && f_stop > f_start, "invalid sweep range");
+        assert!(points_per_decade > 0);
+        let decades = (f_stop / f_start).log10();
+        let n = (decades * points_per_decade as f64).ceil() as usize + 1;
+        let freqs_hz = (0..n)
+            .map(|i| f_start * 10f64.powf(decades * i as f64 / (n - 1) as f64))
+            .collect();
+        Self { freqs_hz }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.freqs_hz.is_empty() {
+            return Err(CircuitError::InvalidOptions {
+                what: "empty frequency list".to_owned(),
+            });
+        }
+        if self.freqs_hz.iter().any(|&f| !(f > 0.0) || !f.is_finite()) {
+            return Err(CircuitError::InvalidOptions {
+                what: "frequencies must be positive and finite".to_owned(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// AC sweep result: complex unknown vectors per frequency.
+#[derive(Clone, Debug)]
+pub struct AcResult {
+    /// Analyzed frequencies, hertz.
+    pub freqs_hz: Vec<f64>,
+    data: Vec<Vec<Complex64>>,
+    layout: MnaLayout,
+}
+
+impl AcResult {
+    /// Complex node voltage at sweep point `idx`.
+    pub fn voltage(&self, node: NodeId, idx: usize) -> Complex64 {
+        self.layout
+            .node(node)
+            .map_or(Complex64::ZERO, |i| self.data[idx][i])
+    }
+
+    /// Complex voltage trace of a node over the whole sweep.
+    pub fn voltage_sweep(&self, node: NodeId) -> Vec<Complex64> {
+        (0..self.freqs_hz.len())
+            .map(|i| self.voltage(node, i))
+            .collect()
+    }
+
+    /// Complex current through branch `branch` of inductor system `sys`
+    /// at sweep point `idx`.
+    pub fn inductor_current(&self, sys: usize, branch: usize, idx: usize) -> Complex64 {
+        self.data[idx][self.layout.ind_offsets[sys] + branch]
+    }
+}
+
+impl Circuit {
+    /// Runs an AC sweep. Sources contribute through their `ac_mag`
+    /// (time-domain waveforms are ignored). Nonlinear devices are
+    /// linearized at the DC operating point.
+    ///
+    /// # Errors
+    ///
+    /// Invalid options or singular systems.
+    pub fn ac_sweep(&self, opts: &AcOptions) -> Result<AcResult> {
+        opts.validate()?;
+        let layout = MnaLayout::build(self);
+
+        // DC operating point for device linearization, only if needed.
+        let op = if self.is_nonlinear() {
+            Some(self.dc_op()?)
+        } else {
+            None
+        };
+
+        let mut data = Vec::with_capacity(opts.freqs_hz.len());
+        for &f in &opts.freqs_hz {
+            let omega = 2.0 * std::f64::consts::PI * f;
+            let jw = Complex64::jomega(omega);
+            let mut t: Triplets<Complex64> = Triplets::new(layout.n, layout.n);
+            let mut rhs = vec![Complex64::ZERO; layout.n];
+            for i in 0..layout.n_nodes {
+                t.push(i, i, Complex64::from_real(GMIN));
+            }
+            let mut vseq = 0usize;
+            for e in self.elements() {
+                match e {
+                    Element::Resistor { a, b, ohms } => {
+                        stamp_admittance(&mut t, &layout, *a, *b, Complex64::from_real(1.0 / ohms));
+                    }
+                    Element::Capacitor { a, b, farads } => {
+                        stamp_admittance(&mut t, &layout, *a, *b, jw * *farads);
+                    }
+                    Element::Vsrc { plus, minus, ac_mag, .. } => {
+                        let row = layout.vsrc_rows[vseq];
+                        vseq += 1;
+                        if let Some(p) = layout.node(*plus) {
+                            t.push(p, row, Complex64::ONE);
+                            t.push(row, p, Complex64::ONE);
+                        }
+                        if let Some(m) = layout.node(*minus) {
+                            t.push(m, row, -Complex64::ONE);
+                            t.push(row, m, -Complex64::ONE);
+                        }
+                        rhs[row] = Complex64::from_real(*ac_mag);
+                    }
+                    Element::Isrc { from, into, ac_mag, .. } => {
+                        if let Some(i) = layout.node(*into) {
+                            rhs[i] += Complex64::from_real(*ac_mag);
+                        }
+                        if let Some(i) = layout.node(*from) {
+                            rhs[i] -= Complex64::from_real(*ac_mag);
+                        }
+                    }
+                    Element::Transistor(m) => {
+                        let opref = op.as_ref().expect("nonlinear implies op computed");
+                        let lin = m.linearize(
+                            opref.voltage(m.d),
+                            opref.voltage(m.g),
+                            opref.voltage(m.s),
+                        );
+                        let (d, g, s) = (layout.node(m.d), layout.node(m.g), layout.node(m.s));
+                        for (row, sign) in [(d, 1.0), (s, -1.0)] {
+                            let Some(r) = row else { continue };
+                            if let Some(dc) = d {
+                                t.push(r, dc, Complex64::from_real(sign * lin.gds));
+                            }
+                            if let Some(gc) = g {
+                                t.push(r, gc, Complex64::from_real(sign * lin.gm));
+                            }
+                            if let Some(sc) = s {
+                                t.push(r, sc, Complex64::from_real(-sign * (lin.gm + lin.gds)));
+                            }
+                        }
+                    }
+                }
+            }
+            for (s, sys) in self.inductor_systems().iter().enumerate() {
+                let off = layout.ind_offsets[s];
+                for (j, &(a, b)) in sys.branches.iter().enumerate() {
+                    let row = off + j;
+                    if let Some(ia) = layout.node(a) {
+                        t.push(ia, row, Complex64::ONE);
+                        t.push(row, ia, Complex64::ONE);
+                    }
+                    if let Some(ib) = layout.node(b) {
+                        t.push(ib, row, -Complex64::ONE);
+                        t.push(row, ib, -Complex64::ONE);
+                    }
+                    for jj in 0..sys.len() {
+                        let m = sys.m[(j, jj)];
+                        if m != 0.0 {
+                            t.push(row, off + jj, -(jw * m));
+                        }
+                    }
+                }
+            }
+            let solver = Solver::build(&t)?;
+            data.push(solver.solve(&rhs)?);
+        }
+        Ok(AcResult {
+            freqs_hz: opts.freqs_hz.clone(),
+            data,
+            layout,
+        })
+    }
+}
+
+#[inline]
+fn stamp_admittance(
+    t: &mut Triplets<Complex64>,
+    layout: &MnaLayout,
+    a: NodeId,
+    b: NodeId,
+    y: Complex64,
+) {
+    match (layout.node(a), layout.node(b)) {
+        (Some(i), Some(j)) => {
+            t.push(i, i, y);
+            t.push(j, j, y);
+            t.push(i, j, -y);
+            t.push(j, i, -y);
+        }
+        (Some(i), None) | (None, Some(i)) => t.push(i, i, y),
+        (None, None) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waveform::SourceWave;
+
+    #[test]
+    fn rc_lowpass_rolloff() {
+        let r = 1_000.0;
+        let cap = 1e-12;
+        let fc = 1.0 / (2.0 * std::f64::consts::PI * r * cap);
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.vsrc_ac(inp, Circuit::GND, SourceWave::dc(0.0), 1.0);
+        c.resistor(inp, out, r);
+        c.capacitor(out, Circuit::GND, cap);
+        let res = c
+            .ac_sweep(&AcOptions {
+                freqs_hz: vec![fc / 100.0, fc, fc * 100.0],
+            })
+            .unwrap();
+        assert!((res.voltage(out, 0).abs() - 1.0).abs() < 1e-3);
+        assert!((res.voltage(out, 1).abs() - 1.0 / 2f64.sqrt()).abs() < 1e-3);
+        assert!(res.voltage(out, 2).abs() < 0.02);
+    }
+
+    #[test]
+    fn series_rl_impedance_probe() {
+        // Drive R-L to ground with a 1 A current source; node voltage is Z.
+        let r = 5.0;
+        let l = 2e-9;
+        let mut c = Circuit::new();
+        let n = c.node("n");
+        let mid = c.node("mid");
+        c.isrc_ac(Circuit::GND, n, SourceWave::dc(0.0), 1.0);
+        c.resistor(n, mid, r);
+        c.inductor(mid, Circuit::GND, l);
+        let f = 1e9;
+        let res = c.ac_sweep(&AcOptions { freqs_hz: vec![f] }).unwrap();
+        let z = res.voltage(n, 0);
+        let omega = 2.0 * std::f64::consts::PI * f;
+        assert!((z.re - r).abs() < 1e-3, "Re Z = {}", z.re);
+        assert!((z.im - omega * l).abs() / (omega * l) < 1e-3, "Im Z = {}", z.im);
+    }
+
+    #[test]
+    fn log_sweep_covers_range() {
+        let opts = AcOptions::log_sweep(1e6, 1e9, 5);
+        assert!((opts.freqs_hz[0] - 1e6).abs() < 1.0);
+        let last = *opts.freqs_hz.last().unwrap();
+        assert!((last - 1e9).abs() / 1e9 < 1e-9);
+        assert!(opts.freqs_hz.len() >= 15);
+        assert!(opts.freqs_hz.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn mutual_coupling_induces_victim_voltage() {
+        use ind101_numeric::Matrix;
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let v = c.node("v");
+        c.isrc_ac(Circuit::GND, a, SourceWave::dc(0.0), 1.0);
+        let mut m = Matrix::zeros(2, 2);
+        m[(0, 0)] = 1e-9;
+        m[(1, 1)] = 1e-9;
+        m[(0, 1)] = 0.4e-9;
+        m[(1, 0)] = 0.4e-9;
+        c.add_inductor_system(crate::netlist::InductorSystem {
+            branches: vec![(a, Circuit::GND), (v, Circuit::GND)],
+            m,
+        })
+        .unwrap();
+        c.resistor(v, Circuit::GND, 1e6);
+        let res = c.ac_sweep(&AcOptions { freqs_hz: vec![1e9] }).unwrap();
+        // Victim is essentially open: the aggressor current returns
+        // through branch 0 only, inducing ωM·I on the victim node.
+        let vv = res.voltage(v, 0).abs();
+        let expected = 2.0 * std::f64::consts::PI * 1e9 * 0.4e-9;
+        assert!((vv - expected).abs() / expected < 0.05, "v = {vv}");
+    }
+
+    #[test]
+    fn empty_sweep_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.resistor(a, Circuit::GND, 1.0);
+        assert!(c.ac_sweep(&AcOptions { freqs_hz: vec![] }).is_err());
+        assert!(c
+            .ac_sweep(&AcOptions {
+                freqs_hz: vec![-1.0]
+            })
+            .is_err());
+    }
+}

@@ -1,0 +1,214 @@
+//! DC operating-point analysis (Newton–Raphson).
+
+use crate::elements::{Element, Mosfet};
+use crate::error::CircuitError;
+use crate::mna::{assemble_static, stamp_current, MnaLayout, Scheme};
+use crate::nonlinear::WoodburySolver;
+use crate::netlist::{Circuit, NodeId};
+use crate::solver::Solver;
+use crate::Result;
+use ind101_numeric::norm_inf;
+
+/// Maximum Newton iterations for the operating point.
+const MAX_ITER: usize = 200;
+/// Per-iteration cap on any unknown's change, volts/amperes.
+const DAMP_LIMIT: f64 = 1.0;
+/// Absolute convergence tolerance.
+const ABS_TOL: f64 = 1e-9;
+/// Relative convergence tolerance.
+const REL_TOL: f64 = 1e-6;
+
+/// Solved DC operating point.
+#[derive(Clone, Debug)]
+pub struct DcOperatingPoint {
+    pub(crate) x: Vec<f64>,
+    pub(crate) layout: MnaLayout,
+}
+
+impl DcOperatingPoint {
+    /// Node voltage at the operating point (0 for ground).
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        self.layout.node(node).map_or(0.0, |i| self.x[i])
+    }
+
+    /// Current through voltage source `idx` (in the order sources were
+    /// added), flowing from the positive terminal through the source.
+    pub fn vsrc_current(&self, idx: usize) -> f64 {
+        self.x[self.layout.vsrc_rows[idx]]
+    }
+
+    /// Current through branch `branch` of inductor system `sys`.
+    pub fn inductor_current(&self, sys: usize, branch: usize) -> f64 {
+        self.x[self.layout.ind_offsets[sys] + branch]
+    }
+
+    /// The raw unknown vector (node voltages then source/branch currents).
+    pub fn unknowns(&self) -> &[f64] {
+        &self.x
+    }
+}
+
+impl Circuit {
+    /// Computes the DC operating point with sources at their `t = 0`
+    /// values; capacitors open, inductors (nearly) short.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::NewtonDiverged`] if the Newton iteration fails,
+    /// or a numeric error for structurally singular circuits.
+    pub fn dc_op(&self) -> Result<DcOperatingPoint> {
+        let layout = MnaLayout::build(self);
+        let static_t = assemble_static(self, &layout, Scheme::Dc, 0.0);
+        // Static RHS: independent sources at t = 0.
+        let mut rhs0 = vec![0.0; layout.n];
+        let mut vseq = 0usize;
+        for e in self.elements() {
+            match e {
+                Element::Vsrc { wave, .. } => {
+                    rhs0[layout.vsrc_rows[vseq]] = wave.dc_value();
+                    vseq += 1;
+                }
+                Element::Isrc { from, into, wave, .. } => {
+                    stamp_current(&mut rhs0, &layout, *from, *into, wave.dc_value());
+                }
+                _ => {}
+            }
+        }
+
+        let mut x = vec![0.0; layout.n];
+        if !self.is_nonlinear() {
+            let solver = Solver::build(&static_t)?;
+            let sol = solver.solve(&rhs0)?;
+            return Ok(DcOperatingPoint { x: sol, layout });
+        }
+
+        let mosfets: Vec<Mosfet> = self
+            .elements()
+            .iter()
+            .filter_map(|e| match e {
+                Element::Transistor(m) => Some(m.clone()),
+                _ => None,
+            })
+            .collect();
+        let wb = WoodburySolver::build(&static_t, &layout, &mosfets)?;
+        for iter in 0..MAX_ITER {
+            let x_new = wb.solve(&mosfets, &x, &rhs0)?;
+            // Damped update.
+            let mut delta_inf = 0.0f64;
+            for i in 0..layout.n {
+                let d = (x_new[i] - x[i]).clamp(-DAMP_LIMIT, DAMP_LIMIT);
+                delta_inf = delta_inf.max(d.abs());
+                x[i] += d;
+            }
+            if delta_inf < ABS_TOL + REL_TOL * norm_inf(&x) {
+                return Ok(DcOperatingPoint { x, layout });
+            }
+            let _ = iter;
+        }
+        Err(CircuitError::NewtonDiverged {
+            time: f64::NAN,
+            iterations: MAX_ITER,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elements::{MosPolarity, Mosfet};
+    use crate::netlist::InverterParams;
+    use crate::waveform::SourceWave;
+
+    #[test]
+    fn resistive_divider() {
+        let mut c = Circuit::new();
+        let top = c.node("top");
+        let mid = c.node("mid");
+        c.vsrc(top, Circuit::GND, SourceWave::dc(2.0));
+        c.resistor(top, mid, 1_000.0);
+        c.resistor(mid, Circuit::GND, 3_000.0);
+        let op = c.dc_op().unwrap();
+        assert!((op.voltage(top) - 2.0).abs() < 1e-9);
+        assert!((op.voltage(mid) - 1.5).abs() < 1e-6);
+        // Source current: 2 V / 4 kΩ = 0.5 mA flowing out of plus.
+        assert!((op.vsrc_current(0) + 0.5e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut c = Circuit::new();
+        let n = c.node("n");
+        c.isrc(Circuit::GND, n, SourceWave::dc(1e-3));
+        c.resistor(n, Circuit::GND, 2_000.0);
+        let op = c.dc_op().unwrap();
+        assert!((op.voltage(n) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inductor_is_dc_short() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsrc(a, Circuit::GND, SourceWave::dc(1.0));
+        c.inductor(a, b, 1e-9);
+        c.resistor(b, Circuit::GND, 100.0);
+        let op = c.dc_op().unwrap();
+        assert!((op.voltage(b) - 1.0).abs() < 1e-3);
+        assert!((op.inductor_current(0, 0) - 10e-3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn floating_cap_node_is_well_posed() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.capacitor(a, Circuit::GND, 1e-12);
+        let op = c.dc_op().unwrap();
+        assert_eq!(op.voltage(a), 0.0);
+    }
+
+    #[test]
+    fn nmos_saturation_bias() {
+        // Vdd -- R -- drain, gate at 1.2 V: device in saturation.
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let d = c.node("d");
+        let g = c.node("g");
+        c.vsrc(vdd, Circuit::GND, SourceWave::dc(1.8));
+        c.vsrc(g, Circuit::GND, SourceWave::dc(1.2));
+        c.resistor(vdd, d, 1_000.0);
+        c.mosfet(Mosfet {
+            d,
+            g,
+            s: Circuit::GND,
+            polarity: MosPolarity::Nmos,
+            beta: 0.5e-3,
+            vt: 0.5,
+            lambda: 0.0,
+        });
+        let op = c.dc_op().unwrap();
+        // Ids = 0.5·β·(0.7)² ≈ 0.1225 mA → Vd = 1.8 − 0.1225 ≈ 1.6775.
+        assert!((op.voltage(d) - 1.6775).abs() < 1e-3, "vd = {}", op.voltage(d));
+    }
+
+    #[test]
+    fn inverter_transfer_endpoints() {
+        let p = InverterParams::default();
+        for (vin, expect_high) in [(0.0, true), (1.8, false)] {
+            let mut c = Circuit::new();
+            let vdd = c.node("vdd");
+            let inp = c.node("in");
+            let out = c.node("out");
+            c.vsrc(vdd, Circuit::GND, SourceWave::dc(1.8));
+            c.vsrc(inp, Circuit::GND, SourceWave::dc(vin));
+            c.inverter(inp, out, vdd, Circuit::GND, p);
+            c.resistor(out, Circuit::GND, 1e9); // probe load
+            let op = c.dc_op().unwrap();
+            let vo = op.voltage(out);
+            if expect_high {
+                assert!(vo > 1.7, "vin={vin} vo={vo}");
+            } else {
+                assert!(vo < 0.1, "vin={vin} vo={vo}");
+            }
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Circuit elements.
+
+use crate::netlist::NodeId;
+use crate::waveform::SourceWave;
+
+/// MOSFET channel polarity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MosPolarity {
+    /// N-channel.
+    Nmos,
+    /// P-channel.
+    Pmos,
+}
+
+/// Level-1 (square-law) MOSFET.
+///
+/// The paper's gates are full SPICE devices; level 1 reproduces the
+/// behaviours the experiments depend on — finite drive resistance,
+/// short-circuit current during the input transition (the paper's `I1`
+/// of Figure 1) and nonlinear waveform shaping — without a full BSIM
+/// port.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mosfet {
+    /// Drain node.
+    pub d: NodeId,
+    /// Gate node.
+    pub g: NodeId,
+    /// Source node.
+    pub s: NodeId,
+    /// Channel polarity.
+    pub polarity: MosPolarity,
+    /// Transconductance factor β = k′·W/L, A/V².
+    pub beta: f64,
+    /// Threshold voltage magnitude, volts (positive for both types).
+    pub vt: f64,
+    /// Channel-length modulation λ, 1/V.
+    pub lambda: f64,
+}
+
+/// Linearization of a MOSFET at a bias point: `Ids ≈ ieq + gm·vgs + gds·vds`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MosLinearization {
+    /// Drain current at the bias point (drain → source), amperes.
+    pub ids: f64,
+    /// Transconductance ∂Ids/∂Vgs, siemens.
+    pub gm: f64,
+    /// Output conductance ∂Ids/∂Vds, siemens.
+    pub gds: f64,
+}
+
+impl Mosfet {
+    /// Evaluates current and derivatives at terminal voltages.
+    ///
+    /// Voltages are absolute node voltages; polarity handling maps PMOS
+    /// onto the NMOS equations with reversed signs.
+    pub fn linearize(&self, vd: f64, vg: f64, vs: f64) -> MosLinearization {
+        // Map to NMOS frame.
+        let sign = match self.polarity {
+            MosPolarity::Nmos => 1.0,
+            MosPolarity::Pmos => -1.0,
+        };
+        let vgs = sign * (vg - vs);
+        let vds = sign * (vd - vs);
+        let vov = vgs - self.vt;
+        let (ids, gm, gds) = if vov <= 0.0 {
+            // Cutoff: tiny leakage conductance keeps Newton well-posed.
+            let gleak = 1e-12;
+            (gleak * vds, 0.0, gleak)
+        } else if vds < vov {
+            // Triode, with the same (1 + λ·vds) factor as saturation so
+            // current and gds stay continuous at the region boundary.
+            let clm = 1.0 + self.lambda * vds;
+            let ids0 = self.beta * (vov * vds - 0.5 * vds * vds);
+            let ids = ids0 * clm;
+            let gm = self.beta * vds * clm;
+            let gds = self.beta * (vov - vds) * clm + ids0 * self.lambda + 1e-12;
+            (ids, gm, gds)
+        } else {
+            // Saturation with channel-length modulation.
+            let ids0 = 0.5 * self.beta * vov * vov;
+            let ids = ids0 * (1.0 + self.lambda * vds);
+            let gm = self.beta * vov * (1.0 + self.lambda * vds);
+            let gds = ids0 * self.lambda + 1e-12;
+            (ids, gm, gds)
+        };
+        // Back to the external frame: current direction d → s flips with
+        // the sign mapping applied twice, so magnitude maps directly.
+        MosLinearization {
+            ids: sign * ids,
+            gm,
+            gds,
+        }
+    }
+}
+
+/// A netlist element.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Element {
+    /// Resistor between two nodes, ohms.
+    Resistor {
+        /// First node.
+        a: NodeId,
+        /// Second node.
+        b: NodeId,
+        /// Resistance, ohms (> 0).
+        ohms: f64,
+    },
+    /// Capacitor between two nodes, farads.
+    Capacitor {
+        /// First node.
+        a: NodeId,
+        /// Second node.
+        b: NodeId,
+        /// Capacitance, farads (> 0).
+        farads: f64,
+    },
+    /// Independent voltage source from `plus` to `minus`.
+    Vsrc {
+        /// Positive terminal.
+        plus: NodeId,
+        /// Negative terminal.
+        minus: NodeId,
+        /// Time-domain waveform.
+        wave: SourceWave,
+        /// AC analysis magnitude (phase 0), volts.
+        ac_mag: f64,
+    },
+    /// Independent current source pushing current *into* `into` and out
+    /// of `from`.
+    Isrc {
+        /// Node the current leaves.
+        from: NodeId,
+        /// Node the current enters.
+        into: NodeId,
+        /// Time-domain waveform, amperes.
+        wave: SourceWave,
+        /// AC analysis magnitude, amperes.
+        ac_mag: f64,
+    },
+    /// A MOSFET (see [`Mosfet`]).
+    Transistor(Mosfet),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nmos() -> Mosfet {
+        Mosfet {
+            d: NodeId(1),
+            g: NodeId(2),
+            s: NodeId(0),
+            polarity: MosPolarity::Nmos,
+            beta: 1e-3,
+            vt: 0.5,
+            lambda: 0.05,
+        }
+    }
+
+    #[test]
+    fn cutoff_has_negligible_current() {
+        let m = nmos();
+        let lin = m.linearize(1.0, 0.2, 0.0);
+        assert!(lin.ids.abs() < 1e-9);
+        assert_eq!(lin.gm, 0.0);
+    }
+
+    #[test]
+    fn triode_and_saturation_regions() {
+        let m = nmos();
+        // vgs = 1.5, vov = 1.0.
+        let triode = m.linearize(0.5, 1.5, 0.0);
+        assert!(triode.gds > 1e-4, "triode has strong output conductance");
+        let sat = m.linearize(2.0, 1.5, 0.0);
+        let ids_expected = 0.5 * 1e-3 * 1.0 * (1.0 + 0.05 * 2.0);
+        assert!((sat.ids - ids_expected).abs() / ids_expected < 1e-12);
+        assert!(sat.gds < triode.gds);
+    }
+
+    #[test]
+    fn current_continuous_at_region_boundary() {
+        let m = nmos();
+        let below = m.linearize(0.999_999, 1.5, 0.0);
+        let above = m.linearize(1.000_001, 1.5, 0.0);
+        assert!((below.ids - above.ids).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pmos_mirrors_nmos() {
+        let p = Mosfet {
+            polarity: MosPolarity::Pmos,
+            ..nmos()
+        };
+        // Source at 1.8 V, gate low, drain at 0.9: conducting, current
+        // flows source → drain externally, i.e. ids (d → s) negative.
+        let lin = p.linearize(0.9, 0.0, 1.8);
+        assert!(lin.ids < -1e-6);
+        assert!(lin.gm > 0.0);
+        assert!(lin.gds > 0.0);
+    }
+
+    #[test]
+    fn gm_matches_finite_difference() {
+        let m = nmos();
+        let dv = 1e-7;
+        let base = m.linearize(2.0, 1.2, 0.0);
+        let pert = m.linearize(2.0, 1.2 + dv, 0.0);
+        let gm_fd = (pert.ids - base.ids) / dv;
+        assert!((gm_fd - base.gm).abs() / base.gm < 1e-4);
+    }
+
+    #[test]
+    fn gds_matches_finite_difference() {
+        let m = nmos();
+        let dv = 1e-7;
+        let base = m.linearize(2.0, 1.2, 0.0);
+        let pert = m.linearize(2.0 + dv, 1.2, 0.0);
+        let gds_fd = (pert.ids - base.ids) / dv;
+        assert!((gds_fd - base.gds).abs() / base.gds.max(1e-12) < 1e-3);
+    }
+}

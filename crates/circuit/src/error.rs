@@ -1,0 +1,83 @@
+//! Error type for circuit construction and analysis.
+
+use ind101_numeric::NumericError;
+use std::fmt;
+
+/// Errors from netlist construction or simulation.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// The underlying linear algebra failed (singular matrix etc.).
+    Numeric(NumericError),
+    /// Newton iteration did not converge.
+    NewtonDiverged {
+        /// Simulation time at which convergence failed (NaN for DC).
+        time: f64,
+        /// Iterations attempted.
+        iterations: usize,
+    },
+    /// An element parameter was invalid (non-positive R, C, etc.).
+    InvalidElement {
+        /// Description of the offending element.
+        what: String,
+    },
+    /// A referenced node does not exist in the circuit.
+    UnknownNode {
+        /// The node index.
+        index: usize,
+    },
+    /// The analysis options were invalid (zero step, empty sweep, …).
+    InvalidOptions {
+        /// Description of the problem.
+        what: String,
+    },
+    /// An inductor system's coupling matrix was inconsistent.
+    BadInductorSystem {
+        /// Description of the problem.
+        what: String,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Numeric(e) => write!(f, "numeric failure: {e}"),
+            Self::NewtonDiverged { time, iterations } => {
+                write!(f, "Newton failed to converge at t={time:e}s after {iterations} iterations")
+            }
+            Self::InvalidElement { what } => write!(f, "invalid element: {what}"),
+            Self::UnknownNode { index } => write!(f, "unknown node index {index}"),
+            Self::InvalidOptions { what } => write!(f, "invalid analysis options: {what}"),
+            Self::BadInductorSystem { what } => write!(f, "bad inductor system: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericError> for CircuitError {
+    fn from(e: NumericError) -> Self {
+        Self::Numeric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = CircuitError::Numeric(NumericError::Singular { pivot: 3 });
+        assert!(e.to_string().contains("singular"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = CircuitError::NewtonDiverged { time: 1e-9, iterations: 50 };
+        assert!(e.to_string().contains("50"));
+    }
+}

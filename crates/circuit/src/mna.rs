@@ -1,0 +1,305 @@
+//! Modified nodal analysis: unknown layout and matrix stamping.
+//!
+//! Unknown ordering: node voltages (ground excluded), then one current
+//! per independent voltage source, then one current per inductive
+//! branch (system by system). Keeping inductor branch currents as
+//! unknowns lets a dense partial-inductance matrix stamp directly —
+//! the same formulation SPICE uses for a PEEC netlist, which is what
+//! makes the paper's "dense PEEC is slow" observation reproducible.
+
+use crate::elements::{Element, Mosfet};
+use crate::netlist::{Circuit, NodeId};
+use ind101_numeric::Triplets;
+
+/// Conductance from every node to ground that keeps the MNA matrix
+/// nonsingular for floating or cap-only nodes.
+pub(crate) const GMIN: f64 = 1e-12;
+
+/// Small series resistance used for inductor branches in DC analysis
+/// (prevents singular loops of ideal zero-volt branches).
+pub(crate) const DC_IND_RES: f64 = 1e-6;
+
+/// Map from circuit structure to MNA unknown indices.
+#[derive(Clone, Debug)]
+pub(crate) struct MnaLayout {
+    /// Number of node-voltage unknowns (nodes minus ground).
+    pub n_nodes: usize,
+    /// Unknown index of each voltage source current, in element order.
+    pub vsrc_rows: Vec<usize>,
+    /// Unknown index of the first branch of each inductor system.
+    pub ind_offsets: Vec<usize>,
+    /// Total number of unknowns.
+    pub n: usize,
+}
+
+impl MnaLayout {
+    pub(crate) fn build(ckt: &Circuit) -> Self {
+        let n_nodes = ckt.num_nodes() - 1;
+        let mut next = n_nodes;
+        let mut vsrc_rows = Vec::new();
+        for e in ckt.elements() {
+            if matches!(e, Element::Vsrc { .. }) {
+                vsrc_rows.push(next);
+                next += 1;
+            }
+        }
+        let mut ind_offsets = Vec::new();
+        for sys in ckt.inductor_systems() {
+            ind_offsets.push(next);
+            next += sys.len();
+        }
+        Self {
+            n_nodes,
+            vsrc_rows,
+            ind_offsets,
+            n: next,
+        }
+    }
+
+    /// Unknown index of a node voltage (`None` for ground).
+    #[inline]
+    pub(crate) fn node(&self, n: NodeId) -> Option<usize> {
+        if n.0 == 0 {
+            None
+        } else {
+            Some(n.0 - 1)
+        }
+    }
+}
+
+/// Integration scheme for companion models.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Scheme {
+    /// DC: capacitors open, inductors (near-)short.
+    Dc,
+    /// Backward Euler with step `h`: companion factor `1/h`.
+    Be,
+    /// Trapezoidal with step `h`: companion factor `2/h`.
+    Trap,
+}
+
+impl Scheme {
+    /// Companion factor `k` such that `G_C = k·C` and the inductive
+    /// branch stamp is `−k·M` (zero for DC).
+    pub(crate) fn k(self, h: f64) -> f64 {
+        match self {
+            Scheme::Dc => 0.0,
+            Scheme::Be => 1.0 / h,
+            Scheme::Trap => 2.0 / h,
+        }
+    }
+}
+
+/// Assembles the time-invariant (linear) part of the MNA matrix.
+///
+/// * resistors, gmin, voltage-source incidence — always;
+/// * capacitor companion conductances `k·C` — transient only;
+/// * inductive branch rows `v_a − v_b − k·Σ M_jk i_k` (transient) or
+///   `v_a − v_b − R_ε i` (DC).
+pub(crate) fn assemble_static(ckt: &Circuit, layout: &MnaLayout, scheme: Scheme, h: f64) -> Triplets {
+    let mut t = Triplets::new(layout.n, layout.n);
+    let k = scheme.k(h);
+    // gmin keeps every node row nonsingular.
+    for i in 0..layout.n_nodes {
+        t.push(i, i, GMIN);
+    }
+    let mut vsrc_seq = 0usize;
+    for e in ckt.elements() {
+        match e {
+            Element::Resistor { a, b, ohms } => {
+                stamp_conductance(&mut t, layout, *a, *b, 1.0 / ohms);
+            }
+            Element::Capacitor { a, b, farads } => {
+                if scheme != Scheme::Dc {
+                    stamp_conductance(&mut t, layout, *a, *b, k * farads);
+                }
+            }
+            Element::Vsrc { plus, minus, .. } => {
+                let row = layout.vsrc_rows[vsrc_seq];
+                vsrc_seq += 1;
+                if let Some(p) = layout.node(*plus) {
+                    t.push(p, row, 1.0);
+                    t.push(row, p, 1.0);
+                }
+                if let Some(m) = layout.node(*minus) {
+                    t.push(m, row, -1.0);
+                    t.push(row, m, -1.0);
+                }
+            }
+            Element::Isrc { .. } | Element::Transistor(_) => {}
+        }
+    }
+    for (s, sys) in ckt.inductor_systems().iter().enumerate() {
+        let off = layout.ind_offsets[s];
+        for (j, &(a, b)) in sys.branches.iter().enumerate() {
+            let row = off + j;
+            // KCL: branch current leaves `a`, enters `b`.
+            if let Some(ia) = layout.node(a) {
+                t.push(ia, row, 1.0);
+                t.push(row, ia, 1.0);
+            }
+            if let Some(ib) = layout.node(b) {
+                t.push(ib, row, -1.0);
+                t.push(row, ib, -1.0);
+            }
+            if scheme == Scheme::Dc {
+                t.push(row, row, -DC_IND_RES);
+            } else {
+                for jj in 0..sys.len() {
+                    let m = sys.m[(j, jj)];
+                    if m != 0.0 {
+                        t.push(row, off + jj, -k * m);
+                    }
+                }
+            }
+        }
+    }
+    t
+}
+
+#[inline]
+pub(crate) fn stamp_conductance(
+    t: &mut Triplets,
+    layout: &MnaLayout,
+    a: NodeId,
+    b: NodeId,
+    g: f64,
+) {
+    match (layout.node(a), layout.node(b)) {
+        (Some(i), Some(j)) => {
+            t.push(i, i, g);
+            t.push(j, j, g);
+            t.push(i, j, -g);
+            t.push(j, i, -g);
+        }
+        (Some(i), None) | (None, Some(i)) => t.push(i, i, g),
+        (None, None) => {}
+    }
+}
+
+/// Adds `amps` into node `into` and out of node `from` on the RHS.
+#[inline]
+pub(crate) fn stamp_current(
+    rhs: &mut [f64],
+    layout: &MnaLayout,
+    from: NodeId,
+    into: NodeId,
+    amps: f64,
+) {
+    if let Some(i) = layout.node(into) {
+        rhs[i] += amps;
+    }
+    if let Some(i) = layout.node(from) {
+        rhs[i] -= amps;
+    }
+}
+
+/// Newton stamp of a MOSFET linearized at the node voltages in `x`.
+///
+/// Adds the Jacobian entries to `t` and the Norton equivalent current to
+/// `rhs`. The production Newton path applies the same stamp implicitly
+/// through the Woodbury solver (`crate::nonlinear`); this explicit form
+/// is kept as the reference implementation the Woodbury path is tested
+/// against.
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn stamp_mosfet(
+    t: &mut Triplets,
+    rhs: &mut [f64],
+    layout: &MnaLayout,
+    m: &Mosfet,
+    x: &[f64],
+) {
+    let v = |n: NodeId| layout.node(n).map_or(0.0, |i| x[i]);
+    let (vd, vg, vs) = (v(m.d), v(m.g), v(m.s));
+    let lin = m.linearize(vd, vg, vs);
+    // i(d→s) ≈ ieq0 + gm·(vg − vs) + gds·(vd − vs)
+    let ieq0 = lin.ids - lin.gm * (vg - vs) - lin.gds * (vd - vs);
+    let (d, g, s) = (layout.node(m.d), layout.node(m.g), layout.node(m.s));
+    // Row d (+), row s (−).
+    for (row, sign) in [(d, 1.0), (s, -1.0)] {
+        let Some(r) = row else { continue };
+        rhs[r] -= sign * ieq0;
+        if let Some(dc) = d {
+            t.push(r, dc, sign * lin.gds);
+        }
+        if let Some(gc) = g {
+            t.push(r, gc, sign * lin.gm);
+        }
+        if let Some(sc) = s {
+            t.push(r, sc, -sign * (lin.gm + lin.gds));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waveform::SourceWave;
+
+    #[test]
+    fn layout_orders_unknowns() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsrc(a, Circuit::GND, SourceWave::dc(1.0));
+        c.resistor(a, b, 1.0);
+        c.inductor(b, Circuit::GND, 1e-9);
+        let l = MnaLayout::build(&c);
+        assert_eq!(l.n_nodes, 2);
+        assert_eq!(l.vsrc_rows, vec![2]);
+        assert_eq!(l.ind_offsets, vec![3]);
+        assert_eq!(l.n, 4);
+        assert_eq!(l.node(Circuit::GND), None);
+        assert_eq!(l.node(a), Some(0));
+    }
+
+    #[test]
+    fn resistive_divider_matrix() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.resistor(a, b, 2.0);
+        c.resistor(b, Circuit::GND, 2.0);
+        let l = MnaLayout::build(&c);
+        let t = assemble_static(&c, &l, Scheme::Dc, 0.0);
+        let m = t.to_dense();
+        assert!((m[(0, 0)] - 0.5).abs() < 1e-9);
+        assert!((m[(1, 1)] - 1.0).abs() < 1e-9);
+        assert!((m[(0, 1)] + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacitor_absent_in_dc_present_in_tran() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.capacitor(a, Circuit::GND, 1e-12);
+        let l = MnaLayout::build(&c);
+        let dc = assemble_static(&c, &l, Scheme::Dc, 0.0).to_dense();
+        assert!(dc[(0, 0)] <= 2.0 * GMIN);
+        let h = 1e-12;
+        let tr = assemble_static(&c, &l, Scheme::Trap, h).to_dense();
+        assert!((tr[(0, 0)] - 2.0 * 1e-12 / h).abs() / (2.0 * 1e-12 / h) < 1e-6);
+    }
+
+    #[test]
+    fn trap_vs_be_companion_factor() {
+        assert_eq!(Scheme::Trap.k(1e-12), 2e12);
+        assert_eq!(Scheme::Be.k(1e-12), 1e12);
+        assert_eq!(Scheme::Dc.k(1e-12), 0.0);
+    }
+
+    #[test]
+    fn inductor_row_carries_coupling() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.inductor(a, Circuit::GND, 2e-9);
+        let l = MnaLayout::build(&c);
+        let h = 1e-12;
+        let m = assemble_static(&c, &l, Scheme::Trap, h).to_dense();
+        // Branch row 1: +1 on node col, −(2/h)·L on its own col.
+        assert_eq!(m[(1, 0)], 1.0);
+        assert!((m[(1, 1)] + 2.0 / h * 2e-9).abs() < 1e-9);
+        // KCL col symmetric.
+        assert_eq!(m[(0, 1)], 1.0);
+    }
+}

@@ -1,0 +1,485 @@
+//! Fixed-step transient analysis with trapezoidal integration.
+//!
+//! Companion-model formulation: capacitors become conductances with
+//! history currents, inductive branches keep their currents as MNA
+//! unknowns so mutual coupling stamps the inductance matrix directly.
+//! The first step uses backward Euler (self-starting, damps the
+//! inconsistent-initial-condition ringing trapezoidal is prone to);
+//! subsequent steps use the trapezoidal rule (A-stable, no numerical
+//! damping — important because the paper's waveforms *are* ringing and
+//! artificial damping would fake the RC-like behaviour).
+
+use crate::elements::{Element, Mosfet};
+use crate::error::CircuitError;
+use crate::mna::{assemble_static, stamp_current, MnaLayout, Scheme};
+use crate::nonlinear::WoodburySolver;
+use crate::netlist::{Circuit, NodeId};
+use crate::solver::Solver;
+use crate::waveform::Trace;
+use crate::Result;
+
+/// Options for [`Circuit::transient`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct TranOptions {
+    /// Fixed time step, seconds.
+    pub dt: f64,
+    /// Stop time, seconds.
+    pub t_stop: f64,
+    /// Maximum Newton iterations per time point.
+    pub max_newton: usize,
+    /// Record every `record_stride`-th step (1 = every step).
+    pub record_stride: usize,
+    /// Start from the DC operating point (default) or from all-zero
+    /// state (useful for quiet-power-grid noise studies).
+    pub start_from_dc: bool,
+}
+
+impl TranOptions {
+    /// Creates options with the given step and stop time.
+    pub fn new(dt: f64, t_stop: f64) -> Self {
+        Self {
+            dt,
+            t_stop,
+            max_newton: 60,
+            record_stride: 1,
+            start_from_dc: true,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !(self.dt > 0.0) || !self.dt.is_finite() {
+            return Err(CircuitError::InvalidOptions {
+                what: format!("dt = {}", self.dt),
+            });
+        }
+        if !(self.t_stop > self.dt) {
+            return Err(CircuitError::InvalidOptions {
+                what: format!("t_stop = {} must exceed dt", self.t_stop),
+            });
+        }
+        if self.record_stride == 0 {
+            return Err(CircuitError::InvalidOptions {
+                what: "record_stride must be ≥ 1".to_owned(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Per-capacitor integration state.
+#[derive(Clone, Copy, Debug, Default)]
+struct CapState {
+    v: f64,
+    i: f64,
+}
+
+/// Transient simulation result: sampled unknown vectors.
+#[derive(Clone, Debug)]
+pub struct TranResult {
+    time: Vec<f64>,
+    /// Step-major unknown snapshots.
+    data: Vec<Vec<f64>>,
+    layout: MnaLayout,
+    /// Newton iterations actually used (diagnostics).
+    pub newton_iterations: usize,
+}
+
+impl TranResult {
+    /// Sampled times.
+    pub fn time(&self) -> &[f64] {
+        &self.time
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.time.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.time.is_empty()
+    }
+
+    /// Voltage trace of a node.
+    pub fn voltage(&self, node: NodeId) -> Trace {
+        let vals = match self.layout.node(node) {
+            None => vec![0.0; self.time.len()],
+            Some(i) => self.data.iter().map(|x| x[i]).collect(),
+        };
+        Trace::new(self.time.clone(), vals)
+    }
+
+    /// Current trace through voltage source `idx` (order of insertion).
+    pub fn vsrc_current(&self, idx: usize) -> Trace {
+        let r = self.layout.vsrc_rows[idx];
+        Trace::new(self.time.clone(), self.data.iter().map(|x| x[r]).collect())
+    }
+
+    /// Current trace through branch `branch` of inductor system `sys`.
+    pub fn inductor_current(&self, sys: usize, branch: usize) -> Trace {
+        let r = self.layout.ind_offsets[sys] + branch;
+        Trace::new(self.time.clone(), self.data.iter().map(|x| x[r]).collect())
+    }
+}
+
+impl Circuit {
+    /// Runs a fixed-step transient analysis.
+    ///
+    /// # Errors
+    ///
+    /// Invalid options, singular systems, or Newton divergence.
+    pub fn transient(&self, opts: &TranOptions) -> Result<TranResult> {
+        opts.validate()?;
+        let layout = MnaLayout::build(self);
+        let h = opts.dt;
+        let nonlinear = self.is_nonlinear();
+
+        // Initial condition.
+        let mut x = if opts.start_from_dc {
+            self.dc_op()?.x
+        } else {
+            vec![0.0; layout.n]
+        };
+
+        // Element bookkeeping tables.
+        let caps: Vec<(NodeId, NodeId, f64)> = self
+            .elements()
+            .iter()
+            .filter_map(|e| match e {
+                Element::Capacitor { a, b, farads } => Some((*a, *b, *farads)),
+                _ => None,
+            })
+            .collect();
+        let mut cap_state: Vec<CapState> = caps
+            .iter()
+            .map(|&(a, b, _)| CapState {
+                v: node_v(&layout, &x, a) - node_v(&layout, &x, b),
+                i: 0.0,
+            })
+            .collect();
+        // Inductor branch history: (current, branch voltage).
+        let mut ind_state: Vec<Vec<(f64, f64)>> = self
+            .inductor_systems()
+            .iter()
+            .enumerate()
+            .map(|(s, sys)| {
+                (0..sys.len())
+                    .map(|j| (x[layout.ind_offsets[s] + j], 0.0))
+                    .collect()
+            })
+            .collect();
+
+        // Pre-assembled static matrices, factored once per scheme. For
+        // nonlinear circuits the MOSFET Jacobian is applied as a rank-m
+        // Woodbury update on top of the same factorization (see
+        // `crate::nonlinear`), so no refactoring happens inside the
+        // time loop at all.
+        let static_be = assemble_static(self, &layout, Scheme::Be, h);
+        let static_trap = assemble_static(self, &layout, Scheme::Trap, h);
+        let mosfets: Vec<Mosfet> = self
+            .elements()
+            .iter()
+            .filter_map(|e| match e {
+                Element::Transistor(m) => Some(m.clone()),
+                _ => None,
+            })
+            .collect();
+        let (solver_be, solver_trap, wb_be, wb_trap) = if nonlinear {
+            (
+                None,
+                None,
+                Some(WoodburySolver::build(&static_be, &layout, &mosfets)?),
+                Some(WoodburySolver::build(&static_trap, &layout, &mosfets)?),
+            )
+        } else {
+            (
+                Some(Solver::build(&static_be)?),
+                Some(Solver::build(&static_trap)?),
+                None,
+                None,
+            )
+        };
+
+        let n_steps = (opts.t_stop / h).ceil() as usize;
+        let mut result = TranResult {
+            time: Vec::with_capacity(n_steps / opts.record_stride + 2),
+            data: Vec::with_capacity(n_steps / opts.record_stride + 2),
+            layout: layout.clone(),
+            newton_iterations: 0,
+        };
+        result.time.push(0.0);
+        result.data.push(x.clone());
+
+        let mut newton_total = 0usize;
+        for step in 1..=n_steps {
+            let t_next = step as f64 * h;
+            let scheme = if step == 1 { Scheme::Be } else { Scheme::Trap };
+            let k = scheme.k(h);
+            let trap = scheme == Scheme::Trap;
+
+            // Right-hand side: sources at t_next + companion histories.
+            let mut rhs = vec![0.0; layout.n];
+            let mut vseq = 0usize;
+            for e in self.elements() {
+                match e {
+                    Element::Vsrc { wave, .. } => {
+                        rhs[layout.vsrc_rows[vseq]] = wave.value_at(t_next);
+                        vseq += 1;
+                    }
+                    Element::Isrc { from, into, wave, .. } => {
+                        stamp_current(&mut rhs, &layout, *from, *into, wave.value_at(t_next));
+                    }
+                    _ => {}
+                }
+            }
+            for (ci, &(a, b, farads)) in caps.iter().enumerate() {
+                let st = cap_state[ci];
+                let ieq = k * farads * st.v + if trap { st.i } else { 0.0 };
+                // Norton companion: current ieq from b to a externally.
+                stamp_current(&mut rhs, &layout, b, a, ieq);
+            }
+            for (s, sys) in self.inductor_systems().iter().enumerate() {
+                let off = layout.ind_offsets[s];
+                for j in 0..sys.len() {
+                    let mut acc = 0.0;
+                    for jj in 0..sys.len() {
+                        let m = sys.m[(j, jj)];
+                        if m != 0.0 {
+                            acc += m * ind_state[s][jj].0;
+                        }
+                    }
+                    rhs[off + j] = -k * acc - if trap { ind_state[s][j].1 } else { 0.0 };
+                }
+            }
+
+            // Solve.
+            let x_next = if !nonlinear {
+                let solver = if step == 1 {
+                    solver_be.as_ref().expect("built for linear circuits")
+                } else {
+                    solver_trap.as_ref().expect("built for linear circuits")
+                };
+                solver.solve(&rhs)?
+            } else {
+                let wb = if step == 1 {
+                    wb_be.as_ref().expect("built for nonlinear circuits")
+                } else {
+                    wb_trap.as_ref().expect("built for nonlinear circuits")
+                };
+                let mut guess = x.clone();
+                let mut converged = false;
+                for _it in 0..opts.max_newton {
+                    newton_total += 1;
+                    let sol = wb.solve(&mosfets, &guess, &rhs)?;
+                    let mut delta = 0.0f64;
+                    for i in 0..layout.n {
+                        delta = delta.max((sol[i] - guess[i]).abs());
+                    }
+                    guess = sol;
+                    if delta < 1e-6 {
+                        converged = true;
+                        break;
+                    }
+                }
+                if !converged {
+                    return Err(CircuitError::NewtonDiverged {
+                        time: t_next,
+                        iterations: opts.max_newton,
+                    });
+                }
+                guess
+            };
+
+            // Update companion histories.
+            for (ci, &(a, b, farads)) in caps.iter().enumerate() {
+                let v_new = node_v(&layout, &x_next, a) - node_v(&layout, &x_next, b);
+                let st = &mut cap_state[ci];
+                let i_new = k * farads * (v_new - st.v) - if trap { st.i } else { 0.0 };
+                st.v = v_new;
+                st.i = i_new;
+            }
+            for (s, sys) in self.inductor_systems().iter().enumerate() {
+                let off = layout.ind_offsets[s];
+                for (j, &(a, b)) in sys.branches.iter().enumerate() {
+                    let i_new = x_next[off + j];
+                    let v_new = node_v(&layout, &x_next, a) - node_v(&layout, &x_next, b);
+                    ind_state[s][j] = (i_new, v_new);
+                }
+            }
+
+            x = x_next;
+            if step % opts.record_stride == 0 || step == n_steps {
+                result.time.push(t_next);
+                result.data.push(x.clone());
+            }
+        }
+        result.newton_iterations = newton_total;
+        Ok(result)
+    }
+}
+
+#[inline]
+fn node_v(layout: &MnaLayout, x: &[f64], n: NodeId) -> f64 {
+    layout.node(n).map_or(0.0, |i| x[i])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::InverterParams;
+    use crate::waveform::SourceWave;
+
+    #[test]
+    fn rc_step_response_matches_analytic() {
+        let r = 1_000.0;
+        let cap = 1e-12;
+        let tau = r * cap;
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.vsrc(inp, Circuit::GND, SourceWave::step(0.0, 1.0, 0.0, 1e-15));
+        c.resistor(inp, out, r);
+        c.capacitor(out, Circuit::GND, cap);
+        let res = c
+            .transient(&TranOptions::new(tau / 100.0, 6.0 * tau))
+            .unwrap();
+        let v = res.voltage(out);
+        // Compare at t = tau: 1 − e⁻¹.
+        let expected = 1.0 - (-1.0f64).exp();
+        assert!((v.sample(tau) - expected).abs() < 0.01, "{}", v.sample(tau));
+        assert!((v.last_value() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn rl_current_ramp() {
+        // V = L di/dt through an inductor with tiny series R.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsrc(a, Circuit::GND, SourceWave::dc(1.0));
+        c.resistor(a, b, 1e-3);
+        c.inductor(b, Circuit::GND, 1e-9);
+        let mut opts = TranOptions::new(1e-12, 2e-9);
+        opts.start_from_dc = false;
+        let res = c.transient(&opts).unwrap();
+        let i = res.inductor_current(0, 0);
+        // di/dt = V/L = 1e9 A/s → at 1 ns, 1 A.
+        assert!((i.sample(1e-9) - 1.0).abs() < 0.01, "{}", i.sample(1e-9));
+    }
+
+    #[test]
+    fn lc_oscillation_frequency() {
+        // Series LC excited by an initial capacitor voltage via DC op.
+        let l = 1e-9f64;
+        let cap = 1e-12f64;
+        let f0 = 1.0 / (2.0 * std::f64::consts::PI * (l * cap).sqrt());
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        // Step source through a small resistor starts the ring.
+        c.vsrc(a, Circuit::GND, SourceWave::step(0.0, 1.0, 0.0, 1e-12));
+        c.resistor(a, b, 1.0);
+        let mid = c.node("mid");
+        c.inductor(b, mid, l);
+        c.capacitor(mid, Circuit::GND, cap);
+        let res = c
+            .transient(&TranOptions::new(1.0 / f0 / 200.0, 5.0 / f0))
+            .unwrap();
+        let v = res.voltage(mid);
+        // Underdamped: response overshoots 1 V toward ~2 V.
+        assert!(v.max() > 1.5, "peak {}", v.max());
+        // Measure ring period via successive upward crossings of 1.0.
+        let t1 = v.first_crossing(1.0).unwrap();
+        let after: Vec<(f64, f64)> = v
+            .time
+            .iter()
+            .copied()
+            .zip(v.values.iter().copied())
+            .filter(|&(t, _)| t > t1 + 0.25 / f0)
+            .collect();
+        let tr = Trace::new(
+            after.iter().map(|p| p.0).collect(),
+            after.iter().map(|p| p.1).collect(),
+        );
+        let t2 = tr.first_crossing(1.0).unwrap();
+        let period = 2.0 * (t2 - t1); // half period between crossings
+        let f_meas = 1.0 / period;
+        assert!(
+            (f_meas - f0).abs() / f0 < 0.15,
+            "f0 = {f0:e}, measured {f_meas:e}"
+        );
+    }
+
+    #[test]
+    fn coupled_inductors_transfer_energy() {
+        // Two mutually coupled branches: driving one induces voltage on
+        // the other (open-circuited through a large resistor).
+        use ind101_numeric::Matrix;
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let s1 = c.node("s1");
+        let s2 = c.node("s2");
+        c.vsrc(a, Circuit::GND, SourceWave::step(0.0, 1.0, 0.0, 10e-12));
+        c.resistor(a, s1, 10.0);
+        let mut m = Matrix::zeros(2, 2);
+        m[(0, 0)] = 1e-9;
+        m[(1, 1)] = 1e-9;
+        m[(0, 1)] = 0.5e-9;
+        m[(1, 0)] = 0.5e-9;
+        c.add_inductor_system(crate::netlist::InductorSystem {
+            branches: vec![(s1, Circuit::GND), (s2, Circuit::GND)],
+            m,
+        })
+        .unwrap();
+        c.resistor(s2, Circuit::GND, 1e4);
+        let mut opts = TranOptions::new(1e-12, 1e-9);
+        opts.start_from_dc = false;
+        let res = c.transient(&opts).unwrap();
+        let v2 = res.voltage(s2);
+        // Induced noise on the victim must be visible.
+        assert!(v2.max().abs() > 1e-3 || v2.min().abs() > 1e-3);
+    }
+
+    #[test]
+    fn inverter_drives_rc_load() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.vsrc(vdd, Circuit::GND, SourceWave::dc(1.8));
+        c.vsrc(inp, Circuit::GND, SourceWave::step(0.0, 1.8, 50e-12, 30e-12));
+        c.inverter(inp, out, vdd, Circuit::GND, InverterParams::default());
+        c.capacitor(out, Circuit::GND, 50e-15);
+        let res = c.transient(&TranOptions::new(1e-12, 500e-12)).unwrap();
+        let v = res.voltage(out);
+        // Starts high (input low), ends low.
+        assert!(v.values[0] > 1.7, "initial {}", v.values[0]);
+        assert!(v.last_value() < 0.1, "final {}", v.last_value());
+        assert!(res.newton_iterations > 0);
+    }
+
+    #[test]
+    fn record_stride_reduces_samples() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.vsrc(a, Circuit::GND, SourceWave::dc(1.0));
+        c.resistor(a, Circuit::GND, 1.0);
+        let mut opts = TranOptions::new(1e-12, 100e-12);
+        opts.record_stride = 10;
+        let res = c.transient(&opts).unwrap();
+        assert!(res.len() <= 12);
+    }
+
+    #[test]
+    fn invalid_options_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.vsrc(a, Circuit::GND, SourceWave::dc(1.0));
+        c.resistor(a, Circuit::GND, 1.0);
+        assert!(c.transient(&TranOptions::new(0.0, 1.0)).is_err());
+        assert!(c.transient(&TranOptions::new(1.0, 0.5)).is_err());
+        let mut opts = TranOptions::new(1e-12, 1e-9);
+        opts.record_stride = 0;
+        assert!(c.transient(&opts).is_err());
+    }
+}

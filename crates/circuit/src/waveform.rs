@@ -1,0 +1,264 @@
+//! Source waveforms and simulation traces.
+
+/// Time-dependent value of an independent source.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SourceWave {
+    /// Constant value.
+    Dc(f64),
+    /// Trapezoidal pulse train (SPICE `PULSE`).
+    Pulse {
+        /// Initial value.
+        v0: f64,
+        /// Pulsed value.
+        v1: f64,
+        /// Delay before the first edge, seconds.
+        delay: f64,
+        /// Rise time (0 → treated as one femtosecond), seconds.
+        rise: f64,
+        /// Fall time, seconds.
+        fall: f64,
+        /// Pulse width at `v1`, seconds.
+        width: f64,
+        /// Period; `f64::INFINITY` for a single pulse.
+        period: f64,
+    },
+    /// Piecewise-linear waveform given as `(time, value)` knots in
+    /// ascending time order; constant extrapolation outside.
+    Pwl(Vec<(f64, f64)>),
+}
+
+impl SourceWave {
+    /// Constant source.
+    pub fn dc(v: f64) -> Self {
+        Self::Dc(v)
+    }
+
+    /// Single rising step from `v0` to `v1` at `delay` with `rise` time.
+    pub fn step(v0: f64, v1: f64, delay: f64, rise: f64) -> Self {
+        Self::Pulse {
+            v0,
+            v1,
+            delay,
+            rise,
+            fall: rise,
+            width: f64::INFINITY,
+            period: f64::INFINITY,
+        }
+    }
+
+    /// Value at time `t` (t < 0 treated as t = 0).
+    pub fn value_at(&self, t: f64) -> f64 {
+        let t = t.max(0.0);
+        match self {
+            Self::Dc(v) => *v,
+            Self::Pulse {
+                v0,
+                v1,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
+                if t < *delay {
+                    return *v0;
+                }
+                let mut tau = t - delay;
+                if period.is_finite() && *period > 0.0 {
+                    tau %= period;
+                }
+                let rise = rise.max(1e-15);
+                let fall = fall.max(1e-15);
+                if tau < rise {
+                    v0 + (v1 - v0) * tau / rise
+                } else if tau < rise + width {
+                    *v1
+                } else if tau < rise + width + fall {
+                    v1 + (v0 - v1) * (tau - rise - width) / fall
+                } else {
+                    *v0
+                }
+            }
+            Self::Pwl(pts) => {
+                if pts.is_empty() {
+                    return 0.0;
+                }
+                if t <= pts[0].0 {
+                    return pts[0].1;
+                }
+                for w in pts.windows(2) {
+                    let (t0, v0) = w[0];
+                    let (t1, v1) = w[1];
+                    if t <= t1 {
+                        if t1 == t0 {
+                            return v1;
+                        }
+                        return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+                    }
+                }
+                pts.last().expect("non-empty").1
+            }
+        }
+    }
+
+    /// DC (t = 0) value, used for the operating point.
+    pub fn dc_value(&self) -> f64 {
+        self.value_at(0.0)
+    }
+}
+
+/// A sampled time-series (node voltage or branch current).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Trace {
+    /// Sample times, seconds, ascending.
+    pub time: Vec<f64>,
+    /// Sample values.
+    pub values: Vec<f64>,
+}
+
+impl Trace {
+    /// Creates a trace from parallel vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors differ in length.
+    pub fn new(time: Vec<f64>, values: Vec<f64>) -> Self {
+        assert_eq!(time.len(), values.len(), "trace length mismatch");
+        Self { time, values }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.time.len()
+    }
+
+    /// Whether the trace has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.time.is_empty()
+    }
+
+    /// Last sampled value (0.0 for an empty trace).
+    pub fn last_value(&self) -> f64 {
+        self.values.last().copied().unwrap_or(0.0)
+    }
+
+    /// Linear interpolation at time `t` (clamped to the trace range).
+    pub fn sample(&self, t: f64) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        if t <= self.time[0] {
+            return self.values[0];
+        }
+        if t >= *self.time.last().expect("non-empty") {
+            return self.last_value();
+        }
+        // Binary search for the bracketing interval.
+        let idx = self.time.partition_point(|&x| x < t);
+        let (t0, t1) = (self.time[idx - 1], self.time[idx]);
+        let (v0, v1) = (self.values[idx - 1], self.values[idx]);
+        if t1 == t0 {
+            return v1;
+        }
+        v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+    }
+
+    /// Maximum value.
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum value.
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// First time the trace crosses `level` moving in the direction
+    /// implied by its endpoints, by linear interpolation; `None` if it
+    /// never crosses.
+    pub fn first_crossing(&self, level: f64) -> Option<f64> {
+        for w in 0..self.len().saturating_sub(1) {
+            let (v0, v1) = (self.values[w], self.values[w + 1]);
+            if (v0 - level) * (v1 - level) <= 0.0 && v0 != v1 {
+                let (t0, t1) = (self.time[w], self.time[w + 1]);
+                let f = (level - v0) / (v1 - v0);
+                if (0.0..=1.0).contains(&f) {
+                    return Some(t0 + f * (t1 - t0));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_constant() {
+        let w = SourceWave::dc(2.5);
+        assert_eq!(w.value_at(0.0), 2.5);
+        assert_eq!(w.value_at(1.0), 2.5);
+    }
+
+    #[test]
+    fn step_profile() {
+        let w = SourceWave::step(0.0, 1.0, 1e-9, 100e-12);
+        assert_eq!(w.value_at(0.0), 0.0);
+        assert_eq!(w.value_at(0.9e-9), 0.0);
+        assert!((w.value_at(1.05e-9) - 0.5).abs() < 1e-12);
+        assert_eq!(w.value_at(2e-9), 1.0);
+        assert_eq!(w.value_at(1e-3), 1.0);
+    }
+
+    #[test]
+    fn pulse_repeats_with_period() {
+        let w = SourceWave::Pulse {
+            v0: 0.0,
+            v1: 1.0,
+            delay: 0.0,
+            rise: 0.1,
+            fall: 0.1,
+            width: 0.3,
+            period: 1.0,
+        };
+        assert!((w.value_at(0.2) - 1.0).abs() < 1e-12);
+        assert!((w.value_at(1.2) - 1.0).abs() < 1e-12);
+        assert_eq!(w.value_at(0.7), 0.0);
+        assert_eq!(w.value_at(1.7), 0.0);
+    }
+
+    #[test]
+    fn pwl_interpolates_and_clamps() {
+        let w = SourceWave::Pwl(vec![(0.0, 0.0), (1.0, 2.0), (2.0, 2.0)]);
+        assert_eq!(w.value_at(0.5), 1.0);
+        assert_eq!(w.value_at(1.5), 2.0);
+        assert_eq!(w.value_at(5.0), 2.0);
+        assert_eq!(w.dc_value(), 0.0);
+    }
+
+    #[test]
+    fn trace_sampling() {
+        let tr = Trace::new(vec![0.0, 1.0, 2.0], vec![0.0, 10.0, 0.0]);
+        assert_eq!(tr.sample(0.5), 5.0);
+        assert_eq!(tr.sample(-1.0), 0.0);
+        assert_eq!(tr.sample(3.0), 0.0);
+        assert_eq!(tr.max(), 10.0);
+        assert_eq!(tr.min(), 0.0);
+        assert_eq!(tr.last_value(), 0.0);
+    }
+
+    #[test]
+    fn crossing_detection() {
+        let tr = Trace::new(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 0.0]);
+        let t = tr.first_crossing(0.5).unwrap();
+        assert!((t - 0.5).abs() < 1e-12);
+        assert!(tr.first_crossing(2.0).is_none());
+    }
+
+    #[test]
+    fn empty_pwl_is_zero() {
+        assert_eq!(SourceWave::Pwl(vec![]).value_at(1.0), 0.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Property-based tests for the circuit simulator.
+
+use ind101_circuit::{AcOptions, Circuit, SourceWave, TranOptions};
+use proptest::prelude::*;
+
+/// A random grounded resistive ladder with sources; returns the circuit
+/// plus its node list.
+fn random_rc_ladder(
+    seed: u64,
+    stages: usize,
+    wave: SourceWave,
+    ac_mag: f64,
+) -> (Circuit, Vec<ind101_circuit::NodeId>) {
+    let mut s = seed.wrapping_add(17);
+    let mut next = move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((s >> 33) as f64) / (u32::MAX as f64)
+    };
+    let mut c = Circuit::new();
+    let mut nodes = Vec::new();
+    let inp = c.node("in");
+    c.vsrc_ac(inp, Circuit::GND, wave, ac_mag);
+    let mut prev = inp;
+    for k in 0..stages {
+        let n = c.node(format!("n{k}"));
+        c.resistor(prev, n, 10.0 + 1000.0 * next());
+        c.capacitor(n, Circuit::GND, 1e-15 + 50e-15 * next());
+        if next() > 0.6 {
+            c.resistor(n, Circuit::GND, 500.0 + 5000.0 * next());
+        }
+        nodes.push(n);
+        prev = n;
+    }
+    (c, nodes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// DC voltages of a driven resistive/RC network obey the maximum
+    /// principle: every node voltage lies between the source extremes.
+    #[test]
+    fn dc_maximum_principle(seed in 0u64..500, stages in 1usize..12) {
+        let (c, nodes) = random_rc_ladder(seed, stages, SourceWave::dc(1.0), 0.0);
+        let op = c.dc_op().unwrap();
+        for n in nodes {
+            let v = op.voltage(n);
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&v), "v = {v}");
+        }
+    }
+
+    /// Transient of a passive RC network driven by a bounded source
+    /// stays bounded by the source range (A-stability + passivity).
+    #[test]
+    fn transient_bounded_by_source(seed in 0u64..200, stages in 1usize..8) {
+        let pulse = SourceWave::Pulse {
+            v0: 0.0, v1: 1.0, delay: 10e-12, rise: 20e-12,
+            fall: 20e-12, width: 100e-12, period: f64::INFINITY,
+        };
+        let (c, nodes) = random_rc_ladder(seed, stages, pulse, 0.0);
+        let res = c.transient(&TranOptions::new(1e-12, 400e-12)).unwrap();
+        for n in nodes {
+            let v = res.voltage(n);
+            // Trapezoidal integration is A-stable but not L-stable: on
+            // nodes whose RC time constant is far below the time step it
+            // rings around the exact solution with a slowly-decaying
+            // alternating error. Allow that few-percent artifact; what
+            // must never happen on a passive RC network is *growth*.
+            prop_assert!(v.max() <= 1.02, "overshoot on RC: {}", v.max());
+            prop_assert!(v.min() >= -0.02);
+        }
+    }
+
+    /// AC at very low frequency agrees with the DC solution of the same
+    /// sources (sanity of the complex solver).
+    #[test]
+    fn ac_low_frequency_matches_dc(seed in 0u64..200, stages in 1usize..8) {
+        // One source with DC value 1 and AC magnitude 1: the two
+        // analyses must agree as f → 0.
+        let (c, nodes) = random_rc_ladder(seed, stages, SourceWave::dc(1.0), 1.0);
+        let ac = c.ac_sweep(&AcOptions { freqs_hz: vec![1.0] }).unwrap();
+        let op = c.dc_op().unwrap();
+        for n in nodes {
+            let vac = ac.voltage(n, 0);
+            let vdc = op.voltage(n);
+            prop_assert!((vac.re - vdc).abs() < 1e-6, "{} vs {}", vac.re, vdc);
+            prop_assert!(vac.im.abs() < 1e-3);
+        }
+    }
+
+    /// Linearity: scaling the source scales the whole linear transient.
+    #[test]
+    fn transient_linearity(seed in 0u64..200, scale in 1.0f64..5.0) {
+        let _ = seed;
+        let build = |amp: f64| {
+            let mut c = Circuit::new();
+            let a = c.node("a");
+            let b = c.node("b");
+            c.vsrc(a, Circuit::GND, SourceWave::step(0.0, amp, 10e-12, 20e-12));
+            c.resistor(a, b, 150.0);
+            let m = c.node("m");
+            c.inductor(b, m, 1e-9);
+            c.capacitor(m, Circuit::GND, 20e-15);
+            c.resistor(m, Circuit::GND, 1e5);
+            (c, m)
+        };
+        let (c1, m1) = build(1.0);
+        let (c2, m2) = build(scale);
+        let o = TranOptions::new(1e-12, 300e-12);
+        let r1 = c1.transient(&o).unwrap().voltage(m1);
+        let r2 = c2.transient(&o).unwrap().voltage(m2);
+        for (a, b) in r1.values.iter().zip(&r2.values) {
+            prop_assert!((b - scale * a).abs() < 1e-6 * scale, "{b} vs {}", scale * a);
+        }
+    }
+
+    /// Steady-state sine response of an RC low-pass matches the AC
+    /// transfer function in amplitude (transient ↔ AC consistency).
+    #[test]
+    fn transient_sine_matches_ac(freq_ghz in 1u32..20) {
+        let f = freq_ghz as f64 * 1e9;
+        let r = 200.0;
+        let cap = 100e-15;
+        // Build sine via dense PWL.
+        let period = 1.0 / f;
+        let cycles = 8.0;
+        let n = 400;
+        let knots: Vec<(f64, f64)> = (0..=n)
+            .map(|k| {
+                let t = cycles * period * k as f64 / n as f64;
+                (t, (2.0 * std::f64::consts::PI * f * t).sin())
+            })
+            .collect();
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsrc_ac(a, Circuit::GND, SourceWave::Pwl(knots), 1.0);
+        c.resistor(a, b, r);
+        c.capacitor(b, Circuit::GND, cap);
+        let dt = period / 200.0;
+        let res = c.transient(&TranOptions::new(dt, cycles * period)).unwrap();
+        let v = res.voltage(b);
+        // Amplitude over the last two cycles.
+        let tail: Vec<f64> = v
+            .time
+            .iter()
+            .zip(&v.values)
+            .filter(|(t, _)| **t > (cycles - 2.0) * period)
+            .map(|(_, x)| *x)
+            .collect();
+        let amp = tail.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        let ac = c.ac_sweep(&AcOptions { freqs_hz: vec![f] }).unwrap();
+        let expect = ac.voltage(b, 0).abs();
+        prop_assert!(
+            (amp - expect).abs() / expect < 0.05,
+            "tran amp {amp} vs AC {expect}"
+        );
+    }
+
+    /// Charge conservation: the integral of the supply current equals
+    /// the charge delivered to the capacitors (step charge test).
+    #[test]
+    fn charge_conservation_on_step(cap_ff in 10u32..500) {
+        let cap = cap_ff as f64 * 1e-15;
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsrc(a, Circuit::GND, SourceWave::step(0.0, 1.0, 10e-12, 20e-12));
+        c.resistor(a, b, 100.0);
+        c.capacitor(b, Circuit::GND, cap);
+        let dt = 0.2e-12;
+        let res = c.transient(&TranOptions::new(dt, 500e-12)).unwrap();
+        let i = res.vsrc_current(0);
+        // ∫ i dt (source current flows out of plus: negative of charge).
+        let mut q = 0.0;
+        for w in 0..i.values.len() - 1 {
+            q += 0.5 * (i.values[w] + i.values[w + 1]) * (i.time[w + 1] - i.time[w]);
+        }
+        let delivered = -q;
+        let expect = cap * 1.0;
+        prop_assert!(
+            (delivered - expect).abs() / expect < 0.02,
+            "Q {delivered} vs C·V {expect}"
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Statistical switching-activity model.
+//!
+//! The paper models simultaneously switching gates elsewhere on the chip
+//! as "time-varying current sources connected at random locations on the
+//! lowest metal layer", with values that change over time "to account
+//! for different parts of the chip switching at different times". This
+//! module generates exactly those sources from a seeded RNG, so every
+//! experiment is reproducible.
+
+use ind101_circuit::{Circuit, NodeId, SourceWave};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Specification of the quiescent switching activity.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ActivitySpec {
+    /// Number of current-source sites.
+    pub sites: usize,
+    /// Total peak current drawn across all sites, amperes.
+    pub total_peak_a: f64,
+    /// Clock period; each site fires one triangular pulse per period.
+    pub period_s: f64,
+    /// Pulse base width, seconds.
+    pub pulse_width_s: f64,
+    /// RNG seed (reproducibility).
+    pub seed: u64,
+}
+
+impl Default for ActivitySpec {
+    fn default() -> Self {
+        Self {
+            sites: 16,
+            total_peak_a: 0.2,
+            period_s: 1e-9,
+            pulse_width_s: 150e-12,
+            seed: 0x101,
+        }
+    }
+}
+
+/// Attaches activity current sources between (vdd, vss) node pairs.
+///
+/// `sites` are cycled if the spec asks for more sources than pairs.
+/// Each source is a triangular current pulse from the local Vdd node to
+/// the local Vss node with a random phase within the period, repeated
+/// over `n_periods`.
+///
+/// Returns the number of sources added (0 when no sites exist).
+pub fn attach_activity(
+    circuit: &mut Circuit,
+    sites: &[(NodeId, NodeId)],
+    spec: &ActivitySpec,
+    n_periods: usize,
+) -> usize {
+    if sites.is_empty() || spec.sites == 0 {
+        return 0;
+    }
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let peak_each = spec.total_peak_a / spec.sites as f64;
+    for k in 0..spec.sites {
+        let (vdd, vss) = sites[k % sites.len()];
+        let phase: f64 = rng.gen_range(0.0..spec.period_s);
+        let mut knots = vec![(0.0, 0.0)];
+        for p in 0..n_periods.max(1) {
+            let t0 = p as f64 * spec.period_s + phase;
+            // Pulse amplitude jitters ±30 % to vary "different parts of
+            // the chip switching at different times".
+            let amp = peak_each * rng.gen_range(0.7..1.3);
+            knots.push((t0, 0.0));
+            knots.push((t0 + 0.5 * spec.pulse_width_s, amp));
+            knots.push((t0 + spec.pulse_width_s, 0.0));
+        }
+        // Current drawn from the power grid into the ground grid.
+        circuit.isrc(vdd, vss, SourceWave::Pwl(knots));
+    }
+    spec.sites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_sites(c: &mut Circuit) -> Vec<(NodeId, NodeId)> {
+        let v1 = c.node("v1");
+        let g1 = c.node("g1");
+        let v2 = c.node("v2");
+        let g2 = c.node("g2");
+        for n in [v1, g1, v2, g2] {
+            c.resistor(n, Circuit::GND, 1.0);
+        }
+        vec![(v1, g1), (v2, g2)]
+    }
+
+    #[test]
+    fn adds_requested_sources() {
+        let mut c = Circuit::new();
+        let sites = two_sites(&mut c);
+        let spec = ActivitySpec {
+            sites: 5,
+            ..ActivitySpec::default()
+        };
+        let n = attach_activity(&mut c, &sites, &spec, 2);
+        assert_eq!(n, 5);
+        assert_eq!(c.counts().sources, 5);
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let build = |seed| {
+            let mut c = Circuit::new();
+            let sites = two_sites(&mut c);
+            let spec = ActivitySpec {
+                seed,
+                ..ActivitySpec::default()
+            };
+            attach_activity(&mut c, &sites, &spec, 3);
+            format!("{:?}", c.elements())
+        };
+        assert_eq!(build(7), build(7));
+        assert_ne!(build(7), build(8));
+    }
+
+    #[test]
+    fn no_sites_is_a_no_op() {
+        let mut c = Circuit::new();
+        let n = attach_activity(&mut c, &[], &ActivitySpec::default(), 1);
+        assert_eq!(n, 0);
+        assert_eq!(c.counts().sources, 0);
+    }
+
+    #[test]
+    fn pulses_sum_to_total_peak_on_average() {
+        let spec = ActivitySpec::default();
+        // Peak per source times sites equals configured total (±30 % jitter
+        // per pulse around that mean).
+        let per = spec.total_peak_a / spec.sites as f64;
+        assert!(per > 0.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Detailed PEEC model construction — the primary contribution of
+//! *"Inductance 101: Analysis and Design Issues"* (Section 3).
+//!
+//! The paper's detailed circuit model consists of:
+//!
+//! * an **RLC-π model for each metal segment** (series resistance and
+//!   partial self-inductance, grounded capacitance split across the
+//!   ends);
+//! * **mutual inductances between all pairs of parallel segments**;
+//! * **coupling capacitance between all pairs of adjacent lines**;
+//! * **via resistances** between adjacent metal layers;
+//! * **resistance and decoupling capacitance** modeling non-switching
+//!   gates;
+//! * **time-varying current sources** modeling quiescent switching
+//!   activity elsewhere on the chip;
+//! * **pad resistances and inductances** connecting to ideal package
+//!   planes.
+//!
+//! [`PeecParasitics`] performs the extraction, [`PeecModel`] turns it
+//! into a simulatable [`ind101_circuit::Circuit`], and [`testbench`]
+//! adds the paper's device layer (drivers, receivers, decap, activity,
+//! pads) to build the full experiment netlists.
+//!
+//! # Example
+//!
+//! ```
+//! use ind101_geom::{Technology, generators::{BusSpec, generate_bus}};
+//! use ind101_core::{PeecParasitics, PeecModel, InductanceMode};
+//!
+//! let tech = Technology::example_copper_6lm();
+//! let bus = generate_bus(&tech, &BusSpec::default());
+//! let par = PeecParasitics::extract(&bus, ind101_geom::um(100));
+//! let model = PeecModel::build(&par, InductanceMode::Full).unwrap();
+//! assert!(model.circuit.counts().inductors > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activity;
+mod model;
+mod parasitics;
+pub mod testbench;
+
+pub use model::{InductanceMode, PeecModel};
+pub use parasitics::PeecParasitics;

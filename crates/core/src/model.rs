@@ -1,0 +1,319 @@
+//! PEEC circuit construction from extracted parasitics.
+
+use crate::parasitics::PeecParasitics;
+use ind101_circuit::{Circuit, CircuitError, InductorSystem, NodeId};
+use ind101_geom::{NetKind, NodeKey, Point};
+use std::collections::HashMap;
+
+/// How inductance enters the model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InductanceMode {
+    /// No inductance at all — the paper's "PEEC (RC)" baseline.
+    None,
+    /// Every segment gets a partial-inductance branch; the full (or
+    /// sparsified) matrix stamps as one coupled system — "PEEC (RLC)".
+    Full,
+    /// Only flagged segments get inductance branches; the rest are RC.
+    /// This is the paper's block-diagonal observation that "sections
+    /// away from the signal of interest can be modeled as RC instead of
+    /// RLC". The mask is indexed like the segment list.
+    Masked(Vec<bool>),
+}
+
+/// A simulatable PEEC circuit plus the geometry↔circuit mapping.
+#[derive(Clone, Debug)]
+pub struct PeecModel {
+    /// The constructed circuit.
+    pub circuit: Circuit,
+    node_map: HashMap<NodeKey, NodeId>,
+    /// Per segment: (start node, end node).
+    pub seg_end_nodes: Vec<(NodeId, NodeId)>,
+    /// Index of the coupled inductor system in the circuit (None for RC).
+    pub inductor_system_index: Option<usize>,
+    /// Matrix row → segment index for the inductive subset.
+    pub inductive_segments: Vec<usize>,
+}
+
+impl PeecModel {
+    /// Builds the RLC(-π) circuit for the extracted parasitics.
+    ///
+    /// Each segment becomes `A —R— (mid) —L— B` with half its grounded
+    /// capacitance at each end; coupling capacitances split across the
+    /// corresponding end pairs; vias become resistors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit-construction failures (e.g. a sparsified
+    /// inductance matrix that lost symmetry).
+    pub fn build(par: &PeecParasitics, mode: InductanceMode) -> Result<Self, CircuitError> {
+        if let InductanceMode::Masked(mask) = &mode {
+            assert_eq!(
+                mask.len(),
+                par.len(),
+                "inductance mask must match the segment list"
+            );
+        }
+        let mut circuit = Circuit::new();
+        let mut node_map: HashMap<NodeKey, NodeId> = HashMap::new();
+        let mut node_of = |c: &mut Circuit, key: NodeKey| -> NodeId {
+            *node_map.entry(key).or_insert_with(|| {
+                c.node(format!(
+                    "n{}_{}_m{}",
+                    key.at.x, key.at.y, key.layer.0
+                ))
+            })
+        };
+
+        let inductive: Vec<usize> = match &mode {
+            InductanceMode::None => Vec::new(),
+            InductanceMode::Full => (0..par.len()).collect(),
+            InductanceMode::Masked(mask) => mask
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &m)| m.then_some(i))
+                .collect(),
+        };
+        let is_inductive: Vec<bool> = {
+            let mut v = vec![false; par.len()];
+            for &i in &inductive {
+                v[i] = true;
+            }
+            v
+        };
+
+        let mut seg_end_nodes = Vec::with_capacity(par.len());
+        let mut branches: Vec<(NodeId, NodeId)> = Vec::with_capacity(inductive.len());
+        for (i, seg) in par.segments.iter().enumerate() {
+            let a = node_of(
+                &mut circuit,
+                NodeKey {
+                    at: seg.start,
+                    layer: seg.layer,
+                },
+            );
+            let b = node_of(
+                &mut circuit,
+                NodeKey {
+                    at: seg.end(),
+                    layer: seg.layer,
+                },
+            );
+            seg_end_nodes.push((a, b));
+            if is_inductive[i] {
+                let mid = circuit.anon_node();
+                circuit.resistor(a, mid, par.resistance[i]);
+                branches.push((mid, b));
+            } else {
+                circuit.resistor(a, b, par.resistance[i]);
+            }
+            let half_c = 0.5 * par.ground_cap[i];
+            if half_c > 0.0 {
+                circuit.capacitor(a, Circuit::GND, half_c);
+                circuit.capacitor(b, Circuit::GND, half_c);
+            }
+        }
+
+        for &(i, j, c) in &par.coupling_caps {
+            let (ai, bi) = seg_end_nodes[i];
+            let (aj, bj) = seg_end_nodes[j];
+            circuit.capacitor(ai, aj, 0.5 * c);
+            circuit.capacitor(bi, bj, 0.5 * c);
+        }
+
+        for (via, r) in &par.via_res {
+            let lo = node_of(
+                &mut circuit,
+                NodeKey {
+                    at: via.at,
+                    layer: via.from_layer,
+                },
+            );
+            let hi = node_of(
+                &mut circuit,
+                NodeKey {
+                    at: via.at,
+                    layer: via.to_layer,
+                },
+            );
+            circuit.resistor(lo, hi, *r);
+        }
+
+        let inductor_system_index = if inductive.is_empty() {
+            None
+        } else {
+            let m = par.partial_l.matrix().submatrix(&inductive);
+            circuit.add_inductor_system(InductorSystem { branches, m })?;
+            Some(circuit.inductor_systems().len() - 1)
+        };
+
+        Ok(Self {
+            circuit,
+            node_map,
+            seg_end_nodes,
+            inductor_system_index,
+            inductive_segments: inductive,
+        })
+    }
+
+    /// Circuit node at a layout node key.
+    pub fn node(&self, key: NodeKey) -> Option<NodeId> {
+        self.node_map.get(&key).copied()
+    }
+
+    /// Circuit node of a named layout port (resolved through the
+    /// parasitics' layout).
+    pub fn port_node(&self, par: &PeecParasitics, name: &str) -> Option<NodeId> {
+        par.layout.port(name).and_then(|p| self.node(p.node))
+    }
+
+    /// Nearest circuit node (L1 distance over segment endpoints) that
+    /// belongs to a net of the given kind — how gates "tap" the grid.
+    pub fn nearest_node_of_kind(
+        &self,
+        par: &PeecParasitics,
+        kind: NetKind,
+        at: Point,
+    ) -> Option<NodeId> {
+        let mut best: Option<(i64, NodeId)> = None;
+        for (i, seg) in par.segments.iter().enumerate() {
+            if par.layout.net(seg.net).kind != kind {
+                continue;
+            }
+            for (p, node) in [
+                (seg.start, self.seg_end_nodes[i].0),
+                (seg.end(), self.seg_end_nodes[i].1),
+            ] {
+                let d = (p.x - at.x).abs() + (p.y - at.y).abs();
+                if best.map_or(true, |(bd, _)| d < bd) {
+                    best = Some((d, node));
+                }
+            }
+        }
+        best.map(|(_, n)| n)
+    }
+
+    /// Endpoint nodes of every segment of a given net kind, deduplicated
+    /// (used to distribute decoupling capacitance and activity sources).
+    pub fn nodes_of_kind(&self, par: &PeecParasitics, kind: NetKind) -> Vec<NodeId> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for (i, seg) in par.segments.iter().enumerate() {
+            if par.layout.net(seg.net).kind != kind {
+                continue;
+            }
+            for node in [self.seg_end_nodes[i].0, self.seg_end_nodes[i].1] {
+                if seen.insert(node) {
+                    out.push(node);
+                }
+            }
+        }
+        out
+    }
+
+    /// Convenience: which segment indices belong to signal nets.
+    pub fn signal_segments(par: &PeecParasitics) -> Vec<bool> {
+        par.segments
+            .iter()
+            .map(|s| par.layout.net(s.net).kind == NetKind::Signal)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ind101_geom::generators::{
+        generate_bus, generate_clock_spine, generate_power_grid, BusSpec, ClockNetSpec,
+        PowerGridSpec,
+    };
+    use ind101_geom::{um, Technology};
+
+    fn bus_par() -> PeecParasitics {
+        let tech = Technology::example_copper_6lm();
+        let bus = generate_bus(&tech, &BusSpec::default());
+        PeecParasitics::extract(&bus, um(250))
+    }
+
+    #[test]
+    fn rc_mode_has_no_inductors() {
+        let par = bus_par();
+        let m = PeecModel::build(&par, InductanceMode::None).unwrap();
+        let counts = m.circuit.counts();
+        assert_eq!(counts.inductors, 0);
+        assert_eq!(counts.resistors, par.len());
+        assert!(counts.capacitors >= 2 * par.len());
+        assert!(m.inductor_system_index.is_none());
+    }
+
+    #[test]
+    fn full_mode_stamps_all_segments() {
+        let par = bus_par();
+        let m = PeecModel::build(&par, InductanceMode::Full).unwrap();
+        let counts = m.circuit.counts();
+        assert_eq!(counts.inductors, par.len());
+        assert!(counts.mutuals > 0);
+        assert_eq!(m.inductive_segments.len(), par.len());
+    }
+
+    #[test]
+    fn masked_mode_mixes_rc_and_rlc() {
+        let par = bus_par();
+        let mask = PeecModel::signal_segments(&par); // all true for a bus
+        let mut mask2 = mask.clone();
+        for (k, m) in mask2.iter_mut().enumerate() {
+            if k % 2 == 1 {
+                *m = false;
+            }
+        }
+        let model = PeecModel::build(&par, InductanceMode::Masked(mask2.clone())).unwrap();
+        let expected = mask2.iter().filter(|&&b| b).count();
+        assert_eq!(model.circuit.counts().inductors, expected);
+    }
+
+    #[test]
+    fn ports_resolve_to_nodes() {
+        let tech = Technology::example_copper_6lm();
+        let bus = generate_bus(&tech, &BusSpec::default());
+        let par = PeecParasitics::extract(&bus, um(250));
+        let m = PeecModel::build(&par, InductanceMode::Full).unwrap();
+        let drv = m.port_node(&par, "bit0_drv").unwrap();
+        let rcv = m.port_node(&par, "bit0_rcv").unwrap();
+        assert_ne!(drv, rcv);
+        assert!(m.port_node(&par, "nope").is_none());
+    }
+
+    #[test]
+    fn clock_over_grid_is_connected() {
+        // End-to-end DC check: driving the clock port propagates through
+        // segments and vias to the sinks (finite resistance path).
+        let tech = Technology::example_copper_6lm();
+        let mut layout = generate_power_grid(&tech, &PowerGridSpec::default());
+        let clock = generate_clock_spine(&tech, &ClockNetSpec::default());
+        layout.merge(&clock);
+        let par = PeecParasitics::extract(&layout, um(100));
+        let m = PeecModel::build(&par, InductanceMode::None).unwrap();
+        let drv = m.port_node(&par, "clk_drv").unwrap();
+        let sink = m.port_node(&par, "clk_sink_t0").unwrap();
+        let mut ckt = m.circuit.clone();
+        ckt.vsrc(drv, Circuit::GND, ind101_circuit::SourceWave::dc(1.0));
+        let op = ckt.dc_op().unwrap();
+        let v = op.voltage(sink);
+        assert!((v - 1.0).abs() < 1e-3, "sink voltage {v}");
+    }
+
+    #[test]
+    fn nearest_node_lookup() {
+        let tech = Technology::example_copper_6lm();
+        let grid = generate_power_grid(&tech, &PowerGridSpec::default());
+        let par = PeecParasitics::extract(&grid, um(100));
+        let m = PeecModel::build(&par, InductanceMode::None).unwrap();
+        let p = Point::new(um(200), um(200));
+        let vdd = m.nearest_node_of_kind(&par, NetKind::Power, p);
+        let vss = m.nearest_node_of_kind(&par, NetKind::Ground, p);
+        assert!(vdd.is_some());
+        assert!(vss.is_some());
+        assert_ne!(vdd, vss);
+        assert!(m.nearest_node_of_kind(&par, NetKind::Signal, p).is_none());
+        assert!(!m.nodes_of_kind(&par, NetKind::Power).is_empty());
+    }
+}

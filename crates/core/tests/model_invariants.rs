@@ -1,0 +1,127 @@
+//! Structural invariants of the PEEC model across every layout
+//! generator — element-count bookkeeping, connectivity, and the
+//! H-tree clock variant that the flows don't otherwise exercise.
+
+use ind101_circuit::{Circuit, SourceWave, TranOptions};
+use ind101_core::{InductanceMode, PeecModel, PeecParasitics};
+use ind101_geom::generators::{
+    generate_bus, generate_clock_spine, generate_clock_tree, generate_power_grid, BusSpec,
+    ClockNetSpec, PowerGridSpec, ShieldPattern,
+};
+use ind101_geom::{um, PortKind, Technology};
+
+fn tech() -> Technology {
+    Technology::example_copper_6lm()
+}
+
+/// Element-count bookkeeping of the RLC model: exactly one resistor per
+/// segment plus one per via; two grounded caps per segment; one
+/// inductive branch per segment in Full mode.
+#[test]
+fn element_counts_follow_the_construction_rules() {
+    let grid = generate_power_grid(&tech(), &PowerGridSpec::default());
+    let par = PeecParasitics::extract(&grid, um(100));
+    let rlc = PeecModel::build(&par, InductanceMode::Full).unwrap();
+    let c = rlc.circuit.counts();
+    assert_eq!(c.resistors, par.len() + par.via_res.len());
+    assert_eq!(c.inductors, par.len());
+    assert_eq!(
+        c.capacitors,
+        2 * par.len() + 2 * par.coupling_caps.len(),
+        "C/2 at each segment end + split coupling caps"
+    );
+    assert_eq!(c.mutuals, par.partial_l.mutual_count());
+}
+
+/// The H-tree clock conducts from root to every leaf (DC path through
+/// the tapered branches and layer-changing vias).
+#[test]
+fn htree_is_electrically_connected() {
+    let spec = ClockNetSpec::default();
+    let t = tech();
+    let tree = generate_clock_tree(&t, &spec, 3);
+    let par = PeecParasitics::extract(&tree, um(60));
+    let model = PeecModel::build(&par, InductanceMode::None).unwrap();
+    let drv = model.port_node(&par, "clk_drv").unwrap();
+    let mut ckt = model.circuit.clone();
+    ckt.vsrc(drv, Circuit::GND, SourceWave::dc(1.0));
+    let op = ckt.dc_op().unwrap();
+    let mut sinks = 0;
+    for p in par.layout.ports_of_kind(PortKind::Receiver) {
+        let node = model.node(p.node).unwrap();
+        let v = op.voltage(node);
+        assert!((v - 1.0).abs() < 1e-3, "leaf {} at {v} V", p.name);
+        sinks += 1;
+    }
+    assert_eq!(sinks, 8, "depth-3 H-tree has 8 leaves");
+}
+
+/// The H-tree's balanced geometry gives near-zero skew in the RLC
+/// transient — the reason designers pay its wirelength cost.
+#[test]
+fn htree_has_balanced_delays() {
+    use ind101_circuit::measure;
+    use ind101_core::testbench::{build_testbench, TestbenchSpec};
+    let spec = ClockNetSpec::default();
+    let t = tech();
+    let mut layout = generate_power_grid(&t, &PowerGridSpec::default());
+    layout.merge(&generate_clock_tree(&t, &spec, 2));
+    let par = PeecParasitics::extract(&layout, um(80));
+    let tb = build_testbench(&par, InductanceMode::Full, &TestbenchSpec::default()).unwrap();
+    let res = tb.circuit.transient(&TranOptions::new(2e-12, 900e-12)).unwrap();
+    let input = res.voltage(tb.input);
+    let delays: Vec<f64> = tb
+        .sinks
+        .iter()
+        .filter_map(|(_, n)| measure::delay_50(&input, &res.voltage(*n), 0.0, 1.8))
+        .collect();
+    assert_eq!(delays.len(), tb.sinks.len(), "every leaf switches");
+    let skew = measure::skew(&delays);
+    let worst = delays.iter().copied().fold(0.0, f64::max);
+    assert!(
+        skew < 0.15 * worst,
+        "balanced tree: skew {skew:e} ≪ delay {worst:e}"
+    );
+}
+
+/// Masked (block RC/RLC) models keep the same node universe, so probes
+/// and ports resolve identically in every inductance mode.
+#[test]
+fn port_resolution_is_mode_independent() {
+    let bus = generate_bus(
+        &tech(),
+        &BusSpec {
+            signals: 3,
+            shields: ShieldPattern::Edges,
+            tie_shields: true,
+            ..BusSpec::default()
+        },
+    );
+    let par = PeecParasitics::extract(&bus, um(250));
+    let rc = PeecModel::build(&par, InductanceMode::None).unwrap();
+    let full = PeecModel::build(&par, InductanceMode::Full).unwrap();
+    for p in par.layout.ports() {
+        let a = rc.node(p.node);
+        let b = full.node(p.node);
+        assert!(a.is_some() && b.is_some(), "port {} resolves", p.name);
+    }
+}
+
+/// The spine clock reaches every finger sink through vias; removing
+/// inductance must not change DC connectivity.
+#[test]
+fn spine_dc_levels_match_between_modes() {
+    let t = tech();
+    let mut layout = generate_power_grid(&t, &PowerGridSpec::default());
+    layout.merge(&generate_clock_spine(&t, &ClockNetSpec::default()));
+    let par = PeecParasitics::extract(&layout, um(100));
+    for mode in [InductanceMode::None, InductanceMode::Full] {
+        let model = PeecModel::build(&par, mode).unwrap();
+        let drv = model.port_node(&par, "clk_drv").unwrap();
+        let mut ckt = model.circuit.clone();
+        ckt.vsrc(drv, Circuit::GND, SourceWave::dc(1.0));
+        let op = ckt.dc_op().unwrap();
+        let sink = model.port_node(&par, "clk_sink_t0").unwrap();
+        assert!((op.voltage(sink) - 1.0).abs() < 1e-3);
+    }
+}

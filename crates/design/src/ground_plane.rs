@@ -1,0 +1,199 @@
+//! Dedicated ground planes — the paper's Figure 6.
+//!
+//! "Although they do not significantly lower the inductive effect at low
+//! frequencies, since resistance dominates and currents take wide return
+//! paths, at high frequencies, the ground planes provide excellent
+//! return paths for the signal current, thus reducing inductive
+//! behavior."  The figure plots loop L against frequency for a bare
+//! line, a shielded line, and a line over dedicated ground planes.
+
+use ind101_circuit::CircuitError;
+use ind101_core::PeecParasitics;
+use ind101_geom::generators::{
+    generate_bus, generate_ground_plane, BusSpec, GroundPlaneSpec, ShieldPattern,
+};
+use ind101_geom::{um, Axis, LayerId, Technology};
+use ind101_loop::{extract_loop_rl, LoopExtraction, LoopPortSpec};
+
+/// Interconnect configuration for the L(f) comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlaneConfig {
+    /// Signal with one distant return line only.
+    Bare,
+    /// Signal sandwiched between same-layer shields.
+    Shields,
+    /// Signal over a strip-discretized dedicated ground plane.
+    GroundPlane,
+}
+
+/// Study parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GroundPlaneStudy {
+    /// Signal length, nm.
+    pub length_nm: i64,
+    /// Signal width, nm.
+    pub width_nm: i64,
+    /// Same-layer shield spacing for the `Shields` configuration, nm.
+    pub shield_spacing_nm: i64,
+    /// Plane span across the signal, nm.
+    pub plane_span_nm: i64,
+    /// Number of plane strips.
+    pub plane_strips: usize,
+    /// Frequencies to sweep, hertz.
+    pub freqs_hz: Vec<f64>,
+}
+
+impl Default for GroundPlaneStudy {
+    fn default() -> Self {
+        Self {
+            length_nm: um(2000),
+            width_nm: um(2),
+            shield_spacing_nm: um(2),
+            plane_span_nm: um(30),
+            plane_strips: 10,
+            freqs_hz: vec![1e8, 1e9, 5e9, 2e10, 1e11],
+        }
+    }
+}
+
+/// Evaluates `L(f)` for one configuration.
+///
+/// # Errors
+///
+/// Propagates extraction failures.
+pub fn loop_l_vs_freq(
+    tech: &Technology,
+    study: &GroundPlaneStudy,
+    config: PlaneConfig,
+) -> Result<LoopExtraction, CircuitError> {
+    let (spacing, shields) = match config {
+        PlaneConfig::Bare => (um(50), ShieldPattern::Explicit(vec![1])),
+        PlaneConfig::Shields => (study.shield_spacing_nm, ShieldPattern::Edges),
+        // With a plane the same-layer geometry is the bare one; the
+        // return is the plane below.
+        PlaneConfig::GroundPlane => (um(50), ShieldPattern::Explicit(vec![1])),
+    };
+    let spec = BusSpec {
+        signals: 1,
+        length_nm: study.length_nm,
+        width_nm: study.width_nm,
+        spacing_nm: spacing,
+        layer: LayerId(5),
+        dir: Axis::X,
+        shields,
+        tie_shields: true,
+    };
+    let mut layout = generate_bus(tech, &spec);
+    if config == PlaneConfig::GroundPlane {
+        let plane = generate_ground_plane(
+            tech,
+            &GroundPlaneSpec {
+                length_nm: study.length_nm,
+                span_nm: study.plane_span_nm,
+                strips: study.plane_strips,
+                layer: LayerId(3),
+                dir: Axis::X,
+                // Center the plane under the signal (track 0).
+                offset_nm: -study.plane_span_nm / 2,
+            },
+        );
+        layout.merge(&plane);
+        // Stitch the plane strips to the (tied) shield return at both
+        // ends so the plane actually participates in the loop: connect
+        // each strip end to the layout through vias is overkill — a
+        // perpendicular strap on the plane layer plus one resistive tie
+        // happens through the loop extractor's pad handling. Instead we
+        // mark plane strips as part of the ground structure by adding a
+        // strap on the plane layer at each end.
+        let gnet = layout
+            .nets()
+            .iter()
+            .find(|n| n.name == "gplane")
+            .expect("plane net exists")
+            .id;
+        let strip_pitch = study.plane_span_nm / study.plane_strips as i64;
+        let y0 = -study.plane_span_nm / 2 + strip_pitch / 2;
+        let y1 = y0 + (study.plane_strips as i64 - 1) * strip_pitch;
+        for x in [0, study.length_nm] {
+            for k in 0..(study.plane_strips as i64 - 1) {
+                layout.add_segment(ind101_geom::Segment::new(
+                    gnet,
+                    LayerId(3),
+                    Axis::Y,
+                    ind101_geom::Point::new(x, y0 + k * strip_pitch),
+                    strip_pitch,
+                    study.width_nm,
+                ));
+            }
+            let _ = y1;
+        }
+        // Vias from the shield return down to the plane at both ends.
+        layout.add_via(ind101_geom::Via {
+            net: gnet,
+            from_layer: LayerId(3),
+            to_layer: LayerId(5),
+            at: ind101_geom::Point::new(0, y0),
+            cuts: 4,
+        });
+        layout.add_via(ind101_geom::Via {
+            net: gnet,
+            from_layer: LayerId(3),
+            to_layer: LayerId(5),
+            at: ind101_geom::Point::new(study.length_nm, y0),
+            cuts: 4,
+        });
+    }
+    let par = PeecParasitics::extract(&layout, study.length_nm);
+    let port = LoopPortSpec::from_layout(&par).ok_or(CircuitError::InvalidElement {
+        what: "layout has no ports".to_owned(),
+    })?;
+    extract_loop_rl(&par, &port, &study.freqs_hz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plane_reduces_high_frequency_inductance() {
+        let tech = Technology::example_copper_6lm();
+        let study = GroundPlaneStudy::default();
+        let bare = loop_l_vs_freq(&tech, &study, PlaneConfig::Bare).unwrap();
+        let plane = loop_l_vs_freq(&tech, &study, PlaneConfig::GroundPlane).unwrap();
+        let last = study.freqs_hz.len() - 1;
+        assert!(
+            plane.l_h[last] < bare.l_h[last],
+            "plane {} < bare {} at high f",
+            plane.l_h[last],
+            bare.l_h[last]
+        );
+    }
+
+    #[test]
+    fn plane_helps_more_at_high_frequency_than_low() {
+        // The figure's key shape: at low f the relative benefit is small
+        // (return current spreads anyway), at high f it is large.
+        let tech = Technology::example_copper_6lm();
+        let study = GroundPlaneStudy::default();
+        let bare = loop_l_vs_freq(&tech, &study, PlaneConfig::Bare).unwrap();
+        let plane = loop_l_vs_freq(&tech, &study, PlaneConfig::GroundPlane).unwrap();
+        let rel_low = plane.l_h[0] / bare.l_h[0];
+        let last = study.freqs_hz.len() - 1;
+        let rel_high = plane.l_h[last] / bare.l_h[last];
+        assert!(
+            rel_high < rel_low,
+            "relative L with plane must fall with f: low {rel_low}, high {rel_high}"
+        );
+    }
+
+    #[test]
+    fn shields_beat_bare_at_all_frequencies() {
+        let tech = Technology::example_copper_6lm();
+        let study = GroundPlaneStudy::default();
+        let bare = loop_l_vs_freq(&tech, &study, PlaneConfig::Bare).unwrap();
+        let sh = loop_l_vs_freq(&tech, &study, PlaneConfig::Shields).unwrap();
+        for (a, b) in sh.l_h.iter().zip(&bare.l_h) {
+            assert!(a < b);
+        }
+    }
+}

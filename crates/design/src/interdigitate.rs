@@ -1,0 +1,336 @@
+//! Inter-digitated wires — the paper's Figure 7.
+//!
+//! "Wider wires can be split into multiple thinner wires with shields in
+//! between. Such inter-digitizing reduces self-inductance, increases
+//! resistance and capacitance. However, it increases the amount of
+//! metallization used for the interconnect."
+//!
+//! The comparison holds the **routing span** of the original wide wire
+//! constant: interior shields and their gaps eat signal copper, which is
+//! exactly why resistance rises. All strands belong to one signal net,
+//! paralleled by straps at both ends; loop inductance is extracted at
+//! the common port.
+
+use ind101_circuit::CircuitError;
+use ind101_core::PeecParasitics;
+use ind101_extract::PartialInductance;
+use ind101_geom::{
+    um, Axis, Layout, LayerId, NetKind, NodeKey, Point, PortKind, Segment, Technology,
+};
+use ind101_loop::{extract_loop_rl, LoopPortSpec};
+
+/// Metrics of one inter-digitation configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InterdigitationPoint {
+    /// Number of strands the original wire was split into.
+    pub strands: usize,
+    /// Effective series resistance of the paralleled strands, ohms.
+    pub r_ohm: f64,
+    /// Effective partial self-inductance of the paralleled strands,
+    /// henries (`1 / (1ᵀ·L⁻¹·1)` over the strand block).
+    pub l_self_h: f64,
+    /// High-frequency loop inductance at the common port, henries.
+    pub l_loop_h: f64,
+    /// Total capacitance seen by the signal (ground + to shields),
+    /// farads.
+    pub c_total_f: f64,
+    /// Routing tracks consumed (signal strands + shields) — the
+    /// "metallization used for the interconnect".
+    pub tracks_used: usize,
+}
+
+/// Study parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InterdigitationStudy {
+    /// Routing span of the original wide wire, nm (held constant).
+    pub span_nm: i64,
+    /// Wire length, nm.
+    pub length_nm: i64,
+    /// Gap width and interior shield width, nm.
+    pub spacing_nm: i64,
+    /// Strand counts to evaluate (1 = the original wide wire).
+    pub strand_counts: Vec<usize>,
+    /// Loop evaluation frequency, hertz.
+    pub freq_hz: f64,
+}
+
+impl Default for InterdigitationStudy {
+    fn default() -> Self {
+        Self {
+            span_nm: um(16),
+            length_nm: um(2000),
+            spacing_nm: 400,
+            strand_counts: vec![1, 2, 4, 8],
+            freq_hz: 5e9,
+        }
+    }
+}
+
+/// Builds the inter-digitated layout: `n` signal strands sharing one
+/// net (strapped at both ends), interior shields between strands, and
+/// edge shields outside — all within the constant span plus edge
+/// overhead.
+fn build_layout(tech: &Technology, study: &InterdigitationStudy, strands: usize) -> Layout {
+    let gap = study.spacing_nm;
+    let shield_w = study.spacing_nm;
+    let n = strands as i64;
+    let signal_copper = study.span_nm - (n - 1) * (shield_w + 2 * gap);
+    assert!(
+        signal_copper >= n,
+        "span too small for {strands} strands: raise span or shrink spacing"
+    );
+    let strand_w = signal_copper / n;
+
+    let mut layout = Layout::new(tech.clone());
+    let sig = layout.add_net("sig", NetKind::Signal);
+    let shield = layout.add_net("shield", NetKind::Shield);
+    let layer = LayerId(5);
+
+    // Track layout within the span: [edge shield] gap strand gap (shield
+    // gap strand gap)… [edge shield]. Edge shields sit outside the span.
+    let mut centers_sig = Vec::new();
+    let mut centers_shield = vec![-(gap + shield_w / 2)]; // left edge shield
+    let mut x = 0i64;
+    for k in 0..n {
+        centers_sig.push(x + strand_w / 2);
+        x += strand_w;
+        if k + 1 < n {
+            centers_shield.push(x + gap + shield_w / 2);
+            x += 2 * gap + shield_w;
+        }
+    }
+    centers_shield.push(study.span_nm + gap + shield_w / 2); // right edge
+
+    for &y in &centers_sig {
+        layout.add_segment(Segment::new(
+            sig,
+            layer,
+            Axis::X,
+            Point::new(0, y),
+            study.length_nm,
+            strand_w,
+        ));
+    }
+    for &y in &centers_shield {
+        layout.add_segment(Segment::new(
+            shield,
+            layer,
+            Axis::X,
+            Point::new(0, y),
+            study.length_nm,
+            shield_w,
+        ));
+    }
+    // End straps: parallel the strands (signal) and stitch the shields.
+    let strap = |layout: &mut Layout, net, ys: &[i64], w: i64| {
+        for pair in ys.windows(2) {
+            for x in [0, study.length_nm] {
+                layout.add_segment(Segment::new(
+                    net,
+                    layer,
+                    Axis::Y,
+                    Point::new(x, pair[0]),
+                    pair[1] - pair[0],
+                    w,
+                ));
+            }
+        }
+    };
+    let mut ys_sig = centers_sig.clone();
+    ys_sig.sort_unstable();
+    let mut ys_sh = centers_shield.clone();
+    ys_sh.sort_unstable();
+    strap(&mut layout, sig, &ys_sig, strand_w.min(um(1)));
+    strap(&mut layout, shield, &ys_sh, shield_w);
+
+    layout.add_port(
+        "sig_drv",
+        NodeKey {
+            at: Point::new(0, centers_sig[0]),
+            layer,
+        },
+        sig,
+        PortKind::Driver,
+    );
+    layout.add_port(
+        "sig_rcv",
+        NodeKey {
+            at: Point::new(study.length_nm, centers_sig[0]),
+            layer,
+        },
+        sig,
+        PortKind::Receiver,
+    );
+    layout
+}
+
+/// Evaluates one strand count.
+///
+/// # Errors
+///
+/// Propagates extraction failures.
+pub fn evaluate_split(
+    tech: &Technology,
+    study: &InterdigitationStudy,
+    strands: usize,
+) -> Result<InterdigitationPoint, CircuitError> {
+    assert!(strands >= 1);
+    let layout = build_layout(tech, study, strands);
+    let par = PeecParasitics::extract(&layout, study.length_nm);
+
+    // Strand rows: X-directed signal segments.
+    let strand_rows: Vec<usize> = par
+        .segments
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| {
+            par.layout.net(s.net).kind == NetKind::Signal && s.dir == Axis::X
+        })
+        .map(|(k, _)| k)
+        .collect();
+    assert_eq!(strand_rows.len(), strands);
+
+    let g: f64 = strand_rows.iter().map(|&k| 1.0 / par.resistance[k]).sum();
+    let r_ohm = 1.0 / g;
+    let l_self_h = parallel_inductance(&par.partial_l, &strand_rows);
+
+    let mut c_total = 0.0;
+    for &k in &strand_rows {
+        c_total += par.ground_cap[k];
+    }
+    for &(i, j, c) in &par.coupling_caps {
+        if strand_rows.contains(&i) != strand_rows.contains(&j) {
+            c_total += c;
+        }
+    }
+
+    let port = LoopPortSpec::from_layout(&par).ok_or(CircuitError::InvalidElement {
+        what: "layout has no ports".to_owned(),
+    })?;
+    let ext = extract_loop_rl(&par, &port, &[study.freq_hz])?;
+
+    Ok(InterdigitationPoint {
+        strands,
+        r_ohm,
+        l_self_h,
+        l_loop_h: ext.l_h[0],
+        c_total_f: c_total,
+        tracks_used: strands + strands + 1, // strands + interior & edge shields
+    })
+}
+
+/// Runs the full sweep.
+///
+/// # Errors
+///
+/// Propagates extraction failures.
+pub fn run_interdigitation_study(
+    tech: &Technology,
+    study: &InterdigitationStudy,
+) -> Result<Vec<InterdigitationPoint>, CircuitError> {
+    study
+        .strand_counts
+        .iter()
+        .map(|&n| evaluate_split(tech, study, n))
+        .collect()
+}
+
+/// Effective inductance of branches carrying a common current with
+/// common end nodes: `L_eff = 1 / (1ᵀ·L_block⁻¹·1)`.
+fn parallel_inductance(l: &PartialInductance, rows: &[usize]) -> f64 {
+    let block = l.matrix().submatrix(rows);
+    let inv = block.inverse().expect("strand block is PD");
+    let n = rows.len();
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            s += inv[(i, j)];
+        }
+    }
+    1.0 / s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn study() -> InterdigitationStudy {
+        InterdigitationStudy::default()
+    }
+
+    #[test]
+    fn splitting_reduces_loop_inductance() {
+        let tech = Technology::example_copper_6lm();
+        let s = study();
+        let one = evaluate_split(&tech, &s, 1).unwrap();
+        let four = evaluate_split(&tech, &s, 4).unwrap();
+        assert!(
+            four.l_loop_h < one.l_loop_h,
+            "split {} < solid {}",
+            four.l_loop_h,
+            one.l_loop_h
+        );
+    }
+
+    #[test]
+    fn splitting_reduces_effective_self_inductance() {
+        let tech = Technology::example_copper_6lm();
+        let s = study();
+        let pts = run_interdigitation_study(&tech, &s).unwrap();
+        assert!(
+            pts.last().unwrap().l_self_h < pts[0].l_self_h,
+            "paralleled strands spread the current: {:?}",
+            pts.iter().map(|p| p.l_self_h).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn splitting_increases_resistance_and_capacitance() {
+        let tech = Technology::example_copper_6lm();
+        let s = study();
+        let pts = run_interdigitation_study(&tech, &s).unwrap();
+        for w in pts.windows(2) {
+            assert!(w[1].r_ohm > w[0].r_ohm, "R grows with splitting");
+            assert!(w[1].c_total_f > w[0].c_total_f, "C grows with splitting");
+        }
+    }
+
+    #[test]
+    fn splitting_consumes_more_tracks() {
+        let tech = Technology::example_copper_6lm();
+        let s = study();
+        let pts = run_interdigitation_study(&tech, &s).unwrap();
+        for w in pts.windows(2) {
+            assert!(w[1].tracks_used > w[0].tracks_used);
+        }
+    }
+
+    #[test]
+    fn parallel_inductance_of_identical_uncoupled_branches() {
+        // Analytic check on the helper: n identical uncoupled inductors
+        // in parallel give L/n.
+        use ind101_geom::NetId;
+        let tech = Technology::example_copper_6lm();
+        // Far-separated strands ⇒ negligible mutual coupling.
+        let segs: Vec<Segment> = (0..3)
+            .map(|k| {
+                Segment::new(
+                    NetId(0),
+                    LayerId(5),
+                    Axis::X,
+                    Point::new(0, um(1000) * k),
+                    um(500),
+                    um(1),
+                )
+            })
+            .collect();
+        let l = PartialInductance::extract(&tech, &segs);
+        let leff = parallel_inductance(&l, &[0, 1, 2]);
+        let lone = l.self_l(0);
+        assert!(
+            (leff - lone / 3.0).abs() / (lone / 3.0) < 0.15,
+            "leff {leff} vs L/3 {}",
+            lone / 3.0
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Design techniques for on-chip inductance control — the paper's
+//! Section 7.
+//!
+//! "Since inductance is directly related to interconnect length,
+//! short/medium length wires show resistive behavior, while long and
+//! wide wires exhibit inductive behavior. Inductance increases with the
+//! area of the current loop, hence inductive effects are reduced by the
+//! use of closer power/ground return paths."
+//!
+//! One module per technique, each pairing a layout constructor with an
+//! evaluator that produces the quantity the paper's figure plots:
+//!
+//! | paper figure | technique | module |
+//! |---|---|---|
+//! | Fig. 5 | shielding / guard traces | [`shielding`] |
+//! | Fig. 6 | dedicated ground planes (L vs frequency) | [`ground_plane`] |
+//! | Fig. 7 | inter-digitated wires | [`interdigitate`] |
+//! | Fig. 8 | staggered inverter patterns | [`stagger`] |
+//! | Fig. 9 | twisted-bundle layout | [`twisted`] |
+//! | ref. \[21\] | simultaneous shield insertion + net ordering | [`ordering`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ground_plane;
+pub mod interdigitate;
+pub mod ordering;
+pub mod shielding;
+pub mod stagger;
+pub mod twisted;

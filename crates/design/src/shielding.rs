@@ -1,0 +1,144 @@
+//! Shielding (guard traces) — the paper's Figure 5.
+//!
+//! "Loop inductance can be reduced by sandwiching a signal line between
+//! ground return lines or guard traces. This forces the high-frequency
+//! current return paths to be close to the signal line, thus minimizing
+//! inductance."
+
+use ind101_circuit::CircuitError;
+use ind101_core::PeecParasitics;
+use ind101_geom::generators::{generate_bus, BusSpec, ShieldPattern};
+use ind101_geom::{um, Technology};
+use ind101_loop::{extract_loop_rl, LoopPortSpec};
+
+/// One evaluated shielding configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShieldingPoint {
+    /// Edge-to-edge signal-to-shield spacing, nm (`None` = no shields,
+    /// return through the far reference only).
+    pub spacing_nm: Option<i64>,
+    /// Loop resistance at the evaluation frequency, ohms.
+    pub r_ohm: f64,
+    /// Loop inductance at the evaluation frequency, henries.
+    pub l_h: f64,
+}
+
+/// Study parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShieldingStudy {
+    /// Signal length, nm.
+    pub length_nm: i64,
+    /// Signal width, nm.
+    pub width_nm: i64,
+    /// Shield spacings to evaluate, nm.
+    pub spacings_nm: Vec<i64>,
+    /// Spacing of the distant fallback return (the "no shield" case), nm.
+    pub far_return_nm: i64,
+    /// Evaluation frequency, hertz.
+    pub freq_hz: f64,
+}
+
+impl Default for ShieldingStudy {
+    fn default() -> Self {
+        Self {
+            length_nm: um(2000),
+            width_nm: um(2),
+            spacings_nm: vec![um(1), um(2), um(4), um(8)],
+            far_return_nm: um(50),
+            freq_hz: 5e9,
+        }
+    }
+}
+
+/// Runs the shielding study: the unshielded baseline plus one point per
+/// spacing. Loop inductance must fall as the shields close in — that is
+/// the figure's message.
+///
+/// # Errors
+///
+/// Propagates extraction failures.
+pub fn run_shielding_study(
+    tech: &Technology,
+    study: &ShieldingStudy,
+) -> Result<Vec<ShieldingPoint>, CircuitError> {
+    let mut out = Vec::new();
+    // Baseline: signal with only a distant return line.
+    let base = evaluate(tech, study, study.far_return_nm)?;
+    out.push(ShieldingPoint {
+        spacing_nm: None,
+        ..base
+    });
+    for &s in &study.spacings_nm {
+        let p = evaluate(tech, study, s)?;
+        out.push(ShieldingPoint {
+            spacing_nm: Some(s),
+            ..p
+        });
+    }
+    Ok(out)
+}
+
+fn evaluate(
+    tech: &Technology,
+    study: &ShieldingStudy,
+    spacing_nm: i64,
+) -> Result<ShieldingPoint, CircuitError> {
+    // G-S-G sandwich at the given spacing.
+    let spec = BusSpec {
+        signals: 1,
+        length_nm: study.length_nm,
+        width_nm: study.width_nm,
+        spacing_nm,
+        shields: ShieldPattern::Edges,
+        tie_shields: true,
+        ..BusSpec::default()
+    };
+    let bus = generate_bus(tech, &spec);
+    let par = PeecParasitics::extract(&bus, study.length_nm);
+    let port = LoopPortSpec::from_layout(&par).ok_or(CircuitError::InvalidElement {
+        what: "bus has no ports".to_owned(),
+    })?;
+    let ext = extract_loop_rl(&par, &port, &[study.freq_hz])?;
+    Ok(ShieldingPoint {
+        spacing_nm: Some(spacing_nm),
+        r_ohm: ext.r_ohm[0],
+        l_h: ext.l_h[0],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closer_shields_give_lower_loop_inductance() {
+        let tech = Technology::example_copper_6lm();
+        let study = ShieldingStudy::default();
+        let pts = run_shielding_study(&tech, &study).unwrap();
+        // Baseline (far return) has the largest inductance.
+        let base = pts[0].l_h;
+        for p in &pts[1..] {
+            assert!(p.l_h < base, "shielded {} < baseline {}", p.l_h, base);
+        }
+        // Monotone in spacing.
+        for w in pts[1..].windows(2) {
+            assert!(
+                w[0].l_h < w[1].l_h,
+                "closer shields must give lower L: {:?} vs {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn shielding_costs_resistance() {
+        // The tight return path is narrower than the wide low-frequency
+        // return: loop R at the evaluation frequency is higher for the
+        // closest shields than for the relaxed ones.
+        let tech = Technology::example_copper_6lm();
+        let study = ShieldingStudy::default();
+        let pts = run_shielding_study(&tech, &study).unwrap();
+        assert!(pts.iter().all(|p| p.r_ohm > 0.0));
+    }
+}

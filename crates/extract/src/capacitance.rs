@@ -1,0 +1,196 @@
+//! Chern-style empirical capacitance models.
+//!
+//! The paper computes "ground and coupling capacitances for the
+//! interconnect using Chern models or commercial extraction tools"
+//! (reference \[8\]: Chern et al., *Multilevel metal capacitance models
+//! for CAD design synthesis systems*). We implement the same model
+//! family: an area term plus empirical fringe and lateral-coupling
+//! terms fitted in `w/h`, `t/h`, `s/h`.
+
+use crate::constants::EPS0;
+use ind101_geom::{Segment, Technology};
+
+/// Ground capacitance per unit length of a wire of width `w` and
+/// thickness `t` at height `h` above the return plane, F/m.
+///
+/// Sakurai–Tamaru fitted form (same family as Chern's):
+///
+/// ```text
+/// C/l = ε · [ 1.15·(w/h) + 2.80·(t/h)^0.222 ]
+/// ```
+///
+/// # Panics
+///
+/// Panics if any dimension is not positive.
+pub fn ground_cap_per_length(w: f64, t: f64, h: f64, eps_r: f64) -> f64 {
+    assert!(w > 0.0 && t > 0.0 && h > 0.0);
+    EPS0 * eps_r * (1.15 * (w / h) + 2.80 * (t / h).powf(0.222))
+}
+
+/// Coupling capacitance per unit length between two parallel wires on
+/// the same layer with edge-to-edge spacing `s`, F/m.
+///
+/// ```text
+/// C/l = ε · [ 0.03·(w/h) + 0.83·(t/h) − 0.07·(t/h)^0.222 ] · (s/h)^−1.34
+/// ```
+///
+/// # Panics
+///
+/// Panics if any dimension is not positive.
+pub fn coupling_cap_per_length(w: f64, t: f64, h: f64, s: f64, eps_r: f64) -> f64 {
+    assert!(w > 0.0 && t > 0.0 && h > 0.0 && s > 0.0);
+    let factor = 0.03 * (w / h) + 0.83 * (t / h) - 0.07 * (t / h).powf(0.222);
+    EPS0 * eps_r * factor.max(0.01) * (s / h).powf(-1.34)
+}
+
+/// Total ground capacitance of a segment (to the substrate), farads.
+///
+/// The return "plane" height is taken as the layer's center height above
+/// the substrate — the dominant term for global wires, consistent with
+/// the paper's grounded-capacitance RLC-π model.
+pub fn segment_ground_cap(tech: &Technology, seg: &Segment) -> f64 {
+    let layer = tech.layer(seg.layer);
+    let h = (layer.z_bottom_nm as f64) * 1e-9;
+    let t = (layer.thickness_nm as f64) * 1e-9;
+    ground_cap_per_length(seg.width_m(), t, h, tech.eps_r) * seg.length_m()
+}
+
+/// Coupling capacitance between two parallel same-layer segments over
+/// their axial overlap, farads. Returns 0 for non-parallel pairs,
+/// different layers, or no overlap.
+pub fn segment_coupling_cap(tech: &Technology, a: &Segment, b: &Segment) -> f64 {
+    if !a.is_parallel(b) || a.layer != b.layer {
+        return 0.0;
+    }
+    let overlap_m = (a.axial_overlap_nm(b) as f64) * 1e-9;
+    if overlap_m <= 0.0 {
+        return 0.0;
+    }
+    let s_nm = a.edge_spacing_nm(b);
+    if s_nm <= 0 {
+        return 0.0; // abutting/overlapping footprints: same node, no coupling cap
+    }
+    let layer = tech.layer(a.layer);
+    let h = (layer.z_bottom_nm as f64) * 1e-9;
+    let t = (layer.thickness_nm as f64) * 1e-9;
+    coupling_cap_per_length(
+        a.width_m().min(b.width_m()),
+        t,
+        h,
+        s_nm as f64 * 1e-9,
+        tech.eps_r,
+    ) * overlap_m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ind101_geom::{um, Axis, LayerId, NetId, Point};
+
+    fn tech() -> Technology {
+        Technology::example_copper_6lm()
+    }
+
+    fn seg(y_um: i64, len_um: i64, w_um: i64) -> Segment {
+        Segment::new(
+            NetId(0),
+            LayerId(5),
+            Axis::X,
+            Point::new(0, um(y_um)),
+            um(len_um),
+            um(w_um),
+        )
+    }
+
+    #[test]
+    fn ground_cap_magnitude() {
+        // Global wires run ~0.1–0.3 fF/µm in this technology family.
+        let c = segment_ground_cap(&tech(), &seg(0, 1000, 1));
+        assert!(c > 0.03e-12 && c < 0.5e-12, "C = {c}");
+    }
+
+    #[test]
+    fn ground_cap_grows_with_width() {
+        let c1 = segment_ground_cap(&tech(), &seg(0, 100, 1));
+        let c4 = segment_ground_cap(&tech(), &seg(0, 100, 4));
+        assert!(c4 > c1);
+        // Sub-linear in width because the fringe term is width-free.
+        assert!(c4 < 4.0 * c1);
+    }
+
+    #[test]
+    fn coupling_cap_decreases_with_spacing() {
+        let t = tech();
+        let a = seg(0, 100, 1);
+        let close = seg(2, 100, 1);
+        let far = seg(10, 100, 1);
+        let cc = segment_coupling_cap(&t, &a, &close);
+        let cf = segment_coupling_cap(&t, &a, &far);
+        assert!(cc > cf);
+        assert!(cf > 0.0);
+    }
+
+    #[test]
+    fn coupling_only_for_overlapping_parallel_same_layer() {
+        let t = tech();
+        let a = seg(0, 100, 1);
+        // Disjoint along the axis.
+        let disjoint = Segment::new(
+            NetId(1),
+            LayerId(5),
+            Axis::X,
+            Point::new(um(200), um(2)),
+            um(100),
+            um(1),
+        );
+        assert_eq!(segment_coupling_cap(&t, &a, &disjoint), 0.0);
+        // Perpendicular.
+        let perp = Segment::new(
+            NetId(1),
+            LayerId(5),
+            Axis::Y,
+            Point::new(0, um(2)),
+            um(100),
+            um(1),
+        );
+        assert_eq!(segment_coupling_cap(&t, &a, &perp), 0.0);
+        // Different layer.
+        let other_layer = Segment::new(
+            NetId(1),
+            LayerId(4),
+            Axis::X,
+            Point::new(0, um(2)),
+            um(100),
+            um(1),
+        );
+        assert_eq!(segment_coupling_cap(&t, &a, &other_layer), 0.0);
+    }
+
+    #[test]
+    fn coupling_cap_symmetric() {
+        let t = tech();
+        let a = seg(0, 100, 1);
+        let b = seg(3, 100, 2);
+        let ab = segment_coupling_cap(&t, &a, &b);
+        let ba = segment_coupling_cap(&t, &b, &a);
+        assert!((ab - ba).abs() / ab < 1e-12);
+    }
+
+    #[test]
+    fn coupling_scales_with_overlap() {
+        let t = tech();
+        let a = seg(0, 100, 1);
+        let full = seg(2, 100, 1);
+        let half = Segment::new(
+            NetId(1),
+            LayerId(5),
+            Axis::X,
+            Point::new(um(50), um(2)),
+            um(100),
+            um(1),
+        );
+        let cf = segment_coupling_cap(&t, &a, &full);
+        let ch = segment_coupling_cap(&t, &a, &half);
+        assert!((ch / cf - 0.5).abs() < 1e-9);
+    }
+}

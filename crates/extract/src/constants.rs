@@ -1,0 +1,53 @@
+//! Physical constants (SI).
+
+/// Vacuum permeability μ₀, H/m.
+pub const MU0: f64 = 4.0e-7 * std::f64::consts::PI;
+
+/// Vacuum permittivity ε₀, F/m.
+pub const EPS0: f64 = 8.854_187_8128e-12;
+
+/// Resistivity of on-chip copper (including barrier/liner overhead),
+/// Ω·m — slightly above bulk copper's 1.68e-8.
+pub const COPPER_RHO: f64 = 2.0e-8;
+
+/// Speed of light in vacuum, m/s.
+pub const C0: f64 = 299_792_458.0;
+
+/// Skin depth δ = sqrt(ρ / (π f μ₀)) of a conductor, meters.
+///
+/// At 1 GHz in copper this is ~2.2 µm — comparable to upper-metal wire
+/// thickness, which is exactly why the paper's extraction splits wide
+/// conductors into filaments.
+///
+/// # Panics
+///
+/// Panics if `freq_hz` or `rho_ohm_m` is not positive.
+pub fn skin_depth(freq_hz: f64, rho_ohm_m: f64) -> f64 {
+    assert!(freq_hz > 0.0, "frequency must be positive");
+    assert!(rho_ohm_m > 0.0, "resistivity must be positive");
+    (rho_ohm_m / (std::f64::consts::PI * freq_hz * MU0)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copper_skin_depth_at_1ghz() {
+        let d = skin_depth(1e9, COPPER_RHO);
+        assert!(d > 1.5e-6 && d < 3.0e-6, "δ = {d}");
+    }
+
+    #[test]
+    fn skin_depth_scales_inverse_sqrt_frequency() {
+        let d1 = skin_depth(1e9, COPPER_RHO);
+        let d2 = skin_depth(4e9, COPPER_RHO);
+        assert!((d1 / d2 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constants_sane() {
+        assert!((MU0 - 1.2566e-6).abs() < 1e-9);
+        assert!((EPS0 * MU0 * C0 * C0 - 1.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,45 @@
+//! Parasitic extraction for the `ind101` toolkit.
+//!
+//! Implements the extraction layer of the paper's Section 3:
+//!
+//! * **Resistance** — frequency-independent, from geometry and sheet
+//!   resistance ([`resistance`]).
+//! * **Partial self-inductance** — analytical closed form for
+//!   rectangular bars (the paper's references \[9\] Grover GMD analysis,
+//!   \[10\] Grover's tables, \[11\] Hoer & Love exact equations)
+//!   ([`self_inductance`]).
+//! * **Partial mutual inductance** — Neumann integral of parallel
+//!   filaments with the geometric-mean-distance (GMD) treatment of
+//!   finite cross-sections ([`mutual_inductance`], [`gmd`]).
+//! * **Capacitance** — Chern-style empirical area/fringe/lateral models
+//!   (the paper's reference \[8\]) ([`capacitance`]).
+//! * **Partial inductance matrix** — dense symmetric assembly over all
+//!   parallel segment pairs ([`PartialInductance`]).
+//!
+//! The analytic inductance formulas "do not consider skin effect, hence
+//! very wide conductors must be split into narrower lines before
+//! computing inductance" (paper) — see `Segment::filaments` in
+//! `ind101-geom`.
+//!
+//! # Example
+//!
+//! ```
+//! use ind101_extract::self_inductance::bar_self_inductance;
+//!
+//! // 1 mm of 1 µm × 1 µm wire is on the order of a nanohenry.
+//! let l = bar_self_inductance(1e-3, 1e-6, 1e-6);
+//! assert!(l > 0.5e-9 && l < 3e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capacitance;
+pub mod constants;
+pub mod gmd;
+mod matrix;
+pub mod mutual_inductance;
+pub mod resistance;
+pub mod self_inductance;
+
+pub use matrix::PartialInductance;

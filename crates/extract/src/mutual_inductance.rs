@@ -1,0 +1,137 @@
+//! Partial mutual inductance of parallel conductors.
+//!
+//! The Neumann double integral for two parallel filaments has the closed
+//! form used here (Grover; Hoer & Love extend it to rectangular bars —
+//! the paper's references \[10\], \[11\]). Finite cross-sections enter
+//! through the geometric mean distance ([`crate::gmd`]).
+
+use crate::constants::MU0;
+use std::f64::consts::PI;
+
+/// Antiderivative `G(u) = u·asinh(u/d) − √(u² + d²)` satisfying
+/// `G''(u) = 1/√(u² + d²)`; even in `u`.
+fn g(u: f64, d: f64) -> f64 {
+    let r = u.hypot(d);
+    if u == 0.0 {
+        return -r;
+    }
+    u * (u / d).asinh() - r
+}
+
+/// Mutual inductance of two parallel filaments, henries.
+///
+/// Filament 1 spans `[0, len1]` along the shared axis; filament 2 spans
+/// `[offset, offset + len2]`; `d` is the perpendicular distance between
+/// the filament lines (use the GMD for finite cross-sections).
+///
+/// Handles arbitrary overlap: aligned, staggered, or fully disjoint
+/// segments (collinear separation included, since partial elements of
+/// the *same* wire also couple).
+///
+/// # Panics
+///
+/// Panics if `len1`, `len2` or `d` is not positive.
+pub fn filament_mutual(len1: f64, len2: f64, offset: f64, d: f64) -> f64 {
+    assert!(len1 > 0.0 && len2 > 0.0, "filament lengths must be positive");
+    assert!(d > 0.0, "filament distance must be positive (use GMD)");
+    let s = offset;
+    // Double integral of 1/√((x−y)² + d²) over x ∈ [0,len1], y ∈ [s,s+len2].
+    let val = g(len1 - s, d) - g(len1 - s - len2, d) - g(-s, d) + g(-s - len2, d);
+    MU0 / (4.0 * PI) * val
+}
+
+/// Mutual inductance of two equal, fully-aligned parallel filaments —
+/// the textbook special case, exposed for validation:
+///
+/// ```text
+/// M = (μ₀ l / 2π) · [ ln(l/d + √(1 + l²/d²)) − √(1 + d²/l²) + d/l ]
+/// ```
+pub fn aligned_filament_mutual(len: f64, d: f64) -> f64 {
+    assert!(len > 0.0 && d > 0.0);
+    let r = len / d;
+    MU0 * len / (2.0 * PI) * ((r + (1.0 + r * r).sqrt()).ln() - (1.0 + 1.0 / (r * r)).sqrt() + 1.0 / r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn general_formula_matches_aligned_special_case() {
+        for &(len, d) in &[(1e-3, 1e-6), (100e-6, 5e-6), (10e-6, 2e-6)] {
+            let general = filament_mutual(len, len, 0.0, d);
+            let special = aligned_filament_mutual(len, d);
+            assert!(
+                (general - special).abs() / special < 1e-12,
+                "len={len} d={d}: {general} vs {special}"
+            );
+        }
+    }
+
+    #[test]
+    fn mutual_positive_and_below_self_scale() {
+        let m = filament_mutual(1e-3, 1e-3, 0.0, 2e-6);
+        let l_self = crate::self_inductance::bar_self_inductance(1e-3, 1e-6, 1e-6);
+        assert!(m > 0.0);
+        assert!(m < l_self, "mutual must be below self inductance");
+    }
+
+    #[test]
+    fn mutual_decreases_with_distance() {
+        let m1 = filament_mutual(1e-3, 1e-3, 0.0, 1e-6);
+        let m2 = filament_mutual(1e-3, 1e-3, 0.0, 10e-6);
+        let m3 = filament_mutual(1e-3, 1e-3, 0.0, 100e-6);
+        assert!(m1 > m2 && m2 > m3);
+    }
+
+    #[test]
+    fn mutual_is_reciprocal() {
+        // Swap the two filaments (lengths and frame).
+        let a = filament_mutual(1e-3, 0.4e-3, 0.2e-3, 3e-6);
+        let b = filament_mutual(0.4e-3, 1e-3, -0.2e-3, 3e-6);
+        assert!((a - b).abs() / a.abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_collinear_segments_still_couple() {
+        // Two successive 100 µm segments of the same line (gap 0,
+        // lateral distance = self-GMD of a 1 µm × 1 µm section).
+        let d = crate::self_inductance::self_gmd(1e-6, 1e-6);
+        let m = filament_mutual(100e-6, 100e-6, 100e-6, d);
+        assert!(m > 0.0);
+        // Far smaller than an aligned neighbor at the same distance.
+        let aligned = filament_mutual(100e-6, 100e-6, 0.0, d);
+        assert!(m < 0.2 * aligned);
+    }
+
+    #[test]
+    fn translation_invariance() {
+        // Shifting both filaments together must not change M.
+        let a = filament_mutual(50e-6, 80e-6, 10e-6, 4e-6);
+        // Express in filament-2's frame: filament 1 at offset −10 µm.
+        let b = filament_mutual(80e-6, 50e-6, -10e-6, 4e-6);
+        assert!((a - b).abs() / a.abs() < 1e-12);
+    }
+
+    #[test]
+    fn near_field_mutual_approaches_self_inductance_form() {
+        // As d → self-GMD, mutual of aligned equal filaments approaches
+        // the bar self-inductance (that is the GMD definition).
+        let (w, t, l) = (1e-6, 1e-6, 1e-3);
+        let d = crate::self_inductance::self_gmd(w, t);
+        let m = filament_mutual(l, l, 0.0, d);
+        let ls = crate::self_inductance::bar_self_inductance(l, w, t);
+        assert!((m - ls).abs() / ls < 0.02, "m={m} ls={ls}");
+    }
+
+    #[test]
+    fn long_range_falls_like_log() {
+        // Partial mutual inductance decays only logarithmically — the
+        // reason the PEEC matrix is dense and Section 4 exists.
+        let l = 1e-3;
+        let m10 = filament_mutual(l, l, 0.0, 10e-6);
+        let m100 = filament_mutual(l, l, 0.0, 100e-6);
+        // Far slower than 1/d decay:
+        assert!(m100 > m10 / 10.0 * 3.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Wire and via resistance.
+//!
+//! The paper's model: "The resistance is frequency independent and is
+//! computed as a function of geometry and sheet resistance." A skin-
+//! effect-aware *effective* AC resistance is provided for validation of
+//! the filament approach, not used by the base PEEC model.
+
+use crate::constants::skin_depth;
+use ind101_geom::{Segment, Technology, Via};
+
+/// DC resistance of a segment: `R = ρ_sheet · L / W`.
+pub fn segment_resistance(tech: &Technology, seg: &Segment) -> f64 {
+    let layer = tech.layer(seg.layer);
+    layer.sheet_res_ohm_sq * seg.length_m() / seg.width_m()
+}
+
+/// Resistance of a via (parallel cuts divide the single-cut resistance);
+/// stacked vias spanning multiple layers multiply by the span.
+pub fn via_resistance(tech: &Technology, via: &Via) -> f64 {
+    let span = (via.to_layer.0 - via.from_layer.0).max(1) as f64;
+    tech.via_res_ohm * span / via.cuts.max(1) as f64
+}
+
+/// Effective AC resistance of a rectangular bar accounting for skin
+/// effect with a current-carrying shell of one skin depth.
+///
+/// `R_ac = ρ·l / A_eff`, where `A_eff` is the cross-section area within
+/// one skin depth of the surface (clamped to the full area at low
+/// frequency). This closed form reproduces the √f high-frequency
+/// asymptote that the filament-subdivision approach converges to.
+pub fn bar_ac_resistance(
+    length_m: f64,
+    width_m: f64,
+    thickness_m: f64,
+    rho_ohm_m: f64,
+    freq_hz: f64,
+) -> f64 {
+    let area = width_m * thickness_m;
+    if freq_hz <= 0.0 {
+        return rho_ohm_m * length_m / area;
+    }
+    let delta = skin_depth(freq_hz, rho_ohm_m);
+    // Area of the conducting shell.
+    let w_in = (width_m - 2.0 * delta).max(0.0);
+    let t_in = (thickness_m - 2.0 * delta).max(0.0);
+    let a_eff = (area - w_in * t_in).min(area);
+    rho_ohm_m * length_m / a_eff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constants::COPPER_RHO;
+    use ind101_geom::{um, Axis, LayerId, NetId, Point, Technology};
+
+    fn tech() -> Technology {
+        Technology::example_copper_6lm()
+    }
+
+    fn seg(len_um: i64, w_um: i64) -> Segment {
+        Segment::new(
+            NetId(0),
+            LayerId(5),
+            Axis::X,
+            Point::new(0, 0),
+            um(len_um),
+            um(w_um),
+        )
+    }
+
+    #[test]
+    fn resistance_scales_with_squares() {
+        let t = tech();
+        let r1 = segment_resistance(&t, &seg(100, 1));
+        let r2 = segment_resistance(&t, &seg(200, 1));
+        let r3 = segment_resistance(&t, &seg(100, 2));
+        assert!((r2 / r1 - 2.0).abs() < 1e-12);
+        assert!((r1 / r3 - 2.0).abs() < 1e-12);
+        // 100 squares at 0.022 Ω/sq.
+        assert!((r1 - 2.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn via_cuts_divide_resistance() {
+        let t = tech();
+        let v1 = Via {
+            net: NetId(0),
+            from_layer: LayerId(4),
+            to_layer: LayerId(5),
+            at: Point::new(0, 0),
+            cuts: 1,
+        };
+        let v4 = Via { cuts: 4, ..v1.clone() };
+        assert!((via_resistance(&t, &v1) / via_resistance(&t, &v4) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stacked_via_spans_multiply() {
+        let t = tech();
+        let v = Via {
+            net: NetId(0),
+            from_layer: LayerId(0),
+            to_layer: LayerId(4),
+            at: Point::new(0, 0),
+            cuts: 1,
+        };
+        assert!((via_resistance(&t, &v) - 4.0 * t.via_res_ohm).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ac_resistance_reduces_to_dc_at_low_frequency() {
+        let rdc = bar_ac_resistance(1e-3, 2e-6, 1e-6, COPPER_RHO, 0.0);
+        let rlo = bar_ac_resistance(1e-3, 2e-6, 1e-6, COPPER_RHO, 1e6);
+        assert!((rdc - rlo).abs() / rdc < 1e-9, "skin depth ≫ dimensions at 1 MHz");
+    }
+
+    #[test]
+    fn ac_resistance_grows_with_frequency() {
+        // Wide bar so that skin effect bites within the sweep.
+        let r1 = bar_ac_resistance(1e-3, 20e-6, 2e-6, COPPER_RHO, 1e9);
+        let r2 = bar_ac_resistance(1e-3, 20e-6, 2e-6, COPPER_RHO, 100e9);
+        assert!(r2 > r1);
+    }
+}

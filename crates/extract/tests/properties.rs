@@ -1,0 +1,130 @@
+//! Property-based tests for the extraction physics.
+
+use ind101_extract::capacitance::{coupling_cap_per_length, ground_cap_per_length};
+use ind101_extract::gmd::rect_gmd;
+use ind101_extract::mutual_inductance::{aligned_filament_mutual, filament_mutual};
+use ind101_extract::self_inductance::{bar_self_inductance, self_gmd};
+use ind101_extract::PartialInductance;
+use ind101_geom::{um, Axis, LayerId, NetId, Point, Segment, Technology};
+use proptest::prelude::*;
+
+fn len_m() -> impl Strategy<Value = f64> {
+    (10.0f64..5000.0).prop_map(|um| um * 1e-6)
+}
+
+fn dim_m() -> impl Strategy<Value = f64> {
+    (0.1f64..5.0).prop_map(|um| um * 1e-6)
+}
+
+proptest! {
+    /// Self inductance is positive and grows monotonically with length.
+    #[test]
+    fn self_inductance_positive_monotone(l in len_m(), w in dim_m(), t in dim_m()) {
+        let a = bar_self_inductance(l, w, t);
+        let b = bar_self_inductance(2.0 * l, w, t);
+        prop_assert!(a > 0.0);
+        prop_assert!(b > a);
+        // Superlinear in length (log term).
+        prop_assert!(b > 2.0 * a);
+    }
+
+    /// Mutual inductance is symmetric under operand exchange (the
+    /// reciprocity that makes the matrix symmetric), positive for
+    /// same-direction currents, and decreasing in distance.
+    #[test]
+    fn mutual_reciprocal_and_decaying(
+        l1 in len_m(),
+        l2 in len_m(),
+        off_um in -2000i64..2000,
+        d_um in 1i64..200,
+    ) {
+        let off = off_um as f64 * 1e-6;
+        let d = d_um as f64 * 1e-6;
+        let m_ab = filament_mutual(l1, l2, off, d);
+        let m_ba = filament_mutual(l2, l1, -off, d);
+        let scale = m_ab.abs().max(1e-30);
+        prop_assert!((m_ab - m_ba).abs() / scale < 1e-9, "{m_ab} vs {m_ba}");
+        // Farther pair couples less.
+        let m_far = filament_mutual(l1, l2, off, 4.0 * d);
+        prop_assert!(m_far < m_ab + 1e-30);
+    }
+
+    /// Aligned mutual is bounded by the self inductance of the same
+    /// span (coupling coefficient < 1) whenever the distance exceeds
+    /// the self-GMD.
+    #[test]
+    fn coupling_coefficient_below_one(l in len_m(), w in dim_m(), t in dim_m(), d_um in 1i64..100) {
+        let d = d_um as f64 * 1e-6;
+        prop_assume!(d > self_gmd(w, t));
+        let m = aligned_filament_mutual(l, d);
+        let ls = bar_self_inductance(l, w, t);
+        prop_assert!(m < ls, "M {m} < L {ls}");
+    }
+
+    /// GMD is bracketed: at least a positive fraction of the center
+    /// distance, at most the center distance plus the cross-section
+    /// extent; symmetric in operand exchange.
+    #[test]
+    fn gmd_brackets(
+        dx_um in 1i64..100,
+        dz_um in 0i64..10,
+        w1 in dim_m(), t1 in dim_m(), w2 in dim_m(), t2 in dim_m(),
+    ) {
+        let dx = dx_um as f64 * 1e-6;
+        let dz = dz_um as f64 * 1e-6;
+        let g = rect_gmd(dx, dz, w1, t1, w2, t2);
+        let center = dx.hypot(dz);
+        let extent = w1.max(w2).max(t1).max(t2);
+        prop_assert!(g > 0.2 * center, "g {g} vs center {center}");
+        prop_assert!(g < center + extent);
+        let g2 = rect_gmd(-dx, -dz, w2, t2, w1, t1);
+        prop_assert!((g - g2).abs() / g < 1e-9);
+    }
+
+    /// Capacitance models: positive, monotone in the geometry knobs.
+    #[test]
+    fn capacitance_monotonicity(w in dim_m(), t in dim_m(), h in dim_m(), s in dim_m()) {
+        let eps_r = 3.9;
+        let c = ground_cap_per_length(w, t, h, eps_r);
+        prop_assert!(c > 0.0);
+        prop_assert!(ground_cap_per_length(2.0 * w, t, h, eps_r) > c);
+        prop_assert!(ground_cap_per_length(w, t, 2.0 * h, eps_r) < c);
+        let cc = coupling_cap_per_length(w, t, h, s, eps_r);
+        prop_assert!(cc > 0.0);
+        prop_assert!(coupling_cap_per_length(w, t, h, 2.0 * s, eps_r) < cc);
+    }
+
+    /// Matrix extraction: for any random parallel segment set, the
+    /// matrix is exactly symmetric with positive diagonal, and every
+    /// 2×2 principal minor is positive (pairwise passivity).
+    #[test]
+    fn extraction_pairwise_passive(seed in 0u64..300, n in 2usize..7) {
+        let tech = Technology::example_copper_6lm();
+        let mut s = seed.wrapping_add(3);
+        let mut next = move |m: i64| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((s >> 33) as i64) % m
+        };
+        let segs: Vec<Segment> = (0..n)
+            .map(|_| {
+                Segment::new(
+                    NetId(0),
+                    LayerId(5),
+                    Axis::X,
+                    Point::new(um(next(500)), um(next(100))),
+                    um(100 + next(1500)),
+                    um(1 + next(3)),
+                )
+            })
+            .collect();
+        let l = PartialInductance::extract(&tech, &segs);
+        prop_assert_eq!(l.matrix().symmetry_defect(), 0.0);
+        for i in 0..n {
+            prop_assert!(l.self_l(i) > 0.0);
+            for j in (i + 1)..n {
+                let det = l.self_l(i) * l.self_l(j) - l.mutual(i, j).powi(2);
+                prop_assert!(det > 0.0, "2x2 minor ({i},{j}) = {det}");
+            }
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Parallel signal-bus generator with optional shield insertion.
+//!
+//! Exercised by the Section 7 design techniques: shielding (guard
+//! traces), inter-digitated wires, and the shield-insertion/net-ordering
+//! optimization of the paper's reference \[21\].
+
+use crate::layout::PortKind;
+use crate::units::um;
+use crate::{Axis, Layout, LayerId, NetKind, NodeKey, Point, Segment, Technology};
+
+/// Where shields are inserted in a bus.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShieldPattern {
+    /// No shields at all.
+    None,
+    /// Grounded shield lines at both outer edges of the bus.
+    Edges,
+    /// A shield after every `k` signal wires (e.g. `Every(1)` is the
+    /// fully inter-digitated G-S-G-S-G pattern of the paper's Figure 5/7).
+    Every(usize),
+    /// Explicit track positions (0-based, counted over all tracks) that
+    /// carry shields; remaining tracks carry signals in order.
+    Explicit(Vec<usize>),
+}
+
+/// Parameters of a generated parallel bus.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BusSpec {
+    /// Number of signal wires.
+    pub signals: usize,
+    /// Wire length, nm.
+    pub length_nm: i64,
+    /// Wire width, nm.
+    pub width_nm: i64,
+    /// Edge-to-edge spacing between adjacent tracks, nm.
+    pub spacing_nm: i64,
+    /// Routing layer.
+    pub layer: LayerId,
+    /// Routing axis.
+    pub dir: Axis,
+    /// Shield insertion pattern.
+    pub shields: ShieldPattern,
+    /// Stitch all shield tracks together with perpendicular straps at
+    /// both bus ends (how shields are actually grounded on chip; also
+    /// what lets return current redistribute between them).
+    pub tie_shields: bool,
+}
+
+impl Default for BusSpec {
+    fn default() -> Self {
+        Self {
+            signals: 4,
+            length_nm: um(1000),
+            width_nm: um(1),
+            spacing_nm: um(1),
+            layer: LayerId(5),
+            dir: Axis::X,
+            shields: ShieldPattern::None,
+            tie_shields: false,
+        }
+    }
+}
+
+impl BusSpec {
+    /// Track pitch (center to center), nm.
+    pub fn pitch_nm(&self) -> i64 {
+        self.width_nm + self.spacing_nm
+    }
+
+    /// Resolves the shield pattern into a per-track role list:
+    /// `true` = shield, `false` = signal. The list covers all tracks.
+    pub fn track_roles(&self) -> Vec<bool> {
+        match &self.shields {
+            ShieldPattern::None => vec![false; self.signals],
+            ShieldPattern::Edges => {
+                let mut v = vec![false; self.signals + 2];
+                v[0] = true;
+                *v.last_mut().expect("non-empty") = true;
+                v
+            }
+            ShieldPattern::Every(k) => {
+                let k = (*k).max(1);
+                let mut v = vec![true]; // leading shield
+                for i in 0..self.signals {
+                    v.push(false);
+                    if (i + 1) % k == 0 {
+                        v.push(true);
+                    }
+                }
+                if !v.last().copied().unwrap_or(false) {
+                    v.push(true); // trailing shield
+                }
+                v
+            }
+            ShieldPattern::Explicit(positions) => {
+                let total = self.signals + positions.len();
+                let mut v = vec![false; total];
+                for &p in positions {
+                    assert!(p < total, "shield track {p} out of range {total}");
+                    v[p] = true;
+                }
+                assert_eq!(
+                    v.iter().filter(|&&s| !s).count(),
+                    self.signals,
+                    "explicit shield positions must leave exactly `signals` signal tracks"
+                );
+                v
+            }
+        }
+    }
+}
+
+/// Generates a parallel bus.
+///
+/// Signal nets are named `"bit0"`, `"bit1"`, …; shields share a single
+/// `"shield"` net (grounded). Each signal gets `Driver`/`Receiver`
+/// ports named `bitK_drv` / `bitK_rcv` at the near/far ends.
+pub fn generate_bus(tech: &Technology, spec: &BusSpec) -> Layout {
+    let mut layout = Layout::new(tech.clone());
+    let roles = spec.track_roles();
+    let shield_net = roles
+        .iter()
+        .any(|&s| s)
+        .then(|| layout.add_net("shield", NetKind::Shield));
+
+    let pitch = spec.pitch_nm();
+    let mut bit = 0usize;
+    for (track, &is_shield) in roles.iter().enumerate() {
+        let lateral = track as i64 * pitch;
+        let start = match spec.dir {
+            Axis::X => Point::new(0, lateral),
+            Axis::Y => Point::new(lateral, 0),
+        };
+        let net = if is_shield {
+            shield_net.expect("shield net exists when roles contain shields")
+        } else {
+            let id = layout.add_net(format!("bit{bit}"), NetKind::Signal);
+            let end = match spec.dir {
+                Axis::X => Point::new(spec.length_nm, lateral),
+                Axis::Y => Point::new(lateral, spec.length_nm),
+            };
+            layout.add_port(
+                format!("bit{bit}_drv"),
+                NodeKey {
+                    at: start,
+                    layer: spec.layer,
+                },
+                id,
+                PortKind::Driver,
+            );
+            layout.add_port(
+                format!("bit{bit}_rcv"),
+                NodeKey {
+                    at: end,
+                    layer: spec.layer,
+                },
+                id,
+                PortKind::Receiver,
+            );
+            bit += 1;
+            id
+        };
+        layout.add_segment(Segment::new(
+            net,
+            spec.layer,
+            spec.dir,
+            start,
+            spec.length_nm,
+            spec.width_nm,
+        ));
+    }
+    // Stitch shields with straps at both ends so they form one
+    // electrically connected return structure.
+    if spec.tie_shields {
+        if let Some(net) = shield_net {
+            let shield_tracks: Vec<i64> = roles
+                .iter()
+                .enumerate()
+                .filter(|&(_, &s)| s)
+                .map(|(t, _)| t as i64 * pitch)
+                .collect();
+            for pair in shield_tracks.windows(2) {
+                for axial in [0, spec.length_nm] {
+                    let (start, dir) = match spec.dir {
+                        Axis::X => (Point::new(axial, pair[0]), Axis::Y),
+                        Axis::Y => (Point::new(pair[0], axial), Axis::X),
+                    };
+                    layout.add_segment(Segment::new(
+                        net,
+                        spec.layer,
+                        dir,
+                        start,
+                        pair[1] - pair[0],
+                        spec.width_nm,
+                    ));
+                }
+            }
+        }
+    }
+    layout
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::example_copper_6lm()
+    }
+
+    #[test]
+    fn unshielded_bus_counts() {
+        let spec = BusSpec::default();
+        let l = generate_bus(&tech(), &spec);
+        assert_eq!(l.segments().len(), 4);
+        assert_eq!(l.nets().len(), 4);
+        assert_eq!(l.ports().len(), 8);
+    }
+
+    #[test]
+    fn edge_shields_add_two_tracks() {
+        let spec = BusSpec {
+            shields: ShieldPattern::Edges,
+            ..BusSpec::default()
+        };
+        let l = generate_bus(&tech(), &spec);
+        assert_eq!(l.segments().len(), 6);
+        // One shared shield net + 4 signals.
+        assert_eq!(l.nets().len(), 5);
+        assert_eq!(l.nets_of_kind(NetKind::Shield).count(), 1);
+    }
+
+    #[test]
+    fn every_one_is_fully_interdigitated() {
+        let spec = BusSpec {
+            signals: 3,
+            shields: ShieldPattern::Every(1),
+            ..BusSpec::default()
+        };
+        let roles = spec.track_roles();
+        // G S G S G S G
+        assert_eq!(roles, vec![true, false, true, false, true, false, true]);
+    }
+
+    #[test]
+    fn every_two_places_shield_between_pairs() {
+        let spec = BusSpec {
+            signals: 4,
+            shields: ShieldPattern::Every(2),
+            ..BusSpec::default()
+        };
+        let roles = spec.track_roles();
+        assert_eq!(
+            roles,
+            vec![true, false, false, true, false, false, true]
+        );
+    }
+
+    #[test]
+    fn explicit_pattern_respected() {
+        let spec = BusSpec {
+            signals: 2,
+            shields: ShieldPattern::Explicit(vec![1]),
+            ..BusSpec::default()
+        };
+        assert_eq!(spec.track_roles(), vec![false, true, false]);
+        let l = generate_bus(&tech(), &spec);
+        assert_eq!(l.segments().len(), 3);
+    }
+
+    #[test]
+    fn tracks_are_evenly_pitched() {
+        let spec = BusSpec::default();
+        let l = generate_bus(&tech(), &spec);
+        let ys: Vec<i64> = l.segments().iter().map(|s| s.start.y).collect();
+        for w in ys.windows(2) {
+            assert_eq!(w[1] - w[0], spec.pitch_nm());
+        }
+    }
+
+    #[test]
+    fn vertical_bus_orientation() {
+        let spec = BusSpec {
+            dir: Axis::Y,
+            ..BusSpec::default()
+        };
+        let l = generate_bus(&tech(), &spec);
+        for s in l.segments() {
+            assert_eq!(s.dir, Axis::Y);
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Global clock-net generators: spine-with-fingers and H-tree.
+//!
+//! The paper's Section 6 evaluates "a global clock net in the presence
+//! of a multi-layer power grid" — long, wide top-metal interconnect,
+//! exactly the regime where inductive effects dominate.
+
+use super::split_at;
+use crate::layout::PortKind;
+use crate::units::um;
+use crate::{Axis, Layout, LayerId, NetKind, NodeKey, Point, Segment, Technology, Via};
+
+/// Parameters of the generated clock net.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClockNetSpec {
+    /// Chip region width, nm (spine spans this).
+    pub width_nm: i64,
+    /// Chip region height, nm (fingers span this).
+    pub height_nm: i64,
+    /// Layer for X-directed wires (the spine).
+    pub layer_h: LayerId,
+    /// Layer for Y-directed wires (the fingers).
+    pub layer_v: LayerId,
+    /// Spine width, nm (the paper's interest is "long and wide" lines).
+    pub spine_width_nm: i64,
+    /// Finger width, nm.
+    pub finger_width_nm: i64,
+    /// Number of fingers dropped from the spine.
+    pub fingers: usize,
+    /// Offset of the spine from stripe positions, nm, so the clock does
+    /// not collide with grid stripes when merged over a power grid.
+    pub route_offset_nm: i64,
+}
+
+impl Default for ClockNetSpec {
+    fn default() -> Self {
+        Self {
+            width_nm: um(400),
+            height_nm: um(400),
+            layer_h: LayerId(5),
+            layer_v: LayerId(4),
+            spine_width_nm: um(4),
+            finger_width_nm: um(2),
+            fingers: 4,
+            route_offset_nm: um(7),
+        }
+    }
+}
+
+/// Generates a spine-and-fingers global clock net.
+///
+/// The net is named `"clk"`. One `Driver` port sits at the left end of
+/// the spine; each finger ends in two `Receiver` ports (top and bottom).
+///
+/// # Panics
+///
+/// Panics if `fingers == 0` or the region is not positive.
+pub fn generate_clock_spine(tech: &Technology, spec: &ClockNetSpec) -> Layout {
+    assert!(spec.fingers > 0, "need at least one finger");
+    assert!(spec.width_nm > 0 && spec.height_nm > 0);
+    let mut layout = Layout::new(tech.clone());
+    let clk = layout.add_net("clk", NetKind::Signal);
+    let y_spine = spec.height_nm / 2 + spec.route_offset_nm;
+
+    // Finger x positions and spine cuts.
+    let mut cuts = Vec::new();
+    let mut finger_xs = Vec::new();
+    for k in 0..spec.fingers {
+        let x = spec.width_nm * (2 * k as i64 + 1) / (2 * spec.fingers as i64)
+            + spec.route_offset_nm;
+        finger_xs.push(x);
+        cuts.push(x);
+    }
+
+    let spine = Segment::new(
+        clk,
+        spec.layer_h,
+        Axis::X,
+        Point::new(0, y_spine),
+        spec.width_nm,
+        spec.spine_width_nm,
+    );
+    layout.add_segments(split_at(&spine, &cuts));
+    layout.add_port(
+        "clk_drv",
+        NodeKey {
+            at: Point::new(0, y_spine),
+            layer: spec.layer_h,
+        },
+        clk,
+        PortKind::Driver,
+    );
+
+    for (k, &x) in finger_xs.iter().enumerate() {
+        layout.add_via(Via {
+            net: clk,
+            from_layer: spec.layer_v.min(spec.layer_h),
+            to_layer: spec.layer_v.max(spec.layer_h),
+            at: Point::new(x, y_spine),
+            cuts: 4,
+        });
+        // Finger spans the full height, split at the spine junction.
+        let finger = Segment::new(
+            clk,
+            spec.layer_v,
+            Axis::Y,
+            Point::new(x, 0),
+            spec.height_nm,
+            spec.finger_width_nm,
+        );
+        layout.add_segments(split_at(&finger, &[y_spine]));
+        layout.add_port(
+            format!("clk_sink_b{k}"),
+            NodeKey {
+                at: Point::new(x, 0),
+                layer: spec.layer_v,
+            },
+            clk,
+            PortKind::Receiver,
+        );
+        layout.add_port(
+            format!("clk_sink_t{k}"),
+            NodeKey {
+                at: Point::new(x, spec.height_nm),
+                layer: spec.layer_v,
+            },
+            clk,
+            PortKind::Receiver,
+        );
+    }
+    layout
+}
+
+/// Generates a symmetric H-tree clock net of the given depth.
+///
+/// Depth 1 is a single "H" (one trunk, two arms, four leaves at depth 2
+/// would subdivide further). Leaves carry `Receiver` ports, the root a
+/// `Driver` port. Wire width halves at each level (tapered tree).
+///
+/// # Panics
+///
+/// Panics if `depth == 0`.
+pub fn generate_clock_tree(tech: &Technology, spec: &ClockNetSpec, depth: usize) -> Layout {
+    assert!(depth > 0, "tree depth must be positive");
+    let mut layout = Layout::new(tech.clone());
+    let clk = layout.add_net("clk", NetKind::Signal);
+    let cx = spec.width_nm / 2 + spec.route_offset_nm;
+    let cy = spec.height_nm / 2 + spec.route_offset_nm;
+    let root = Point::new(cx, cy);
+    layout.add_port(
+        "clk_drv",
+        NodeKey {
+            at: root,
+            layer: spec.layer_h,
+        },
+        clk,
+        PortKind::Driver,
+    );
+    let mut sink_count = 0usize;
+    // Recursive expansion: at each level emit an arm pair perpendicular
+    // to the previous level, halving span and width.
+    #[allow(clippy::too_many_arguments)]
+    fn expand(
+        layout: &mut Layout,
+        clk: crate::NetId,
+        spec: &ClockNetSpec,
+        center: Point,
+        half_span: i64,
+        width: i64,
+        axis: Axis,
+        level: usize,
+        depth: usize,
+        sink_count: &mut usize,
+    ) {
+        let (layer, d0, d1) = match axis {
+            Axis::X => (
+                spec.layer_h,
+                Point::new(center.x - half_span, center.y),
+                Point::new(center.x + half_span, center.y),
+            ),
+            Axis::Y => (
+                spec.layer_v,
+                Point::new(center.x, center.y - half_span),
+                Point::new(center.x, center.y + half_span),
+            ),
+        };
+        let seg = Segment::new(clk, layer, axis, d0, 2 * half_span, width.max(200));
+        // Split at the center so the junction is a segment endpoint.
+        let mid = center.along(axis);
+        layout.add_segments(split_at(&seg, &[mid]));
+        if level + 1 == depth {
+            for (i, p) in [d0, d1].into_iter().enumerate() {
+                layout.add_port(
+                    format!("clk_sink_{}_{}", *sink_count, i),
+                    NodeKey { at: p, layer },
+                    clk,
+                    PortKind::Receiver,
+                );
+            }
+            *sink_count += 1;
+        } else {
+            for p in [d0, d1] {
+                layout.add_via(Via {
+                    net: clk,
+                    from_layer: spec.layer_v.min(spec.layer_h),
+                    to_layer: spec.layer_v.max(spec.layer_h),
+                    at: p,
+                    cuts: 2,
+                });
+                expand(
+                    layout,
+                    clk,
+                    spec,
+                    p,
+                    half_span / 2,
+                    width * 2 / 3,
+                    axis.perp(),
+                    level + 1,
+                    depth,
+                    sink_count,
+                );
+            }
+        }
+    }
+    expand(
+        &mut layout,
+        clk,
+        spec,
+        root,
+        spec.width_nm / 4,
+        spec.spine_width_nm,
+        Axis::X,
+        0,
+        depth,
+        &mut sink_count,
+    );
+    layout
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spine_has_driver_and_sinks() {
+        let tech = Technology::example_copper_6lm();
+        let spec = ClockNetSpec::default();
+        let l = generate_clock_spine(&tech, &spec);
+        assert!(l.port("clk_drv").is_some());
+        assert_eq!(l.ports_of_kind(PortKind::Receiver).count(), 2 * spec.fingers);
+        // Spine split into fingers+1 pieces, plus 2 pieces per finger.
+        assert_eq!(l.segments().len(), spec.fingers + 1 + 2 * spec.fingers);
+        assert_eq!(l.vias().len(), spec.fingers);
+    }
+
+    #[test]
+    fn spine_junctions_are_endpoints() {
+        let tech = Technology::example_copper_6lm();
+        let l = generate_clock_spine(&tech, &ClockNetSpec::default());
+        use std::collections::HashSet;
+        let mut eps: HashSet<(Point, LayerId)> = HashSet::new();
+        for s in l.segments() {
+            eps.insert((s.start, s.layer));
+            eps.insert((s.end(), s.layer));
+        }
+        for v in l.vias() {
+            assert!(eps.contains(&(v.at, v.from_layer)) && eps.contains(&(v.at, v.to_layer)));
+        }
+    }
+
+    #[test]
+    fn htree_depth_controls_sinks() {
+        let tech = Technology::example_copper_6lm();
+        let spec = ClockNetSpec::default();
+        let d1 = generate_clock_tree(&tech, &spec, 1);
+        assert_eq!(d1.ports_of_kind(PortKind::Receiver).count(), 2);
+        let d3 = generate_clock_tree(&tech, &spec, 3);
+        assert_eq!(d3.ports_of_kind(PortKind::Receiver).count(), 8);
+        assert!(d3.stats().segments > d1.stats().segments);
+    }
+
+    #[test]
+    fn clock_is_a_signal_net() {
+        let tech = Technology::example_copper_6lm();
+        let l = generate_clock_spine(&tech, &ClockNetSpec::default());
+        assert_eq!(l.nets()[0].kind, NetKind::Signal);
+        assert_eq!(l.nets()[0].name, "clk");
+    }
+}

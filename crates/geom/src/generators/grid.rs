@@ -1,0 +1,267 @@
+//! Multi-layer power/ground grid generator.
+//!
+//! Reproduces the topology of the paper's Figure 2: interleaved Vdd/Vss
+//! stripes on two orthogonal global routing layers, vias at same-net
+//! crossings, a fine-pitch lowest-layer rail grid that gates draw power
+//! from, and supply pads on the uppermost layer.
+
+use super::split_at;
+use crate::layout::PortKind;
+use crate::units::um;
+use crate::{Axis, Layout, LayerId, NetKind, NodeKey, Point, Segment, Technology, Via};
+
+/// Parameters of the generated power/ground grid.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PowerGridSpec {
+    /// Chip region width (x extent), nm.
+    pub width_nm: i64,
+    /// Chip region height (y extent), nm.
+    pub height_nm: i64,
+    /// Layer carrying horizontal (X-directed) global stripes.
+    pub layer_h: LayerId,
+    /// Layer carrying vertical (Y-directed) global stripes.
+    pub layer_v: LayerId,
+    /// Same-net pitch of global stripes, nm (Vdd-to-Vdd distance; the
+    /// opposite net is offset by half of this).
+    pub pitch_nm: i64,
+    /// Width of global stripes, nm.
+    pub stripe_width_nm: i64,
+    /// Whether to generate the fine-pitch M1 rail grid.
+    pub with_m1_rails: bool,
+    /// Same-net pitch of M1 rails, nm.
+    pub m1_pitch_nm: i64,
+    /// Number of supply pad pairs placed along the top edge.
+    pub pad_pairs: usize,
+}
+
+impl Default for PowerGridSpec {
+    /// A 400 µm × 400 µm tile with 40 µm stripe pitch — small enough for
+    /// unit tests yet structurally identical to the full-chip grid.
+    fn default() -> Self {
+        Self {
+            width_nm: um(400),
+            height_nm: um(400),
+            layer_h: LayerId(5),
+            layer_v: LayerId(4),
+            pitch_nm: um(40),
+            stripe_width_nm: um(2),
+            with_m1_rails: false,
+            m1_pitch_nm: um(10),
+            pad_pairs: 2,
+        }
+    }
+}
+
+/// Generates an interleaved power/ground grid.
+///
+/// Nets are named `"vdd"` and `"vss"`; merging another generated layout
+/// with the same names unifies them (see [`Layout::merge`]).
+///
+/// # Panics
+///
+/// Panics if the spec's dimensions or pitches are not positive.
+pub fn generate_power_grid(tech: &Technology, spec: &PowerGridSpec) -> Layout {
+    assert!(spec.width_nm > 0 && spec.height_nm > 0, "region must be positive");
+    assert!(spec.pitch_nm > 0, "pitch must be positive");
+    let mut layout = Layout::new(tech.clone());
+    let vdd = layout.add_net("vdd", NetKind::Power);
+    let vss = layout.add_net("vss", NetKind::Ground);
+
+    // Horizontal stripes: y positions, alternating vdd (offset 0) and
+    // vss (offset pitch/2).
+    let mut h_lines = Vec::new(); // (net, y)
+    let mut y = 0i64;
+    while y <= spec.height_nm {
+        h_lines.push((vdd, y));
+        let y_vss = y + spec.pitch_nm / 2;
+        if y_vss <= spec.height_nm {
+            h_lines.push((vss, y_vss));
+        }
+        y += spec.pitch_nm;
+    }
+    // Vertical stripes.
+    let mut v_lines = Vec::new(); // (net, x)
+    let mut x = 0i64;
+    while x <= spec.width_nm {
+        v_lines.push((vdd, x));
+        let x_vss = x + spec.pitch_nm / 2;
+        if x_vss <= spec.width_nm {
+            v_lines.push((vss, x_vss));
+        }
+        x += spec.pitch_nm;
+    }
+
+    // Via locations: same-net crossings between layer_h and layer_v.
+    let mut h_cuts: Vec<Vec<i64>> = vec![Vec::new(); h_lines.len()];
+    let mut v_cuts: Vec<Vec<i64>> = vec![Vec::new(); v_lines.len()];
+    for (hi, &(hnet, hy)) in h_lines.iter().enumerate() {
+        for (vi, &(vnet, vx)) in v_lines.iter().enumerate() {
+            if hnet == vnet {
+                layout.add_via(Via {
+                    net: hnet,
+                    from_layer: spec.layer_v.min(spec.layer_h),
+                    to_layer: spec.layer_v.max(spec.layer_h),
+                    at: Point::new(vx, hy),
+                    cuts: 4,
+                });
+                h_cuts[hi].push(vx);
+                v_cuts[vi].push(hy);
+            }
+        }
+    }
+
+    // Emit stripes, split at via points.
+    for (hi, &(net, y)) in h_lines.iter().enumerate() {
+        let seg = Segment::new(
+            net,
+            spec.layer_h,
+            Axis::X,
+            Point::new(0, y),
+            spec.width_nm,
+            spec.stripe_width_nm,
+        );
+        layout.add_segments(split_at(&seg, &h_cuts[hi]));
+    }
+    for (vi, &(net, x)) in v_lines.iter().enumerate() {
+        let seg = Segment::new(
+            net,
+            spec.layer_v,
+            Axis::Y,
+            Point::new(x, 0),
+            spec.height_nm,
+            spec.stripe_width_nm,
+        );
+        layout.add_segments(split_at(&seg, &v_cuts[vi]));
+    }
+
+    // Fine-pitch M1 rails (gates tap power here), connected up to the
+    // vertical global stripes with stacked vias.
+    if spec.with_m1_rails {
+        let m1 = LayerId(0);
+        let rail_w = tech.layer(m1).default_width_nm * 2;
+        let mut y = 0i64;
+        let mut rail_toggle = false;
+        while y <= spec.height_nm {
+            let net = if rail_toggle { vss } else { vdd };
+            rail_toggle = !rail_toggle;
+            let mut cuts = Vec::new();
+            for &(vnet, vx) in &v_lines {
+                if vnet == net {
+                    layout.add_via(Via {
+                        net,
+                        from_layer: m1,
+                        to_layer: spec.layer_v,
+                        at: Point::new(vx, y),
+                        cuts: 2,
+                    });
+                    cuts.push(vx);
+                }
+            }
+            let seg = Segment::new(net, m1, Axis::X, Point::new(0, y), spec.width_nm, rail_w);
+            layout.add_segments(split_at(&seg, &cuts));
+            y += spec.m1_pitch_nm / 2;
+        }
+    }
+
+    // Supply pads along the top edge of layer_h stripes: pick the first
+    // vdd and vss horizontal stripes, space pads across the width.
+    for p in 0..spec.pad_pairs {
+        let frac = (p as i64 * 2 + 1).max(1);
+        let x = spec.width_nm * frac / (spec.pad_pairs as i64 * 2).max(1);
+        // Snap to the nearest vertical stripe x of each net so the pad
+        // node coincides with a grid node.
+        let snap = |net| {
+            v_lines
+                .iter()
+                .filter(|&&(n, _)| n == net)
+                .min_by_key(|&&(_, vx)| (vx - x).abs())
+                .map(|&(_, vx)| vx)
+                .expect("grid has at least one stripe per net")
+        };
+        let vdd_x = snap(vdd);
+        let vss_x = snap(vss);
+        layout.add_port(
+            format!("pad_vdd_{p}"),
+            NodeKey {
+                at: Point::new(vdd_x, 0),
+                layer: spec.layer_v,
+            },
+            vdd,
+            PortKind::PowerPad,
+        );
+        layout.add_port(
+            format!("pad_vss_{p}"),
+            NodeKey {
+                at: Point::new(vss_x, 0),
+                layer: spec.layer_v,
+            },
+            vss,
+            PortKind::GroundPad,
+        );
+    }
+    layout
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_grid_has_both_nets_and_vias() {
+        let tech = Technology::example_copper_6lm();
+        let g = generate_power_grid(&tech, &PowerGridSpec::default());
+        assert_eq!(g.nets().len(), 2);
+        assert!(g.stats().segments > 20);
+        assert!(g.stats().vias > 10);
+        assert!(g.stats().ports >= 4);
+    }
+
+    #[test]
+    fn vias_land_on_segment_endpoints() {
+        let tech = Technology::example_copper_6lm();
+        let g = generate_power_grid(&tech, &PowerGridSpec::default());
+        use std::collections::HashSet;
+        let mut endpoints: HashSet<(Point, LayerId)> = HashSet::new();
+        for s in g.segments() {
+            endpoints.insert((s.start, s.layer));
+            endpoints.insert((s.end(), s.layer));
+        }
+        for v in g.vias() {
+            assert!(
+                endpoints.contains(&(v.at, v.from_layer)) || endpoints.contains(&(v.at, v.to_layer)),
+                "via at {:?} must touch a segment endpoint",
+                v.at
+            );
+        }
+    }
+
+    #[test]
+    fn via_nets_alternate() {
+        let tech = Technology::example_copper_6lm();
+        let g = generate_power_grid(&tech, &PowerGridSpec::default());
+        let vdd_vias = g.vias().iter().filter(|v| g.net(v.net).name == "vdd").count();
+        let vss_vias = g.vias().iter().filter(|v| g.net(v.net).name == "vss").count();
+        assert!(vdd_vias > 0 && vss_vias > 0);
+    }
+
+    #[test]
+    fn m1_rails_add_segments_and_stacked_vias() {
+        let tech = Technology::example_copper_6lm();
+        let mut spec = PowerGridSpec::default();
+        let base = generate_power_grid(&tech, &spec).stats();
+        spec.with_m1_rails = true;
+        let with = generate_power_grid(&tech, &spec).stats();
+        assert!(with.segments > base.segments);
+        assert!(with.vias > base.vias);
+    }
+
+    #[test]
+    fn pads_are_on_supply_nets() {
+        let tech = Technology::example_copper_6lm();
+        let g = generate_power_grid(&tech, &PowerGridSpec::default());
+        for p in g.ports() {
+            let kind = g.net(p.net).kind;
+            assert!(kind == NetKind::Power || kind == NetKind::Ground);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Parameterized layout generators for the paper's topology classes.
+//!
+//! These substitute for the proprietary microprocessor layouts the paper
+//! measured: the observations in the paper depend on the topology
+//! *class* (long wide top-metal signal lines over a multi-layer
+//! power/ground grid), which these generators reproduce with exposed
+//! knobs for pitch, width, span and layer assignment.
+
+mod bus;
+mod clock;
+mod grid;
+mod plane;
+mod twisted;
+
+pub use bus::{generate_bus, BusSpec, ShieldPattern};
+pub use clock::{generate_clock_tree, generate_clock_spine, ClockNetSpec};
+pub use grid::{generate_power_grid, PowerGridSpec};
+pub use plane::{generate_ground_plane, GroundPlaneSpec};
+pub use twisted::{generate_twisted_bundle, BundleStyle, TwistedBundleSpec};
+
+use crate::{Axis, Point, Segment};
+
+/// Splits a segment at the given axial coordinates (absolute, along the
+/// segment's routing axis), returning contiguous pieces.
+///
+/// Used by generators to break grid lines at via locations so vias land
+/// exactly on segment endpoints — electrical connectivity in this
+/// toolkit is *exact* endpoint sharing.
+pub(crate) fn split_at(seg: &Segment, cuts: &[i64]) -> Vec<Segment> {
+    let a0 = seg.start.along(seg.dir);
+    let a1 = a0 + seg.len_nm;
+    let mut points: Vec<i64> = cuts
+        .iter()
+        .copied()
+        .filter(|&c| c > a0 && c < a1)
+        .collect();
+    points.sort_unstable();
+    points.dedup();
+    let mut out = Vec::with_capacity(points.len() + 1);
+    let mut pos = a0;
+    for &c in points.iter().chain(std::iter::once(&a1)) {
+        if c <= pos {
+            continue;
+        }
+        let start = match seg.dir {
+            Axis::X => Point::new(pos, seg.start.y),
+            Axis::Y => Point::new(seg.start.x, pos),
+        };
+        out.push(Segment {
+            net: seg.net,
+            layer: seg.layer,
+            dir: seg.dir,
+            start,
+            len_nm: c - pos,
+            width_nm: seg.width_nm,
+        });
+        pos = c;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LayerId, NetId};
+
+    #[test]
+    fn split_at_breaks_segment_exactly() {
+        let s = Segment::new(
+            NetId(0),
+            LayerId(0),
+            Axis::X,
+            Point::new(0, 0),
+            1000,
+            10,
+        );
+        let parts = split_at(&s, &[300, 700, 300, -5, 1000, 2000]);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].len_nm, 300);
+        assert_eq!(parts[1].len_nm, 400);
+        assert_eq!(parts[2].len_nm, 300);
+        assert_eq!(parts[2].end(), s.end());
+    }
+
+    #[test]
+    fn split_with_no_interior_cuts_is_identity() {
+        let s = Segment::new(NetId(0), LayerId(0), Axis::Y, Point::new(5, 5), 100, 10);
+        let parts = split_at(&s, &[5, 105]);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0], s);
+    }
+}

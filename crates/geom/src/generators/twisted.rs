@@ -1,0 +1,245 @@
+//! Twisted-bundle layout generator (the paper's Figure 9, reference
+//! \[23\]: Zhong et al., ICCAD 2000).
+//!
+//! The bundle consists of signal **loops** — each a signal wire plus its
+//! dedicated return wire on adjacent tracks. The chip span is divided
+//! into routing regions; in the twisted style, a loop's two wires swap
+//! tracks between regions ("to create complementary and opposite
+//! current loops … such that the magnetic fluxes arising from any
+//! signal net within a twisted group cancel each other in the current
+//! loop of a net of interest"). Different loops twist at different
+//! pitches — pair `k` swaps every `k + 1` regions — so every pair of
+//! loops sees alternating flux polarity, exactly like the staggered
+//! twist pitches of a telephone cable.
+//!
+//! The `Parallel` style keeps every loop untwisted — the baseline the
+//! paper compares against.
+
+use crate::layout::PortKind;
+use crate::units::um;
+use crate::{Axis, Layout, LayerId, NetKind, NodeKey, Point, Segment, Technology};
+
+/// Track-assignment style per routing region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BundleStyle {
+    /// No twisting (ordinary parallel loops).
+    Parallel,
+    /// Per-loop staggered twisting.
+    Twisted,
+}
+
+/// Parameters of a (possibly twisted) bundle of signal loops.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TwistedBundleSpec {
+    /// Number of signal loops (each occupies two adjacent tracks).
+    pub pairs: usize,
+    /// Total bundle length, nm.
+    pub length_nm: i64,
+    /// Number of routing regions the length is divided into.
+    pub regions: usize,
+    /// Wire width, nm.
+    pub width_nm: i64,
+    /// Track pitch (center to center), nm.
+    pub pitch_nm: i64,
+    /// Routing layer.
+    pub layer: LayerId,
+    /// Assignment style.
+    pub style: BundleStyle,
+}
+
+impl Default for TwistedBundleSpec {
+    fn default() -> Self {
+        Self {
+            pairs: 3,
+            length_nm: um(2400),
+            regions: 8,
+            width_nm: um(1),
+            pitch_nm: um(3),
+            layer: LayerId(5),
+            style: BundleStyle::Twisted,
+        }
+    }
+}
+
+impl TwistedBundleSpec {
+    /// Whether loop `pair` is in swapped orientation in region `region`.
+    ///
+    /// Twist pitch grows with the pair index so any two pairs' relative
+    /// orientation alternates along the bundle.
+    pub fn swapped(&self, pair: usize, region: usize) -> bool {
+        match self.style {
+            BundleStyle::Parallel => false,
+            BundleStyle::Twisted => (region / (pair + 1)) % 2 == 1,
+        }
+    }
+
+    /// Tracks `(signal, return)` of loop `pair` in `region`.
+    pub fn tracks_of(&self, pair: usize, region: usize) -> (usize, usize) {
+        let base = 2 * pair;
+        if self.swapped(pair, region) {
+            (base + 1, base)
+        } else {
+            (base, base + 1)
+        }
+    }
+}
+
+/// Generates the bundle.
+///
+/// Loop `k` contributes a signal net `"tb{k}"` and a dedicated return
+/// net `"tb{k}_ret"` (ground kind). Interior region boundaries leave a
+/// jog gap so wires that change tracks never share endpoint
+/// coordinates; consumers stitch a net's region segments electrically
+/// (see the design crate's evaluators). Ports `tb{k}_drv` / `tb{k}_rcv`
+/// sit on the signal wire's outer ends.
+///
+/// # Panics
+///
+/// Panics if `pairs == 0` or `regions == 0`.
+pub fn generate_twisted_bundle(tech: &Technology, spec: &TwistedBundleSpec) -> Layout {
+    assert!(spec.pairs > 0 && spec.regions > 0);
+    let mut layout = Layout::new(tech.clone());
+    let region_len = spec.length_nm / spec.regions as i64;
+    let jog_gap = (spec.pitch_nm / 2).max(1);
+    for k in 0..spec.pairs {
+        let sig = layout.add_net(format!("tb{k}"), NetKind::Signal);
+        let ret = layout.add_net(format!("tb{k}_ret"), NetKind::Ground);
+        for r in 0..spec.regions {
+            let (ts, tr) = spec.tracks_of(k, r);
+            let mut x0 = r as i64 * region_len;
+            let mut len = region_len;
+            if r > 0 {
+                x0 += jog_gap;
+                len -= jog_gap;
+            }
+            if r + 1 < spec.regions {
+                len -= jog_gap;
+            }
+            for (net, track) in [(sig, ts), (ret, tr)] {
+                layout.add_segment(Segment::new(
+                    net,
+                    spec.layer,
+                    Axis::X,
+                    Point::new(x0, track as i64 * spec.pitch_nm),
+                    len,
+                    spec.width_nm,
+                ));
+            }
+        }
+        let (ts0, _) = spec.tracks_of(k, 0);
+        let (ts_last, _) = spec.tracks_of(k, spec.regions - 1);
+        layout.add_port(
+            format!("tb{k}_drv"),
+            NodeKey {
+                at: Point::new(0, ts0 as i64 * spec.pitch_nm),
+                layer: spec.layer,
+            },
+            sig,
+            PortKind::Driver,
+        );
+        layout.add_port(
+            format!("tb{k}_rcv"),
+            NodeKey {
+                at: Point::new(spec.regions as i64 * region_len, ts_last as i64 * spec.pitch_nm),
+                layer: spec.layer,
+            },
+            sig,
+            PortKind::Receiver,
+        );
+    }
+    layout
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_never_swaps() {
+        let spec = TwistedBundleSpec {
+            style: BundleStyle::Parallel,
+            ..TwistedBundleSpec::default()
+        };
+        for k in 0..spec.pairs {
+            for r in 0..spec.regions {
+                assert!(!spec.swapped(k, r));
+                assert_eq!(spec.tracks_of(k, r), (2 * k, 2 * k + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn twisted_pair_zero_alternates_every_region() {
+        let spec = TwistedBundleSpec::default();
+        for r in 0..spec.regions {
+            assert_eq!(spec.swapped(0, r), r % 2 == 1);
+        }
+        // Pair 1 twists at half the rate.
+        assert!(!spec.swapped(1, 0));
+        assert!(!spec.swapped(1, 1));
+        assert!(spec.swapped(1, 2));
+        assert!(spec.swapped(1, 3));
+    }
+
+    #[test]
+    fn any_two_pairs_have_alternating_relative_orientation() {
+        let spec = TwistedBundleSpec::default();
+        for a in 0..spec.pairs {
+            for b in (a + 1)..spec.pairs {
+                let rel: Vec<bool> = (0..spec.regions)
+                    .map(|r| spec.swapped(a, r) == spec.swapped(b, r))
+                    .collect();
+                assert!(
+                    rel.iter().any(|&x| x) && rel.iter().any(|&x| !x),
+                    "pairs {a},{b} must flip relative orientation: {rel:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bundle_has_two_nets_and_segments_per_pair_region() {
+        let tech = Technology::example_copper_6lm();
+        let spec = TwistedBundleSpec::default();
+        let l = generate_twisted_bundle(&tech, &spec);
+        assert_eq!(l.nets().len(), 2 * spec.pairs);
+        assert_eq!(l.segments().len(), 2 * spec.pairs * spec.regions);
+        assert_eq!(l.ports().len(), 2 * spec.pairs);
+    }
+
+    #[test]
+    fn distinct_nets_never_share_an_endpoint() {
+        use std::collections::HashMap;
+        let tech = Technology::example_copper_6lm();
+        for style in [BundleStyle::Parallel, BundleStyle::Twisted] {
+            let spec = TwistedBundleSpec {
+                style,
+                ..TwistedBundleSpec::default()
+            };
+            let l = generate_twisted_bundle(&tech, &spec);
+            let mut owner: HashMap<crate::Point, crate::NetId> = HashMap::new();
+            for s in l.segments() {
+                for p in [s.start, s.end()] {
+                    if let Some(&prev) = owner.get(&p) {
+                        assert_eq!(prev, s.net, "endpoint {p:?} shared across nets");
+                    } else {
+                        owner.insert(p, s.net);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn return_nets_are_ground_kind() {
+        let tech = Technology::example_copper_6lm();
+        let l = generate_twisted_bundle(&tech, &TwistedBundleSpec::default());
+        for net in l.nets() {
+            if net.name.ends_with("_ret") {
+                assert_eq!(net.kind, NetKind::Ground);
+            } else {
+                assert_eq!(net.kind, NetKind::Signal);
+            }
+        }
+    }
+}

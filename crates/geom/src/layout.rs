@@ -1,0 +1,447 @@
+//! The [`Layout`]: a bag of nets, segments, vias and ports plus the
+//! technology they live in.
+
+use crate::net::{Net, NetId, NetKind};
+use crate::segment::{Point, Segment};
+use crate::tech::{LayerId, Technology};
+use std::collections::HashMap;
+
+/// A vertical connection between two layers at a point.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Via {
+    /// Owning net.
+    pub net: NetId,
+    /// Lower layer.
+    pub from_layer: LayerId,
+    /// Upper layer.
+    pub to_layer: LayerId,
+    /// Location (centerline), nm.
+    pub at: Point,
+    /// Number of parallel via cuts (≥ 1); resistance divides by this.
+    pub cuts: u32,
+}
+
+/// Electrical node identity: a (point, layer) pair.
+///
+/// Because coordinates are integer nanometers, node identity is exact —
+/// two segments touch electrically iff they share a `NodeKey`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeKey {
+    /// Location, nm.
+    pub at: Point,
+    /// Layer.
+    pub layer: LayerId,
+}
+
+/// Role of a named port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PortKind {
+    /// Gate driver output connection.
+    Driver,
+    /// Gate receiver input connection.
+    Receiver,
+    /// Power pad (external Vdd).
+    PowerPad,
+    /// Ground pad (external Vss).
+    GroundPad,
+    /// Generic observation point.
+    Probe,
+}
+
+/// A named electrical port of the layout.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Port {
+    /// Port name (unique within the layout).
+    pub name: String,
+    /// Node the port attaches to.
+    pub node: NodeKey,
+    /// Net the port belongs to.
+    pub net: NetId,
+    /// Role.
+    pub kind: PortKind,
+}
+
+/// Aggregate statistics of a layout (element counts for the paper's
+/// Table 1 style reporting).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LayoutStats {
+    /// Number of nets.
+    pub nets: usize,
+    /// Number of conductor segments.
+    pub segments: usize,
+    /// Number of vias.
+    pub vias: usize,
+    /// Number of ports.
+    pub ports: usize,
+    /// Total routed wirelength, nm.
+    pub wirelength_nm: i64,
+}
+
+/// A complete layout: technology + nets + geometry + ports.
+#[derive(Clone, Debug)]
+pub struct Layout {
+    tech: Technology,
+    nets: Vec<Net>,
+    segments: Vec<Segment>,
+    vias: Vec<Via>,
+    ports: Vec<Port>,
+}
+
+impl Layout {
+    /// Creates an empty layout over a technology.
+    pub fn new(tech: Technology) -> Self {
+        Self {
+            tech,
+            nets: Vec::new(),
+            segments: Vec::new(),
+            vias: Vec::new(),
+            ports: Vec::new(),
+        }
+    }
+
+    /// The owning technology.
+    pub fn tech(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// Registers a net and returns its id.
+    pub fn add_net(&mut self, name: impl Into<String>, kind: NetKind) -> NetId {
+        let id = NetId(self.nets.len() as u32);
+        self.nets.push(Net {
+            id,
+            name: name.into(),
+            kind,
+        });
+        id
+    }
+
+    /// All nets.
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// Net lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this layout.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.0 as usize]
+    }
+
+    /// Nets of a given kind.
+    pub fn nets_of_kind(&self, kind: NetKind) -> impl Iterator<Item = &Net> {
+        self.nets.iter().filter(move |n| n.kind == kind)
+    }
+
+    /// Adds a segment.
+    pub fn add_segment(&mut self, seg: Segment) {
+        self.segments.push(seg);
+    }
+
+    /// Adds several segments.
+    pub fn add_segments(&mut self, segs: impl IntoIterator<Item = Segment>) {
+        self.segments.extend(segs);
+    }
+
+    /// All segments.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Adds a via.
+    pub fn add_via(&mut self, via: Via) {
+        self.vias.push(via);
+    }
+
+    /// All vias.
+    pub fn vias(&self) -> &[Via] {
+        &self.vias
+    }
+
+    /// Adds a named port.
+    pub fn add_port(
+        &mut self,
+        name: impl Into<String>,
+        node: NodeKey,
+        net: NetId,
+        kind: PortKind,
+    ) {
+        self.ports.push(Port {
+            name: name.into(),
+            node,
+            net,
+            kind,
+        });
+    }
+
+    /// All ports.
+    pub fn ports(&self) -> &[Port] {
+        &self.ports
+    }
+
+    /// Finds a port by name.
+    pub fn port(&self, name: &str) -> Option<&Port> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+
+    /// Ports of a given kind.
+    pub fn ports_of_kind(&self, kind: PortKind) -> impl Iterator<Item = &Port> {
+        self.ports.iter().filter(move |p| p.kind == kind)
+    }
+
+    /// Merges another layout's geometry into this one, remapping its net
+    /// ids; returns the id remap table (`other NetId -> new NetId`).
+    ///
+    /// Nets with identical names and kinds are unified rather than
+    /// duplicated, so a clock net generated separately lands on the same
+    /// power/ground nets as the grid it is merged over.
+    pub fn merge(&mut self, other: &Layout) -> HashMap<NetId, NetId> {
+        let mut remap = HashMap::new();
+        for net in &other.nets {
+            let existing = self
+                .nets
+                .iter()
+                .find(|n| n.name == net.name && n.kind == net.kind)
+                .map(|n| n.id);
+            let new_id = existing.unwrap_or_else(|| self.add_net(net.name.clone(), net.kind));
+            remap.insert(net.id, new_id);
+        }
+        for seg in &other.segments {
+            let mut s = seg.clone();
+            s.net = remap[&seg.net];
+            self.segments.push(s);
+        }
+        for via in &other.vias {
+            let mut v = via.clone();
+            v.net = remap[&via.net];
+            self.vias.push(v);
+        }
+        for port in &other.ports {
+            self.ports.push(Port {
+                name: port.name.clone(),
+                node: port.node,
+                net: remap[&port.net],
+                kind: port.kind,
+            });
+        }
+        remap
+    }
+
+    /// Subdivides every segment to at most `max_len_nm` (RLC-π
+    /// discretization granularity).
+    pub fn subdivide_segments(&mut self, max_len_nm: i64) {
+        let old = std::mem::take(&mut self.segments);
+        for s in old {
+            self.segments.extend(s.subdivide(max_len_nm));
+        }
+    }
+
+    /// Splits every segment wider than `max_width_nm` into `n` parallel
+    /// filaments, stitched together with perpendicular straps at both
+    /// ends so the filaments stay one electrical conductor.
+    ///
+    /// This is the paper's skin/proximity-effect treatment: the analytic
+    /// inductance formulas "do not consider skin effect, hence very wide
+    /// conductors must be split into narrower lines before computing
+    /// inductance" — with the filaments free to share current unevenly,
+    /// frequency-dependent current crowding emerges from the circuit
+    /// solution itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn filamentize_wide(&mut self, max_width_nm: i64, n: usize) {
+        assert!(n >= 2, "need at least two filaments");
+        let old = std::mem::take(&mut self.segments);
+        for s in old {
+            if s.width_nm <= max_width_nm {
+                self.segments.push(s);
+                continue;
+            }
+            let fils = s.filaments(n);
+            // Star straps: each filament end ties to the parent's
+            // original centerline endpoint, so any port or via placed on
+            // the parent endpoint stays electrically connected.
+            for f in &fils {
+                for (fp, pp) in [(f.start, s.start), (f.end(), s.end())] {
+                    let (lo, hi) = if fp.along(s.dir.perp()) <= pp.along(s.dir.perp()) {
+                        (fp, pp)
+                    } else {
+                        (pp, fp)
+                    };
+                    let len = hi.along(s.dir.perp()) - lo.along(s.dir.perp());
+                    if len > 0 {
+                        self.segments.push(Segment::new(
+                            s.net,
+                            s.layer,
+                            s.dir.perp(),
+                            lo,
+                            len,
+                            fils[0].width_nm,
+                        ));
+                    }
+                }
+            }
+            self.segments.extend(fils);
+        }
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> LayoutStats {
+        LayoutStats {
+            nets: self.nets.len(),
+            segments: self.segments.len(),
+            vias: self.vias.len(),
+            ports: self.ports.len(),
+            wirelength_nm: self.segments.iter().map(|s| s.len_nm).sum(),
+        }
+    }
+
+    /// Bounding box `(min, max)` of all segment centerline endpoints,
+    /// `None` for an empty layout.
+    pub fn bounding_box(&self) -> Option<(Point, Point)> {
+        let mut it = self
+            .segments
+            .iter()
+            .flat_map(|s| [s.start, s.end()].into_iter());
+        let first = it.next()?;
+        let mut lo = first;
+        let mut hi = first;
+        for p in it {
+            lo.x = lo.x.min(p.x);
+            lo.y = lo.y.min(p.y);
+            hi.x = hi.x.max(p.x);
+            hi.y = hi.y.max(p.y);
+        }
+        Some((lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::Axis;
+    use crate::units::um;
+
+    fn empty() -> Layout {
+        Layout::new(Technology::example_copper_6lm())
+    }
+
+    fn seg(net: NetId, x: i64, len: i64) -> Segment {
+        Segment::new(net, LayerId(5), Axis::X, Point::new(x, 0), len, um(1))
+    }
+
+    #[test]
+    fn nets_and_segments_accumulate() {
+        let mut l = empty();
+        let vdd = l.add_net("vdd", NetKind::Power);
+        let clk = l.add_net("clk", NetKind::Signal);
+        l.add_segment(seg(vdd, 0, um(100)));
+        l.add_segment(seg(clk, 0, um(50)));
+        assert_eq!(l.stats().nets, 2);
+        assert_eq!(l.stats().segments, 2);
+        assert_eq!(l.stats().wirelength_nm, um(150));
+        assert_eq!(l.net(clk).name, "clk");
+        assert_eq!(l.nets_of_kind(NetKind::Power).count(), 1);
+    }
+
+    #[test]
+    fn ports_are_findable() {
+        let mut l = empty();
+        let clk = l.add_net("clk", NetKind::Signal);
+        let node = NodeKey {
+            at: Point::new(0, 0),
+            layer: LayerId(5),
+        };
+        l.add_port("drv", node, clk, PortKind::Driver);
+        assert_eq!(l.port("drv").unwrap().node, node);
+        assert!(l.port("nope").is_none());
+        assert_eq!(l.ports_of_kind(PortKind::Driver).count(), 1);
+    }
+
+    #[test]
+    fn merge_unifies_same_named_nets() {
+        let mut a = empty();
+        let vdd_a = a.add_net("vdd", NetKind::Power);
+        a.add_segment(seg(vdd_a, 0, um(10)));
+
+        let mut b = empty();
+        let vdd_b = b.add_net("vdd", NetKind::Power);
+        let clk_b = b.add_net("clk", NetKind::Signal);
+        b.add_segment(seg(vdd_b, um(20), um(10)));
+        b.add_segment(seg(clk_b, 0, um(5)));
+
+        let remap = a.merge(&b);
+        assert_eq!(remap[&vdd_b], vdd_a);
+        assert_eq!(a.stats().nets, 2);
+        assert_eq!(a.stats().segments, 3);
+    }
+
+    #[test]
+    fn subdivision_applies_to_all_segments() {
+        let mut l = empty();
+        let n = l.add_net("s", NetKind::Signal);
+        l.add_segment(seg(n, 0, um(100)));
+        l.subdivide_segments(um(30));
+        assert_eq!(l.segments().len(), 4);
+        assert_eq!(l.stats().wirelength_nm, um(100));
+    }
+
+    #[test]
+    fn filamentize_splits_wide_segments_and_stitches_them() {
+        let mut l = empty();
+        let n = l.add_net("s", NetKind::Signal);
+        // One wide wire (10 µm) and one narrow (1 µm).
+        l.add_segment(Segment::new(
+            n,
+            LayerId(5),
+            Axis::X,
+            Point::new(0, 0),
+            um(100),
+            um(10),
+        ));
+        l.add_segment(Segment::new(
+            n,
+            LayerId(5),
+            Axis::X,
+            Point::new(0, um(50)),
+            um(100),
+            um(1),
+        ));
+        l.filamentize_wide(um(5), 4);
+        // Narrow survives; wide becomes 4 filaments + a star strap per
+        // filament end (none is centered on the parent centerline).
+        assert_eq!(l.segments().len(), 1 + 4 + 8);
+        // Filaments are connected: consecutive filament endpoints shared
+        // with strap endpoints.
+        use std::collections::HashMap;
+        let mut count: HashMap<Point, usize> = HashMap::new();
+        for s in l.segments() {
+            *count.entry(s.start).or_default() += 1;
+            *count.entry(s.end()).or_default() += 1;
+        }
+        // Interior filament endpoints are touched by filament + 2 straps.
+        let shared = count.values().filter(|&&c| c >= 2).count();
+        assert!(shared >= 8, "straps must share endpoints: {shared}");
+        // Total conductor width preserved for the wide wire.
+        let fil_width: i64 = l
+            .segments()
+            .iter()
+            .filter(|s| s.dir == Axis::X && s.start.y.abs() < um(10))
+            .map(|s| s.width_nm)
+            .sum();
+        assert_eq!(fil_width, 4 * (um(10) / 4));
+    }
+
+    #[test]
+    fn bounding_box() {
+        let mut l = empty();
+        let n = l.add_net("s", NetKind::Signal);
+        l.add_segment(seg(n, um(-5), um(10)));
+        let (lo, hi) = l.bounding_box().unwrap();
+        assert_eq!(lo, Point::new(um(-5), 0));
+        assert_eq!(hi, Point::new(um(5), 0));
+        assert!(empty().bounding_box().is_none());
+    }
+}

@@ -1,0 +1,47 @@
+//! Layout geometry and technology substrate for the `ind101` toolkit.
+//!
+//! The paper's experiments run on "a global clock net in the presence of
+//! a multi-layer power grid" of a high-performance microprocessor. That
+//! netlist is proprietary, so this crate provides *parameterized
+//! generators* for the same topology classes:
+//!
+//! * multi-layer interleaved power/ground grids with vias and pads
+//!   ([`generators::PowerGridSpec`]);
+//! * global clock nets — spine-and-fingers and H-tree styles
+//!   ([`generators::ClockNetSpec`]);
+//! * parallel signal buses with optional shields, inter-digitated splits,
+//!   ground planes and twisted-bundle rearrangements
+//!   ([`generators::BusSpec`] and friends).
+//!
+//! Geometry is exact: coordinates are integer **nanometers** so that
+//! segment endpoints can be compared and merged without floating-point
+//! tolerance games. Conversions to SI meters happen once, at the
+//! extraction boundary ([`Segment::length_m`] etc.).
+//!
+//! # Example
+//!
+//! ```
+//! use ind101_geom::{Technology, generators::{PowerGridSpec, generate_power_grid}};
+//!
+//! let tech = Technology::example_copper_6lm();
+//! let spec = PowerGridSpec::default();
+//! let grid = generate_power_grid(&tech, &spec);
+//! assert!(!grid.segments().is_empty());
+//! assert!(!grid.vias().is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generators;
+mod layout;
+mod net;
+mod segment;
+mod tech;
+mod units;
+
+pub use layout::{Layout, LayoutStats, NodeKey, Port, PortKind, Via};
+pub use net::{Net, NetId, NetKind};
+pub use segment::{Axis, Point, Segment};
+pub use tech::{Layer, LayerId, Technology};
+pub use units::{nm_to_m, um, M_PER_NM, NM_PER_UM};

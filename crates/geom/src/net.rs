@@ -1,0 +1,68 @@
+//! Nets: named electrical entities that segments belong to.
+
+use std::fmt;
+
+/// Identifier of a net within a [`crate::Layout`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub u32);
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "net#{}", self.0)
+    }
+}
+
+/// Electrical role of a net; drives extraction and model construction.
+///
+/// The paper's current-flow analysis (its Section 2 / Figure 1)
+/// distinguishes the switching signal from the power and ground return
+/// grids; shields are grounded return conductors inserted by design
+/// techniques (its Section 7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NetKind {
+    /// Switching signal net (e.g. a clock or bus bit).
+    Signal,
+    /// Power supply (Vdd) grid.
+    Power,
+    /// Ground (Vss) grid.
+    Ground,
+    /// Grounded shield / guard trace.
+    Shield,
+}
+
+impl NetKind {
+    /// Whether current on this net returns through the supply network
+    /// (i.e. it is part of the power/ground return structure).
+    pub fn is_supply(self) -> bool {
+        matches!(self, Self::Power | Self::Ground | Self::Shield)
+    }
+}
+
+/// A named net.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Net {
+    /// Identifier (index into the layout's net table).
+    pub id: NetId,
+    /// Human-readable name (e.g. `"vdd"`, `"clk"`).
+    pub name: String,
+    /// Electrical role.
+    pub kind: NetKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supply_classification() {
+        assert!(NetKind::Power.is_supply());
+        assert!(NetKind::Ground.is_supply());
+        assert!(NetKind::Shield.is_supply());
+        assert!(!NetKind::Signal.is_supply());
+    }
+
+    #[test]
+    fn net_id_display() {
+        assert_eq!(NetId(4).to_string(), "net#4");
+    }
+}

@@ -1,0 +1,317 @@
+//! Rectangular conductor segments — the PEEC "partial elements".
+
+use crate::net::NetId;
+use crate::tech::LayerId;
+use crate::units::nm_to_m;
+
+/// In-plane routing axis of a segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// Along increasing x.
+    X,
+    /// Along increasing y.
+    Y,
+}
+
+impl Axis {
+    /// The perpendicular in-plane axis.
+    pub fn perp(self) -> Self {
+        match self {
+            Self::X => Self::Y,
+            Self::Y => Self::X,
+        }
+    }
+}
+
+/// A 2-D point in integer nanometers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Point {
+    /// X coordinate, nm.
+    pub x: i64,
+    /// Y coordinate, nm.
+    pub y: i64,
+}
+
+impl Point {
+    /// Creates a point from nanometer coordinates.
+    pub const fn new(x: i64, y: i64) -> Self {
+        Self { x, y }
+    }
+
+    /// Component along an axis.
+    pub fn along(self, axis: Axis) -> i64 {
+        match axis {
+            Axis::X => self.x,
+            Axis::Y => self.y,
+        }
+    }
+
+    /// Translated point.
+    pub fn offset(self, dx: i64, dy: i64) -> Self {
+        Self::new(self.x + dx, self.y + dy)
+    }
+}
+
+/// A straight rectangular conductor segment on one metal layer.
+///
+/// The segment runs from [`Segment::start`] along [`Segment::dir`] for
+/// [`Segment::len_nm`] nanometers; `start` is the **centerline** start.
+/// Width is perpendicular in-plane; thickness comes from the layer.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Segment {
+    /// Owning net.
+    pub net: NetId,
+    /// Metal layer.
+    pub layer: LayerId,
+    /// Routing axis.
+    pub dir: Axis,
+    /// Centerline start point, nm.
+    pub start: Point,
+    /// Length along `dir`, nm (> 0).
+    pub len_nm: i64,
+    /// Width perpendicular to `dir`, nm (> 0).
+    pub width_nm: i64,
+}
+
+impl Segment {
+    /// Creates a segment; see type-level docs for conventions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len_nm` or `width_nm` is not positive.
+    pub fn new(
+        net: NetId,
+        layer: LayerId,
+        dir: Axis,
+        start: Point,
+        len_nm: i64,
+        width_nm: i64,
+    ) -> Self {
+        assert!(len_nm > 0, "segment length must be positive");
+        assert!(width_nm > 0, "segment width must be positive");
+        Self {
+            net,
+            layer,
+            dir,
+            start,
+            len_nm,
+            width_nm,
+        }
+    }
+
+    /// Centerline end point.
+    pub fn end(&self) -> Point {
+        match self.dir {
+            Axis::X => self.start.offset(self.len_nm, 0),
+            Axis::Y => self.start.offset(0, self.len_nm),
+        }
+    }
+
+    /// Centerline midpoint.
+    pub fn midpoint(&self) -> Point {
+        match self.dir {
+            Axis::X => self.start.offset(self.len_nm / 2, 0),
+            Axis::Y => self.start.offset(0, self.len_nm / 2),
+        }
+    }
+
+    /// Length in meters.
+    pub fn length_m(&self) -> f64 {
+        nm_to_m(self.len_nm)
+    }
+
+    /// Width in meters.
+    pub fn width_m(&self) -> f64 {
+        nm_to_m(self.width_nm)
+    }
+
+    /// Whether two segments are parallel (same routing axis).
+    ///
+    /// Only parallel segments have mutual partial inductance;
+    /// perpendicular current filaments do not couple magnetically
+    /// (the paper's model includes "mutual inductances between all pairs
+    /// of **parallel** segments").
+    pub fn is_parallel(&self, other: &Self) -> bool {
+        self.dir == other.dir
+    }
+
+    /// Center-to-center distance perpendicular to the routing axis
+    /// (in-plane), nm. Only meaningful for parallel segments.
+    pub fn lateral_separation_nm(&self, other: &Self) -> i64 {
+        let a = self.start.along(self.dir.perp());
+        let b = other.start.along(self.dir.perp());
+        (a - b).abs()
+    }
+
+    /// Axial overlap length of two parallel segments, nm (0 when
+    /// disjoint along the routing axis).
+    pub fn axial_overlap_nm(&self, other: &Self) -> i64 {
+        let a0 = self.start.along(self.dir);
+        let a1 = a0 + self.len_nm;
+        let b0 = other.start.along(self.dir);
+        let b1 = b0 + other.len_nm;
+        (a1.min(b1) - a0.max(b0)).max(0)
+    }
+
+    /// Axial offset between the segment start coordinates, nm.
+    pub fn axial_offset_nm(&self, other: &Self) -> i64 {
+        other.start.along(self.dir) - self.start.along(self.dir)
+    }
+
+    /// Edge-to-edge in-plane spacing to a parallel segment on the same
+    /// layer, nm; negative when the footprints overlap.
+    pub fn edge_spacing_nm(&self, other: &Self) -> i64 {
+        self.lateral_separation_nm(other) - (self.width_nm + other.width_nm) / 2
+    }
+
+    /// Splits the segment into `n` parallel filaments of width `w/n`,
+    /// preserving the overall footprint.
+    ///
+    /// Used for skin-effect modeling: the analytic partial-inductance
+    /// formulas "do not consider skin effect, hence very wide conductors
+    /// must be split into narrower lines before computing inductance"
+    /// (paper, Section 3). Electrical connectivity of the filaments is
+    /// the consumer's responsibility — they share the parent's end
+    /// cross-sections, not literal centerline endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn filaments(&self, n: usize) -> Vec<Segment> {
+        assert!(n > 0, "filament count must be positive");
+        let n_i = n as i64;
+        let w = self.width_nm / n_i;
+        let w = w.max(1);
+        (0..n_i)
+            .map(|k| {
+                // Offset of filament centerline from parent centerline.
+                let off = -self.width_nm / 2 + w / 2 + k * self.width_nm / n_i;
+                let start = match self.dir {
+                    Axis::X => self.start.offset(0, off),
+                    Axis::Y => self.start.offset(off, 0),
+                };
+                Segment {
+                    net: self.net,
+                    layer: self.layer,
+                    dir: self.dir,
+                    start,
+                    len_nm: self.len_nm,
+                    width_nm: w,
+                }
+            })
+            .collect()
+    }
+
+    /// Splits the segment along its axis into chunks of at most
+    /// `max_len_nm`, preserving endpoints (RLC-π discretization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_len_nm <= 0`.
+    pub fn subdivide(&self, max_len_nm: i64) -> Vec<Segment> {
+        assert!(max_len_nm > 0, "max segment length must be positive");
+        let n = (self.len_nm + max_len_nm - 1) / max_len_nm;
+        let mut out = Vec::with_capacity(n as usize);
+        let mut pos = 0i64;
+        for k in 0..n {
+            let end = (k + 1) * self.len_nm / n;
+            let len = end - pos;
+            let start = match self.dir {
+                Axis::X => self.start.offset(pos, 0),
+                Axis::Y => self.start.offset(0, pos),
+            };
+            out.push(Segment {
+                net: self.net,
+                layer: self.layer,
+                dir: self.dir,
+                start,
+                len_nm: len,
+                width_nm: self.width_nm,
+            });
+            pos = end;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(dir: Axis, x: i64, y: i64, len: i64, w: i64) -> Segment {
+        Segment::new(NetId(0), LayerId(0), dir, Point::new(x, y), len, w)
+    }
+
+    #[test]
+    fn endpoints() {
+        let s = seg(Axis::X, 100, 200, 1000, 50);
+        assert_eq!(s.end(), Point::new(1100, 200));
+        assert_eq!(s.midpoint(), Point::new(600, 200));
+        let s = seg(Axis::Y, 0, 0, 500, 50);
+        assert_eq!(s.end(), Point::new(0, 500));
+    }
+
+    #[test]
+    fn parallel_and_separation() {
+        let a = seg(Axis::X, 0, 0, 1000, 100);
+        let b = seg(Axis::X, 0, 400, 1000, 100);
+        let c = seg(Axis::Y, 0, 0, 1000, 100);
+        assert!(a.is_parallel(&b));
+        assert!(!a.is_parallel(&c));
+        assert_eq!(a.lateral_separation_nm(&b), 400);
+        assert_eq!(a.edge_spacing_nm(&b), 300);
+    }
+
+    #[test]
+    fn axial_overlap_cases() {
+        let a = seg(Axis::X, 0, 0, 1000, 100);
+        let b = seg(Axis::X, 500, 400, 1000, 100);
+        assert_eq!(a.axial_overlap_nm(&b), 500);
+        let c = seg(Axis::X, 2000, 400, 1000, 100);
+        assert_eq!(a.axial_overlap_nm(&c), 0);
+        assert_eq!(a.axial_offset_nm(&b), 500);
+    }
+
+    #[test]
+    fn subdivision_preserves_length_and_endpoints() {
+        let s = seg(Axis::Y, 10, 20, 10_500, 100);
+        let parts = s.subdivide(3_000);
+        assert_eq!(parts.len(), 4);
+        let total: i64 = parts.iter().map(|p| p.len_nm).sum();
+        assert_eq!(total, s.len_nm);
+        assert_eq!(parts[0].start, s.start);
+        assert_eq!(parts.last().unwrap().end(), s.end());
+        // Contiguity.
+        for w in parts.windows(2) {
+            assert_eq!(w[0].end(), w[1].start);
+        }
+    }
+
+    #[test]
+    fn subdivision_shorter_than_max_is_identity() {
+        let s = seg(Axis::X, 0, 0, 100, 10);
+        let parts = s.subdivide(1000);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0], s);
+    }
+
+    #[test]
+    fn filaments_cover_width() {
+        let s = seg(Axis::X, 0, 0, 1000, 400);
+        let fils = s.filaments(4);
+        assert_eq!(fils.len(), 4);
+        for f in &fils {
+            assert_eq!(f.width_nm, 100);
+            assert_eq!(f.len_nm, 1000);
+        }
+        // Filament centerlines are symmetric about the parent centerline.
+        let sum: i64 = fils.iter().map(|f| f.start.y).sum();
+        assert_eq!(sum, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be positive")]
+    fn zero_length_rejected() {
+        let _ = seg(Axis::X, 0, 0, 0, 10);
+    }
+}

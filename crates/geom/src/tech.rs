@@ -1,0 +1,197 @@
+//! Technology description: metal layer stack and electrical constants.
+
+use crate::units::um;
+
+/// Identifier of a metal layer (0 = lowest routing layer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LayerId(pub u8);
+
+/// One metal layer of the stack.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Layer {
+    /// Layer name (e.g. `"M6"`).
+    pub name: String,
+    /// Height of the layer bottom above the substrate, nanometers.
+    pub z_bottom_nm: i64,
+    /// Metal thickness, nanometers.
+    pub thickness_nm: i64,
+    /// Sheet resistance, ohms per square.
+    pub sheet_res_ohm_sq: f64,
+    /// Default (minimum) wire width, nanometers.
+    pub default_width_nm: i64,
+}
+
+impl Layer {
+    /// Z-coordinate of the layer center, nanometers.
+    pub fn z_center_nm(&self) -> i64 {
+        self.z_bottom_nm + self.thickness_nm / 2
+    }
+}
+
+/// Process technology: layer stack plus dielectric and via constants.
+///
+/// The reproduction targets the paper's era (copper interconnect, wide
+/// upper-layer metals, ~GHz clocks), so the example stack mirrors a
+/// late-1990s 6-level-metal copper process.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Technology {
+    /// Metal layers, index 0 = lowest.
+    pub layers: Vec<Layer>,
+    /// Relative permittivity of the inter-layer dielectric.
+    pub eps_r: f64,
+    /// Resistance of a single via cut between adjacent layers, ohms.
+    pub via_res_ohm: f64,
+    /// Pad (bump/bond) resistance, ohms.
+    pub pad_res_ohm: f64,
+    /// Pad + package lead inductance, henries.
+    ///
+    /// The paper models the package "as a bar, including the pad and a
+    /// via between the pad and package", with ideal planes; a lumped
+    /// series RL is the equivalent circuit of that bar.
+    pub pad_ind_h: f64,
+}
+
+impl Technology {
+    /// Example 6-level-metal copper technology of the paper's era.
+    ///
+    /// Sheet resistances decrease and thicknesses grow toward the top of
+    /// the stack; M5/M6 are the wide global-routing layers where the
+    /// paper's clock nets and grids live.
+    pub fn example_copper_6lm() -> Self {
+        let mk = |name: &str, z_um: i64, t_nm: i64, rs: f64, w_nm: i64| Layer {
+            name: name.to_owned(),
+            z_bottom_nm: um(z_um),
+            thickness_nm: t_nm,
+            sheet_res_ohm_sq: rs,
+            default_width_nm: w_nm,
+        };
+        Self {
+            layers: vec![
+                mk("M1", 1, 350, 0.080, 280),
+                mk("M2", 2, 350, 0.080, 280),
+                mk("M3", 3, 450, 0.060, 350),
+                mk("M4", 4, 450, 0.060, 350),
+                mk("M5", 6, 900, 0.030, 700),
+                mk("M6", 8, 1200, 0.022, 1000),
+            ],
+            eps_r: 3.9,
+            via_res_ohm: 1.5,
+            pad_res_ohm: 0.05,
+            pad_ind_h: 0.5e-9,
+        }
+    }
+
+    /// Example mid-1990s 4-level-metal **aluminum** technology.
+    ///
+    /// Thinner, more resistive wires than
+    /// [`Technology::example_copper_6lm`] — the era *before* the paper's
+    /// opening observation that "longer metal interconnects, reductions
+    /// in wire resistance (as a result of copper interconnects and wider
+    /// upper-layer metal lines) and higher clock frequencies" made
+    /// inductance significant. Comparing the two stacks reproduces that
+    /// trend (see the `sec1_technology_trend` harness binary).
+    pub fn example_aluminum_4lm() -> Self {
+        let mk = |name: &str, z_um: i64, t_nm: i64, rs: f64, w_nm: i64| Layer {
+            name: name.to_owned(),
+            z_bottom_nm: um(z_um),
+            thickness_nm: t_nm,
+            sheet_res_ohm_sq: rs,
+            default_width_nm: w_nm,
+        };
+        Self {
+            layers: vec![
+                mk("M1", 1, 400, 0.110, 350),
+                mk("M2", 2, 450, 0.095, 400),
+                mk("M3", 3, 500, 0.080, 500),
+                mk("M4", 4, 600, 0.065, 600),
+            ],
+            eps_r: 4.1,
+            via_res_ohm: 3.0,
+            pad_res_ohm: 0.08,
+            pad_ind_h: 0.8e-9,
+        }
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Layer lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range — layer ids come from the same
+    /// technology, so this indicates a construction bug.
+    pub fn layer(&self, id: LayerId) -> &Layer {
+        &self.layers[id.0 as usize]
+    }
+
+    /// Id of the uppermost (pad) layer.
+    pub fn top_layer(&self) -> LayerId {
+        LayerId((self.layers.len() - 1) as u8)
+    }
+
+    /// Vertical dielectric gap between the tops/bottoms of two layers,
+    /// nanometers (0 for the same layer).
+    pub fn dielectric_gap_nm(&self, a: LayerId, b: LayerId) -> i64 {
+        if a == b {
+            return 0;
+        }
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let lo = self.layer(lo);
+        let hi = self.layer(hi);
+        (hi.z_bottom_nm - (lo.z_bottom_nm + lo.thickness_nm)).max(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_stack_is_ordered_bottom_up() {
+        let t = Technology::example_copper_6lm();
+        for pair in t.layers.windows(2) {
+            assert!(pair[0].z_bottom_nm < pair[1].z_bottom_nm);
+        }
+        assert_eq!(t.top_layer(), LayerId(5));
+    }
+
+    #[test]
+    fn upper_layers_have_lower_sheet_resistance() {
+        let t = Technology::example_copper_6lm();
+        assert!(t.layer(LayerId(5)).sheet_res_ohm_sq < t.layer(LayerId(0)).sheet_res_ohm_sq);
+    }
+
+    #[test]
+    fn dielectric_gap_symmetric_and_zero_on_same_layer() {
+        let t = Technology::example_copper_6lm();
+        assert_eq!(t.dielectric_gap_nm(LayerId(1), LayerId(1)), 0);
+        assert_eq!(
+            t.dielectric_gap_nm(LayerId(0), LayerId(3)),
+            t.dielectric_gap_nm(LayerId(3), LayerId(0))
+        );
+        assert!(t.dielectric_gap_nm(LayerId(4), LayerId(5)) > 0);
+    }
+
+    #[test]
+    fn layer_center_above_bottom() {
+        let t = Technology::example_copper_6lm();
+        let l = t.layer(LayerId(2));
+        assert!(l.z_center_nm() > l.z_bottom_nm);
+    }
+
+    #[test]
+    fn aluminum_stack_is_more_resistive_than_copper() {
+        let al = Technology::example_aluminum_4lm();
+        let cu = Technology::example_copper_6lm();
+        assert_eq!(al.num_layers(), 4);
+        // Top global layers: aluminum clearly worse.
+        assert!(
+            al.layer(al.top_layer()).sheet_res_ohm_sq
+                > 2.0 * cu.layer(cu.top_layer()).sheet_res_ohm_sq
+        );
+        assert!(al.via_res_ohm > cu.via_res_ohm);
+    }
+}

@@ -1,0 +1,40 @@
+//! Length unit conventions.
+//!
+//! All geometry is stored in integer nanometers (`i64`), so endpoint
+//! equality is exact and layouts hash cleanly. Electrical extraction
+//! works in SI meters; the conversion happens through the helpers here.
+
+/// Nanometers per micrometer.
+pub const NM_PER_UM: i64 = 1_000;
+
+/// Meters per nanometer.
+pub const M_PER_NM: f64 = 1e-9;
+
+/// Converts micrometers (as an integer) to internal nanometers.
+#[inline]
+pub const fn um(value: i64) -> i64 {
+    value * NM_PER_UM
+}
+
+/// Converts internal nanometers to SI meters.
+#[inline]
+pub fn nm_to_m(value: i64) -> f64 {
+    value as f64 * M_PER_NM
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn um_round_trip() {
+        assert_eq!(um(3), 3_000);
+        assert!((nm_to_m(um(1)) - 1e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn negative_coordinates_convert() {
+        assert_eq!(um(-2), -2_000);
+        assert!((nm_to_m(-500) + 5e-7).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the layout generators.
+
+use ind101_geom::generators::{
+    generate_bus, generate_clock_spine, generate_power_grid, BusSpec, ClockNetSpec,
+    PowerGridSpec, ShieldPattern,
+};
+use ind101_geom::{um, NetKind, PortKind, Technology};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn tech() -> Technology {
+    Technology::example_copper_6lm()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated grid: vias land on segment endpoints (exact
+    /// connectivity), both supply nets present, pads resolve.
+    #[test]
+    fn power_grid_structural_invariants(
+        span_um in 100i64..600,
+        pitch_um in 20i64..120,
+        pads in 1usize..4,
+    ) {
+        prop_assume!(pitch_um < span_um);
+        let spec = PowerGridSpec {
+            width_nm: um(span_um),
+            height_nm: um(span_um),
+            pitch_nm: um(pitch_um),
+            pad_pairs: pads,
+            ..PowerGridSpec::default()
+        };
+        let g = generate_power_grid(&tech(), &spec);
+        let mut endpoints = HashSet::new();
+        for s in g.segments() {
+            prop_assert!(s.len_nm > 0 && s.width_nm > 0);
+            endpoints.insert((s.start, s.layer));
+            endpoints.insert((s.end(), s.layer));
+        }
+        for v in g.vias() {
+            prop_assert!(
+                endpoints.contains(&(v.at, v.from_layer))
+                    || endpoints.contains(&(v.at, v.to_layer))
+            );
+        }
+        prop_assert_eq!(g.nets_of_kind(NetKind::Power).count(), 1);
+        prop_assert_eq!(g.nets_of_kind(NetKind::Ground).count(), 1);
+        prop_assert_eq!(g.ports_of_kind(PortKind::PowerPad).count(), pads);
+        // Every port's node is a segment endpoint.
+        for p in g.ports() {
+            prop_assert!(endpoints.contains(&(p.node.at, p.node.layer)), "{}", p.name);
+        }
+    }
+
+    /// Clock spine: port nodes are wire endpoints; total clock
+    /// wirelength equals spine + fingers.
+    #[test]
+    fn clock_spine_wirelength(
+        span_um in 100i64..600,
+        fingers in 1usize..6,
+    ) {
+        let spec = ClockNetSpec {
+            width_nm: um(span_um),
+            height_nm: um(span_um),
+            fingers,
+            ..ClockNetSpec::default()
+        };
+        let l = generate_clock_spine(&tech(), &spec);
+        let total: i64 = l.segments().iter().map(|s| s.len_nm).sum();
+        let expect = spec.width_nm + fingers as i64 * spec.height_nm;
+        prop_assert_eq!(total, expect);
+        prop_assert_eq!(l.ports_of_kind(PortKind::Receiver).count(), 2 * fingers);
+    }
+
+    /// Bus generator: any shield pattern yields exactly `signals` signal
+    /// wires, disjoint tracks, and ports on every signal.
+    #[test]
+    fn bus_patterns_respect_signal_count(
+        signals in 1usize..8,
+        every in 1usize..4,
+        pattern_sel in 0usize..3,
+    ) {
+        let shields = match pattern_sel {
+            0 => ShieldPattern::None,
+            1 => ShieldPattern::Edges,
+            _ => ShieldPattern::Every(every),
+        };
+        let spec = BusSpec {
+            signals,
+            shields,
+            ..BusSpec::default()
+        };
+        let l = generate_bus(&tech(), &spec);
+        let signal_wires = l
+            .segments()
+            .iter()
+            .filter(|s| l.net(s.net).kind == NetKind::Signal)
+            .count();
+        prop_assert_eq!(signal_wires, signals);
+        prop_assert_eq!(l.ports_of_kind(PortKind::Driver).count(), signals);
+        // No two tracks overlap (positive edge spacing between distinct
+        // parallel wires).
+        let segs: Vec<_> = l.segments().iter().filter(|s| s.dir == spec.dir).collect();
+        for i in 0..segs.len() {
+            for j in (i + 1)..segs.len() {
+                prop_assert!(segs[i].edge_spacing_nm(segs[j]) > 0);
+            }
+        }
+    }
+
+    /// Subdivision at any granularity preserves wirelength and keeps
+    /// chunk chains contiguous.
+    #[test]
+    fn subdivision_contiguity(granularity_um in 20i64..500) {
+        let mut l = generate_clock_spine(&tech(), &ClockNetSpec::default());
+        let before = l.stats().wirelength_nm;
+        l.subdivide_segments(um(granularity_um));
+        prop_assert_eq!(l.stats().wirelength_nm, before);
+        for s in l.segments() {
+            prop_assert!(s.len_nm <= um(granularity_um));
+        }
+    }
+}

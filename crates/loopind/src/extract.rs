@@ -1,0 +1,324 @@
+//! FastHenry-style loop R(f)/L(f) extraction.
+
+use ind101_circuit::{AcOptions, Circuit, CircuitError, SourceWave};
+use ind101_core::{InductanceMode, PeecModel, PeecParasitics};
+use ind101_geom::{NetKind, PortKind};
+
+/// Resistance of the artificial short tying the receiver to local
+/// ground, ohms (small against any wire resistance).
+const SHORT_RES: f64 = 1e-4;
+
+/// Port definition for the loop extraction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoopPortSpec {
+    /// Name of the driver port (the loop port's positive terminal).
+    pub driver_port: String,
+    /// Receiver ports shorted to the local ground during extraction.
+    pub receiver_ports: Vec<String>,
+}
+
+impl LoopPortSpec {
+    /// Builds the spec from a layout's ports: the first `Driver` port
+    /// and all `Receiver` ports.
+    pub fn from_layout(par: &PeecParasitics) -> Option<Self> {
+        let driver = par.layout.ports_of_kind(PortKind::Driver).next()?;
+        let receivers = par
+            .layout
+            .ports_of_kind(PortKind::Receiver)
+            .map(|p| p.name.clone())
+            .collect();
+        Some(Self {
+            driver_port: driver.name.clone(),
+            receiver_ports: receivers,
+        })
+    }
+}
+
+/// Extracted loop impedance over frequency.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoopExtraction {
+    /// Sweep frequencies, hertz.
+    pub freqs_hz: Vec<f64>,
+    /// Loop resistance `Re Z(f)`, ohms.
+    pub r_ohm: Vec<f64>,
+    /// Loop inductance `Im Z(f) / ω`, henries.
+    pub l_h: Vec<f64>,
+}
+
+impl LoopExtraction {
+    /// `(R, L)` at sweep index `idx`.
+    pub fn at(&self, idx: usize) -> (f64, f64) {
+        (self.r_ohm[idx], self.l_h[idx])
+    }
+
+    /// Index of the sweep point nearest to `f_hz`.
+    pub fn nearest_index(&self, f_hz: f64) -> usize {
+        self.freqs_hz
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                let da = (a.1 - f_hz).abs();
+                let db = (b.1 - f_hz).abs();
+                da.partial_cmp(&db).expect("finite frequencies")
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty sweep")
+    }
+}
+
+/// Extracts loop `R(f)` and `L(f)` at the driver port.
+///
+/// The extraction circuit is the layout's full R + partial-L network
+/// (mutuals included, capacitance excluded); receivers are shorted to
+/// the nearest ground (or shield) conductor; supply pads are tied to the
+/// AC reference through the pad impedance; a 1 A AC probe drives the
+/// port and the port voltage is the loop impedance.
+///
+/// # Errors
+///
+/// Fails if the named ports don't exist or the network is singular.
+pub fn extract_loop_rl(
+    par: &PeecParasitics,
+    spec: &LoopPortSpec,
+    freqs_hz: &[f64],
+) -> Result<LoopExtraction, CircuitError> {
+    // Capacitance-free clone of the parasitics.
+    let mut rl_par = par.clone();
+    for c in &mut rl_par.ground_cap {
+        *c = 0.0;
+    }
+    rl_par.coupling_caps.clear();
+
+    let model = PeecModel::build(&rl_par, InductanceMode::Full)?;
+    let mut circuit = model.circuit.clone();
+    let tech = par.layout.tech().clone();
+
+    // Supply pads tie the return grids to the AC reference.
+    for port in par.layout.ports() {
+        if !matches!(port.kind, PortKind::PowerPad | PortKind::GroundPad) {
+            continue;
+        }
+        if let Some(node) = model.node(port.node) {
+            let mid = circuit.anon_node();
+            circuit.resistor(node, mid, tech.pad_res_ohm.max(1e-6));
+            if tech.pad_ind_h > 0.0 {
+                circuit.inductor(mid, Circuit::GND, tech.pad_ind_h);
+            } else {
+                circuit.resistor(mid, Circuit::GND, 1e-6);
+            }
+        }
+    }
+
+    let driver_port = par
+        .layout
+        .port(&spec.driver_port)
+        .ok_or(CircuitError::InvalidElement {
+            what: format!("no port named {}", spec.driver_port),
+        })?
+        .clone();
+    let driver_node = model
+        .node(driver_port.node)
+        .ok_or(CircuitError::UnknownNode { index: 0 })?;
+
+    // Local return terminal: nearest ground conductor to the driver
+    // (falls back to shields, then to the global reference).
+    let local_return = |at| {
+        model
+            .nearest_node_of_kind(par, NetKind::Ground, at)
+            .or_else(|| model.nearest_node_of_kind(par, NetKind::Shield, at))
+            .unwrap_or(Circuit::GND)
+    };
+    let port_return = local_return(driver_port.node.at);
+
+    // Short every receiver to its local ground.
+    for name in &spec.receiver_ports {
+        let port = par
+            .layout
+            .port(name)
+            .ok_or(CircuitError::InvalidElement {
+                what: format!("no port named {name}"),
+            })?;
+        let Some(node) = model.node(port.node) else {
+            continue;
+        };
+        let ret = local_return(port.node.at);
+        if ret != node {
+            circuit.resistor(node, ret, SHORT_RES);
+        } else {
+            circuit.resistor(node, Circuit::GND, SHORT_RES);
+        }
+    }
+
+    // 1 A AC probe across the port.
+    circuit.isrc_ac(port_return, driver_node, SourceWave::dc(0.0), 1.0);
+
+    let ac = circuit.ac_sweep(&AcOptions {
+        freqs_hz: freqs_hz.to_vec(),
+    })?;
+    let mut r_ohm = Vec::with_capacity(freqs_hz.len());
+    let mut l_h = Vec::with_capacity(freqs_hz.len());
+    for (i, &f) in freqs_hz.iter().enumerate() {
+        let z = ac.voltage(driver_node, i) - ac.voltage(port_return, i);
+        r_ohm.push(z.re);
+        l_h.push(z.im / (2.0 * std::f64::consts::PI * f));
+    }
+    Ok(LoopExtraction {
+        freqs_hz: freqs_hz.to_vec(),
+        r_ohm,
+        l_h,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ind101_extract::mutual_inductance::aligned_filament_mutual;
+    use ind101_extract::self_inductance::bar_self_inductance;
+    use ind101_geom::generators::{generate_bus, BusSpec, ShieldPattern};
+    use ind101_geom::{um, Technology};
+
+    /// Signal wire with one explicit ground return next to it.
+    fn pair(len_um: i64, spacing_um: i64) -> PeecParasitics {
+        let tech = Technology::example_copper_6lm();
+        let spec = BusSpec {
+            signals: 1,
+            length_nm: um(len_um),
+            spacing_nm: um(spacing_um),
+            shields: ShieldPattern::Explicit(vec![1]),
+            ..BusSpec::default()
+        };
+        let bus = generate_bus(&tech, &spec);
+        PeecParasitics::extract(&bus, um(len_um)) // single segment per wire
+    }
+
+    #[test]
+    fn low_frequency_resistance_is_loop_resistance() {
+        let par = pair(1000, 2);
+        let spec = LoopPortSpec::from_layout(&par).unwrap();
+        let ext = extract_loop_rl(&par, &spec, &[1e6]).unwrap();
+        // R_loop ≈ R_signal + R_return (series at DC).
+        let expect: f64 = par.resistance.iter().sum();
+        assert!(
+            (ext.r_ohm[0] - expect).abs() / expect < 0.02,
+            "R {} vs {}",
+            ext.r_ohm[0],
+            expect
+        );
+    }
+
+    #[test]
+    fn high_frequency_inductance_matches_loop_formula() {
+        let par = pair(1000, 2);
+        let spec = LoopPortSpec::from_layout(&par).unwrap();
+        let ext = extract_loop_rl(&par, &spec, &[100e9]).unwrap();
+        // L_loop = L1 + L2 − 2M for a simple two-wire loop.
+        let tech = Technology::example_copper_6lm();
+        let t = tech.layer(ind101_geom::LayerId(5)).thickness_nm as f64 * 1e-9;
+        let l_self = bar_self_inductance(1e-3, 1e-6, t);
+        let m = aligned_filament_mutual(1e-3, 3e-6); // pitch = w + s = 3 µm
+        let expect = 2.0 * l_self - 2.0 * m;
+        let got = ext.l_h[0];
+        assert!(
+            (got - expect).abs() / expect < 0.1,
+            "L {got:e} vs {expect:e}"
+        );
+    }
+
+    #[test]
+    fn inductance_decreases_with_frequency() {
+        // The paper's Figure 3(b): L falls as return currents tighten.
+        // Use a bus with several alternative returns so the current can
+        // redistribute.
+        let tech = Technology::example_copper_6lm();
+        let spec = BusSpec {
+            signals: 1,
+            length_nm: um(2000),
+            spacing_nm: um(2),
+            shields: ShieldPattern::Explicit(vec![1, 2, 3]),
+            tie_shields: true,
+            ..BusSpec::default()
+        };
+        let bus = generate_bus(&tech, &spec);
+        let par = PeecParasitics::extract(&bus, um(2000));
+        let pspec = LoopPortSpec::from_layout(&par).unwrap();
+        let ext = extract_loop_rl(&par, &pspec, &[1e7, 1e9, 100e9]).unwrap();
+        assert!(
+            ext.l_h[0] > ext.l_h[1] && ext.l_h[1] > ext.l_h[2],
+            "L(f) must decrease: {:?}",
+            ext.l_h
+        );
+        // And R grows (current crowding into the nearest return).
+        assert!(ext.r_ohm[2] > ext.r_ohm[0]);
+    }
+
+    #[test]
+    fn closer_return_means_lower_inductance() {
+        let near = pair(1000, 1);
+        let far = pair(1000, 20);
+        let f = [50e9];
+        let l_near = extract_loop_rl(&near, &LoopPortSpec::from_layout(&near).unwrap(), &f)
+            .unwrap()
+            .l_h[0];
+        let l_far = extract_loop_rl(&far, &LoopPortSpec::from_layout(&far).unwrap(), &f)
+            .unwrap()
+            .l_h[0];
+        assert!(l_near < l_far);
+    }
+
+    #[test]
+    fn nearest_index_lookup() {
+        let ext = LoopExtraction {
+            freqs_hz: vec![1e6, 1e9, 1e12],
+            r_ohm: vec![1.0, 2.0, 3.0],
+            l_h: vec![3e-9, 2e-9, 1e-9],
+        };
+        assert_eq!(ext.nearest_index(6e8), 1);
+        assert_eq!(ext.at(2), (3.0, 1e-9));
+    }
+
+    #[test]
+    fn filamentized_extraction_exposes_current_crowding() {
+        // The paper's Section 3 note: split wide conductors before
+        // computing inductance. Solid bars give frequency-flat loop R;
+        // filaments let the current crowd and R(f) rises.
+        let tech = Technology::example_copper_6lm();
+        let spec = BusSpec {
+            signals: 1,
+            length_nm: um(1000),
+            width_nm: um(12),
+            spacing_nm: um(4),
+            shields: ShieldPattern::Explicit(vec![1]),
+            ..BusSpec::default()
+        };
+        let freqs = [1e8, 1e11];
+        let run = |filaments: Option<usize>| {
+            let mut layout = generate_bus(&tech, &spec);
+            if let Some(n) = filaments {
+                layout.filamentize_wide(um(3), n);
+            }
+            let par = PeecParasitics::extract(&layout, um(1000));
+            let port = LoopPortSpec::from_layout(&par).unwrap();
+            extract_loop_rl(&par, &port, &freqs).unwrap()
+        };
+        let solid = run(None);
+        let fil = run(Some(5));
+        let growth_solid = solid.r_ohm[1] / solid.r_ohm[0];
+        let growth_fil = fil.r_ohm[1] / fil.r_ohm[0];
+        assert!(
+            growth_fil > growth_solid + 0.05,
+            "filaments must show R(f) growth: {growth_fil} vs {growth_solid}"
+        );
+        // Filament L falls further with frequency than solid L.
+        assert!(fil.l_h[1] < fil.l_h[0]);
+    }
+
+    #[test]
+    fn unknown_port_is_an_error() {
+        let par = pair(1000, 2);
+        let spec = LoopPortSpec {
+            driver_port: "missing".to_owned(),
+            receiver_ports: vec![],
+        };
+        assert!(extract_loop_rl(&par, &spec, &[1e9]).is_err());
+    }
+}

@@ -1,0 +1,179 @@
+//! Two-frequency ladder synthesis — the paper's Figure 3(d), from
+//! Krauter et al. (reference \[5\]).
+//!
+//! The ladder `Z(s) = R₀ + s·L₀ + (R₁ · s·L₁)/(R₁ + s·L₁)` captures the
+//! first-order frequency dependence of loop resistance and inductance:
+//! at low frequency `R → R₀`, `L → L₀ + L₁` (wide, resistive return
+//! paths); at high frequency `R → R₀ + R₁`, `L → L₀` (tight return).
+//! "The loop impedance is extracted at two frequencies, and the
+//! parameters R₀, L₀, R₁ and L₁ … are computed."
+
+use ind101_numeric::Complex64;
+
+/// A fitted R₀/L₀/R₁/L₁ ladder.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LadderFit {
+    /// Series resistance, ohms.
+    pub r0: f64,
+    /// Series inductance, henries.
+    pub l0: f64,
+    /// Shunt-branch resistance, ohms.
+    pub r1: f64,
+    /// Shunt-branch inductance, henries.
+    pub l1: f64,
+}
+
+impl LadderFit {
+    /// Fits the ladder to two extracted points `(f, R, L)` with
+    /// `f1 < f2`.
+    ///
+    /// Returns `None` when the data is not fit-able by a passive ladder
+    /// (e.g. R decreasing or L increasing with frequency — noise or a
+    /// degenerate topology).
+    pub fn fit(p1: (f64, f64, f64), p2: (f64, f64, f64)) -> Option<Self> {
+        let (f1, ra, la) = p1;
+        let (f2, rb, lb) = p2;
+        if !(f2 > f1 && f1 > 0.0) {
+            return None;
+        }
+        let dr = rb - ra;
+        let dl = la - lb;
+        if dr <= 0.0 || dl <= 0.0 {
+            // No frequency dependence — degenerate ladder (L1 → 0).
+            if dr.abs() / ra.max(1e-30) < 1e-9 && dl.abs() / la.max(1e-30) < 1e-9 {
+                return Some(Self {
+                    r0: ra,
+                    l0: la,
+                    r1: 0.0,
+                    l1: 0.0,
+                });
+            }
+            return None;
+        }
+        // R(ω) = R0 + R1·x(ω), L(ω) = L0 + L1·(1 − x(ω)),
+        // x(ω) = ω²τ²/(1 + ω²τ²), τ = L1/R1 = ΔL/ΔR ... almost:
+        //   ΔR = R1(x2 − x1), ΔL = L1(x2 − x1) ⇒ R1/L1 = ΔR/ΔL = 1/τ.
+        let tau = dl / dr;
+        let w1 = 2.0 * std::f64::consts::PI * f1;
+        let w2 = 2.0 * std::f64::consts::PI * f2;
+        let x = |w: f64| {
+            let wt = w * tau;
+            wt * wt / (1.0 + wt * wt)
+        };
+        let (x1, x2) = (x(w1), x(w2));
+        if x2 - x1 <= 1e-12 {
+            return None;
+        }
+        let r1 = dr / (x2 - x1);
+        let l1 = tau * r1;
+        let r0 = ra - r1 * x1;
+        let l0 = la - l1 * (1.0 - x1);
+        if r0 < 0.0 || l0 < 0.0 {
+            return None;
+        }
+        Some(Self { r0, l0, r1, l1 })
+    }
+
+    /// Ladder impedance at frequency `f_hz`.
+    pub fn impedance(&self, f_hz: f64) -> Complex64 {
+        let s = Complex64::jomega(2.0 * std::f64::consts::PI * f_hz);
+        let series = Complex64::from_real(self.r0) + s * self.l0;
+        if self.r1 == 0.0 || self.l1 == 0.0 {
+            return series;
+        }
+        let zl1 = s * self.l1;
+        let zr1 = Complex64::from_real(self.r1);
+        series + (zr1 * zl1) / (zr1 + zl1)
+    }
+
+    /// Effective `(R, L)` of the ladder at frequency `f_hz`.
+    pub fn rl_at(&self, f_hz: f64) -> (f64, f64) {
+        let z = self.impedance(f_hz);
+        (z.re, z.im / (2.0 * std::f64::consts::PI * f_hz))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth(r0: f64, l0: f64, r1: f64, l1: f64, f: f64) -> (f64, f64, f64) {
+        let lad = LadderFit { r0, l0, r1, l1 };
+        let (r, l) = lad.rl_at(f);
+        (f, r, l)
+    }
+
+    #[test]
+    fn fit_recovers_synthetic_ladder() {
+        let (r0, l0, r1, l1) = (2.0, 1e-9, 5.0, 3e-9);
+        let p1 = synth(r0, l0, r1, l1, 0.5e9);
+        let p2 = synth(r0, l0, r1, l1, 20e9);
+        let fit = LadderFit::fit(p1, p2).unwrap();
+        assert!((fit.r0 - r0).abs() / r0 < 1e-9, "r0 {}", fit.r0);
+        assert!((fit.l0 - l0).abs() / l0 < 1e-9);
+        assert!((fit.r1 - r1).abs() / r1 < 1e-9);
+        assert!((fit.l1 - l1).abs() / l1 < 1e-9);
+    }
+
+    #[test]
+    fn fitted_ladder_matches_at_fit_points_exactly() {
+        // Fit points must come from a realizable passive ladder.
+        let p1 = synth(3.0, 1.2e-9, 2.0, 1.5e-9, 0.8e9);
+        let p2 = synth(3.0, 1.2e-9, 2.0, 1.5e-9, 40e9);
+        let fit = LadderFit::fit(p1, p2).unwrap();
+        let (r, l) = fit.rl_at(p1.0);
+        assert!((r - p1.1).abs() < 1e-9 && (l - p1.2).abs() < 1e-18);
+        let (r, l) = fit.rl_at(p2.0);
+        assert!((r - p2.1).abs() < 1e-9 && (l - p2.2).abs() < 1e-18);
+    }
+
+    #[test]
+    fn ladder_limits() {
+        let lad = LadderFit {
+            r0: 1.0,
+            l0: 1e-9,
+            r1: 4.0,
+            l1: 2e-9,
+        };
+        let (r_lo, l_lo) = lad.rl_at(1e3);
+        assert!((r_lo - 1.0).abs() < 1e-3);
+        assert!((l_lo - 3e-9).abs() < 1e-12);
+        let (r_hi, l_hi) = lad.rl_at(1e15);
+        assert!((r_hi - 5.0).abs() < 1e-3);
+        assert!((l_hi - 1e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequency_independent_data_degenerates_cleanly() {
+        let fit = LadderFit::fit((1e9, 2.0, 1e-9), (10e9, 2.0, 1e-9)).unwrap();
+        assert_eq!(fit.r1, 0.0);
+        assert_eq!(fit.l1, 0.0);
+        let (r, l) = fit.rl_at(5e9);
+        assert!((r - 2.0).abs() < 1e-12 && (l - 1e-9).abs() < 1e-21);
+    }
+
+    #[test]
+    fn non_physical_data_rejected() {
+        // R decreasing with frequency is not fit-able.
+        assert!(LadderFit::fit((1e9, 3.0, 2e-9), (10e9, 2.0, 1e-9)).is_none());
+        // Inverted frequency order.
+        assert!(LadderFit::fit((10e9, 2.0, 2e-9), (1e9, 3.0, 1e-9)).is_none());
+    }
+
+    #[test]
+    fn monotone_between_fit_points() {
+        let p1 = synth(3.0, 1.2e-9, 2.0, 1.5e-9, 1e9);
+        let p2 = synth(3.0, 1.2e-9, 2.0, 1.5e-9, 50e9);
+        let fit = LadderFit::fit(p1, p2).unwrap();
+        let mut prev_r = 0.0;
+        let mut prev_l = f64::INFINITY;
+        for k in 0..20 {
+            let f = 1e9 * (50f64).powf(k as f64 / 19.0);
+            let (r, l) = fit.rl_at(f);
+            assert!(r >= prev_r - 1e-12);
+            assert!(l <= prev_l + 1e-21);
+            prev_r = r;
+            prev_l = l;
+        }
+    }
+}

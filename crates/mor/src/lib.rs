@@ -1,0 +1,48 @@
+//! Model-order reduction — the paper's Section 4 "Reduced-order
+//! modeling" and "Combined technique".
+//!
+//! * [`prima`] — the passive block-Arnoldi reduction of Odabasioglu et
+//!   al. (the paper's reference \[20\]): congruence-transform projection
+//!   of the MNA system onto a block Krylov subspace.
+//! * [`prima_active_ports`] — the variant of the combined technique in
+//!   reference \[4\]: "a variant of the PRIMA algorithm is used to reduce
+//!   the computation time by applying excitation sources only to the
+//!   active ports, and not to the sinks" — sinks remain observable
+//!   outputs but generate no Krylov directions.
+//! * [`ReducedModel`] — transient and AC evaluation of the reduced
+//!   system (dense, q×q — the run-time payoff of MOR).
+//! * [`spd`] — the positive-definite manipulation + Cholesky direct
+//!   solver that completes the combined technique.
+//!
+//! # Example
+//!
+//! ```
+//! use ind101_circuit::{Circuit, SourceWave};
+//! use ind101_mor::{prima, PrimaOptions};
+//!
+//! // Reduce an RC ladder and check its step response at the far end.
+//! let mut c = Circuit::new();
+//! let inp = c.node("in");
+//! c.vsrc(inp, Circuit::GND, SourceWave::step(0.0, 1.0, 0.0, 1e-12));
+//! let mut prev = inp;
+//! for k in 0..40 {
+//!     let n = c.node(format!("n{k}"));
+//!     c.resistor(prev, n, 10.0);
+//!     c.capacitor(n, Circuit::GND, 10e-15);
+//!     prev = n;
+//! }
+//! let sys = c.mna_system().unwrap();
+//! let outputs = vec![sys.node_index(prev).unwrap()];
+//! let rm = prima(&sys, &outputs, &PrimaOptions::default()).unwrap();
+//! assert!(rm.order() < sys.n);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod algorithm;
+mod reduced;
+pub mod spd;
+
+pub use algorithm::{prima, prima_active_ports, PrimaOptions};
+pub use reduced::ReducedModel;

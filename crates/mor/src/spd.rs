@@ -1,0 +1,381 @@
+//! The positive-definite manipulation + Cholesky direct solver of the
+//! combined technique (paper, end of Section 4 / reference \[4\]):
+//!
+//! "The MNA circuit matrix for the linear part of the model can be
+//! manipulated such that the matrix to be inverted is made
+//! positive-definite. This matrix can then be solved very fast using a
+//! direct solver based on the Cholesky method."
+//!
+//! The manipulation is the Schur-complement elimination of the
+//! inductive branch currents: with trapezoidal factor `k = 2/h` and
+//! `K = M⁻¹`, the nodal system becomes
+//!
+//! ```text
+//! (G_n + k·C_n + (1/k)·A_L·K·A_Lᵀ) · v = rhs
+//! ```
+//!
+//! — a sum of PSD terms, hence symmetric positive definite, factored
+//! **once** by Cholesky and reused for every time step. (Note `K` is
+//! exactly Devgan's K-matrix: the combined technique and the K-element
+//! simulator meet here.)
+
+use ind101_circuit::{Circuit, Element, NodeId, Trace};
+use ind101_numeric::{CholeskyFactor, Matrix, NumericError};
+use std::collections::HashMap;
+
+/// Transient engine for linear RLC circuits driven by current sources,
+/// using the SPD manipulation + Cholesky.
+///
+/// Restrictions (inherent to the pure-nodal form): no voltage sources
+/// and no nonlinear devices — transform drivers to Norton equivalents
+/// first, exactly as the combined-technique flow does.
+#[derive(Debug)]
+pub struct SpdTransient {
+    n: usize,
+    chol: CholeskyFactor,
+    k: f64,
+    // Element tables (node indices are 0-based; usize::MAX = ground).
+    caps: Vec<(usize, usize, f64)>,
+    isrcs: Vec<(usize, usize, ind101_circuit::SourceWave)>,
+    /// Inductor data per system: incidence rows and K = M⁻¹.
+    ind: Vec<IndSys>,
+    node_index: HashMap<NodeId, usize>,
+}
+
+#[derive(Debug)]
+struct IndSys {
+    branches: Vec<(usize, usize)>,
+    kmat: Matrix<f64>,
+}
+
+const GND_SENTINEL: usize = usize::MAX;
+const GMIN: f64 = 1e-12;
+
+impl SpdTransient {
+    /// Builds the SPD system for time step `dt`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the circuit contains voltage sources or transistors, if
+    /// an inductance matrix is singular, or if the assembled nodal
+    /// matrix is not positive definite (it always is for physical
+    /// element values; failure indicates a corrupted — e.g. truncated —
+    /// inductance matrix, which is the point of the check).
+    pub fn build(circuit: &Circuit, dt: f64) -> Result<Self, NumericError> {
+        assert!(dt > 0.0, "dt must be positive");
+        let k = 2.0 / dt;
+        let mut node_index: HashMap<NodeId, usize> = HashMap::new();
+        let idx_of = |n: NodeId, map: &mut HashMap<NodeId, usize>| -> usize {
+            if n == Circuit::GND {
+                return GND_SENTINEL;
+            }
+            let next = map.len();
+            *map.entry(n).or_insert(next)
+        };
+
+        let mut resistors: Vec<(usize, usize, f64)> = Vec::new();
+        let mut caps = Vec::new();
+        let mut isrcs = Vec::new();
+        for e in circuit.elements() {
+            match e {
+                Element::Resistor { a, b, ohms } => {
+                    let ia = idx_of(*a, &mut node_index);
+                    let ib = idx_of(*b, &mut node_index);
+                    resistors.push((ia, ib, 1.0 / ohms));
+                }
+                Element::Capacitor { a, b, farads } => {
+                    let ia = idx_of(*a, &mut node_index);
+                    let ib = idx_of(*b, &mut node_index);
+                    caps.push((ia, ib, *farads));
+                }
+                Element::Isrc { from, into, wave, .. } => {
+                    let ifrom = idx_of(*from, &mut node_index);
+                    let iinto = idx_of(*into, &mut node_index);
+                    isrcs.push((ifrom, iinto, wave.clone()));
+                }
+                Element::Vsrc { .. } | Element::Transistor(_) => {
+                    return Err(NumericError::Singular { pivot: 0 });
+                }
+            }
+        }
+        let mut ind = Vec::new();
+        for sys in circuit.inductor_systems() {
+            let branches: Vec<(usize, usize)> = sys
+                .branches
+                .iter()
+                .map(|&(a, b)| (idx_of(a, &mut node_index), idx_of(b, &mut node_index)))
+                .collect();
+            let kmat = sys.m.inverse()?;
+            ind.push(IndSys { branches, kmat });
+        }
+        let n = node_index.len();
+
+        // Assemble A = G_n + k·C_n + (1/k)·A_L·K·A_Lᵀ (dense — Cholesky
+        // on the dense SPD matrix is the technique being demonstrated).
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            a[(i, i)] += GMIN;
+        }
+        let stamp = |a: &mut Matrix<f64>, i: usize, j: usize, g: f64| {
+            if i != GND_SENTINEL {
+                a[(i, i)] += g;
+            }
+            if j != GND_SENTINEL {
+                a[(j, j)] += g;
+            }
+            if i != GND_SENTINEL && j != GND_SENTINEL {
+                a[(i, j)] -= g;
+                a[(j, i)] -= g;
+            }
+        };
+        for &(i, j, g) in &resistors {
+            stamp(&mut a, i, j, g);
+        }
+        for &(i, j, cv) in &caps {
+            stamp(&mut a, i, j, k * cv);
+        }
+        for sys in &ind {
+            let nb = sys.branches.len();
+            for p in 0..nb {
+                for q in 0..nb {
+                    let kv = sys.kmat[(p, q)] / k;
+                    if kv == 0.0 {
+                        continue;
+                    }
+                    let (pa, pb) = sys.branches[p];
+                    let (qa, qb) = sys.branches[q];
+                    // (A_L K A_Lᵀ)_{uv}: incidence of branch p = +1 at pa,
+                    // −1 at pb; similarly q.
+                    for (u, su) in [(pa, 1.0), (pb, -1.0)] {
+                        if u == GND_SENTINEL {
+                            continue;
+                        }
+                        for (v, sv) in [(qa, 1.0), (qb, -1.0)] {
+                            if v == GND_SENTINEL {
+                                continue;
+                            }
+                            a[(u, v)] += su * sv * kv;
+                        }
+                    }
+                }
+            }
+        }
+        let chol = a.cholesky()?;
+        let _ = &resistors; // only needed during assembly
+        Ok(Self {
+            n,
+            chol,
+            k,
+            caps,
+            isrcs,
+            ind,
+            node_index,
+        })
+    }
+
+    /// Number of nodal unknowns.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Runs the transient and returns the voltage traces of the
+    /// requested nodes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures (not expected after a successful
+    /// [`SpdTransient::build`]).
+    pub fn run(
+        &self,
+        probes: &[NodeId],
+        dt: f64,
+        t_stop: f64,
+    ) -> Result<Vec<Trace>, NumericError> {
+        let k = self.k;
+        let n = self.n;
+        let n_steps = (t_stop / dt).ceil() as usize;
+        let mut v = vec![0.0; n];
+        // Companion states.
+        let mut cap_state: Vec<(f64, f64)> = self.caps.iter().map(|_| (0.0, 0.0)).collect();
+        let mut ind_i: Vec<Vec<f64>> = self
+            .ind
+            .iter()
+            .map(|s| vec![0.0; s.branches.len()])
+            .collect();
+        let mut ind_v: Vec<Vec<f64>> = ind_i.clone();
+
+        let probe_idx: Vec<Option<usize>> = probes
+            .iter()
+            .map(|p| {
+                if *p == Circuit::GND {
+                    None
+                } else {
+                    self.node_index.get(p).copied()
+                }
+            })
+            .collect();
+        let mut times = Vec::with_capacity(n_steps + 1);
+        let mut data: Vec<Vec<f64>> = vec![Vec::with_capacity(n_steps + 1); probes.len()];
+        let record = |t: f64, v: &[f64], times: &mut Vec<f64>, data: &mut Vec<Vec<f64>>| {
+            times.push(t);
+            for (j, pi) in probe_idx.iter().enumerate() {
+                data[j].push(pi.map_or(0.0, |i| v[i]));
+            }
+        };
+        record(0.0, &v, &mut times, &mut data);
+
+        let vat = |v: &[f64], i: usize| if i == GND_SENTINEL { 0.0 } else { v[i] };
+        for step in 1..=n_steps {
+            let t = step as f64 * dt;
+            let mut rhs = vec![0.0; n];
+            for &(from, into, ref wave) in &self.isrcs {
+                let amps = wave.value_at(t);
+                if into != GND_SENTINEL {
+                    rhs[into] += amps;
+                }
+                if from != GND_SENTINEL {
+                    rhs[from] -= amps;
+                }
+            }
+            for (ci, &(a, b, cv)) in self.caps.iter().enumerate() {
+                let (vp, ip) = cap_state[ci];
+                let ieq = k * cv * vp + ip;
+                if a != GND_SENTINEL {
+                    rhs[a] += ieq;
+                }
+                if b != GND_SENTINEL {
+                    rhs[b] -= ieq;
+                }
+            }
+            for (s, sys) in self.ind.iter().enumerate() {
+                let nb = sys.branches.len();
+                // Branch history current: i_hist = i^n + (1/k) K A_Lᵀ v^n
+                // flows out of node a into node b.
+                for p in 0..nb {
+                    let mut hist = ind_i[s][p];
+                    for q in 0..nb {
+                        hist += sys.kmat[(p, q)] / k * ind_v[s][q];
+                    }
+                    let (a, b) = sys.branches[p];
+                    if a != GND_SENTINEL {
+                        rhs[a] -= hist;
+                    }
+                    if b != GND_SENTINEL {
+                        rhs[b] += hist;
+                    }
+                }
+            }
+            let v_new = self.chol.solve(&rhs)?;
+            // Update companions.
+            for (ci, &(a, b, cv)) in self.caps.iter().enumerate() {
+                let vn = vat(&v_new, a) - vat(&v_new, b);
+                let (vp, ip) = cap_state[ci];
+                cap_state[ci] = (vn, k * cv * (vn - vp) - ip);
+            }
+            for (s, sys) in self.ind.iter().enumerate() {
+                let nb = sys.branches.len();
+                let vb_new: Vec<f64> = sys
+                    .branches
+                    .iter()
+                    .map(|&(a, b)| vat(&v_new, a) - vat(&v_new, b))
+                    .collect();
+                for p in 0..nb {
+                    let mut di = 0.0;
+                    for q in 0..nb {
+                        di += sys.kmat[(p, q)] / k * (vb_new[q] + ind_v[s][q]);
+                    }
+                    ind_i[s][p] += di;
+                }
+                ind_v[s] = vb_new;
+            }
+            v = v_new;
+            record(t, &v, &mut times, &mut data);
+        }
+        Ok(data
+            .into_iter()
+            .map(|d| Trace::new(times.clone(), d))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ind101_circuit::{SourceWave, TranOptions};
+
+    /// RLC network with a current-source drive, solvable by both engines.
+    fn build() -> (Circuit, NodeId, NodeId) {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.isrc(
+            Circuit::GND,
+            a,
+            SourceWave::step(0.0, 1e-3, 10e-12, 20e-12),
+        );
+        c.resistor(a, b, 5.0);
+        c.inductor(b, Circuit::GND, 1e-9);
+        c.capacitor(a, Circuit::GND, 100e-15);
+        c.capacitor(b, Circuit::GND, 50e-15);
+        (c, a, b)
+    }
+
+    #[test]
+    fn matches_general_mna_engine() {
+        let (c, a, b) = build();
+        let dt = 0.25e-12;
+        let t_stop = 500e-12;
+        let mut opts = TranOptions::new(dt, t_stop);
+        opts.start_from_dc = false;
+        let reference = c.transient(&opts).unwrap();
+        let spd = SpdTransient::build(&c, dt).unwrap();
+        let traces = spd.run(&[a, b], dt, t_stop).unwrap();
+        for (node, tr) in [(a, &traces[0]), (b, &traces[1])] {
+            let vref = reference.voltage(node);
+            for &t in &[50e-12, 150e-12, 400e-12] {
+                let d = (vref.sample(t) - tr.sample(t)).abs();
+                assert!(d < 1e-4, "node {node:?} t {t:e}: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn voltage_sources_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.vsrc(a, Circuit::GND, SourceWave::dc(1.0));
+        c.resistor(a, Circuit::GND, 1.0);
+        assert!(SpdTransient::build(&c, 1e-12).is_err());
+    }
+
+    #[test]
+    fn coupled_system_stays_spd() {
+        use ind101_numeric::Matrix;
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.isrc(Circuit::GND, a, SourceWave::dc(1e-3));
+        c.resistor(a, Circuit::GND, 50.0);
+        c.resistor(b, Circuit::GND, 50.0);
+        let mut m = Matrix::zeros(2, 2);
+        m[(0, 0)] = 1e-9;
+        m[(1, 1)] = 1e-9;
+        m[(0, 1)] = 0.6e-9;
+        m[(1, 0)] = 0.6e-9;
+        c.add_inductor_system(ind101_circuit::InductorSystem {
+            branches: vec![(a, Circuit::GND), (b, Circuit::GND)],
+            m,
+        })
+        .unwrap();
+        let spd = SpdTransient::build(&c, 1e-12).unwrap();
+        assert_eq!(spd.num_nodes(), 2);
+    }
+
+    #[test]
+    fn ground_probe_is_zero() {
+        let (c, a, _) = build();
+        let spd = SpdTransient::build(&c, 1e-12).unwrap();
+        let traces = spd.run(&[Circuit::GND, a], 1e-12, 50e-12).unwrap();
+        assert!(traces[0].values.iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,176 @@
+//! Dense Cholesky factorization `A = L·Lᵀ` for symmetric positive
+//! definite matrices.
+//!
+//! Two roles in the toolkit:
+//!
+//! * the *combined technique* of the paper ([Gala DAC 2000]) manipulates
+//!   the MNA matrix of the linear PEEC partition into a positive-definite
+//!   form precisely so that a fast Cholesky direct solver applies;
+//! * Cholesky success/failure is the cheapest positive-definiteness test
+//!   for sparsified partial-inductance matrices (Section 4 of the paper:
+//!   truncation can destroy definiteness, block-diagonal cannot).
+
+use crate::{Matrix, NumericError, Result};
+
+/// Lower-triangular Cholesky factor of a symmetric positive definite
+/// matrix.
+#[derive(Clone, Debug)]
+pub struct CholeskyFactor {
+    l: Matrix<f64>,
+}
+
+impl Matrix<f64> {
+    /// Computes the Cholesky factorization `A = L·Lᵀ`.
+    ///
+    /// Only the lower triangle of `self` is read; symmetry of the upper
+    /// triangle is the caller's responsibility (use
+    /// [`Matrix::symmetry_defect`] to verify when in doubt).
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericError::NotSquare`] if the matrix is not square.
+    /// * [`NumericError::NotPositiveDefinite`] if a pivot is ≤ 0 or NaN —
+    ///   i.e. the matrix is not positive definite.
+    pub fn cholesky(&self) -> Result<CholeskyFactor> {
+        if !self.is_square() {
+            return Err(NumericError::NotSquare {
+                rows: self.nrows(),
+                cols: self.ncols(),
+            });
+        }
+        let n = self.nrows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if !(sum > 0.0) {
+                        return Err(NumericError::NotPositiveDefinite {
+                            pivot: i,
+                            value: sum,
+                        });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(CholeskyFactor { l })
+    }
+
+    /// Returns `true` when the matrix (lower triangle) is symmetric
+    /// positive definite, judged by Cholesky success.
+    pub fn is_positive_definite(&self) -> bool {
+        self.is_square() && self.cholesky().is_ok()
+    }
+}
+
+impl CholeskyFactor {
+    /// System dimension.
+    pub fn n(&self) -> usize {
+        self.l.nrows()
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix<f64> {
+        &self.l
+    }
+
+    /// Solves `A·x = b` by forward/backward substitution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `b.len() != n`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.n();
+        if b.len() != n {
+            return Err(NumericError::DimensionMismatch {
+                expected: n,
+                found: b.len(),
+            });
+        }
+        let mut y = b.to_vec();
+        for i in 0..n {
+            let mut acc = y[i];
+            for k in 0..i {
+                acc -= self.l[(i, k)] * y[k];
+            }
+            y[i] = acc / self.l[(i, i)];
+        }
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for k in (i + 1)..n {
+                acc -= self.l[(k, i)] * y[k];
+            }
+            y[i] = acc / self.l[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Log-determinant of `A` (numerically safer than the determinant for
+    /// the large SPD matrices of the PEEC flow).
+    pub fn log_det(&self) -> f64 {
+        (0..self.n()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factors_spd_matrix() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+        let f = a.cholesky().unwrap();
+        let l = f.l();
+        let recon = l.matmul(&l.transpose()).unwrap();
+        assert!((&recon - &a).max_abs() < 1e-14);
+    }
+
+    #[test]
+    fn rejects_indefinite_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(
+            a.cholesky(),
+            Err(NumericError::NotPositiveDefinite { .. })
+        ));
+        assert!(!a.is_positive_definite());
+    }
+
+    #[test]
+    fn rejects_nan() {
+        let a = Matrix::from_rows(&[&[f64::NAN]]);
+        assert!(!a.is_positive_definite());
+    }
+
+    #[test]
+    fn solve_matches_lu() {
+        let a = Matrix::from_rows(&[&[6.0, 2.0, 1.0], &[2.0, 5.0, 2.0], &[1.0, 2.0, 4.0]]);
+        let b = [1.0, -2.0, 3.0];
+        let x_chol = a.cholesky().unwrap().solve(&b).unwrap();
+        let x_lu = a.lu().unwrap().solve(&b).unwrap();
+        for (u, v) in x_chol.iter().zip(&x_lu) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn log_det_of_diagonal() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 8.0]]);
+        let f = a.cholesky().unwrap();
+        assert!((f.log_det() - (16.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagonally_dominant_is_pd() {
+        let n = 12;
+        let a = Matrix::from_fn(n, n, |i, j| if i == j { 5.0 } else { 1.0 / (1.0 + (i as f64 - j as f64).abs()) });
+        // Symmetrize exactly.
+        let s = Matrix::from_fn(n, n, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]));
+        assert!(s.is_positive_definite());
+    }
+}

@@ -1,0 +1,203 @@
+//! Cyclic Jacobi eigensolver for dense symmetric matrices.
+//!
+//! Section 4 of the paper hinges on the *definiteness* of sparsified
+//! partial-inductance matrices: simple truncation "can become
+//! non-positive definite, and the sparsified system becomes active and
+//! can generate energy". The sparsification crate quantifies this by
+//! examining the eigenvalue spectrum; Jacobi iteration is simple, robust,
+//! and accurate for the matrix sizes involved.
+
+use crate::{Matrix, NumericError, Result};
+
+/// Maximum number of full Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 100;
+
+/// Eigen-decomposition of a symmetric matrix: `A = V·diag(λ)·Vᵀ`.
+#[derive(Clone, Debug)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Matrix whose columns are the corresponding eigenvectors.
+    pub vectors: Matrix<f64>,
+}
+
+/// Computes all eigenvalues of a symmetric matrix, ascending.
+///
+/// Only the lower triangle is read. See [`jacobi_eigenvectors`] for the
+/// full decomposition.
+///
+/// # Errors
+///
+/// * [`NumericError::NotSquare`] for non-square input.
+/// * [`NumericError::NoConvergence`] if the off-diagonal mass does not
+///   vanish within the sweep budget (does not happen for well-scaled
+///   symmetric input).
+pub fn jacobi_eigenvalues(a: &Matrix<f64>) -> Result<Vec<f64>> {
+    Ok(jacobi_eigenvectors(a)?.values)
+}
+
+/// Computes the full symmetric eigen-decomposition by the cyclic Jacobi
+/// method.
+///
+/// # Errors
+///
+/// See [`jacobi_eigenvalues`].
+pub fn jacobi_eigenvectors(a: &Matrix<f64>) -> Result<SymmetricEigen> {
+    if !a.is_square() {
+        return Err(NumericError::NotSquare {
+            rows: a.nrows(),
+            cols: a.ncols(),
+        });
+    }
+    let n = a.nrows();
+    // Work on a symmetrized copy so callers may pass lower-triangle data.
+    let mut m = Matrix::from_fn(n, n, |i, j| {
+        if i >= j {
+            a[(i, j)]
+        } else {
+            a[(j, i)]
+        }
+    });
+    let mut v = Matrix::identity(n);
+    if n <= 1 {
+        return Ok(SymmetricEigen {
+            values: (0..n).map(|i| m[(i, i)]).collect(),
+            vectors: v,
+        });
+    }
+    let scale = m.max_abs().max(f64::MIN_POSITIVE);
+    let tol = 1e-14 * scale;
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off = off.max(m[(i, j)].abs());
+            }
+        }
+        if off <= tol {
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&x, &y| m[(x, x)].partial_cmp(&m[(y, y)]).unwrap());
+            let values: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
+            let vectors = Matrix::from_fn(n, n, |i, j| v[(i, order[j])]);
+            return Ok(SymmetricEigen { values, vectors });
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= tol * 1e-2 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Apply the rotation to rows/columns p and q.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    Err(NumericError::NoConvergence {
+        iterations: MAX_SWEEPS,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 1.0]]);
+        let ev = jacobi_eigenvalues(&a).unwrap();
+        assert_eq!(ev, vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let ev = jacobi_eigenvalues(&a).unwrap();
+        assert!((ev[0] - 1.0).abs() < 1e-12);
+        assert!((ev[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indefinite_matrix_has_negative_eigenvalue() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        let ev = jacobi_eigenvalues(&a).unwrap();
+        assert!(ev[0] < 0.0);
+        assert!(!a.is_positive_definite());
+    }
+
+    #[test]
+    fn decomposition_reconstructs_matrix() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, 0.5],
+            &[1.0, 3.0, 0.25],
+            &[0.5, 0.25, 2.0],
+        ]);
+        let e = jacobi_eigenvectors(&a).unwrap();
+        let mut d = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            d[(i, i)] = e.values[i];
+        }
+        let recon = e
+            .vectors
+            .matmul(&d)
+            .unwrap()
+            .matmul(&e.vectors.transpose())
+            .unwrap();
+        assert!((&recon - &a).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Matrix::from_rows(&[&[5.0, 2.0], &[2.0, 1.0]]);
+        let e = jacobi_eigenvectors(&a).unwrap();
+        let g = e.vectors.transpose().matmul(&e.vectors).unwrap();
+        assert!((&g - &Matrix::identity(2)).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let n = 10;
+        let a = Matrix::from_fn(n, n, |i, j| 1.0 / (1.0 + (i as f64 - j as f64).abs()) + if i == j { 2.0 } else { 0.0 });
+        let s = Matrix::from_fn(n, n, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]));
+        let ev = jacobi_eigenvalues(&s).unwrap();
+        let trace: f64 = (0..n).map(|i| s[(i, i)]).sum();
+        let sum: f64 = ev.iter().sum();
+        assert!((trace - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let a = Matrix::<f64>::zeros(0, 0);
+        assert!(jacobi_eigenvalues(&a).unwrap().is_empty());
+        let b = Matrix::from_rows(&[&[7.0]]);
+        assert_eq!(jacobi_eigenvalues(&b).unwrap(), vec![7.0]);
+    }
+}

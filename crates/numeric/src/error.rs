@@ -1,0 +1,114 @@
+//! Error type shared by all numeric kernels.
+
+use std::fmt;
+
+/// Errors produced by the linear-algebra kernels.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum NumericError {
+    /// A matrix that must be square was not.
+    NotSquare {
+        /// Number of rows observed.
+        rows: usize,
+        /// Number of columns observed.
+        cols: usize,
+    },
+    /// Two operands had incompatible dimensions.
+    DimensionMismatch {
+        /// Dimension expected by the operation.
+        expected: usize,
+        /// Dimension actually supplied.
+        found: usize,
+    },
+    /// Factorization hit a (numerically) singular pivot.
+    Singular {
+        /// Index of the offending pivot.
+        pivot: usize,
+    },
+    /// Cholesky factorization failed: the matrix is not positive definite.
+    NotPositiveDefinite {
+        /// Index of the first non-positive diagonal pivot.
+        pivot: usize,
+        /// Value of that pivot (≤ 0 or NaN).
+        value: f64,
+    },
+    /// An entry fell outside the declared band of a banded matrix.
+    OutsideBand {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+        /// Sub-diagonal half-bandwidth of the matrix.
+        kl: usize,
+        /// Super-diagonal half-bandwidth of the matrix.
+        ku: usize,
+    },
+    /// An iterative method failed to converge within its iteration cap.
+    NoConvergence {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// An index was out of range for the container it addressed.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The container length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for NumericError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, got {rows}x{cols}")
+            }
+            Self::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            Self::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot {pivot}")
+            }
+            Self::NotPositiveDefinite { pivot, value } => write!(
+                f,
+                "matrix is not positive definite: pivot {pivot} = {value:e}"
+            ),
+            Self::OutsideBand { row, col, kl, ku } => write!(
+                f,
+                "entry ({row},{col}) lies outside the declared band (kl={kl}, ku={ku})"
+            ),
+            Self::NoConvergence { iterations } => {
+                write!(f, "iteration failed to converge after {iterations} sweeps")
+            }
+            Self::IndexOutOfRange { index, len } => {
+                write!(f, "index {index} out of range for length {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NumericError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = NumericError::NotSquare { rows: 2, cols: 3 };
+        assert!(e.to_string().contains("2x3"));
+        let e = NumericError::Singular { pivot: 7 };
+        assert!(e.to_string().contains('7'));
+        let e = NumericError::NotPositiveDefinite {
+            pivot: 1,
+            value: -2.0,
+        };
+        assert!(e.to_string().contains("positive definite"));
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&NumericError::Singular { pivot: 0 });
+    }
+}

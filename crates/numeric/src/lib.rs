@@ -1,0 +1,65 @@
+//! Linear-algebra substrate for the `ind101` on-chip inductance toolkit.
+//!
+//! The 2001 paper this repository reproduces leans on three numerical
+//! kernels, none of which exist in the approved offline dependency set:
+//!
+//! * **dense symmetric solvers** — partial-inductance matrices are dense
+//!   and symmetric positive definite (Cholesky), and sparsified variants
+//!   must be *checked* for positive definiteness (Jacobi eigenvalues);
+//! * **banded/general LU** — modified-nodal-analysis (MNA) matrices of the
+//!   PEEC circuit are sparse and, after reverse Cuthill–McKee reordering,
+//!   tightly banded; AC analysis needs the same factorization over
+//!   complex numbers;
+//! * **block orthonormalization** — PRIMA model-order reduction is a block
+//!   Arnoldi process built on modified Gram–Schmidt.
+//!
+//! Everything here is implemented from scratch and kept deliberately
+//! small: row-major dense matrices, LAPACK-layout banded storage, CSR
+//! sparse matrices, and a couple of classic orderings.
+//!
+//! # Example
+//!
+//! ```
+//! use ind101_numeric::{Matrix, Complex64};
+//!
+//! // Solve a small real system A x = b by LU with partial pivoting.
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+//! let x = a.lu().unwrap().solve(&[1.0, 2.0]).unwrap();
+//! assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+//!
+//! // Complex arithmetic for AC analysis.
+//! let z = Complex64::new(3.0, 4.0);
+//! assert_eq!(z.abs(), 5.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod banded;
+mod cholesky;
+mod complex;
+mod dense;
+mod eigen;
+mod error;
+mod lu;
+mod ordering;
+mod qr;
+mod scalar;
+mod sparse;
+mod vecops;
+
+pub use banded::BandedMatrix;
+pub use cholesky::CholeskyFactor;
+pub use complex::Complex64;
+pub use dense::Matrix;
+pub use eigen::{jacobi_eigenvalues, jacobi_eigenvectors, SymmetricEigen};
+pub use error::NumericError;
+pub use lu::LuFactors;
+pub use ordering::{bandwidth, reverse_cuthill_mckee, Permutation};
+pub use qr::{mgs_orthonormalize, orthonormalize_against};
+pub use scalar::Scalar;
+pub use sparse::{CsrMatrix, Triplets};
+pub use vecops::{axpy, dot, norm2, norm_inf, scale};
+
+/// Convenient result alias for fallible numeric operations.
+pub type Result<T> = std::result::Result<T, NumericError>;

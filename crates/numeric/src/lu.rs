@@ -1,0 +1,263 @@
+//! Dense LU factorization with partial pivoting, over any [`Scalar`].
+//!
+//! This is the workhorse behind DC operating points, AC sweeps of small
+//! macromodels, K-matrix computation (inversion of the partial-inductance
+//! matrix), and PRIMA's `(G + s₀C)⁻¹` applications when the system is
+//! small enough to stay dense.
+
+use crate::{Matrix, NumericError, Result, Scalar};
+
+/// Packed LU factors `P·A = L·U` of a square matrix.
+///
+/// `L` has an implicit unit diagonal; both factors share the storage of
+/// the original matrix.
+#[derive(Clone, Debug)]
+pub struct LuFactors<T: Scalar = f64> {
+    lu: Matrix<T>,
+    perm: Vec<usize>,
+    swaps: usize,
+}
+
+impl<T: Scalar> Matrix<T> {
+    /// Factorizes `self` as `P·A = L·U` with partial (row) pivoting.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericError::NotSquare`] if the matrix is not square.
+    /// * [`NumericError::Singular`] if a pivot column is exactly zero.
+    pub fn lu(&self) -> Result<LuFactors<T>> {
+        if !self.is_square() {
+            return Err(NumericError::NotSquare {
+                rows: self.nrows(),
+                cols: self.ncols(),
+            });
+        }
+        let n = self.nrows();
+        let mut lu = self.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut swaps = 0;
+        for k in 0..n {
+            // Pivot: row with the largest magnitude in column k.
+            let mut p = k;
+            let mut best = lu[(k, k)].abs_val();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs_val();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best == 0.0 || !best.is_finite() {
+                return Err(NumericError::Singular { pivot: k });
+            }
+            if p != k {
+                perm.swap(k, p);
+                swaps += 1;
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                if m.is_zero() {
+                    continue;
+                }
+                for j in (k + 1)..n {
+                    let u = lu[(k, j)];
+                    lu[(i, j)] -= m * u;
+                }
+            }
+        }
+        Ok(LuFactors { lu, perm, swaps })
+    }
+
+    /// Computes the inverse via LU.
+    ///
+    /// Used to form the K-matrix `K = L⁻¹` of the Devgan method, where the
+    /// full partial-inductance matrix must be inverted once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`Matrix::lu`].
+    pub fn inverse(&self) -> Result<Matrix<T>> {
+        let f = self.lu()?;
+        let n = self.nrows();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![T::zero(); n];
+        for j in 0..n {
+            e[j] = T::one();
+            let x = f.solve(&e)?;
+            for i in 0..n {
+                inv[(i, j)] = x[i];
+            }
+            e[j] = T::zero();
+        }
+        Ok(inv)
+    }
+}
+
+impl<T: Scalar> LuFactors<T> {
+    /// System dimension.
+    pub fn n(&self) -> usize {
+        self.lu.nrows()
+    }
+
+    /// Solves `A·x = b` using the stored factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `b.len() != n`.
+    pub fn solve(&self, b: &[T]) -> Result<Vec<T>> {
+        let n = self.n();
+        if b.len() != n {
+            return Err(NumericError::DimensionMismatch {
+                expected: n,
+                found: b.len(),
+            });
+        }
+        // Apply permutation.
+        let mut x: Vec<T> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution with unit-diagonal L.
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Backward substitution with U.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves for multiple right-hand sides given as matrix columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `b.nrows() != n`.
+    pub fn solve_matrix(&self, b: &Matrix<T>) -> Result<Matrix<T>> {
+        if b.nrows() != self.n() {
+            return Err(NumericError::DimensionMismatch {
+                expected: self.n(),
+                found: b.nrows(),
+            });
+        }
+        let mut out = Matrix::zeros(b.nrows(), b.ncols());
+        for j in 0..b.ncols() {
+            let col = b.col(j);
+            let x = self.solve(&col)?;
+            out.set_col(j, &x);
+        }
+        Ok(out)
+    }
+
+    /// Determinant of the original matrix (product of U's diagonal with
+    /// the pivot sign).
+    pub fn det(&self) -> T {
+        let mut d = if self.swaps % 2 == 0 {
+            T::one()
+        } else {
+            -T::one()
+        };
+        for i in 0..self.n() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Complex64;
+
+    #[test]
+    fn solves_known_system() {
+        // [2 1; 1 3] x = [3; 5]  => x = [0.8, 1.4]
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = a.lu().unwrap().solve(&[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-14);
+        assert!((x[1] - 1.4).abs() < 1e-14);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // a11 = 0 requires a row swap; without pivoting this would fail.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = a.lu().unwrap().solve(&[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(a.lu(), Err(NumericError::Singular { .. })));
+    }
+
+    #[test]
+    fn non_square_is_reported() {
+        let a = Matrix::<f64>::zeros(2, 3);
+        assert!(matches!(a.lu(), Err(NumericError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0, 0.5], &[2.0, 5.0, 1.0], &[0.5, 1.0, 3.0]]);
+        let inv = a.inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        let id = Matrix::identity(3);
+        assert!((&prod - &id).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_sign_with_swaps() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let d = a.lu().unwrap().det();
+        assert!((d + 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn complex_solve() {
+        // (1+i) x = 2i  =>  x = 1 + i
+        let a = Matrix::from_rows(&[&[Complex64::new(1.0, 1.0)]]);
+        let x = a.lu().unwrap().solve(&[Complex64::new(0.0, 2.0)]).unwrap();
+        assert!((x[0] - Complex64::new(1.0, 1.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn solve_matrix_matches_columnwise_solve() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let f = a.lu().unwrap();
+        let x = f.solve_matrix(&b).unwrap();
+        let recon = a.matmul(&x).unwrap();
+        assert!((&recon - &b).max_abs() < 1e-13);
+    }
+
+    #[test]
+    fn random_round_trip_residual_small() {
+        // Deterministic pseudo-random fill (no RNG dependency needed here).
+        let n = 24;
+        let mut seed = 123u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        let a = Matrix::from_fn(n, n, |i, j| next() + if i == j { 4.0 } else { 0.0 });
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let x = a.lu().unwrap().solve(&b).unwrap();
+        let r = a.matvec(&x).unwrap();
+        let resid: f64 = r.iter().zip(&b).map(|(u, v)| (u - v).abs()).fold(0.0, f64::max);
+        assert!(resid < 1e-10, "residual {resid}");
+    }
+}

@@ -1,0 +1,164 @@
+//! Modified Gram–Schmidt orthonormalization.
+//!
+//! PRIMA (the paper's reference \[20\]) builds a Krylov projection basis by
+//! block Arnoldi iteration; each new block of vectors must be
+//! orthonormalized against all previous ones and against itself, with
+//! rank-deficient directions deflated. Modified Gram–Schmidt with
+//! re-orthogonalization ("MGS2") is accurate enough for the reduction
+//! orders used here (tens of columns).
+
+use crate::{dot, norm2, Matrix};
+
+/// Relative tolerance below which a vector is considered linearly
+/// dependent on the basis and is deflated.
+const DEFLATION_TOL: f64 = 1e-10;
+
+/// Orthonormalizes the columns of `m` in place by modified Gram–Schmidt
+/// with one re-orthogonalization pass, dropping linearly dependent
+/// columns.
+///
+/// Returns the surviving orthonormal columns as a new matrix (possibly
+/// with fewer columns than the input).
+pub fn mgs_orthonormalize(m: &Matrix<f64>) -> Matrix<f64> {
+    let n = m.nrows();
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(m.ncols());
+    for j in 0..m.ncols() {
+        let mut v = m.col(j);
+        let original_norm = norm2(&v);
+        if original_norm == 0.0 {
+            continue;
+        }
+        for _pass in 0..2 {
+            for q in &basis {
+                let h = dot(q, &v);
+                for (vi, qi) in v.iter_mut().zip(q) {
+                    *vi -= h * qi;
+                }
+            }
+        }
+        let nv = norm2(&v);
+        if nv <= DEFLATION_TOL * original_norm {
+            continue; // linearly dependent — deflate
+        }
+        for vi in &mut v {
+            *vi /= nv;
+        }
+        basis.push(v);
+    }
+    let mut out = Matrix::zeros(n, basis.len());
+    for (j, q) in basis.iter().enumerate() {
+        out.set_col(j, q);
+    }
+    out
+}
+
+/// Orthonormalizes the columns of `block` against an existing orthonormal
+/// basis `q` and against themselves, returning only the new independent
+/// directions.
+///
+/// This is the inner step of block Arnoldi: `q` holds all previously
+/// accepted Krylov vectors; `block` is the next candidate block.
+pub fn orthonormalize_against(q: &Matrix<f64>, block: &Matrix<f64>) -> Matrix<f64> {
+    assert_eq!(q.nrows(), block.nrows(), "row dimension mismatch");
+    let n = block.nrows();
+    let mut accepted: Vec<Vec<f64>> = Vec::new();
+    for j in 0..block.ncols() {
+        let mut v = block.col(j);
+        let original_norm = norm2(&v);
+        if original_norm == 0.0 {
+            continue;
+        }
+        for _pass in 0..2 {
+            for jq in 0..q.ncols() {
+                let qc = q.col(jq);
+                let h = dot(&qc, &v);
+                for (vi, qi) in v.iter_mut().zip(&qc) {
+                    *vi -= h * qi;
+                }
+            }
+            for a in &accepted {
+                let h = dot(a, &v);
+                for (vi, ai) in v.iter_mut().zip(a) {
+                    *vi -= h * ai;
+                }
+            }
+        }
+        let nv = norm2(&v);
+        if nv <= DEFLATION_TOL * original_norm {
+            continue;
+        }
+        for vi in &mut v {
+            *vi /= nv;
+        }
+        accepted.push(v);
+    }
+    let mut out = Matrix::zeros(n, accepted.len());
+    for (j, a) in accepted.iter().enumerate() {
+        out.set_col(j, a);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gram(m: &Matrix<f64>) -> Matrix<f64> {
+        m.transpose().matmul(m).unwrap()
+    }
+
+    #[test]
+    fn orthonormalizes_independent_columns() {
+        let m = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0], &[0.0, 1.0]]);
+        let q = mgs_orthonormalize(&m);
+        assert_eq!(q.ncols(), 2);
+        let g = gram(&q);
+        assert!((&g - &Matrix::identity(2)).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn deflates_dependent_columns() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[1.0, 2.0]]);
+        let q = mgs_orthonormalize(&m);
+        assert_eq!(q.ncols(), 1);
+    }
+
+    #[test]
+    fn drops_zero_columns() {
+        let m = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]);
+        let q = mgs_orthonormalize(&m);
+        assert_eq!(q.ncols(), 1);
+    }
+
+    #[test]
+    fn block_orthogonalization_against_existing_basis() {
+        let q0 = mgs_orthonormalize(&Matrix::from_rows(&[&[1.0], &[0.0], &[0.0]]));
+        let block = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 0.0], &[0.0, 1.0]]);
+        let qn = orthonormalize_against(&q0, &block);
+        assert_eq!(qn.ncols(), 2);
+        // New columns orthogonal to q0 and to each other.
+        for j in 0..qn.ncols() {
+            assert!(dot(&q0.col(0), &qn.col(j)).abs() < 1e-12);
+        }
+        assert!(dot(&qn.col(0), &qn.col(1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_fully_dependent_returns_empty() {
+        let q0 = mgs_orthonormalize(&Matrix::from_rows(&[&[1.0], &[0.0]]));
+        let block = Matrix::from_rows(&[&[5.0], &[0.0]]);
+        let qn = orthonormalize_against(&q0, &block);
+        assert_eq!(qn.ncols(), 0);
+    }
+
+    #[test]
+    fn near_dependent_columns_stay_orthogonal() {
+        // Classic MGS stress: nearly parallel vectors.
+        let eps = 1e-8;
+        let m = Matrix::from_rows(&[&[1.0, 1.0], &[eps, 0.0], &[0.0, eps]]);
+        let q = mgs_orthonormalize(&m);
+        assert_eq!(q.ncols(), 2);
+        let g = gram(&q);
+        assert!((&g - &Matrix::identity(2)).max_abs() < 1e-10);
+    }
+}

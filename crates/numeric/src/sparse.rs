@@ -1,0 +1,301 @@
+//! Sparse matrix support: coordinate (triplet) assembly and compressed
+//! sparse row storage.
+//!
+//! MNA stamping naturally produces duplicate coordinate entries (every
+//! element stamps its own contribution); [`Triplets`] accumulates them
+//! and [`Triplets::to_csr`] merges duplicates. The CSR form feeds
+//! matrix–vector products (PRIMA), bandwidth-reducing orderings
+//! ([`crate::ordering`]), and banded assembly ([`crate::BandedMatrix`]).
+
+use crate::{Matrix, NumericError, Result, Scalar};
+
+/// Coordinate-format sparse matrix builder with duplicate accumulation.
+#[derive(Clone, Debug)]
+pub struct Triplets<T = f64> {
+    nrows: usize,
+    ncols: usize,
+    entries: Vec<(usize, usize, T)>,
+}
+
+impl<T: Scalar> Triplets<T> {
+    /// Creates an empty builder for an `nrows × ncols` matrix.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of raw (pre-merge) entries pushed so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds `value` at `(row, col)`; duplicates accumulate on conversion.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertions) if the position is out of range.
+    #[inline]
+    pub fn push(&mut self, row: usize, col: usize, value: T) {
+        debug_assert!(row < self.nrows && col < self.ncols, "triplet out of range");
+        if !value.is_zero() {
+            self.entries.push((row, col, value));
+        }
+    }
+
+    /// Raw entries view.
+    pub fn entries(&self) -> &[(usize, usize, T)] {
+        &self.entries
+    }
+
+    /// Converts to CSR, merging duplicate coordinates by summation.
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        let mut sorted = self.entries.clone();
+        sorted.sort_by_key(|&(r, c, _)| (r, c));
+        let mut counts = vec![0usize; self.nrows + 1];
+        let mut indices = Vec::with_capacity(sorted.len());
+        let mut data: Vec<T> = Vec::with_capacity(sorted.len());
+        let mut prev: Option<(usize, usize)> = None;
+        for &(r, c, v) in &sorted {
+            if prev == Some((r, c)) {
+                // Sorted order guarantees duplicates are adjacent.
+                *data.last_mut().expect("duplicate implies prior entry") += v;
+            } else {
+                indices.push(c);
+                data.push(v);
+                counts[r + 1] += 1;
+                prev = Some((r, c));
+            }
+        }
+        let mut indptr = counts;
+        for r in 0..self.nrows {
+            indptr[r + 1] += indptr[r];
+        }
+        CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            indptr,
+            indices,
+            data,
+        }
+    }
+
+    /// Converts to a dense matrix (small systems and tests).
+    pub fn to_dense(&self) -> Matrix<T> {
+        let mut m = Matrix::zeros(self.nrows, self.ncols);
+        for &(r, c, v) in &self.entries {
+            m[(r, c)] += v;
+        }
+        m
+    }
+}
+
+/// Compressed sparse row matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix<T = f64> {
+    nrows: usize,
+    ncols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> CsrMatrix<T> {
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored (structural) non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Row pointer array (`nrows + 1` entries).
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// Column indices, row-by-row.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Stored values, aligned with [`CsrMatrix::indices`].
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Iterates over `(col, value)` pairs of row `i`.
+    pub fn row_iter(&self, i: usize) -> impl Iterator<Item = (usize, T)> + '_ {
+        let lo = self.indptr[i];
+        let hi = self.indptr[i + 1];
+        self.indices[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.data[lo..hi].iter().copied())
+    }
+
+    /// Value at `(i, j)`, zero if not stored.
+    pub fn get(&self, i: usize, j: usize) -> T {
+        self.row_iter(i)
+            .find(|&(c, _)| c == j)
+            .map_or(T::zero(), |(_, v)| v)
+    }
+
+    /// Matrix–vector product `y = A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `x.len() != ncols`.
+    pub fn matvec(&self, x: &[T]) -> Result<Vec<T>> {
+        if x.len() != self.ncols {
+            return Err(NumericError::DimensionMismatch {
+                expected: self.ncols,
+                found: x.len(),
+            });
+        }
+        let mut y = vec![T::zero(); self.nrows];
+        for i in 0..self.nrows {
+            let mut acc = T::zero();
+            for (c, v) in self.row_iter(i) {
+                acc += v * x[c];
+            }
+            y[i] = acc;
+        }
+        Ok(y)
+    }
+
+    /// Converts to dense storage.
+    pub fn to_dense(&self) -> Matrix<T> {
+        let mut m = Matrix::zeros(self.nrows, self.ncols);
+        for i in 0..self.nrows {
+            for (c, v) in self.row_iter(i) {
+                m[(i, c)] = v;
+            }
+        }
+        m
+    }
+
+    /// Undirected adjacency lists of the structural pattern of a square
+    /// matrix (`i ~ j` when either `(i,j)` or `(j,i)` is stored),
+    /// excluding self-loops. Input to the RCM ordering.
+    pub fn adjacency(&self) -> Vec<Vec<usize>> {
+        let n = self.nrows.max(self.ncols);
+        let mut adj = vec![Vec::new(); n];
+        for i in 0..self.nrows {
+            for (j, _) in self.row_iter(i) {
+                if i != j {
+                    adj[i].push(j);
+                    adj[j].push(i);
+                }
+            }
+        }
+        for l in &mut adj {
+            l.sort_unstable();
+            l.dedup();
+        }
+        adj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_accumulate() {
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(0, 0, 2.5);
+        t.push(1, 1, -1.0);
+        let a = t.to_csr();
+        assert_eq!(a.nnz(), 2);
+        assert_eq!(a.get(0, 0), 3.5);
+        assert_eq!(a.get(1, 1), -1.0);
+        assert_eq!(a.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn zero_pushes_are_skipped() {
+        let mut t = Triplets::new(1, 1);
+        t.push(0, 0, 0.0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn csr_matches_dense() {
+        let mut t = Triplets::new(3, 3);
+        for (r, c, v) in [(0, 1, 2.0), (1, 0, 3.0), (2, 2, 4.0), (0, 1, 1.0)] {
+            t.push(r, c, v);
+        }
+        let csr = t.to_csr();
+        let dense = t.to_dense();
+        assert_eq!(csr.to_dense(), dense);
+        assert_eq!(csr.nnz(), 3);
+    }
+
+    #[test]
+    fn matvec_agrees_with_dense() {
+        let mut t = Triplets::new(3, 3);
+        t.push(0, 0, 2.0);
+        t.push(0, 2, 1.0);
+        t.push(1, 1, 3.0);
+        t.push(2, 0, -1.0);
+        let csr = t.to_csr();
+        let x = [1.0, 2.0, 3.0];
+        let y = csr.matvec(&x).unwrap();
+        let yd = t.to_dense().matvec(&x).unwrap();
+        assert_eq!(y, yd);
+    }
+
+    #[test]
+    fn empty_rows_have_valid_pointers() {
+        let mut t = Triplets::new(4, 4);
+        t.push(3, 3, 1.0);
+        let csr = t.to_csr();
+        assert_eq!(csr.indptr(), &[0, 0, 0, 0, 1]);
+        assert_eq!(csr.matvec(&[1.0; 4]).unwrap(), vec![0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_without_self_loops() {
+        let mut t = Triplets::new(3, 3);
+        t.push(0, 1, 1.0);
+        t.push(1, 1, 5.0);
+        t.push(2, 0, 1.0);
+        let adj = t.to_csr().adjacency();
+        assert_eq!(adj[0], vec![1, 2]);
+        assert_eq!(adj[1], vec![0]);
+        assert_eq!(adj[2], vec![0]);
+    }
+
+    #[test]
+    fn matvec_dimension_error() {
+        let t = Triplets::<f64>::new(2, 3);
+        let csr = t.to_csr();
+        assert!(csr.matvec(&[0.0; 2]).is_err());
+    }
+}

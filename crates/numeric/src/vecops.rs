@@ -1,0 +1,90 @@
+//! Small vector helpers shared across the toolkit.
+
+use crate::Scalar;
+
+/// Dot product `xᵀ·y` (no conjugation).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    let mut acc = T::zero();
+    for (a, b) in x.iter().zip(y) {
+        acc += *a * *b;
+    }
+    acc
+}
+
+/// In-place `y ← y + a·x`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn axpy<T: Scalar>(a: T, x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * *xi;
+    }
+}
+
+/// In-place scaling `x ← k·x`.
+pub fn scale<T: Scalar>(k: T, x: &mut [T]) {
+    for v in x {
+        *v *= k;
+    }
+}
+
+/// Euclidean norm `‖x‖₂` using scalar magnitudes.
+pub fn norm2<T: Scalar>(x: &[T]) -> f64 {
+    x.iter()
+        .map(|v| {
+            let a = v.abs_val();
+            a * a
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Infinity norm `max |xᵢ|`.
+pub fn norm_inf<T: Scalar>(x: &[T]) -> f64 {
+    x.iter().map(|v| v.abs_val()).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Complex64;
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn norms() {
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm_inf(&[-7.0, 2.0]), 7.0);
+        assert_eq!(norm2(&[Complex64::new(3.0, 4.0)]), 5.0);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = vec![1.0, -2.0];
+        scale(3.0, &mut x);
+        assert_eq!(x, vec![3.0, -6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

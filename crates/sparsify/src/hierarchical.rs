@@ -1,0 +1,215 @@
+//! Hierarchical interconnect models — Beattie & Pileggi, the paper's
+//! reference \[16\].
+//!
+//! "Hierarchical interconnect models have been proposed to utilize the
+//! existing hierarchical nature of parasitic extractors. The concept of
+//! global circuit node is introduced to separate the electrical
+//! interaction into local and global interaction."
+//!
+//! Our rendering of the idea on the inductance matrix: segments are
+//! grouped into blocks (the extractor's hierarchy cells). *Local*
+//! interaction — couplings inside a block — is kept exactly. *Global*
+//! interaction — couplings between blocks — is compressed to one value
+//! per block pair, carried by the blocks' aggregate (global) current:
+//! the length-weighted mean of the exact cross-block couplings, which
+//! preserves the total magnetic flux the blocks exchange. The result
+//! is block-dense/globally-low-rank: `O(Σ nᵢ² + B²)` parameters instead
+//! of `O(n²)`, while — unlike plain block-diagonal — inter-block
+//! coupling is not discarded.
+
+use crate::metrics::{Sparsified, SparsityStats};
+use ind101_extract::PartialInductance;
+use ind101_numeric::Matrix;
+
+/// Applies the hierarchical local/global compression.
+///
+/// `blocks[k]` is the block label of segment `k`. Intra-block entries
+/// are exact; every cross-block entry `(i, j)` with `i ∈ A`, `j ∈ B` is
+/// replaced by the flux-preserving block average
+/// `M̄_AB = (Σ_{i∈A, j∈B} wᵢ·wⱼ·L_ij) / (Σ wᵢ · Σ wⱼ)` with
+/// length weights `w` (longer segments carry more of the block's global
+/// current).
+///
+/// # Panics
+///
+/// Panics if `blocks.len()` differs from the matrix dimension.
+pub fn hierarchical_sparsify(l: &PartialInductance, blocks: &[usize]) -> Sparsified {
+    assert_eq!(blocks.len(), l.len(), "one block label per segment");
+    let n = l.len();
+    let nb = blocks.iter().copied().max().map_or(0, |m| m + 1);
+    let w: Vec<f64> = l.segments().iter().map(|s| s.length_m()).collect();
+
+    // Block aggregate couplings.
+    let mut flux = Matrix::<f64>::zeros(nb, nb);
+    let mut weight = Matrix::<f64>::zeros(nb, nb);
+    for i in 0..n {
+        for j in 0..n {
+            let (bi, bj) = (blocks[i], blocks[j]);
+            if bi == bj {
+                continue;
+            }
+            flux[(bi, bj)] += w[i] * w[j] * l.matrix()[(i, j)];
+            weight[(bi, bj)] += w[i] * w[j];
+        }
+    }
+
+    let mut m = l.matrix().clone();
+    for i in 0..n {
+        for j in 0..n {
+            let (bi, bj) = (blocks[i], blocks[j]);
+            if bi == bj {
+                continue;
+            }
+            let avg = if weight[(bi, bj)] > 0.0 {
+                flux[(bi, bj)] / weight[(bi, bj)]
+            } else {
+                0.0
+            };
+            m[(i, j)] = avg;
+        }
+    }
+    // Exact symmetry (averaging is already symmetric, but enforce
+    // against roundoff).
+    let sym = Matrix::from_fn(n, n, |i, j| 0.5 * (m[(i, j)] + m[(j, i)]));
+    let stats = SparsityStats::compare(l.matrix(), &sym);
+    Sparsified {
+        matrix: sym,
+        stats,
+        method: "hierarchical",
+    }
+}
+
+/// Number of independent parameters of the hierarchical representation
+/// (the storage the method actually needs, even though [`Sparsified`]
+/// carries a dense matrix for uniformity): intra-block upper triangles
+/// plus one global coupling per block pair.
+pub fn hierarchical_parameter_count(blocks: &[usize]) -> usize {
+    let nb = blocks.iter().copied().max().map_or(0, |m| m + 1);
+    let mut sizes = vec![0usize; nb];
+    for &b in blocks {
+        sizes[b] += 1;
+    }
+    let local: usize = sizes.iter().map(|&s| s * (s + 1) / 2).sum();
+    let global = nb * nb.saturating_sub(1) / 2;
+    local + global
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block_diagonal::block_diagonal;
+    use crate::metrics::{matrix_error, stability_report};
+    use ind101_geom::generators::{generate_bus, BusSpec};
+    use ind101_geom::{um, Technology};
+
+    fn bus_l(signals: usize) -> PartialInductance {
+        let tech = Technology::example_copper_6lm();
+        let bus = generate_bus(
+            &tech,
+            &BusSpec {
+                signals,
+                length_nm: um(2000),
+                ..BusSpec::default()
+            },
+        );
+        let mut layout = bus;
+        layout.subdivide_segments(um(500));
+        PartialInductance::extract(&tech, layout.segments())
+    }
+
+    fn wire_blocks(l: &PartialInductance) -> Vec<usize> {
+        // Block = wire (same lateral position).
+        let mut ys: Vec<i64> = l.segments().iter().map(|s| s.start.y).collect();
+        ys.sort_unstable();
+        ys.dedup();
+        l.segments()
+            .iter()
+            .map(|s| ys.binary_search(&s.start.y).expect("known y"))
+            .collect()
+    }
+
+    #[test]
+    fn intra_block_entries_are_exact() {
+        let l = bus_l(4);
+        let blocks = wire_blocks(&l);
+        let h = hierarchical_sparsify(&l, &blocks);
+        for i in 0..l.len() {
+            for j in 0..l.len() {
+                if blocks[i] == blocks[j] {
+                    assert_eq!(h.matrix[(i, j)], l.matrix()[(i, j)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_accurate_than_block_diagonal() {
+        // Keeping averaged global coupling must beat discarding it.
+        let l = bus_l(5);
+        let blocks = wire_blocks(&l);
+        let h = hierarchical_sparsify(&l, &blocks);
+        let bd = block_diagonal(&l, &blocks);
+        let eh = matrix_error(l.matrix(), &h.matrix);
+        let ebd = matrix_error(l.matrix(), &bd.matrix);
+        assert!(eh < ebd, "hierarchical {eh} < block-diag {ebd}");
+    }
+
+    #[test]
+    fn flux_between_blocks_is_preserved() {
+        // Σ wᵢwⱼ L'_ij over a block pair equals the exact Σ wᵢwⱼ L_ij.
+        let l = bus_l(3);
+        let blocks = wire_blocks(&l);
+        let h = hierarchical_sparsify(&l, &blocks);
+        let w: Vec<f64> = l.segments().iter().map(|s| s.length_m()).collect();
+        let pair_flux = |m: &Matrix<f64>, a: usize, b: usize| -> f64 {
+            let mut acc = 0.0;
+            for i in 0..l.len() {
+                for j in 0..l.len() {
+                    if blocks[i] == a && blocks[j] == b {
+                        acc += w[i] * w[j] * m[(i, j)];
+                    }
+                }
+            }
+            acc
+        };
+        for a in 0..3 {
+            for b in 0..3 {
+                if a == b {
+                    continue;
+                }
+                let exact = pair_flux(l.matrix(), a, b);
+                let approx = pair_flux(&h.matrix, a, b);
+                assert!(
+                    (exact - approx).abs() / exact.abs() < 1e-9,
+                    "flux ({a},{b}): {exact} vs {approx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stays_positive_definite_on_bus() {
+        let l = bus_l(6);
+        let blocks = wire_blocks(&l);
+        let h = hierarchical_sparsify(&l, &blocks);
+        assert!(stability_report(&h.matrix).positive_definite);
+        assert_eq!(h.matrix.symmetry_defect(), 0.0);
+    }
+
+    #[test]
+    fn parameter_count_far_below_dense() {
+        let l = bus_l(6);
+        let blocks = wire_blocks(&l);
+        let params = hierarchical_parameter_count(&blocks);
+        let dense = l.len() * (l.len() + 1) / 2;
+        assert!(params < dense / 2, "{params} vs dense {dense}");
+    }
+
+    #[test]
+    fn single_block_is_identity() {
+        let l = bus_l(3);
+        let h = hierarchical_sparsify(&l, &vec![0; l.len()]);
+        assert_eq!(&h.matrix, l.matrix());
+        assert_eq!(h.stats.dropped, 0);
+    }
+}

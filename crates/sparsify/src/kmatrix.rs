@@ -1,0 +1,180 @@
+//! The K-matrix method — Devgan et al., the paper's reference \[17\].
+//!
+//! "A recent approach defines a circuit matrix K, as the inverse of the
+//! partial inductance matrix L. K has a higher degree of locality and
+//! sparsity, similar to the capacitance matrix, and hence is amenable to
+//! sparsification and simulation. However, it requires inversion of the
+//! partial inductance matrix, and a special circuit simulator that can
+//! handle the K matrix."
+//!
+//! We compute `K = L⁻¹`, truncate it relative to its diagonal, and
+//! (because our simulator — like SPICE — stamps inductance matrices, not
+//! K elements) invert the sparsified K back into an effective
+//! inductance matrix for simulation. The *analysis* benefit shows up as
+//! the locality comparison: at equal matrix error, K retains far fewer
+//! off-diagonals than L.
+
+use crate::metrics::{Sparsified, SparsityStats};
+use ind101_extract::PartialInductance;
+use ind101_numeric::{Matrix, NumericError};
+
+/// Result of the K-matrix sparsification.
+#[derive(Clone, Debug)]
+pub struct KSparsified {
+    /// The truncated K matrix (inverse henries).
+    pub k: Matrix<f64>,
+    /// Sparsity of K after truncation.
+    pub k_stats: SparsityStats,
+    /// Effective inductance matrix `K⁻¹` for simulation.
+    pub effective_l: Sparsified,
+}
+
+/// Computes `K = L⁻¹`, drops entries with
+/// `|K_ij| < k_min·√(K_ii·K_jj)`, and returns both K and the effective
+/// inductance matrix.
+///
+/// # Errors
+///
+/// Fails if `L` (or the truncated `K`) is singular.
+pub fn k_sparsify(l: &PartialInductance, k_min: f64) -> Result<KSparsified, NumericError> {
+    let k_full = l.matrix().inverse()?;
+    let n = k_full.nrows();
+    let mut k = k_full.clone();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let denom = (k[(i, i)] * k[(j, j)]).abs().sqrt();
+            if denom == 0.0 || k[(i, j)].abs() / denom < k_min {
+                k[(i, j)] = 0.0;
+                k[(j, i)] = 0.0;
+            }
+        }
+    }
+    let k_stats = SparsityStats::compare(&k_full, &k);
+    let eff = k.inverse()?;
+    // Symmetrize against roundoff.
+    let eff = Matrix::from_fn(n, n, |i, j| 0.5 * (eff[(i, j)] + eff[(j, i)]));
+    let stats = SparsityStats::compare(l.matrix(), &eff);
+    Ok(KSparsified {
+        k,
+        k_stats,
+        effective_l: Sparsified {
+            matrix: eff,
+            stats,
+            method: "k-matrix",
+        },
+    })
+}
+
+/// Locality diagnostic: the fraction of the matrix's total off-diagonal
+/// magnitude carried by nearest neighbors (|i−j| ≤ `w`). K's locality
+/// exceeding L's is the method's premise.
+pub fn neighbor_mass_fraction(m: &Matrix<f64>, w: usize) -> f64 {
+    let n = m.nrows();
+    let mut near = 0.0;
+    let mut total = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let v = m[(i, j)].abs();
+            total += v;
+            if j - i <= w {
+                near += v;
+            }
+        }
+    }
+    if total == 0.0 {
+        1.0
+    } else {
+        near / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{matrix_error, stability_report};
+    use crate::truncation::truncate_relative;
+    use ind101_geom::generators::{generate_bus, BusSpec};
+    use ind101_geom::{um, Technology};
+
+    fn bus_l(signals: usize) -> PartialInductance {
+        let tech = Technology::example_copper_6lm();
+        let bus = generate_bus(
+            &tech,
+            &BusSpec {
+                signals,
+                length_nm: um(2000),
+                ..BusSpec::default()
+            },
+        );
+        PartialInductance::extract(&tech, bus.segments())
+    }
+
+    #[test]
+    fn k_is_inverse_of_l() {
+        let l = bus_l(5);
+        let ks = k_sparsify(&l, 0.0).unwrap();
+        let prod = l.matrix().matmul(&ks.k).unwrap();
+        let err = (&prod - &Matrix::identity(5)).max_abs();
+        assert!(err < 1e-6, "K·L ≈ I, err {err}");
+        // No truncation → effective L is L.
+        assert!(matrix_error(l.matrix(), &ks.effective_l.matrix) < 1e-9);
+    }
+
+    #[test]
+    fn k_has_more_locality_than_l() {
+        // The method's whole premise: K decays like the capacitance
+        // matrix, L only logarithmically.
+        let l = bus_l(10);
+        let ks = k_sparsify(&l, 0.0).unwrap();
+        let l_frac = neighbor_mass_fraction(l.matrix(), 1);
+        let k_frac = neighbor_mass_fraction(&ks.k, 1);
+        assert!(
+            k_frac > l_frac,
+            "K neighbor mass {k_frac} should exceed L's {l_frac}"
+        );
+    }
+
+    #[test]
+    fn truncated_k_beats_truncated_l_at_equal_sparsity() {
+        let l = bus_l(10);
+        let ks = k_sparsify(&l, 0.02).unwrap();
+        assert!(ks.k_stats.dropped > 0);
+        // Truncate L to the same retention.
+        let target = ks.k_stats.retention();
+        let mut best_err_l = f64::INFINITY;
+        for k_min in [0.01, 0.02, 0.05, 0.1, 0.2, 0.3] {
+            let t = truncate_relative(&l, k_min);
+            if t.stats.retention() <= target + 0.05 {
+                best_err_l = best_err_l.min(matrix_error(l.matrix(), &t.matrix));
+            }
+        }
+        let err_k = matrix_error(l.matrix(), &ks.effective_l.matrix);
+        assert!(
+            err_k < best_err_l,
+            "K error {err_k} must beat L truncation error {best_err_l}"
+        );
+    }
+
+    #[test]
+    fn k_truncation_preserves_stability_in_practice() {
+        let l = bus_l(10);
+        let ks = k_sparsify(&l, 0.05).unwrap();
+        assert!(stability_report(&ks.effective_l.matrix).positive_definite);
+    }
+
+    #[test]
+    fn off_diagonal_k_entries_are_negative() {
+        // Like nodal capacitance matrices, K is an M-matrix: positive
+        // diagonal, negative (screening) off-diagonals.
+        let l = bus_l(6);
+        let ks = k_sparsify(&l, 0.0).unwrap();
+        for i in 0..6 {
+            assert!(ks.k[(i, i)] > 0.0);
+            for j in 0..6 {
+                if i != j {
+                    assert!(ks.k[(i, j)] <= 1e-12, "K[{i}{j}] = {}", ks.k[(i, j)]);
+                }
+            }
+        }
+    }
+}

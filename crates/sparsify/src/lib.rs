@@ -1,0 +1,50 @@
+//! Partial-inductance matrix sparsification — the paper's Section 4.
+//!
+//! The full PEEC inductance matrix couples *every* pair of parallel
+//! conductors; the paper surveys techniques that make it sparse enough
+//! to simulate, each implemented here:
+//!
+//! | paper technique | module |
+//! |---|---|
+//! | Truncation (unstable!) | [`truncation`] |
+//! | Block-diagonal sparsification (passive by construction) | [`block_diagonal`] |
+//! | Shell / shift-truncate (Krauter \[13\], moment radius \[14\]) | [`shell`] |
+//! | Halo / return-limited inductance (Shepard \[15\]) | [`halo`] |
+//! | Hierarchical local/global models (Beattie \[16\]) | [`hierarchical`] |
+//! | K-matrix (Devgan \[17\]) | [`kmatrix`] |
+//!
+//! Every method returns a [`Sparsified`] carrying the new matrix plus
+//! sparsity statistics; [`stability_report`] quantifies the
+//! positive-definiteness story the paper tells — truncation "can become
+//! non-positive definite, and the sparsified system becomes active and
+//! can generate energy", while block-diagonal "guarantees the sparsified
+//! matrix to be positive definite".
+//!
+//! # Example
+//!
+//! ```
+//! use ind101_geom::{Technology, generators::{BusSpec, generate_bus}};
+//! use ind101_extract::PartialInductance;
+//! use ind101_sparsify::{truncation, stability_report};
+//!
+//! let tech = Technology::example_copper_6lm();
+//! let bus = generate_bus(&tech, &BusSpec { signals: 6, ..BusSpec::default() });
+//! let l = PartialInductance::extract(&tech, bus.segments());
+//! let full = stability_report(l.matrix());
+//! assert!(full.positive_definite);
+//! let t = truncation::truncate_relative(&l, 0.8); // aggressive
+//! assert!(t.stats.dropped > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block_diagonal;
+pub mod halo;
+pub mod hierarchical;
+pub mod kmatrix;
+mod metrics;
+pub mod shell;
+pub mod truncation;
+
+pub use metrics::{matrix_error, stability_report, Sparsified, SparsityStats, StabilityReport};

@@ -1,0 +1,155 @@
+//! Shared result types and quality metrics for sparsification.
+
+use ind101_numeric::{jacobi_eigenvalues, Matrix};
+
+/// Sparsity statistics of a sparsified inductance matrix.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SparsityStats {
+    /// Off-diagonal entries in the strict upper triangle of the input.
+    pub total: usize,
+    /// Entries kept (nonzero after sparsification).
+    pub kept: usize,
+    /// Entries dropped or zeroed.
+    pub dropped: usize,
+}
+
+impl SparsityStats {
+    /// Fraction of mutual terms retained (1.0 when nothing was dropped;
+    /// defined as 1.0 for an empty matrix).
+    pub fn retention(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.kept as f64 / self.total as f64
+        }
+    }
+
+    /// Computes stats by comparing dense matrices before/after.
+    pub fn compare(before: &Matrix<f64>, after: &Matrix<f64>) -> Self {
+        let n = before.nrows();
+        let mut total = 0;
+        let mut kept = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if before[(i, j)] != 0.0 {
+                    total += 1;
+                    if after[(i, j)] != 0.0 {
+                        kept += 1;
+                    }
+                }
+            }
+        }
+        Self {
+            total,
+            kept,
+            dropped: total - kept,
+        }
+    }
+}
+
+/// A sparsified inductance matrix with bookkeeping.
+#[derive(Clone, Debug)]
+pub struct Sparsified {
+    /// The sparsified (still dense-stored, symmetric) matrix, henries.
+    pub matrix: Matrix<f64>,
+    /// Sparsity statistics relative to the input.
+    pub stats: SparsityStats,
+    /// Human-readable method tag (for reports).
+    pub method: &'static str,
+}
+
+/// Stability (passivity) report of an inductance matrix.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StabilityReport {
+    /// Smallest eigenvalue, henries.
+    pub min_eigenvalue: f64,
+    /// Largest eigenvalue, henries.
+    pub max_eigenvalue: f64,
+    /// Whether the matrix is positive definite (passive).
+    pub positive_definite: bool,
+}
+
+/// Computes the eigenvalue-based stability report.
+///
+/// A non-positive-definite inductance matrix represents an *active*
+/// element — a transient simulation through it can generate energy and
+/// diverge, which is why naive truncation is "not a feasible solution"
+/// (paper, Section 4).
+pub fn stability_report(m: &Matrix<f64>) -> StabilityReport {
+    if m.nrows() == 0 {
+        return StabilityReport {
+            min_eigenvalue: 0.0,
+            max_eigenvalue: 0.0,
+            positive_definite: true,
+        };
+    }
+    let ev = jacobi_eigenvalues(m).expect("symmetric matrix eigenvalues");
+    StabilityReport {
+        min_eigenvalue: ev[0],
+        max_eigenvalue: *ev.last().expect("non-empty"),
+        positive_definite: ev[0] > 0.0,
+    }
+}
+
+/// Relative Frobenius-norm error `‖A − B‖F / ‖A‖F` between the original
+/// and sparsified matrices — the accuracy axis of the paper's
+/// run-time/accuracy trade-off.
+pub fn matrix_error(original: &Matrix<f64>, sparsified: &Matrix<f64>) -> f64 {
+    let diff = original - sparsified;
+    let denom = original.frobenius_norm();
+    if denom == 0.0 {
+        0.0
+    } else {
+        diff.frobenius_norm() / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_compare_counts_drops() {
+        let a = Matrix::from_rows(&[&[1.0, 0.5, 0.2], &[0.5, 1.0, 0.3], &[0.2, 0.3, 1.0]]);
+        let mut b = a.clone();
+        b[(0, 2)] = 0.0;
+        b[(2, 0)] = 0.0;
+        let s = SparsityStats::compare(&a, &b);
+        assert_eq!(s.total, 3);
+        assert_eq!(s.kept, 2);
+        assert_eq!(s.dropped, 1);
+        assert!((s.retention() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stability_of_pd_and_indefinite() {
+        let pd = Matrix::from_rows(&[&[2.0, 0.5], &[0.5, 1.0]]);
+        let r = stability_report(&pd);
+        assert!(r.positive_definite);
+        assert!(r.min_eigenvalue > 0.0);
+
+        let indef = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        let r = stability_report(&indef);
+        assert!(!r.positive_definite);
+        assert!(r.min_eigenvalue < 0.0);
+        assert!(r.max_eigenvalue > r.min_eigenvalue);
+    }
+
+    #[test]
+    fn error_metric_zero_for_identical() {
+        let a = Matrix::identity(3);
+        assert_eq!(matrix_error(&a, &a), 0.0);
+        let mut b = a.clone();
+        b[(0, 0)] = 0.0;
+        let e = matrix_error(&a, &b);
+        assert!((e - (1.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_is_trivially_stable() {
+        let r = stability_report(&Matrix::zeros(0, 0));
+        assert!(r.positive_definite);
+        let s = SparsityStats::default();
+        assert_eq!(s.retention(), 1.0);
+    }
+}

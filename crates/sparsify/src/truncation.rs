@@ -1,0 +1,136 @@
+//! Naive truncation: "discard all mutual coupling terms falling below a
+//! certain threshold".
+//!
+//! The simplest sparsification — and, as the paper stresses, an unsafe
+//! one: "the resulting matrix can become non-positive definite, and the
+//! sparsified system becomes active and can generate energy. Since
+//! there is no guarantee on either the degree of sparsity or stability,
+//! truncation is not a feasible solution."  The experiments use this
+//! module to *demonstrate* that failure mode (SEC4 ablation).
+
+use crate::metrics::{Sparsified, SparsityStats};
+use ind101_extract::PartialInductance;
+
+/// Drops mutual terms with `|L_ij| < threshold_h` (absolute, henries).
+pub fn truncate_absolute(l: &PartialInductance, threshold_h: f64) -> Sparsified {
+    let mut m = l.matrix().clone();
+    let n = m.nrows();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if m[(i, j)].abs() < threshold_h {
+                m[(i, j)] = 0.0;
+                m[(j, i)] = 0.0;
+            }
+        }
+    }
+    let stats = SparsityStats::compare(l.matrix(), &m);
+    Sparsified {
+        matrix: m,
+        stats,
+        method: "truncate-absolute",
+    }
+}
+
+/// Drops mutual terms whose coupling coefficient
+/// `k_ij = L_ij / √(L_ii·L_jj)` is below `k_min`.
+///
+/// Relative truncation is the form used in practice (coupling
+/// coefficients are dimensionless); it shares the absolute variant's
+/// instability.
+pub fn truncate_relative(l: &PartialInductance, k_min: f64) -> Sparsified {
+    let mut m = l.matrix().clone();
+    let n = m.nrows();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let denom = (m[(i, i)] * m[(j, j)]).sqrt();
+            if denom == 0.0 || m[(i, j)].abs() / denom < k_min {
+                m[(i, j)] = 0.0;
+                m[(j, i)] = 0.0;
+            }
+        }
+    }
+    let stats = SparsityStats::compare(l.matrix(), &m);
+    Sparsified {
+        matrix: m,
+        stats,
+        method: "truncate-relative",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::stability_report;
+    use ind101_geom::generators::{generate_bus, BusSpec};
+    use ind101_geom::{um, Technology};
+
+    fn bus_l(signals: usize, spacing_um: i64) -> PartialInductance {
+        let tech = Technology::example_copper_6lm();
+        let spec = BusSpec {
+            signals,
+            spacing_nm: um(spacing_um),
+            length_nm: um(2000),
+            ..BusSpec::default()
+        };
+        let bus = generate_bus(&tech, &spec);
+        PartialInductance::extract(&tech, bus.segments())
+    }
+
+    #[test]
+    fn zero_threshold_is_identity() {
+        let l = bus_l(4, 2);
+        let s = truncate_absolute(&l, 0.0);
+        assert_eq!(s.stats.dropped, 0);
+        assert_eq!(&s.matrix, l.matrix());
+    }
+
+    #[test]
+    fn huge_threshold_drops_everything() {
+        let l = bus_l(4, 2);
+        let s = truncate_absolute(&l, 1.0);
+        assert_eq!(s.stats.kept, 0);
+        // Diagonal survives.
+        for k in 0..4 {
+            assert!(s.matrix[(k, k)] > 0.0);
+        }
+    }
+
+    #[test]
+    fn relative_truncation_keeps_close_neighbors_first() {
+        let l = bus_l(6, 1);
+        let s = truncate_relative(&l, 0.7);
+        // Nearest-neighbor couplings (strongest) survive longer than
+        // far ones.
+        assert!(s.matrix[(0, 1)] != 0.0 || s.stats.kept == 0);
+        assert_eq!(s.matrix[(0, 5)], 0.0);
+        assert!(s.stats.dropped > 0);
+    }
+
+    #[test]
+    fn truncation_can_destroy_positive_definiteness() {
+        // The paper's headline warning. A long tightly-coupled bus has
+        // slowly-decaying off-diagonals; chopping the tail at a mid
+        // threshold leaves a non-PD matrix.
+        let l = bus_l(10, 1);
+        assert!(stability_report(l.matrix()).positive_definite);
+        let mut found_unstable = false;
+        for k_min in [0.3, 0.4, 0.5, 0.6, 0.7] {
+            let s = truncate_relative(&l, k_min);
+            if s.stats.dropped > 0 && !stability_report(&s.matrix).positive_definite {
+                found_unstable = true;
+                break;
+            }
+        }
+        assert!(
+            found_unstable,
+            "expected some truncation level to break positive definiteness"
+        );
+    }
+
+    #[test]
+    fn truncation_preserves_symmetry() {
+        let l = bus_l(5, 2);
+        let s = truncate_relative(&l, 0.2);
+        assert_eq!(s.matrix.symmetry_defect(), 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Clock-net inductance analysis — the paper's Section 6 experiment as
+//! a library user would run it: a global clock spine over a multi-layer
+//! power grid, analyzed with the detailed PEEC model (RC and RLC) and
+//! the simplified loop-inductance model, comparing delay, skew,
+//! overshoot and model size.
+//!
+//! ```text
+//! cargo run --release --example clock_net_analysis
+//! ```
+
+use ind101::circuit::{measure, SourceWave, TranOptions};
+use ind101::geom::generators::{
+    generate_clock_spine, generate_power_grid, ClockNetSpec, PowerGridSpec,
+};
+use ind101::geom::{um, Technology};
+use ind101::loopind::{
+    build_loop_circuit, extract_loop_rl, LoopInterconnect, LoopNetlistSpec, LoopPortSpec,
+};
+use ind101::peec::testbench::{build_testbench, TestbenchSpec};
+use ind101::peec::{InductanceMode, PeecParasitics};
+
+fn main() {
+    let tech = Technology::example_copper_6lm();
+
+    // --- Layout: 300 µm clock spine + fingers over a power grid -------
+    let mut layout = generate_power_grid(
+        &tech,
+        &PowerGridSpec {
+            width_nm: um(300),
+            height_nm: um(300),
+            pitch_nm: um(50),
+            ..PowerGridSpec::default()
+        },
+    );
+    let clock = generate_clock_spine(
+        &tech,
+        &ClockNetSpec {
+            width_nm: um(300),
+            height_nm: um(300),
+            fingers: 3,
+            ..ClockNetSpec::default()
+        },
+    );
+    layout.merge(&clock);
+    let par = PeecParasitics::extract(&layout, um(60));
+    println!(
+        "clock-over-grid: {} segments, {} mutuals, {} vias",
+        par.len(),
+        par.partial_l.mutual_count(),
+        par.via_res.len()
+    );
+
+    // --- Detailed PEEC analyses ---------------------------------------
+    let spec = TestbenchSpec::default();
+    let mut results = Vec::new();
+    for (name, mode) in [
+        ("PEEC (RC) ", InductanceMode::None),
+        ("PEEC (RLC)", InductanceMode::Full),
+    ] {
+        let tb = build_testbench(&par, mode, &spec).expect("testbench");
+        let res = tb
+            .circuit
+            .transient(&TranOptions::new(2e-12, 900e-12))
+            .expect("transient");
+        let input = res.voltage(tb.input);
+        let mut delays = Vec::new();
+        let mut undershoot = 0.0f64;
+        for (_, node) in &tb.sinks {
+            let v = res.voltage(*node);
+            if let Some(d) = measure::delay_50(&input, &v, 0.0, spec.vdd) {
+                delays.push(d);
+            }
+            undershoot = undershoot.max(measure::undershoot(&v, 0.0));
+        }
+        let worst = delays.iter().copied().fold(0.0, f64::max);
+        println!(
+            "{name}: worst delay {:.1} ps, skew {:.2} ps, undershoot {:.0} mV",
+            worst * 1e12,
+            measure::skew(&delays) * 1e12,
+            undershoot * 1e3
+        );
+        results.push(worst);
+    }
+    println!(
+        "→ inductance adds {:.1} ps ({:+.1} %) to the RC delay",
+        (results[1] - results[0]) * 1e12,
+        100.0 * (results[1] / results[0] - 1.0)
+    );
+
+    // --- Loop-inductance methodology ----------------------------------
+    let port = LoopPortSpec::from_layout(&par).expect("ports");
+    let ext = extract_loop_rl(&par, &port, &[1e8, 2.5e9, 50e9]).expect("loop extraction");
+    println!(
+        "\nloop extraction: R = {:.2} Ω → {:.2} Ω, L = {:.1} pH → {:.1} pH (100 MHz → 50 GHz)",
+        ext.r_ohm[0],
+        ext.r_ohm[2],
+        ext.l_h[0] * 1e12,
+        ext.l_h[2] * 1e12
+    );
+    let (r_loop, l_loop) = ext.at(ext.nearest_index(2.5e9));
+    let signal_cap: f64 = par
+        .segments
+        .iter()
+        .zip(&par.ground_cap)
+        .filter(|(s, _)| par.layout.net(s.net).kind == ind101::geom::NetKind::Signal)
+        .map(|(_, c)| *c)
+        .sum();
+    let lc = build_loop_circuit(&LoopNetlistSpec {
+        interconnect: LoopInterconnect::SingleFrequency {
+            r_ohm: r_loop,
+            l_h: l_loop,
+        },
+        segments: 4,
+        cap_total_f: signal_cap + 6.0 * spec.receiver_cap_f,
+        vdd: spec.vdd,
+        input: SourceWave::step(0.0, spec.vdd, 100e-12, 50e-12),
+        driver: Some(ind101::circuit::InverterParams::default()),
+    })
+    .expect("loop netlist");
+    let res = lc
+        .circuit
+        .transient(&TranOptions::new(2e-12, 900e-12))
+        .expect("loop transient");
+    let d = measure::delay_50(
+        &res.voltage(lc.input),
+        &res.voltage(lc.receiver),
+        0.0,
+        spec.vdd,
+    )
+    .expect("loop delay");
+    println!(
+        "loop-model delay {:.1} ps (vs detailed PEEC {:.1} ps) with a {}-element netlist",
+        d * 1e12,
+        results[1] * 1e12,
+        lc.circuit.counts().resistors + lc.circuit.counts().capacitors + lc.circuit.counts().inductors
+    );
+}

@@ -1,0 +1,61 @@
+//! Quickstart: extract a shielded line, build the PEEC model, simulate
+//! a switching event, and measure delay and ringing — the toolkit's
+//! core loop in ~40 lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ind101::circuit::{measure, TranOptions};
+use ind101::geom::generators::{generate_bus, BusSpec, ShieldPattern};
+use ind101::geom::{um, Technology};
+use ind101::peec::testbench::{build_testbench, TestbenchSpec};
+use ind101::peec::{InductanceMode, PeecParasitics};
+
+fn main() {
+    // 1. A technology and a layout: a 2 mm line between grounded shields.
+    let tech = Technology::example_copper_6lm();
+    let bus = generate_bus(
+        &tech,
+        &BusSpec {
+            signals: 1,
+            length_nm: um(2000),
+            shields: ShieldPattern::Edges,
+            tie_shields: true,
+            ..BusSpec::default()
+        },
+    );
+
+    // 2. Extract parasitics: R, Chern capacitances, and the full
+    //    partial-inductance matrix (every parallel pair couples).
+    let par = PeecParasitics::extract(&bus, um(200));
+    println!(
+        "extracted {} segments, {} mutual inductances, total C = {:.1} fF",
+        par.len(),
+        par.partial_l.mutual_count(),
+        par.total_ground_cap() * 1e15
+    );
+
+    // 3. Build the full RLC PEEC testbench (CMOS driver, receiver load)
+    //    and simulate the switching event.
+    let tb = build_testbench(&par, InductanceMode::Full, &TestbenchSpec::default())
+        .expect("testbench");
+    let res = tb
+        .circuit
+        .transient(&TranOptions::new(1e-12, 800e-12))
+        .expect("transient");
+
+    // 4. Measure.
+    let input = res.voltage(tb.input);
+    for (name, node) in &tb.sinks {
+        let v = res.voltage(*node);
+        let delay = measure::delay_50(&input, &v, 0.0, 1.8);
+        let overshoot = measure::undershoot(&v, 0.0);
+        println!(
+            "{name}: delay {:.1} ps, undershoot {:.0} mV, rings {}",
+            delay.map_or(f64::NAN, |d| d * 1e12),
+            overshoot * 1e3,
+            measure::ring_count(&v, v.last_value()),
+        );
+    }
+}

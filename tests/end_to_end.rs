@@ -1,0 +1,347 @@
+//! Cross-crate integration tests: the paper's experiments end-to-end at
+//! a small scale, asserting the *shape* conclusions of every section.
+
+use ind101::circuit::{measure, Circuit, SourceWave, TranOptions};
+use ind101::geom::generators::{
+    generate_bus, generate_clock_spine, generate_power_grid, BusSpec, ClockNetSpec,
+    PowerGridSpec,
+};
+use ind101::geom::{um, NetKind, Technology};
+use ind101::loopind::{extract_loop_rl, LadderFit, LoopPortSpec};
+use ind101::mor::{prima, PrimaOptions};
+use ind101::peec::testbench::{build_testbench, TestbenchSpec};
+use ind101::peec::{InductanceMode, PeecParasitics};
+use ind101::sparsify::truncation::truncate_relative;
+use ind101::sparsify::{stability_report, matrix_error};
+
+fn clock_case() -> PeecParasitics {
+    let tech = Technology::example_copper_6lm();
+    let mut layout = generate_power_grid(
+        &tech,
+        &PowerGridSpec {
+            width_nm: um(200),
+            height_nm: um(200),
+            pitch_nm: um(50),
+            ..PowerGridSpec::default()
+        },
+    );
+    let clock = generate_clock_spine(
+        &tech,
+        &ClockNetSpec {
+            width_nm: um(200),
+            height_nm: um(200),
+            fingers: 2,
+            ..ClockNetSpec::default()
+        },
+    );
+    layout.merge(&clock);
+    PeecParasitics::extract(&layout, um(60))
+}
+
+/// Section 6 / Table 1 shape: inductance adds delay and skew; both
+/// models produce complete transitions at every sink.
+#[test]
+fn inductance_increases_clock_delay() {
+    let par = clock_case();
+    let spec = TestbenchSpec::default();
+    let mut delays = Vec::new();
+    for mode in [InductanceMode::None, InductanceMode::Full] {
+        let tb = build_testbench(&par, mode, &spec).unwrap();
+        let res = tb.circuit.transient(&TranOptions::new(2e-12, 900e-12)).unwrap();
+        let input = res.voltage(tb.input);
+        let mut worst = 0.0f64;
+        for (_, node) in &tb.sinks {
+            let v = res.voltage(*node);
+            assert!(v.values[0] > 1.6 && v.last_value() < 0.2, "complete transition");
+            let d = measure::delay_50(&input, &v, 0.0, spec.vdd).expect("crossing");
+            worst = worst.max(d);
+        }
+        delays.push(worst);
+    }
+    assert!(
+        delays[1] > delays[0],
+        "RLC {} must exceed RC {}",
+        delays[1],
+        delays[0]
+    );
+}
+
+/// Section 5 shape: the loop extraction's frequency dependence and the
+/// ladder fit that captures it.
+#[test]
+fn loop_extraction_and_ladder_fit_cohere() {
+    let par = clock_case();
+    let port = LoopPortSpec::from_layout(&par).unwrap();
+    let freqs = [1e8, 1e9, 1e10, 1e11];
+    let ext = extract_loop_rl(&par, &port, &freqs).unwrap();
+    // L falls, R rises.
+    assert!(ext.l_h[0] > ext.l_h[3]);
+    assert!(ext.r_ohm[3] > ext.r_ohm[0]);
+    // Ladder reproduces the two fit points and interpolates between.
+    let fit = LadderFit::fit(
+        (freqs[0], ext.r_ohm[0], ext.l_h[0]),
+        (freqs[3], ext.r_ohm[3], ext.l_h[3]),
+    )
+    .expect("fit");
+    for k in 1..3 {
+        let (r, l) = fit.rl_at(freqs[k]);
+        assert!((r - ext.r_ohm[k]).abs() / ext.r_ohm[k] < 0.1, "R at {k}");
+        assert!((l - ext.l_h[k]).abs() / ext.l_h[k] < 0.1, "L at {k}");
+    }
+}
+
+/// Section 4 shape: truncation can destroy passivity and the simulation
+/// of such a matrix diverges, while the full matrix stays bounded.
+#[test]
+fn truncation_instability_end_to_end() {
+    use ind101::extract::PartialInductance;
+    use ind101::circuit::InductorSystem;
+    let tech = Technology::example_copper_6lm();
+    let bus = generate_bus(
+        &tech,
+        &BusSpec {
+            signals: 10,
+            length_nm: um(3000),
+            spacing_nm: um(1),
+            ..BusSpec::default()
+        },
+    );
+    let l = PartialInductance::extract(&tech, bus.segments());
+    let mut broken = None;
+    for k_min in [0.3, 0.4, 0.5, 0.6, 0.7, 0.8] {
+        let s = truncate_relative(&l, k_min);
+        if s.stats.dropped > 0 && !stability_report(&s.matrix).positive_definite {
+            broken = Some(s);
+            break;
+        }
+    }
+    let broken = broken.expect("some threshold breaks PD on this bus");
+
+    let peak = |m: &ind101::numeric::Matrix<f64>| -> f64 {
+        let mut c = Circuit::new();
+        let stim = c.node("stim");
+        c.vsrc(stim, Circuit::GND, SourceWave::step(0.0, 1.8, 20e-12, 20e-12));
+        let mut branches = Vec::new();
+        let mut fars = Vec::new();
+        for k in 0..l.len() {
+            let near = c.node(format!("n{k}"));
+            let far = c.node(format!("f{k}"));
+            branches.push((near, far));
+            fars.push(far);
+            c.capacitor(far, Circuit::GND, 50e-15);
+            if k == 0 {
+                c.resistor(stim, near, 25.0);
+            } else {
+                c.resistor(near, Circuit::GND, 25.0);
+            }
+            c.resistor(far, Circuit::GND, 1e6);
+        }
+        c.add_inductor_system(InductorSystem {
+            branches,
+            m: m.clone(),
+        })
+        .unwrap();
+        match c.transient(&TranOptions::new(1e-12, 2e-9)) {
+            Err(_) => f64::INFINITY,
+            Ok(res) => fars
+                .iter()
+                .map(|&f| {
+                    let v = res.voltage(f);
+                    v.max().abs().max(v.min().abs())
+                })
+                .fold(0.0, f64::max),
+        }
+    };
+    let full_peak = peak(l.matrix());
+    let broken_peak = peak(&broken.matrix);
+    assert!(full_peak < 5.0, "passive system stays bounded: {full_peak}");
+    assert!(
+        broken_peak > 100.0 * full_peak,
+        "indefinite matrix must generate energy: {broken_peak} vs {full_peak}"
+    );
+}
+
+/// MOR shape: PRIMA-reduced interconnect reproduces the detailed
+/// transient at a fraction of the state count.
+#[test]
+fn prima_reduction_matches_detailed_transient() {
+    let par = clock_case();
+    let model = ind101::peec::PeecModel::build(&par, InductanceMode::Full).unwrap();
+    let mut ckt = model.circuit.clone();
+    let drv = model.port_node(&par, "clk_drv").unwrap();
+    let wave = SourceWave::step(0.0, 1e-3, 20e-12, 30e-12);
+    ckt.isrc(Circuit::GND, drv, wave.clone());
+    let sink = model.port_node(&par, "clk_sink_t0").unwrap();
+
+    let dt = 1e-12;
+    let t_stop = 400e-12;
+    let mut opts = TranOptions::new(dt, t_stop);
+    opts.start_from_dc = false;
+    let full = ckt.transient(&opts).unwrap();
+    let v_full = full.voltage(sink);
+
+    let sys = ckt.mna_system().unwrap();
+    let rm = prima(
+        &sys,
+        &[sys.node_index(sink).unwrap()],
+        &PrimaOptions {
+            order: 40,
+            ..PrimaOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(rm.order() < sys.n / 4, "reduction {} ≪ {}", rm.order(), sys.n);
+    let red = rm.transient(&[wave], dt, t_stop).unwrap();
+    for &t in &[100e-12, 200e-12, 390e-12] {
+        let d = (v_full.sample(t) - red[0].sample(t)).abs();
+        let scale = v_full.max().abs().max(1e-6);
+        assert!(d / scale < 0.05, "t={t:e}: {} vs {}", v_full.sample(t), red[0].sample(t));
+    }
+}
+
+/// Decap shifts the PEEC answer but is invisible to the loop model —
+/// the error source the paper calls out in Section 5.
+#[test]
+fn decap_shifts_peec_but_not_loop_extraction() {
+    let par = clock_case();
+    let port = LoopPortSpec::from_layout(&par).unwrap();
+    // The loop extraction has no capacitance at all, by construction.
+    let e1 = extract_loop_rl(&par, &port, &[2.5e9]).unwrap();
+    // Changing decap in a *testbench* cannot change the extraction —
+    // demonstrate by re-running it (bitwise identical inputs).
+    let e2 = extract_loop_rl(&par, &port, &[2.5e9]).unwrap();
+    assert_eq!(e1, e2);
+
+    // But PEEC delays do move with decap.
+    let mut delays = Vec::new();
+    for decap in [0.0, 40e-12] {
+        let spec = TestbenchSpec {
+            decap_total_f: decap,
+            ..TestbenchSpec::default()
+        };
+        let tb = build_testbench(&par, InductanceMode::Full, &spec).unwrap();
+        let res = tb.circuit.transient(&TranOptions::new(2e-12, 900e-12)).unwrap();
+        let input = res.voltage(tb.input);
+        let mut worst = 0.0f64;
+        for (_, node) in &tb.sinks {
+            if let Some(d) = measure::delay_50(&input, &res.voltage(*node), 0.0, spec.vdd) {
+                worst = worst.max(d);
+            }
+        }
+        delays.push(worst);
+    }
+    assert!(
+        (delays[0] - delays[1]).abs() > 1e-13,
+        "decap must shift the detailed answer: {delays:?}"
+    );
+}
+
+/// Block-diagonal sparsification stays within a bounded delay error of
+/// the full model while dropping most mutual terms.
+#[test]
+fn block_diagonal_bounded_error() {
+    use ind101::sparsify::block_diagonal::{block_diagonal, sections_by_signal_distance};
+    let par = clock_case();
+    let labels = sections_by_signal_distance(&par.partial_l, &par.layout, 3);
+    let s = block_diagonal(&par.partial_l, &labels);
+    assert!(s.stats.retention() < 0.6, "meaningful sparsification");
+    assert!(stability_report(&s.matrix).positive_definite);
+    assert!(matrix_error(par.partial_l.matrix(), &s.matrix) < 0.6);
+
+    let spec = TestbenchSpec::default();
+    let full_tb = build_testbench(&par, InductanceMode::Full, &spec).unwrap();
+    let mut sp_par = par.clone();
+    sp_par.partial_l.set_matrix(s.matrix);
+    let sp_tb = build_testbench(&sp_par, InductanceMode::Full, &spec).unwrap();
+    let worst_delay = |tb: &ind101::peec::testbench::Testbench| -> f64 {
+        let res = tb.circuit.transient(&TranOptions::new(2e-12, 900e-12)).unwrap();
+        let input = res.voltage(tb.input);
+        tb.sinks
+            .iter()
+            .filter_map(|(_, n)| measure::delay_50(&input, &res.voltage(*n), 0.0, 1.8))
+            .fold(0.0, f64::max)
+    };
+    let d_full = worst_delay(&full_tb);
+    let d_sp = worst_delay(&sp_tb);
+    assert!(
+        (d_full - d_sp).abs() / d_full < 0.15,
+        "block-diag delay error: {d_full} vs {d_sp}"
+    );
+}
+
+/// Grid + clock + devices: the whole testbench respects conservation —
+/// the external supply sources exactly the current that returns to
+/// ground (checked at DC).
+#[test]
+fn supply_current_conservation_at_dc() {
+    let par = clock_case();
+    let tb = build_testbench(&par, InductanceMode::None, &TestbenchSpec::default()).unwrap();
+    let op = tb.circuit.dc_op().unwrap();
+    // Sum of all source currents = 0 (KCL over the whole circuit).
+    let mut total = 0.0;
+    let mut idx = 0;
+    for e in tb.circuit.elements() {
+        if matches!(e, ind101::circuit::Element::Vsrc { .. }) {
+            total += op.vsrc_current(idx);
+            idx += 1;
+        }
+    }
+    // All DC current sinks into gmin leaks only — negligible.
+    assert!(total.abs() < 1e-6, "net source current {total}");
+}
+
+/// Shield nets are recognized as supply and participate in halos.
+#[test]
+fn halo_uses_grid_and_shields() {
+    use ind101::sparsify::halo::halo_sparsify;
+    let par = clock_case();
+    let s = halo_sparsify(&par.partial_l, &par.layout);
+    // Power/ground stripes bound the clock's halo → some coupling drops.
+    assert!(s.stats.dropped > 0);
+    assert!(s.stats.kept > 0);
+}
+
+/// Net kinds drive extraction symmetry: swapping generation order of
+/// grid and clock must not change the physics (merge correctness).
+#[test]
+fn merge_order_invariance() {
+    let tech = Technology::example_copper_6lm();
+    let grid_spec = PowerGridSpec {
+        width_nm: um(200),
+        height_nm: um(200),
+        pitch_nm: um(50),
+        ..PowerGridSpec::default()
+    };
+    let clk_spec = ClockNetSpec {
+        width_nm: um(200),
+        height_nm: um(200),
+        fingers: 2,
+        ..ClockNetSpec::default()
+    };
+    let mut a = generate_power_grid(&tech, &grid_spec);
+    a.merge(&generate_clock_spine(&tech, &clk_spec));
+    let mut b = generate_clock_spine(&tech, &clk_spec);
+    b.merge(&generate_power_grid(&tech, &grid_spec));
+    let pa = PeecParasitics::extract(&a, um(60));
+    let pb = PeecParasitics::extract(&b, um(60));
+    assert_eq!(pa.len(), pb.len());
+    assert!((pa.total_resistance() - pb.total_resistance()).abs() < 1e-9);
+    assert!((pa.total_ground_cap() - pb.total_ground_cap()).abs() < 1e-24);
+    // Same total inductance energy scale.
+    let fa = pa.partial_l.matrix().frobenius_norm();
+    let fb = pb.partial_l.matrix().frobenius_norm();
+    assert!((fa - fb).abs() / fa < 1e-12);
+}
+
+/// Supply nets recognized per kind.
+#[test]
+fn net_kind_queries() {
+    let par = clock_case();
+    let power: Vec<_> = par.layout.nets_of_kind(NetKind::Power).collect();
+    let ground: Vec<_> = par.layout.nets_of_kind(NetKind::Ground).collect();
+    let signal: Vec<_> = par.layout.nets_of_kind(NetKind::Signal).collect();
+    assert_eq!(power.len(), 1);
+    assert_eq!(ground.len(), 1);
+    assert_eq!(signal.len(), 1);
+    assert_eq!(signal[0].name, "clk");
+}

@@ -1,0 +1,165 @@
+//! Cross-crate property-based tests: physics invariants that must hold
+//! for *any* generated layout, not just the hand-picked cases.
+
+use ind101::extract::PartialInductance;
+use ind101::geom::generators::{generate_bus, BusSpec, ShieldPattern};
+use ind101::geom::{um, Technology};
+use ind101::loopind::{extract_loop_rl, LoopPortSpec};
+use ind101::peec::{InductanceMode, PeecModel, PeecParasitics};
+use ind101::sparsify::block_diagonal::block_diagonal;
+use ind101::sparsify::stability_report;
+use proptest::prelude::*;
+
+fn bus_strategy() -> impl Strategy<Value = BusSpec> {
+    (
+        1usize..6,           // signals
+        500i64..3000,        // length µm
+        1i64..6,             // spacing µm
+        1i64..4,             // width µm
+        prop::bool::ANY,     // shields on/off
+    )
+        .prop_map(|(signals, len_um, sp_um, w_um, shielded)| BusSpec {
+            signals,
+            length_nm: um(len_um),
+            spacing_nm: um(sp_um),
+            width_nm: um(w_um),
+            shields: if shielded {
+                ShieldPattern::Edges
+            } else {
+                ShieldPattern::None
+            },
+            tie_shields: shielded,
+            ..BusSpec::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The full partial-inductance matrix of any generated bus is
+    /// symmetric positive definite — the passivity invariant that
+    /// Section 4's sparsification must be measured against.
+    #[test]
+    fn partial_inductance_is_always_spd(spec in bus_strategy()) {
+        let tech = Technology::example_copper_6lm();
+        let bus = generate_bus(&tech, &spec);
+        let l = PartialInductance::extract(&tech, bus.segments());
+        prop_assert_eq!(l.matrix().symmetry_defect(), 0.0);
+        prop_assert!(l.matrix().is_positive_definite());
+        // Coupling coefficients below 1.
+        for i in 0..l.len() {
+            for j in (i + 1)..l.len() {
+                let k = l.mutual(i, j) / (l.self_l(i) * l.self_l(j)).sqrt();
+                prop_assert!(k < 1.0, "k({i},{j}) = {k}");
+                prop_assert!(k >= 0.0);
+            }
+        }
+    }
+
+    /// Subdividing segments must preserve total resistance and total
+    /// grounded capacitance (extraction is additive along a wire).
+    #[test]
+    fn subdivision_preserves_extraction_totals(
+        spec in bus_strategy(),
+        granularity_um in 100i64..1000,
+    ) {
+        let tech = Technology::example_copper_6lm();
+        let bus = generate_bus(&tech, &spec);
+        let coarse = PeecParasitics::extract(&bus, um(10_000));
+        let fine = PeecParasitics::extract(&bus, um(granularity_um));
+        let r_err = (coarse.total_resistance() - fine.total_resistance()).abs()
+            / coarse.total_resistance();
+        prop_assert!(r_err < 1e-9, "resistance additive: {r_err}");
+        let c_err = (coarse.total_ground_cap() - fine.total_ground_cap()).abs()
+            / coarse.total_ground_cap();
+        prop_assert!(c_err < 1e-9, "capacitance additive: {c_err}");
+    }
+
+    /// Block-diagonal sparsification of an SPD matrix is SPD for any
+    /// partition whatsoever.
+    #[test]
+    fn block_diagonal_spd_for_any_partition(
+        spec in bus_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let tech = Technology::example_copper_6lm();
+        let bus = generate_bus(&tech, &spec);
+        let mut layout = bus.clone();
+        layout.subdivide_segments(um(700));
+        let l = PartialInductance::extract(&tech, layout.segments());
+        // Pseudo-random partition into ≤ 4 sections.
+        let mut s = seed;
+        let labels: Vec<usize> = (0..l.len())
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((s >> 33) % 4) as usize
+            })
+            .collect();
+        let sp = block_diagonal(&l, &labels);
+        prop_assert!(
+            stability_report(&sp.matrix).positive_definite,
+            "partition must preserve PD"
+        );
+    }
+
+    /// DC loop resistance from the AC extraction equals the series
+    /// resistance of signal + return for a simple two-wire loop.
+    #[test]
+    fn loop_extraction_dc_resistance(len_um in 500i64..3000, sp_um in 1i64..10) {
+        let tech = Technology::example_copper_6lm();
+        let spec = BusSpec {
+            signals: 1,
+            length_nm: um(len_um),
+            spacing_nm: um(sp_um),
+            shields: ShieldPattern::Explicit(vec![1]),
+            ..BusSpec::default()
+        };
+        let bus = generate_bus(&tech, &spec);
+        let par = PeecParasitics::extract(&bus, um(len_um));
+        let port = LoopPortSpec::from_layout(&par).expect("ports");
+        let ext = extract_loop_rl(&par, &port, &[1e6]).expect("extract");
+        let expect: f64 = par.resistance.iter().sum();
+        prop_assert!(
+            (ext.r_ohm[0] - expect).abs() / expect < 0.05,
+            "loop R {} vs series {}",
+            ext.r_ohm[0],
+            expect
+        );
+    }
+
+    /// The PEEC circuit of any bus is well-posed: the DC operating point
+    /// exists and every node stays at a finite voltage.
+    #[test]
+    fn peec_model_dc_well_posed(spec in bus_strategy()) {
+        let tech = Technology::example_copper_6lm();
+        let bus = generate_bus(&tech, &spec);
+        let par = PeecParasitics::extract(&bus, um(800));
+        let model = PeecModel::build(&par, InductanceMode::Full).expect("model");
+        let op = model.circuit.dc_op().expect("dc op");
+        for v in op.unknowns() {
+            prop_assert!(v.is_finite());
+        }
+    }
+
+    /// Mutual inductance between the first two bus wires decreases
+    /// monotonically as the spacing grows (all else fixed).
+    #[test]
+    fn mutual_monotone_in_spacing(len_um in 500i64..2000) {
+        let tech = Technology::example_copper_6lm();
+        let mut prev = f64::INFINITY;
+        for sp_um in [1i64, 3, 9, 27] {
+            let spec = BusSpec {
+                signals: 2,
+                length_nm: um(len_um),
+                spacing_nm: um(sp_um),
+                ..BusSpec::default()
+            };
+            let bus = generate_bus(&tech, &spec);
+            let l = PartialInductance::extract(&tech, bus.segments());
+            let m = l.mutual(0, 1);
+            prop_assert!(m < prev, "M must fall with spacing");
+            prop_assert!(m > 0.0);
+            prev = m;
+        }
+    }
+}
