@@ -1,0 +1,55 @@
+//! Criterion benchmark of the parallel extraction engine: serial
+//! reference vs the chunked row-block assembly at 1, 2, 4 and N
+//! threads, plus the GMD memoization cache on/off — on the Table 1
+//! "medium" clock-over-grid segment list. Results land in
+//! `BENCH_parallel_scaling.json`; `EXPERIMENTS.md` records the measured
+//! speedups.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ind101_bench::{clock_case_with, Scale};
+use ind101_extract::{GmdCache, ParallelConfig, PartialInductance};
+use ind101_numeric::partition::available_threads;
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let case = clock_case_with(Scale::Medium, &ParallelConfig::default());
+    let tech = &case.tech;
+    let segments = case.par.segments.clone();
+    let mut g = c.benchmark_group("parallel_scaling");
+    g.sample_size(10);
+
+    g.bench_function(BenchmarkId::new("assembly", "serial_uncached"), |b| {
+        b.iter(|| PartialInductance::extract_serial(tech, &segments))
+    });
+
+    let mut thread_counts = vec![1usize, 2, 4];
+    let avail = available_threads();
+    if !thread_counts.contains(&avail) {
+        thread_counts.push(avail);
+    }
+    for threads in thread_counts {
+        let cfg = ParallelConfig::with_threads(threads);
+        g.bench_with_input(
+            BenchmarkId::new("assembly_threads", threads),
+            &cfg,
+            |b, cfg| b.iter(|| PartialInductance::extract_with(tech, &segments, cfg)),
+        );
+    }
+
+    // Cache effect in isolation (single thread, warm cache).
+    let mut cold = ParallelConfig::serial();
+    cold.cache_capacity = 0;
+    g.bench_with_input(BenchmarkId::new("cache", "off"), &cold, |b, cfg| {
+        b.iter(|| PartialInductance::extract_with(tech, &segments, cfg))
+    });
+    let warm_cfg = ParallelConfig::serial();
+    let warm = GmdCache::new(warm_cfg.cache_capacity);
+    let _ = PartialInductance::extract_with_cache(tech, &segments, &warm_cfg, &warm);
+    g.bench_function(BenchmarkId::new("cache", "warm"), |b| {
+        b.iter(|| PartialInductance::extract_with_cache(tech, &segments, &warm_cfg, &warm))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_parallel_scaling);
+criterion_main!(benches);

@@ -16,21 +16,28 @@ use ind101_core::InductanceMode;
 use ind101_extract::PartialInductance;
 use ind101_geom::generators::{generate_bus, BusSpec};
 use ind101_geom::{um, Technology};
-use ind101_sparsify::block_diagonal::{block_diagonal, sections_by_signal_distance};
-use ind101_sparsify::halo::halo_sparsify;
+use ind101_bench::parallel_config_from_args;
+use ind101_numeric::ParallelConfig;
+use ind101_sparsify::block_diagonal::{block_diagonal_with, sections_by_signal_distance};
+use ind101_sparsify::halo::halo_sparsify_with;
 use ind101_sparsify::hierarchical::{hierarchical_parameter_count, hierarchical_sparsify};
 use ind101_sparsify::kmatrix::k_sparsify;
 use ind101_sparsify::shell::shell_auto_radius;
-use ind101_sparsify::truncation::truncate_relative;
+use ind101_sparsify::truncation::truncate_relative_with;
 use ind101_sparsify::{matrix_error, stability_report, Sparsified};
 
 fn main() {
-    part_a();
-    part_b();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = parallel_config_from_args(&mut args);
+    part_a(&cfg);
+    part_b(&cfg);
 }
 
-fn part_a() {
-    println!("== Section 4 (A): technique comparison on the clock/grid matrix ==");
+fn part_a(cfg: &ParallelConfig) {
+    println!(
+        "== Section 4 (A): technique comparison on the clock/grid matrix ({} threads) ==",
+        cfg.threads
+    );
     let case = clock_case(Scale::Small);
     let l = &case.par.partial_l;
     println!(
@@ -44,7 +51,7 @@ fn part_a() {
     // Truncation threshold: scan for ~50 % retention.
     let trunc = [0.05, 0.1, 0.2, 0.3, 0.4]
         .iter()
-        .map(|&k| truncate_relative(l, k))
+        .map(|&k| truncate_relative_with(l, k, cfg))
         .min_by_key(|s| ((s.stats.retention() - 0.5).abs() * 1e6) as i64)
         .expect("non-empty scan");
 
@@ -52,14 +59,14 @@ fn part_a() {
     let r = format!("{:.1}%", 100.0 * trunc.stats.retention());
     methods.push((trunc, r));
     let labels = sections_by_signal_distance(l, &case.par.layout, 3);
-    let bd = block_diagonal(l, &labels);
+    let bd = block_diagonal_with(l, &labels, cfg);
     let r = format!("{:.1}%", 100.0 * bd.stats.retention());
     methods.push((bd, r));
     let (r0, shell) = shell_auto_radius(l, 0.6);
     println!("shell auto-radius selected r0 = {:.1} µm\n", r0 * 1e6);
     let r = format!("{:.1}%", 100.0 * shell.stats.retention());
     methods.push((shell, r));
-    let halo = halo_sparsify(l, &case.par.layout);
+    let halo = halo_sparsify_with(l, &case.par.layout, cfg);
     let r = format!("{:.1}%", 100.0 * halo.stats.retention());
     methods.push((halo, r));
     let h = hierarchical_sparsify(l, &labels);
@@ -103,7 +110,7 @@ fn part_a() {
 /// Part B: the paper's warning, demonstrated. On a long bus, relative
 /// truncation yields an indefinite matrix; simulating it generates
 /// energy and the waveforms blow up, while the full matrix is passive.
-fn part_b() {
+fn part_b(cfg: &ParallelConfig) {
     println!("\n== Section 4 (B): truncation instability on a long bus ==");
     let tech = Technology::example_copper_6lm();
     let bus = generate_bus(
@@ -119,7 +126,7 @@ fn part_b() {
     // Find a threshold that destroys positive definiteness.
     let mut unstable = None;
     for k_min in [0.3, 0.4, 0.5, 0.6, 0.7, 0.8] {
-        let s = truncate_relative(&l, k_min);
+        let s = truncate_relative_with(&l, k_min, cfg);
         let rep = stability_report(&s.matrix);
         if s.stats.dropped > 0 && !rep.positive_definite {
             unstable = Some((k_min, s, rep));

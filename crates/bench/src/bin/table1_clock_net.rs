@@ -4,28 +4,34 @@
 //! run time.
 //!
 //! ```text
-//! cargo run --release -p ind101-bench --bin table1_clock_net [small|medium|large]
+//! cargo run --release -p ind101-bench --bin table1_clock_net \
+//!     [small|medium|large] [--threads N]
 //! ```
 
-use ind101_bench::flows::{run_loop_flow, run_peec_block_diagonal_flow, run_peec_flow};
+use ind101_bench::flows::{run_loop_flow, run_peec_block_diagonal_flow_with, run_peec_flow};
 use ind101_bench::table::{eng, TextTable};
-use ind101_bench::{clock_case, Scale};
+use ind101_bench::{clock_case_with, parallel_config_from_args, Scale};
 use ind101_core::InductanceMode;
 
 fn main() {
-    let scale = match std::env::args().nth(1).as_deref() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = parallel_config_from_args(&mut args);
+    let scale = match args.first().map(String::as_str) {
         Some("small") | None => Scale::Small,
         Some("medium") => Scale::Medium,
         Some("large") => Scale::Large,
         Some(other) => {
-            eprintln!("unknown scale {other:?}; use small|medium|large");
+            eprintln!("unknown scale {other:?}; use small|medium|large [--threads N]");
             std::process::exit(2);
         }
     };
     let dt = 2e-12;
     let t_stop = 900e-12;
-    println!("== Table 1: simulation of global clock net (scale {scale:?}) ==");
-    let case = clock_case(scale);
+    println!(
+        "== Table 1: simulation of global clock net (scale {scale:?}, {} extraction threads) ==",
+        cfg.threads
+    );
+    let case = clock_case_with(scale, &cfg);
     println!(
         "testcase: {} segments, {} vias, {} nets, {} mutual terms\n",
         case.par.len(),
@@ -39,7 +45,8 @@ fn main() {
             .expect("PEEC RC flow"),
         run_peec_flow(&case, "PEEC (RLC)", InductanceMode::Full, dt, t_stop)
             .expect("PEEC RLC flow"),
-        run_peec_block_diagonal_flow(&case, 3, 2, dt, t_stop).expect("accelerated flow"),
+        run_peec_block_diagonal_flow_with(&case, 3, 2, dt, t_stop, &cfg)
+            .expect("accelerated flow"),
         run_loop_flow(&case, 2.5e9, dt, t_stop).expect("LOOP flow"),
     ];
 

@@ -12,7 +12,8 @@ use ind101_core::InductanceMode;
 use ind101_loop::{
     build_loop_circuit, extract_loop_rl, LoopInterconnect, LoopNetlistSpec, LoopPortSpec,
 };
-use ind101_sparsify::block_diagonal::{block_diagonal, rlc_mask, sections_by_signal_distance};
+use ind101_numeric::ParallelConfig;
+use ind101_sparsify::block_diagonal::{block_diagonal_with, rlc_mask, sections_by_signal_distance};
 use std::time::Instant;
 
 /// Result of one flow run.
@@ -117,9 +118,26 @@ pub fn run_peec_block_diagonal_flow(
     dt: f64,
     t_stop: f64,
 ) -> Result<FlowResult, CircuitError> {
+    run_peec_block_diagonal_flow_with(case, sections, rc_from, dt, t_stop, &ParallelConfig::default())
+}
+
+/// [`run_peec_block_diagonal_flow`] with an explicit parallelism
+/// configuration for the sparsification screen.
+///
+/// # Errors
+///
+/// Propagates sparsification/simulation failures.
+pub fn run_peec_block_diagonal_flow_with(
+    case: &ClockCase,
+    sections: usize,
+    rc_from: usize,
+    dt: f64,
+    t_stop: f64,
+    cfg: &ParallelConfig,
+) -> Result<FlowResult, CircuitError> {
     let start = Instant::now();
     let labels = sections_by_signal_distance(&case.par.partial_l, &case.par.layout, sections);
-    let sparsified = block_diagonal(&case.par.partial_l, &labels);
+    let sparsified = block_diagonal_with(&case.par.partial_l, &labels, cfg);
     let mask = rlc_mask(&labels, rc_from);
     let mut par = case.par.clone();
     par.partial_l.set_matrix(sparsified.matrix);

@@ -18,6 +18,7 @@ use ind101_geom::generators::{
     generate_clock_spine, generate_power_grid, ClockNetSpec, PowerGridSpec,
 };
 use ind101_geom::{um, Technology};
+use ind101_numeric::ParallelConfig;
 
 /// Testcase scale.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -41,8 +42,16 @@ pub struct ClockCase {
     pub sink_ports: Vec<String>,
 }
 
-/// Builds the clock-over-grid testcase at a given scale.
+/// Builds the clock-over-grid testcase at a given scale with the
+/// default [`ParallelConfig`].
 pub fn clock_case(scale: Scale) -> ClockCase {
+    clock_case_with(scale, &ParallelConfig::default())
+}
+
+/// [`clock_case`] with explicit parallelism/caching configuration for
+/// the extraction passes. Extraction is deterministic across thread
+/// counts, so the testcase is identical for any `cfg`.
+pub fn clock_case_with(scale: Scale, cfg: &ParallelConfig) -> ClockCase {
     let tech = Technology::example_copper_6lm();
     let (span, pitch, fingers, seg) = match scale {
         Scale::Small => (um(200), um(50), 2, um(60)),
@@ -67,7 +76,7 @@ pub fn clock_case(scale: Scale) -> ClockCase {
     let sink_ports = (0..fingers)
         .flat_map(|k| [format!("clk_sink_b{k}"), format!("clk_sink_t{k}")])
         .collect();
-    let par = PeecParasitics::extract(&layout, seg);
+    let par = PeecParasitics::extract_with(&layout, seg, cfg);
     ClockCase {
         par,
         tech,
@@ -75,9 +84,57 @@ pub fn clock_case(scale: Scale) -> ClockCase {
     }
 }
 
+/// Parses an optional `--threads N` flag out of `args`, removing it;
+/// returns the resulting [`ParallelConfig`] (default when absent).
+///
+/// Shared by the harness binaries so every table/figure reproduction
+/// accepts the same parallelism knob.
+///
+/// # Panics
+///
+/// Panics (with a usage message) if `--threads` has a missing or
+/// non-positive value.
+pub fn parallel_config_from_args(args: &mut Vec<String>) -> ParallelConfig {
+    match args.iter().position(|a| a == "--threads") {
+        None => ParallelConfig::default(),
+        Some(k) => {
+            assert!(k + 1 < args.len(), "--threads needs a value");
+            let n: usize = args[k + 1]
+                .parse()
+                .expect("--threads value must be a positive integer");
+            args.drain(k..=k + 1);
+            ParallelConfig::with_threads(n)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parse_threads_flag() {
+        let mut args = vec!["medium".to_owned(), "--threads".to_owned(), "4".to_owned()];
+        let cfg = parallel_config_from_args(&mut args);
+        assert_eq!(cfg.threads, 4);
+        assert_eq!(args, vec!["medium".to_owned()]);
+        let mut args = vec!["small".to_owned()];
+        assert_eq!(
+            parallel_config_from_args(&mut args),
+            ParallelConfig::default()
+        );
+    }
+
+    #[test]
+    fn case_is_identical_across_thread_counts() {
+        let serial = clock_case_with(Scale::Small, &ParallelConfig::serial());
+        let par = clock_case_with(Scale::Small, &ParallelConfig::with_threads(4));
+        assert_eq!(
+            serial.par.partial_l.matrix().as_slice(),
+            par.par.partial_l.matrix().as_slice()
+        );
+        assert_eq!(serial.par.coupling_caps, par.par.coupling_caps);
+    }
 
     #[test]
     fn scales_grow_monotonically() {

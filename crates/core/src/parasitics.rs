@@ -4,6 +4,8 @@ use ind101_extract::capacitance::{segment_coupling_cap, segment_ground_cap};
 use ind101_extract::resistance::{segment_resistance, via_resistance};
 use ind101_extract::PartialInductance;
 use ind101_geom::{Layout, Segment, Via};
+use ind101_numeric::partition::{collect_row_blocks, triangle_row_blocks};
+use ind101_numeric::ParallelConfig;
 
 /// Maximum edge-to-edge spacing (in units of wire width) at which
 /// coupling capacitance between adjacent lines is extracted. Lateral
@@ -36,8 +38,19 @@ pub struct PeecParasitics {
 
 impl PeecParasitics {
     /// Extracts parasitics for `layout`, first subdividing segments to
-    /// at most `max_seg_len_nm` (the RLC-π discretization length).
+    /// at most `max_seg_len_nm` (the RLC-π discretization length), with
+    /// the default [`ParallelConfig`].
     pub fn extract(layout: &Layout, max_seg_len_nm: i64) -> Self {
+        Self::extract_with(layout, max_seg_len_nm, &ParallelConfig::default())
+    }
+
+    /// [`PeecParasitics::extract`] with explicit parallelism/caching
+    /// configuration, threaded through both O(n²) passes (capacitive
+    /// coupling scan, partial-inductance assembly). Results are
+    /// bit-identical at any thread count: the coupling scan concatenates
+    /// per-row-block pair lists in block order, reproducing the serial
+    /// `(i, j)` lexicographic order exactly.
+    pub fn extract_with(layout: &Layout, max_seg_len_nm: i64, cfg: &ParallelConfig) -> Self {
         let mut layout = layout.clone();
         layout.subdivide_segments(max_seg_len_nm);
         let tech = layout.tech().clone();
@@ -52,25 +65,30 @@ impl PeecParasitics {
             .map(|s| segment_ground_cap(&tech, s))
             .collect();
 
-        let mut coupling_caps = Vec::new();
-        for i in 0..segments.len() {
-            for j in (i + 1)..segments.len() {
-                let (a, b) = (&segments[i], &segments[j]);
-                if a.net == b.net || a.layer != b.layer || !a.is_parallel(b) {
-                    continue;
-                }
-                let window = COUPLING_WINDOW_FACTOR * a.width_nm.max(b.width_nm);
-                if a.edge_spacing_nm(b) > window {
-                    continue;
-                }
-                let c = segment_coupling_cap(&tech, a, b);
-                if c > 0.0 {
-                    coupling_caps.push((i, j, c));
+        let n = segments.len();
+        let ranges = triangle_row_blocks(n, cfg.blocks_for(n));
+        let coupling_caps = collect_row_blocks(&ranges, |rows| {
+            let mut pairs = Vec::new();
+            for i in rows {
+                for j in (i + 1)..n {
+                    let (a, b) = (&segments[i], &segments[j]);
+                    if a.net == b.net || a.layer != b.layer || !a.is_parallel(b) {
+                        continue;
+                    }
+                    let window = COUPLING_WINDOW_FACTOR * a.width_nm.max(b.width_nm);
+                    if a.edge_spacing_nm(b) > window {
+                        continue;
+                    }
+                    let c = segment_coupling_cap(&tech, a, b);
+                    if c > 0.0 {
+                        pairs.push((i, j, c));
+                    }
                 }
             }
-        }
+            pairs
+        });
 
-        let partial_l = PartialInductance::extract(&tech, &segments);
+        let partial_l = PartialInductance::extract_with(&tech, &segments, cfg);
 
         let via_res = layout
             .vias()

@@ -1,0 +1,225 @@
+//! Memoization cache for geometric-mean-distance kernels.
+//!
+//! The numeric GMD in [`crate::gmd::rect_gmd`] integrates 6⁴ sample
+//! pairs per segment pair — by far the most expensive scalar kernel in
+//! the extraction hot loop. Real layouts are extremely repetitive
+//! (buses and grids repeat the same cross-section pair at the same
+//! pitch thousands of times), so a cache keyed on the *pair geometry*
+//! turns the O(n²) assembly into mostly O(n²) hash lookups plus a few
+//! hundred distinct kernel evaluations.
+//!
+//! ## Key quantization and determinism
+//!
+//! Keys are the six kernel arguments quantized to [`QUANTUM_M`]
+//! (10⁻¹² m = 1 pm). Segment geometry in this toolkit lives on an
+//! integer-nanometer grid, so distinct geometries differ by ≥ 1 nm =
+//! 1000 quanta in at least one argument and can never alias to one key;
+//! the quantization only merges bit-identical reconstructions of the
+//! same geometry. A cached value is therefore always exactly the value
+//! `rect_gmd` would return, which is what makes cached, uncached,
+//! serial and parallel extraction agree **bit-for-bit** — the property
+//! the differential tests assert.
+//!
+//! The cache is sharded and thread-safe; insertion order between
+//! threads is irrelevant because every insert for a given key carries
+//! the same value. When full it stops inserting (no eviction), keeping
+//! behavior deterministic.
+
+use crate::gmd::rect_gmd;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Quantization grid of the cache key, meters: 1 picometer. Three
+/// orders of magnitude below the 1 nm geometry grid, eleven below
+/// typical wire dimensions.
+pub const QUANTUM_M: f64 = 1e-12;
+
+/// Number of independently locked shards (power of two).
+const SHARDS: usize = 32;
+
+/// Quantized pair-geometry key: `(dx, dz, w1, t1, w2, t2)` in units of
+/// [`QUANTUM_M`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct GmdKey([i64; 6]);
+
+impl GmdKey {
+    /// Quantizes raw kernel arguments (meters) to a key.
+    pub fn quantize(dx: f64, dz: f64, w1: f64, t1: f64, w2: f64, t2: f64) -> Self {
+        let q = |x: f64| (x / QUANTUM_M).round() as i64;
+        Self([q(dx), q(dz), q(w1), q(t1), q(w2), q(t2)])
+    }
+
+    fn shard(&self) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut h);
+        (h.finish() as usize) & (SHARDS - 1)
+    }
+}
+
+/// Sharded, thread-safe memoization cache for [`rect_gmd`] values.
+#[derive(Debug)]
+pub struct GmdCache {
+    shards: Vec<Mutex<HashMap<GmdKey, f64>>>,
+    capacity_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl GmdCache {
+    /// Creates a cache holding at most `capacity` entries in total.
+    /// A capacity of 0 disables caching (every call computes).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            capacity_per_shard: capacity.div_ceil(SHARDS),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The GMD for the given pair geometry — served from the cache when
+    /// present, computed via [`rect_gmd`] (and inserted) otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same invalid inputs as [`rect_gmd`].
+    pub fn gmd(&self, dx: f64, dz: f64, w1: f64, t1: f64, w2: f64, t2: f64) -> f64 {
+        if self.capacity_per_shard == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return rect_gmd(dx, dz, w1, t1, w2, t2);
+        }
+        let key = GmdKey::quantize(dx, dz, w1, t1, w2, t2);
+        let shard = &self.shards[key.shard()];
+        if let Some(&v) = shard.lock().expect("gmd cache shard poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        // Compute outside the lock: the kernel is the expensive part,
+        // and a duplicate concurrent compute of the same key writes the
+        // identical value, so dropping the lock is harmless.
+        let v = rect_gmd(dx, dz, w1, t1, w2, t2);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = shard.lock().expect("gmd cache shard poisoned");
+        if map.len() < self.capacity_per_shard {
+            map.insert(key, v);
+        }
+        v
+    }
+
+    /// Number of lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to compute the kernel.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct entries currently stored.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("gmd cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let c = GmdCache::new(1024);
+        let g1 = c.gmd(3e-6, 0.0, 1e-6, 0.5e-6, 1e-6, 0.5e-6);
+        assert_eq!((c.hits(), c.misses()), (0, 1));
+        let g2 = c.gmd(3e-6, 0.0, 1e-6, 0.5e-6, 1e-6, 0.5e-6);
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        assert_eq!(g1.to_bits(), g2.to_bits(), "cache must return the exact value");
+        // A different geometry is a miss.
+        let _ = c.gmd(4e-6, 0.0, 1e-6, 0.5e-6, 1e-6, 0.5e-6);
+        assert_eq!((c.hits(), c.misses()), (1, 2));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn cached_equals_uncached_bitwise() {
+        let c = GmdCache::new(1024);
+        for k in 1..40 {
+            let dx = k as f64 * 0.5e-6;
+            let direct = rect_gmd(dx, 0.3e-6, 1e-6, 0.4e-6, 2e-6, 0.4e-6);
+            let cached = c.gmd(dx, 0.3e-6, 1e-6, 0.4e-6, 2e-6, 0.4e-6);
+            let again = c.gmd(dx, 0.3e-6, 1e-6, 0.4e-6, 2e-6, 0.4e-6);
+            assert_eq!(direct.to_bits(), cached.to_bits());
+            assert_eq!(direct.to_bits(), again.to_bits());
+        }
+    }
+
+    #[test]
+    fn quantization_does_not_alias_distinct_geometries() {
+        // Geometries on the 1 nm grid differ by ≥ 1000 quanta: every
+        // pair of distinct nm-grid geometries must produce distinct
+        // keys. Sweep one nm at a time across each argument.
+        let base = [2000e-9, 100e-9, 1000e-9, 500e-9, 900e-9, 450e-9];
+        let key_of = |a: &[f64; 6]| GmdKey::quantize(a[0], a[1], a[2], a[3], a[4], a[5]);
+        let k0 = key_of(&base);
+        for arg in 0..6 {
+            let mut g = base;
+            g[arg] += 1e-9; // one nanometer
+            assert_ne!(key_of(&g), k0, "arg {arg} must change the key");
+        }
+        // Sub-quantum noise *does* merge (that is the point):
+        let mut g = base;
+        g[0] += QUANTUM_M * 0.4;
+        assert_eq!(key_of(&g), k0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let c = GmdCache::new(0);
+        let _ = c.gmd(3e-6, 0.0, 1e-6, 1e-6, 1e-6, 1e-6);
+        let _ = c.gmd(3e-6, 0.0, 1e-6, 1e-6, 1e-6, 1e-6);
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 2);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn capacity_caps_insertions_but_stays_correct() {
+        let c = GmdCache::new(SHARDS); // one entry per shard
+        for k in 1..200 {
+            let dx = k as f64 * 1e-6;
+            let got = c.gmd(dx, 0.0, 1e-6, 1e-6, 1e-6, 1e-6);
+            let want = rect_gmd(dx, 0.0, 1e-6, 1e-6, 1e-6, 1e-6);
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+        assert!(c.len() <= SHARDS);
+    }
+
+    #[test]
+    fn concurrent_use_is_consistent() {
+        let c = GmdCache::new(4096);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for k in 1..100 {
+                        let dx = (k % 10 + 1) as f64 * 1e-6;
+                        let got = c.gmd(dx, 0.0, 1e-6, 1e-6, 1e-6, 1e-6);
+                        let want = rect_gmd(dx, 0.0, 1e-6, 1e-6, 1e-6, 1e-6);
+                        assert_eq!(got.to_bits(), want.to_bits());
+                    }
+                });
+            }
+        });
+        assert_eq!(c.hits() + c.misses(), 4 * 99);
+        assert_eq!(c.len(), 10);
+    }
+}

@@ -37,9 +37,12 @@
 pub mod capacitance;
 pub mod constants;
 pub mod gmd;
+pub mod gmd_cache;
 mod matrix;
 pub mod mutual_inductance;
 pub mod resistance;
 pub mod self_inductance;
 
+pub use gmd_cache::GmdCache;
 pub use matrix::PartialInductance;
+pub use ind101_numeric::ParallelConfig;

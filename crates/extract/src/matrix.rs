@@ -6,10 +6,12 @@
 //! implements the paper's Section 4 techniques on top of it.
 
 use crate::gmd::rect_gmd;
+use crate::gmd_cache::GmdCache;
 use crate::mutual_inductance::filament_mutual;
 use crate::self_inductance::{bar_self_inductance, self_gmd};
 use ind101_geom::{Segment, Technology};
-use ind101_numeric::Matrix;
+use ind101_numeric::partition::{for_each_row_chunk, triangle_row_blocks};
+use ind101_numeric::{Matrix, ParallelConfig};
 
 /// The dense, symmetric partial-inductance matrix of a set of segments,
 /// together with the segment list it was extracted from.
@@ -24,42 +26,71 @@ pub struct PartialInductance {
 }
 
 impl PartialInductance {
-    /// Extracts the full partial-inductance matrix for `segments`.
+    /// Extracts the full partial-inductance matrix for `segments`,
+    /// using the default [`ParallelConfig`] (all hardware threads, GMD
+    /// memoization on).
     ///
     /// Perpendicular pairs have exactly zero mutual inductance (no
     /// magnetic coupling between orthogonal current filaments); all
     /// parallel pairs — including collinear segments of the same wire —
     /// are computed with the GMD-corrected filament formula.
     pub fn extract(tech: &Technology, segments: &[Segment]) -> Self {
+        Self::extract_with(tech, segments, &ParallelConfig::default())
+    }
+
+    /// Extracts with explicit parallelism/caching configuration.
+    ///
+    /// Assembly is chunked into contiguous row blocks of the upper
+    /// triangle balanced by triangle area ([`triangle_row_blocks`]),
+    /// each block filled by one scoped thread writing a disjoint slice
+    /// of the matrix buffer; a serial mirror pass then reflects the
+    /// upper triangle into the lower. Per-entry arithmetic is identical
+    /// to [`PartialInductance::extract_serial`], so the result is
+    /// **bit-identical** to serial extraction at any thread count.
+    pub fn extract_with(tech: &Technology, segments: &[Segment], cfg: &ParallelConfig) -> Self {
+        let cache = GmdCache::new(cfg.cache_capacity);
+        Self::extract_with_cache(tech, segments, cfg, &cache)
+    }
+
+    /// Extracts using a caller-provided GMD cache, so repeated
+    /// extractions over layouts with shared cross-section geometry
+    /// (e.g. a sparsification sweep) reuse kernel evaluations.
+    pub fn extract_with_cache(
+        tech: &Technology,
+        segments: &[Segment],
+        cfg: &ParallelConfig,
+        cache: &GmdCache,
+    ) -> Self {
+        let n = segments.len();
+        let mut m = Matrix::zeros(n, n);
+        let ranges = triangle_row_blocks(n, cfg.blocks_for(n));
+        for_each_row_chunk(m.as_mut_slice(), n, &ranges, |rows, chunk| {
+            for i in rows.clone() {
+                let base = (i - rows.start) * n;
+                let row = &mut chunk[base..base + n];
+                fill_upper_row(tech, segments, Some(cache), i, row);
+            }
+        });
+        // Deterministic serial mirror: upper triangle into the lower.
+        m.mirror_upper();
+        Self {
+            matrix: m,
+            segments: segments.to_vec(),
+        }
+    }
+
+    /// Reference single-threaded, uncached extraction: the plain double
+    /// loop over the upper triangle. Kept as the ground truth the
+    /// differential tests compare the parallel engine against.
+    pub fn extract_serial(tech: &Technology, segments: &[Segment]) -> Self {
         let n = segments.len();
         let mut m = Matrix::zeros(n, n);
         for i in 0..n {
-            let si = &segments[i];
-            let li = tech.layer(si.layer);
-            let ti = li.thickness_nm as f64 * 1e-9;
-            m[(i, i)] = bar_self_inductance(si.length_m(), si.width_m(), ti);
-            for j in (i + 1)..n {
-                let sj = &segments[j];
-                if !si.is_parallel(sj) {
-                    continue;
-                }
-                let lj = tech.layer(sj.layer);
-                let tj = lj.thickness_nm as f64 * 1e-9;
-                let dx = si.lateral_separation_nm(sj) as f64 * 1e-9;
-                let dz = (li.z_center_nm() - lj.z_center_nm()).abs() as f64 * 1e-9;
-                let d = if dx == 0.0 && dz == 0.0 {
-                    // Collinear segments of the same wire: use the
-                    // average self-GMD of the two cross-sections.
-                    0.5 * (self_gmd(si.width_m(), ti) + self_gmd(sj.width_m(), tj))
-                } else {
-                    rect_gmd(dx, dz, si.width_m(), ti, sj.width_m(), tj)
-                };
-                let offset = si.axial_offset_nm(sj) as f64 * 1e-9;
-                let v = filament_mutual(si.length_m(), sj.length_m(), offset, d);
-                m[(i, j)] = v;
-                m[(j, i)] = v;
-            }
+            let row_start = i * n;
+            let row = &mut m.as_mut_slice()[row_start..row_start + n];
+            fill_upper_row(tech, segments, None, i, row);
         }
+        m.mirror_upper();
         Self {
             matrix: m,
             segments: segments.to_vec(),
@@ -125,6 +156,51 @@ impl PartialInductance {
         assert_eq!(m.nrows(), self.len(), "sparsified matrix must match");
         assert_eq!(m.ncols(), self.len(), "sparsified matrix must match");
         self.matrix = m;
+    }
+}
+
+/// Fills row `i`'s diagonal and strict-upper entries (`j > i`) of the
+/// partial-inductance matrix into `row` (a full `n`-wide row slice).
+///
+/// This is the single per-entry kernel shared by the serial reference
+/// and every parallel block, which is what makes serial and parallel
+/// assembly bit-identical: the GMD is either computed directly
+/// (`cache: None`) or served through the memoization cache, and a
+/// cached value is always exactly the direct [`rect_gmd`] result (see
+/// [`crate::gmd_cache`] for why quantization cannot alias).
+fn fill_upper_row(
+    tech: &Technology,
+    segments: &[Segment],
+    cache: Option<&GmdCache>,
+    i: usize,
+    row: &mut [f64],
+) {
+    let n = segments.len();
+    let si = &segments[i];
+    let li = tech.layer(si.layer);
+    let ti = li.thickness_nm as f64 * 1e-9;
+    row[i] = bar_self_inductance(si.length_m(), si.width_m(), ti);
+    for j in (i + 1)..n {
+        let sj = &segments[j];
+        if !si.is_parallel(sj) {
+            continue;
+        }
+        let lj = tech.layer(sj.layer);
+        let tj = lj.thickness_nm as f64 * 1e-9;
+        let dx = si.lateral_separation_nm(sj) as f64 * 1e-9;
+        let dz = (li.z_center_nm() - lj.z_center_nm()).abs() as f64 * 1e-9;
+        let d = if dx == 0.0 && dz == 0.0 {
+            // Collinear segments of the same wire: use the
+            // average self-GMD of the two cross-sections.
+            0.5 * (self_gmd(si.width_m(), ti) + self_gmd(sj.width_m(), tj))
+        } else {
+            match cache {
+                Some(c) => c.gmd(dx, dz, si.width_m(), ti, sj.width_m(), tj),
+                None => rect_gmd(dx, dz, si.width_m(), ti, sj.width_m(), tj),
+            }
+        };
+        let offset = si.axial_offset_nm(sj) as f64 * 1e-9;
+        row[j] = filament_mutual(si.length_m(), sj.length_m(), offset, d);
     }
 }
 

@@ -1,0 +1,132 @@
+//! Differential tests of the parallel extraction engine: the chunked,
+//! cached, multi-threaded assembly must agree with the serial uncached
+//! reference **bit-for-bit** — not approximately — on randomized
+//! layouts, at every thread count. This is the determinism contract of
+//! `ind101_numeric::partition` plus the no-aliasing guarantee of the
+//! GMD cache quantization.
+
+use ind101_extract::{GmdCache, ParallelConfig, PartialInductance};
+use ind101_geom::{Axis, LayerId, NetId, Point, Segment, Technology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random layout on the integer-nm grid: mixed axes, layers, widths
+/// and positions, including coincident-track (collinear) pairs and
+/// perpendicular pairs.
+fn random_segments(seed: u64, n: usize) -> Vec<Segment> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let dir = if rng.gen_bool(0.5) { Axis::X } else { Axis::Y };
+            Segment::new(
+                NetId(rng.gen_range(0u32..4)),
+                LayerId(rng.gen_range(2u8..6)),
+                dir,
+                Point::new(
+                    rng.gen_range(-50i64..50) * 1_000,
+                    rng.gen_range(-50i64..50) * 1_000,
+                ),
+                rng.gen_range(20i64..400) * 1_000,
+                rng.gen_range(1i64..4) * 500,
+            )
+        })
+        .chain(std::iter::once(Segment::new(
+            // Force one exactly-collinear same-track pair (dx = dz = 0
+            // path) regardless of the random draw above.
+            NetId(0),
+            LayerId(5),
+            Axis::X,
+            Point::new(0, 0),
+            100_000,
+            1_000,
+        )))
+        .collect()
+}
+
+fn assert_bit_identical(a: &PartialInductance, b: &PartialInductance, what: &str) {
+    let (ma, mb) = (a.matrix().as_slice(), b.matrix().as_slice());
+    assert_eq!(ma.len(), mb.len(), "{what}: dimension mismatch");
+    for (k, (x, y)) in ma.iter().zip(mb).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: entry {k} differs: {x:e} vs {y:e}"
+        );
+    }
+}
+
+#[test]
+fn parallel_extraction_is_bit_identical_to_serial() {
+    let tech = Technology::example_copper_6lm();
+    for seed in 0..4u64 {
+        let segs = random_segments(seed, 60);
+        let reference = PartialInductance::extract_serial(&tech, &segs);
+        for threads in [1usize, 2, 8] {
+            let cfg = ParallelConfig::with_threads(threads);
+            let par = PartialInductance::extract_with(&tech, &segs, &cfg);
+            assert_bit_identical(
+                &reference,
+                &par,
+                &format!("seed {seed}, {threads} threads"),
+            );
+        }
+    }
+}
+
+#[test]
+fn cache_off_and_cache_on_agree_bitwise() {
+    let tech = Technology::example_copper_6lm();
+    let segs = random_segments(99, 50);
+    let mut uncached_cfg = ParallelConfig::with_threads(4);
+    uncached_cfg.cache_capacity = 0;
+    let uncached = PartialInductance::extract_with(&tech, &segs, &uncached_cfg);
+    let cached = PartialInductance::extract_with(&tech, &segs, &ParallelConfig::with_threads(4));
+    assert_bit_identical(&uncached, &cached, "cache off vs on");
+}
+
+#[test]
+fn shared_warm_cache_does_not_change_results() {
+    // Reusing one cache across extractions (and across thread counts)
+    // must be invisible in the output.
+    let tech = Technology::example_copper_6lm();
+    let cache = GmdCache::new(1 << 16);
+    let segs_a = random_segments(7, 40);
+    let segs_b = random_segments(8, 40);
+    let cfg = ParallelConfig::with_threads(2);
+    // Warm the cache on layout A, then extract B with the warm cache.
+    let _ = PartialInductance::extract_with_cache(&tech, &segs_a, &cfg, &cache);
+    let warm_b = PartialInductance::extract_with_cache(&tech, &segs_b, &cfg, &cache);
+    let fresh_b = PartialInductance::extract_serial(&tech, &segs_b);
+    assert_bit_identical(&fresh_b, &warm_b, "warm shared cache");
+    assert!(cache.hits() > 0, "cross-extraction reuse should hit");
+}
+
+#[test]
+fn default_extract_is_the_parallel_engine() {
+    let tech = Technology::example_copper_6lm();
+    let segs = random_segments(3, 30);
+    let default = PartialInductance::extract(&tech, &segs);
+    let reference = PartialInductance::extract_serial(&tech, &segs);
+    assert_bit_identical(&reference, &default, "default entry point");
+}
+
+#[test]
+fn empty_and_single_segment_layouts_work_at_any_thread_count() {
+    let tech = Technology::example_copper_6lm();
+    let one = vec![Segment::new(
+        NetId(0),
+        LayerId(5),
+        Axis::X,
+        Point::new(0, 0),
+        100_000,
+        1_000,
+    )];
+    for threads in [1usize, 2, 8] {
+        let cfg = ParallelConfig::with_threads(threads);
+        let empty = PartialInductance::extract_with(&tech, &[], &cfg);
+        assert_eq!(empty.len(), 0);
+        let single = PartialInductance::extract_with(&tech, &one, &cfg);
+        assert_eq!(single.len(), 1);
+        assert!(single.self_l(0) > 0.0);
+    }
+}

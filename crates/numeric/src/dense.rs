@@ -247,6 +247,23 @@ impl<T: Scalar> Matrix<T> {
         d
     }
 
+    /// Copies the strict upper triangle onto the lower, making the
+    /// matrix exactly symmetric. Used as the deterministic final pass of
+    /// parallel symmetric assembly: workers fill only the upper
+    /// triangle, then one serial mirror reflects it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn mirror_upper(&mut self) {
+        assert_eq!(self.nrows, self.ncols, "mirror_upper needs a square matrix");
+        for i in 0..self.nrows {
+            for j in (i + 1)..self.ncols {
+                self.data[j * self.ncols + i] = self.data[i * self.ncols + j];
+            }
+        }
+    }
+
     /// Number of exactly-zero entries (used by sparsification metrics).
     pub fn count_zeros(&self) -> usize {
         self.data.iter().filter(|v| v.is_zero()).count()

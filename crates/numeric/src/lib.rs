@@ -43,6 +43,7 @@ mod eigen;
 mod error;
 mod lu;
 mod ordering;
+pub mod partition;
 mod qr;
 mod scalar;
 mod sparse;
@@ -56,6 +57,7 @@ pub use eigen::{jacobi_eigenvalues, jacobi_eigenvectors, SymmetricEigen};
 pub use error::NumericError;
 pub use lu::LuFactors;
 pub use ordering::{bandwidth, reverse_cuthill_mckee, Permutation};
+pub use partition::ParallelConfig;
 pub use qr::{mgs_orthonormalize, orthonormalize_against};
 pub use scalar::Scalar;
 pub use sparse::{CsrMatrix, Triplets};

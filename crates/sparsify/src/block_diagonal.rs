@@ -15,8 +15,10 @@
 //! passivity is guaranteed by construction.
 
 use crate::metrics::{Sparsified, SparsityStats};
+use crate::screen::screen_upper_triangle;
 use ind101_extract::PartialInductance;
 use ind101_geom::{Layout, NetKind};
+use ind101_numeric::ParallelConfig;
 
 /// Zeroes every mutual term between segments in different sections.
 ///
@@ -26,17 +28,21 @@ use ind101_geom::{Layout, NetKind};
 ///
 /// Panics if `sections.len()` differs from the matrix dimension.
 pub fn block_diagonal(l: &PartialInductance, sections: &[usize]) -> Sparsified {
+    block_diagonal_with(l, sections, &ParallelConfig::default())
+}
+
+/// [`block_diagonal`] with an explicit parallelism configuration.
+///
+/// # Panics
+///
+/// Panics if `sections.len()` differs from the matrix dimension.
+pub fn block_diagonal_with(
+    l: &PartialInductance,
+    sections: &[usize],
+    cfg: &ParallelConfig,
+) -> Sparsified {
     assert_eq!(sections.len(), l.len(), "one section label per segment");
-    let mut m = l.matrix().clone();
-    let n = m.nrows();
-    for i in 0..n {
-        for j in (i + 1)..n {
-            if sections[i] != sections[j] {
-                m[(i, j)] = 0.0;
-                m[(j, i)] = 0.0;
-            }
-        }
-    }
+    let m = screen_upper_triangle(l.matrix(), cfg, |i, j| sections[i] == sections[j]);
     let stats = SparsityStats::compare(l.matrix(), &m);
     Sparsified {
         matrix: m,

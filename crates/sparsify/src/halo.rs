@@ -11,8 +11,11 @@
 //! is dropped.
 
 use crate::metrics::{Sparsified, SparsityStats};
+use crate::screen::screen_upper_triangle;
 use ind101_extract::PartialInductance;
 use ind101_geom::Layout;
+use ind101_numeric::partition::{collect_row_blocks, uniform_row_blocks};
+use ind101_numeric::ParallelConfig;
 
 /// Lateral halo interval of one segment.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -36,53 +39,71 @@ impl Halo {
 /// same-direction supply-net segment on each lateral side that overlaps
 /// it axially.
 pub fn compute_halos(l: &PartialInductance, layout: &Layout) -> Vec<Halo> {
+    compute_halos_with(l, layout, &ParallelConfig::default())
+}
+
+/// [`compute_halos`] with an explicit parallelism configuration. Each
+/// segment's halo is independent of every other halo, so the O(n²) scan
+/// splits into uniform row blocks; blocks are concatenated in order,
+/// giving the same vector at any thread count.
+pub fn compute_halos_with(
+    l: &PartialInductance,
+    layout: &Layout,
+    cfg: &ParallelConfig,
+) -> Vec<Halo> {
     let segs = l.segments();
-    segs.iter()
-        .map(|s| {
-            let lat = s.start.along(s.dir.perp());
-            let mut lo = i64::MIN;
-            let mut hi = i64::MAX;
-            for other in segs {
-                if !s.is_parallel(other) || s.axial_overlap_nm(other) == 0 {
-                    continue;
+    let ranges = uniform_row_blocks(segs.len(), cfg.blocks_for(segs.len()));
+    collect_row_blocks(&ranges, |rows| {
+        segs[rows]
+            .iter()
+            .map(|s| {
+                let lat = s.start.along(s.dir.perp());
+                let mut lo = i64::MIN;
+                let mut hi = i64::MAX;
+                for other in segs {
+                    if !s.is_parallel(other) || s.axial_overlap_nm(other) == 0 {
+                        continue;
+                    }
+                    if !layout.net(other.net).kind.is_supply() {
+                        continue;
+                    }
+                    let olat = other.start.along(other.dir.perp());
+                    if olat < lat {
+                        lo = lo.max(olat);
+                    } else if olat > lat {
+                        hi = hi.min(olat);
+                    }
                 }
-                if !layout.net(other.net).kind.is_supply() {
-                    continue;
-                }
-                let olat = other.start.along(other.dir.perp());
-                if olat < lat {
-                    lo = lo.max(olat);
-                } else if olat > lat {
-                    hi = hi.min(olat);
-                }
-            }
-            Halo { lo, hi }
-        })
-        .collect()
+                Halo { lo, hi }
+            })
+            .collect()
+    })
 }
 
 /// Applies the halo rule: `L'_ij = L_ij` iff `j` lies within `i`'s halo
 /// or `i` within `j`'s halo; zero otherwise. Diagonals are untouched.
 pub fn halo_sparsify(l: &PartialInductance, layout: &Layout) -> Sparsified {
-    let halos = compute_halos(l, layout);
+    halo_sparsify_with(l, layout, &ParallelConfig::default())
+}
+
+/// [`halo_sparsify`] with an explicit parallelism configuration.
+pub fn halo_sparsify_with(
+    l: &PartialInductance,
+    layout: &Layout,
+    cfg: &ParallelConfig,
+) -> Sparsified {
+    let halos = compute_halos_with(l, layout, cfg);
     let segs = l.segments();
-    let mut m = l.matrix().clone();
-    let n = m.nrows();
-    for i in 0..n {
-        for j in (i + 1)..n {
-            if m[(i, j)] == 0.0 {
-                continue;
-            }
-            let lat_i = segs[i].start.along(segs[i].dir.perp());
-            let lat_j = segs[j].start.along(segs[j].dir.perp());
-            let keep = halos[i].contains(lat_j) || halos[j].contains(lat_i);
-            if !keep {
-                m[(i, j)] = 0.0;
-                m[(j, i)] = 0.0;
-            }
+    let src = l.matrix();
+    let m = screen_upper_triangle(src, cfg, |i, j| {
+        if src[(i, j)] == 0.0 {
+            return true;
         }
-    }
-    let stats = SparsityStats::compare(l.matrix(), &m);
+        let lat_i = segs[i].start.along(segs[i].dir.perp());
+        let lat_j = segs[j].start.along(segs[j].dir.perp());
+        halos[i].contains(lat_j) || halos[j].contains(lat_i)
+    });
+    let stats = SparsityStats::compare(src, &m);
     Sparsified {
         matrix: m,
         stats,

@@ -44,6 +44,7 @@ pub mod halo;
 pub mod hierarchical;
 pub mod kmatrix;
 mod metrics;
+mod screen;
 pub mod shell;
 pub mod truncation;
 

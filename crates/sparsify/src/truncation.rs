@@ -9,21 +9,26 @@
 //! module to *demonstrate* that failure mode (SEC4 ablation).
 
 use crate::metrics::{Sparsified, SparsityStats};
+use crate::screen::screen_upper_triangle;
 use ind101_extract::PartialInductance;
+use ind101_numeric::ParallelConfig;
 
 /// Drops mutual terms with `|L_ij| < threshold_h` (absolute, henries).
 pub fn truncate_absolute(l: &PartialInductance, threshold_h: f64) -> Sparsified {
-    let mut m = l.matrix().clone();
-    let n = m.nrows();
-    for i in 0..n {
-        for j in (i + 1)..n {
-            if m[(i, j)].abs() < threshold_h {
-                m[(i, j)] = 0.0;
-                m[(j, i)] = 0.0;
-            }
-        }
-    }
-    let stats = SparsityStats::compare(l.matrix(), &m);
+    truncate_absolute_with(l, threshold_h, &ParallelConfig::default())
+}
+
+/// [`truncate_absolute`] with an explicit parallelism configuration.
+/// The screen decision is per-entry and pure, so results are identical
+/// at any thread count.
+pub fn truncate_absolute_with(
+    l: &PartialInductance,
+    threshold_h: f64,
+    cfg: &ParallelConfig,
+) -> Sparsified {
+    let src = l.matrix();
+    let m = screen_upper_triangle(src, cfg, |i, j| src[(i, j)].abs() >= threshold_h);
+    let stats = SparsityStats::compare(src, &m);
     Sparsified {
         matrix: m,
         stats,
@@ -38,18 +43,21 @@ pub fn truncate_absolute(l: &PartialInductance, threshold_h: f64) -> Sparsified 
 /// coefficients are dimensionless); it shares the absolute variant's
 /// instability.
 pub fn truncate_relative(l: &PartialInductance, k_min: f64) -> Sparsified {
-    let mut m = l.matrix().clone();
-    let n = m.nrows();
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let denom = (m[(i, i)] * m[(j, j)]).sqrt();
-            if denom == 0.0 || m[(i, j)].abs() / denom < k_min {
-                m[(i, j)] = 0.0;
-                m[(j, i)] = 0.0;
-            }
-        }
-    }
-    let stats = SparsityStats::compare(l.matrix(), &m);
+    truncate_relative_with(l, k_min, &ParallelConfig::default())
+}
+
+/// [`truncate_relative`] with an explicit parallelism configuration.
+pub fn truncate_relative_with(
+    l: &PartialInductance,
+    k_min: f64,
+    cfg: &ParallelConfig,
+) -> Sparsified {
+    let src = l.matrix();
+    let m = screen_upper_triangle(src, cfg, |i, j| {
+        let denom = (src[(i, i)] * src[(j, j)]).sqrt();
+        denom != 0.0 && src[(i, j)].abs() / denom >= k_min
+    });
+    let stats = SparsityStats::compare(src, &m);
     Sparsified {
         matrix: m,
         stats,

@@ -1,13 +1,17 @@
 //! Cross-crate property-based tests: physics invariants that must hold
 //! for *any* generated layout, not just the hand-picked cases.
 
-use ind101::extract::PartialInductance;
+use ind101::extract::{ParallelConfig, PartialInductance};
 use ind101::geom::generators::{generate_bus, BusSpec, ShieldPattern};
-use ind101::geom::{um, Technology};
+use ind101::geom::{um, Layout, Technology};
 use ind101::loopind::{extract_loop_rl, LoopPortSpec};
+use ind101::numeric::Matrix;
 use ind101::peec::{InductanceMode, PeecModel, PeecParasitics};
 use ind101::sparsify::block_diagonal::block_diagonal;
+use ind101::sparsify::halo::halo_sparsify;
+use ind101::sparsify::shell::shell_sparsify;
 use ind101::sparsify::stability_report;
+use ind101::sparsify::truncation::truncate_relative;
 use proptest::prelude::*;
 
 fn bus_strategy() -> impl Strategy<Value = BusSpec> {
@@ -138,6 +142,63 @@ proptest! {
         let op = model.circuit.dc_op().expect("dc op");
         for v in op.unknowns() {
             prop_assert!(v.is_finite());
+        }
+    }
+
+    /// Physical invariants of the partial-inductance matrix — exact
+    /// symmetry, positive diagonal, and pairwise diagonal dominance
+    /// `L_ii·L_jj ≥ L_ij²` (coupling coefficient ≤ 1) — hold for the
+    /// full matrix AND survive every sparsification screen: a screen
+    /// only zeroes off-diagonal terms, it must never break the physics
+    /// of the terms it keeps.
+    #[test]
+    fn invariants_survive_every_sparsification(spec in bus_strategy()) {
+        fn check_invariants(m: &Matrix<f64>, what: &str) -> Result<(), TestCaseError> {
+            prop_assert_eq!(m.symmetry_defect(), 0.0, "{}: symmetric", what);
+            let n = m.nrows();
+            for i in 0..n {
+                prop_assert!(m[(i, i)] > 0.0, "{}: diagonal {} positive", what, i);
+                for j in (i + 1)..n {
+                    prop_assert!(
+                        m[(i, i)] * m[(j, j)] >= m[(i, j)] * m[(i, j)],
+                        "{}: dominance at ({}, {})",
+                        what, i, j
+                    );
+                }
+            }
+            Ok(())
+        }
+        let tech = Technology::example_copper_6lm();
+        let bus = generate_bus(&tech, &spec);
+        let l = PartialInductance::extract(&tech, bus.segments());
+        check_invariants(l.matrix(), "full")?;
+        check_invariants(&truncate_relative(&l, 0.3).matrix, "truncation")?;
+        let labels: Vec<usize> = (0..l.len()).map(|k| k % 3).collect();
+        check_invariants(&block_diagonal(&l, &labels).matrix, "block-diagonal")?;
+        check_invariants(&shell_sparsify(&l, 5e-6).matrix, "shell")?;
+        check_invariants(&halo_sparsify(&l, &bus).matrix, "halo")?;
+    }
+
+    /// The parallel extraction engine is bit-identical to the serial
+    /// reference on any generated bus, at several thread counts — the
+    /// end-to-end determinism guarantee of the row-block scheduler and
+    /// the GMD cache.
+    #[test]
+    fn parallel_extraction_deterministic_on_any_bus(spec in bus_strategy()) {
+        let tech = Technology::example_copper_6lm();
+        let mut layout: Layout = generate_bus(&tech, &spec);
+        layout.subdivide_segments(um(900));
+        let reference = PartialInductance::extract_serial(&tech, layout.segments());
+        for threads in [2usize, 8] {
+            let cfg = ParallelConfig::with_threads(threads);
+            let par = PartialInductance::extract_with(&tech, layout.segments(), &cfg);
+            let same = reference
+                .matrix()
+                .as_slice()
+                .iter()
+                .zip(par.matrix().as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            prop_assert!(same, "threads = {}", threads);
         }
     }
 

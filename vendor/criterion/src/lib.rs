@@ -1,0 +1,293 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the subset of the criterion API the workspace's benches
+//! use: [`Criterion`], [`BenchmarkGroup`] with `sample_size` /
+//! `bench_function` / `bench_with_input`, [`BenchmarkId`], [`Bencher`]
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical machinery, each benchmark runs
+//! one warm-up iteration followed by `sample_size` timed iterations and
+//! reports min / median / mean wall-clock time. Results are printed and
+//! appended to `BENCH_<group>.json` in the current working directory so
+//! the repo's experiment logs can reference them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Accepts and ignores CLI arguments (the real crate parses them;
+    /// `cargo bench` passes `--bench` which we discard).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            results: Vec::new(),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("default");
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+
+    /// No-op (the real crate prints a summary here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Identifier for one benchmark, optionally parameterized.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id of the form `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a [`BenchmarkId`] (so `&str` works directly).
+pub trait IntoBenchmarkId {
+    /// The final id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing statistics of one benchmark, nanoseconds.
+#[derive(Clone, Debug)]
+struct Sample {
+    id: String,
+    min_ns: f64,
+    median_ns: f64,
+    mean_ns: f64,
+    samples: usize,
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    results: Vec<Sample>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            times_ns: Vec::new(),
+        };
+        f(&mut b);
+        self.record(id, &b);
+        self
+    }
+
+    /// Benchmarks a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into_id();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            times_ns: Vec::new(),
+        };
+        f(&mut b, input);
+        self.record(id, &b);
+        self
+    }
+
+    fn record(&mut self, id: String, b: &Bencher) {
+        let mut t = b.times_ns.clone();
+        assert!(!t.is_empty(), "benchmark closure never called Bencher::iter");
+        t.sort_by(|a, b| a.total_cmp(b));
+        let min_ns = t[0];
+        let median_ns = t[t.len() / 2];
+        let mean_ns = t.iter().sum::<f64>() / t.len() as f64;
+        println!(
+            "{}/{:<40} min {:>12}  median {:>12}  mean {:>12}  ({} samples)",
+            self.name,
+            id,
+            fmt_ns(min_ns),
+            fmt_ns(median_ns),
+            fmt_ns(mean_ns),
+            t.len()
+        );
+        self.results.push(Sample {
+            id,
+            min_ns,
+            median_ns,
+            mean_ns,
+            samples: t.len(),
+        });
+    }
+
+    /// Finishes the group, writing `BENCH_<group>.json` in the current
+    /// directory.
+    pub fn finish(self) {
+        if self.results.is_empty() {
+            return;
+        }
+        let mut body = String::new();
+        body.push_str(&format!("{{\n  \"group\": \"{}\",\n  \"benchmarks\": [\n", self.name));
+        for (k, s) in self.results.iter().enumerate() {
+            body.push_str(&format!(
+                "    {{\"id\": \"{}\", \"min_ns\": {:.1}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"samples\": {}}}{}\n",
+                s.id,
+                s.min_ns,
+                s.median_ns,
+                s.mean_ns,
+                s.samples,
+                if k + 1 == self.results.len() { "" } else { "," }
+            ));
+        }
+        body.push_str("  ]\n}\n");
+        let path = format!("BENCH_{}.json", self.name.replace(['/', ' '], "_"));
+        if let Ok(mut f) = OpenOptions::new().create(true).write(true).truncate(true).open(&path) {
+            let _ = f.write_all(body.as_bytes());
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Handle passed to benchmark closures; times the hot loop.
+pub struct Bencher {
+    sample_size: usize,
+    times_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Runs one warm-up call of `f`, then `sample_size` timed calls.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f());
+        self.times_ns.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.times_ns.push(t0.elapsed().as_secs_f64() * 1e9);
+        }
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("selftest");
+        g.sample_size(5);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(g.results.len(), 1);
+        assert_eq!(g.results[0].samples, 5);
+        // Don't write a JSON file from unit tests: drop without finish.
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("assembly", 4).into_id(), "assembly/4");
+    }
+}

@@ -1,0 +1,37 @@
+//! Boolean strategies (mirrors `proptest::bool`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy yielding uniformly random booleans.
+#[derive(Clone, Copy, Debug)]
+pub struct Any;
+
+/// Uniformly random booleans (`prop::bool::ANY`).
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+    fn new_value(&self, rng: &mut TestRng) -> Option<bool> {
+        Some(rng.next_u64() & 1 == 1)
+    }
+}
+
+/// Strategy yielding `true` with the given probability.
+pub fn weighted(p: f64) -> Weighted {
+    Weighted { p }
+}
+
+/// Strategy returned by [`weighted`].
+#[derive(Clone, Copy, Debug)]
+pub struct Weighted {
+    p: f64,
+}
+
+impl Strategy for Weighted {
+    type Value = bool;
+    fn new_value(&self, rng: &mut TestRng) -> Option<bool> {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        Some(unit < self.p)
+    }
+}

@@ -1,0 +1,29 @@
+//! Numeric strategies (mirrors the used subset of `proptest::num`).
+
+/// `f64` strategies.
+pub mod f64 {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding normal (finite, non-NaN, non-subnormal) `f64`
+    /// values across a wide dynamic range, both signs.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Normal;
+
+    /// Normal `f64` values (`prop::num::f64::NORMAL`).
+    pub const NORMAL: Normal = Normal;
+
+    impl Strategy for Normal {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> Option<f64> {
+            // Uniform mantissa in [1, 2), exponent in [-60, 60],
+            // random sign: spans a wide but well-conditioned range.
+            let mantissa = 1.0 + (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let exp = (rng.next_u64() % 121) as i32 - 60;
+            let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+            let v = sign * mantissa * (exp as f64).exp2();
+            debug_assert!(v.is_normal());
+            Some(v)
+        }
+    }
+}

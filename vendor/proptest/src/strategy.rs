@@ -1,0 +1,209 @@
+//! Value-generation strategies.
+//!
+//! A [`Strategy`] produces random values of an associated type from a
+//! deterministic RNG. Unlike real proptest there is no value tree and
+//! no shrinking: `new_value` returns the final value directly, or
+//! `None` when a filter rejected the draw (the runner retries).
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A source of random test values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value, or `None` if a filter rejected the draw.
+    fn new_value(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f` (mirrors proptest's
+    /// `prop_map`).
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects generated values failing the predicate (mirrors
+    /// proptest's `prop_filter`); `reason` is reported if the filter
+    /// rejects too often.
+    fn prop_filter<F>(self, reason: impl Into<String>, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            f,
+        }
+    }
+
+    /// Chains a dependent strategy (mirrors proptest's
+    /// `prop_flat_map`).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn new_value(&self, rng: &mut TestRng) -> Option<U> {
+        self.inner.new_value(rng).map(&self.f)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+#[derive(Clone, Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    #[allow(dead_code)]
+    reason: String,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.inner.new_value(rng).filter(|v| (self.f)(v))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Option<T::Value> {
+        let mid = self.inner.new_value(rng)?;
+        (self.f)(mid).new_value(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+        (**self).new_value(rng)
+    }
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u128;
+                let r = (rng.next_u64() as u128 % span) as $wide;
+                Some((self.start as $wide + r) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_int!(
+    i8 => i128, i16 => i128, i32 => i128, i64 => i128, isize => i128,
+    u8 => u128, u16 => u128, u32 => u128, u64 => u128, usize => u128
+);
+
+macro_rules! impl_range_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty strategy range");
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                Some(self.start + (self.end - self.start) * unit as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_float!(f32, f64);
+
+macro_rules! impl_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                let ($($name,)+) = self;
+                Some(($($name.new_value(rng)?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(A);
+impl_tuple!(A, B);
+impl_tuple!(A, B, C);
+impl_tuple!(A, B, C, D);
+impl_tuple!(A, B, C, D, E);
+impl_tuple!(A, B, C, D, E, F);
+impl_tuple!(A, B, C, D, E, F, G);
+impl_tuple!(A, B, C, D, E, F, G, H);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_combinators_generate_in_bounds() {
+        let mut rng = TestRng::new(123);
+        let s = (1usize..5, 0.0f64..1.0).prop_map(|(n, x)| n as f64 + x);
+        for _ in 0..200 {
+            let v = s.new_value(&mut rng).unwrap();
+            assert!((1.0..5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn filter_rejects() {
+        let mut rng = TestRng::new(5);
+        let s = (0u64..10).prop_filter("even", |v| v % 2 == 0);
+        let mut some = 0;
+        for _ in 0..100 {
+            if let Some(v) = s.new_value(&mut rng) {
+                assert_eq!(v % 2, 0);
+                some += 1;
+            }
+        }
+        assert!(some > 20);
+    }
+
+    #[test]
+    fn just_yields_constant() {
+        let mut rng = TestRng::new(1);
+        assert_eq!(Just(7i32).new_value(&mut rng), Some(7));
+    }
+}

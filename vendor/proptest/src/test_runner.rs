@@ -1,0 +1,179 @@
+//! Deterministic case runner and RNG.
+
+/// Configuration for a `proptest!` block (mirrors
+/// `proptest::test_runner::ProptestConfig`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum number of rejected draws (filters / `prop_assume!`)
+    /// tolerated before the test errors out.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was discarded (`prop_assume!` / filter); not a failure.
+    Reject,
+    /// An assertion failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self::Fail(msg.into())
+    }
+
+    /// Attaches the generated inputs to a failure message.
+    pub fn with_inputs(self, inputs: &str) -> Self {
+        match self {
+            Self::Reject => Self::Reject,
+            Self::Fail(msg) => Self::Fail(format!("{msg}\n  inputs: {inputs}")),
+        }
+    }
+}
+
+/// Deterministic RNG handed to strategies (splitmix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x5DEE_CE66_D1CE_4E5B,
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// FNV-1a hash of the test name, used as the deterministic base seed so
+/// different tests explore different sequences.
+fn name_seed(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `config.cases` successful cases of `case`, panicking on the
+/// first failure with the generated inputs in the message.
+///
+/// # Panics
+///
+/// Panics when a case fails or when the reject budget is exhausted.
+pub fn run_cases(
+    config: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let base = name_seed(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut draw = 0u64;
+    while passed < config.cases {
+        let mut rng = TestRng::new(base.wrapping_add(draw.wrapping_mul(0x9E37_79B9)));
+        draw += 1;
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "proptest '{name}': too many rejected cases \
+                     ({rejected} rejects for {passed} passes) — loosen the \
+                     filters or preconditions"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed (case {passed}, draw {draw}): {msg}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_cases() {
+        let mut n = 0;
+        run_cases(&ProptestConfig::with_cases(10), "t", |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn rejects_do_not_count_as_passes() {
+        let mut total = 0;
+        let mut passes = 0;
+        run_cases(&ProptestConfig::with_cases(5), "t", |rng| {
+            total += 1;
+            if rng.next_u64() % 2 == 0 {
+                Err(TestCaseError::Reject)
+            } else {
+                passes += 1;
+                Ok(())
+            }
+        });
+        assert_eq!(passes, 5);
+        assert!(total > 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn failure_panics_with_message() {
+        run_cases(&ProptestConfig::with_cases(5), "t", |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let collect = || {
+            let mut vals = Vec::new();
+            run_cases(&ProptestConfig::with_cases(8), "fixed-name", |rng| {
+                vals.push(rng.next_u64());
+                Ok(())
+            });
+            vals
+        };
+        assert_eq!(collect(), collect());
+    }
+}
