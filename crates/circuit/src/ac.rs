@@ -142,7 +142,9 @@ impl Circuit {
                         }
                     }
                     Element::Transistor(m) => {
-                        let opref = op.as_ref().expect("nonlinear implies op computed");
+                        // `op` is Some whenever a transistor exists
+                        // (is_nonlinear() gated the DC solve above).
+                        let Some(opref) = op.as_ref() else { continue };
                         let lin = m.linearize(
                             opref.voltage(m.d),
                             opref.voltage(m.g),
@@ -184,8 +186,9 @@ impl Circuit {
                     }
                 }
             }
-            let solver = Solver::build(&t)?;
-            data.push(solver.solve(&rhs)?);
+            let annotate = |e| crate::mna::annotate_singular(self, &layout, e);
+            let solver = Solver::build(&t).map_err(annotate)?;
+            data.push(solver.solve(&rhs).map_err(annotate)?);
         }
         Ok(AcResult {
             freqs_hz: opts.freqs_hz.clone(),

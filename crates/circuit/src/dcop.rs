@@ -1,10 +1,19 @@
-//! DC operating-point analysis (Newton–Raphson).
+//! DC operating-point analysis (Newton–Raphson) with a convergence
+//! rescue ladder.
+//!
+//! [`Circuit::dc_op`] runs plain damped Newton exactly as it always has.
+//! [`Circuit::dc_op_with`] takes a [`RescuePolicy`] and, when plain
+//! Newton fails, escalates through gmin-stepping and source-stepping
+//! homotopies (see [`crate::rescue`] for the rationale), returning a
+//! [`RescueReport`] alongside the operating point so callers can see
+//! which rung converged and what it cost.
 
 use crate::elements::{Element, Mosfet};
 use crate::error::CircuitError;
-use crate::mna::{assemble_static, stamp_current, MnaLayout, Scheme};
+use crate::mna::{annotate_singular, assemble_static, stamp_current, MnaLayout, Scheme};
 use crate::nonlinear::WoodburySolver;
 use crate::netlist::{Circuit, NodeId};
+use crate::rescue::{RescuePolicy, RescueReport, RescueRung, RungTrace};
 use crate::solver::Solver;
 use crate::Result;
 use ind101_numeric::norm_inf;
@@ -48,15 +57,87 @@ impl DcOperatingPoint {
     }
 }
 
+/// Outcome of one damped-Newton run.
+struct NewtonOutcome {
+    x: Vec<f64>,
+    converged: bool,
+    iterations: usize,
+    /// Infinity norm of the last (damped) update.
+    final_delta: f64,
+    /// Per-iteration damped update norms.
+    residuals: Vec<f64>,
+}
+
+/// Damped Newton from `x0`: each iteration solves the exact linearized
+/// system (via Woodbury) and applies the update with a per-component
+/// clamp of [`DAMP_LIMIT`]. Identical arithmetic to the historical
+/// `dc_op` loop, so a converged plain run is bit-for-bit reproducible.
+fn damped_newton(
+    wb: &WoodburySolver,
+    mosfets: &[Mosfet],
+    rhs: &[f64],
+    mut x: Vec<f64>,
+    max_iter: usize,
+) -> Result<NewtonOutcome> {
+    let n = x.len();
+    let mut residuals = Vec::new();
+    let mut final_delta = f64::INFINITY;
+    for iter in 0..max_iter {
+        let x_new = wb.solve(mosfets, &x, rhs)?;
+        let mut delta_inf = 0.0f64;
+        for i in 0..n {
+            let d = (x_new[i] - x[i]).clamp(-DAMP_LIMIT, DAMP_LIMIT);
+            delta_inf = delta_inf.max(d.abs());
+            x[i] += d;
+        }
+        residuals.push(delta_inf);
+        final_delta = delta_inf;
+        if delta_inf < ABS_TOL + REL_TOL * norm_inf(&x) {
+            return Ok(NewtonOutcome {
+                x,
+                converged: true,
+                iterations: iter + 1,
+                final_delta,
+                residuals,
+            });
+        }
+    }
+    Ok(NewtonOutcome {
+        x,
+        converged: false,
+        iterations: max_iter,
+        final_delta,
+        residuals,
+    })
+}
+
 impl Circuit {
     /// Computes the DC operating point with sources at their `t = 0`
-    /// values; capacitors open, inductors (nearly) short.
+    /// values; capacitors open, inductors (nearly) short. Plain damped
+    /// Newton only — see [`Circuit::dc_op_with`] for the rescue ladder.
     ///
     /// # Errors
     ///
     /// [`CircuitError::NewtonDiverged`] if the Newton iteration fails,
-    /// or a numeric error for structurally singular circuits.
+    /// [`CircuitError::SingularSystem`] for structurally singular
+    /// circuits (with the offending node named).
     pub fn dc_op(&self) -> Result<DcOperatingPoint> {
+        self.dc_op_with(&RescuePolicy::disabled()).map(|(op, _)| op)
+    }
+
+    /// Computes the DC operating point, escalating through the rescue
+    /// ladder configured in `policy` when plain Newton fails.
+    ///
+    /// The plain rung always runs first with the standard iteration
+    /// budget, so whenever it suffices the result is bit-identical to
+    /// [`Circuit::dc_op`]. The report records every rung attempted.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::NewtonDiverged`] when every enabled rung fails
+    /// (carrying the iteration total and last update norm), or
+    /// [`CircuitError::SingularSystem`] for singular circuits.
+    pub fn dc_op_with(&self, policy: &RescuePolicy) -> Result<(DcOperatingPoint, RescueReport)> {
         let layout = MnaLayout::build(self);
         let static_t = assemble_static(self, &layout, Scheme::Dc, 0.0);
         // Static RHS: independent sources at t = 0.
@@ -75,11 +156,22 @@ impl Circuit {
             }
         }
 
-        let mut x = vec![0.0; layout.n];
         if !self.is_nonlinear() {
-            let solver = Solver::build(&static_t)?;
-            let sol = solver.solve(&rhs0)?;
-            return Ok(DcOperatingPoint { x: sol, layout });
+            let annotate = |e| annotate_singular(self, &layout, e);
+            let solver = Solver::build(&static_t).map_err(annotate)?;
+            let sol = solver.solve(&rhs0).map_err(annotate)?;
+            let report = RescueReport {
+                converged_by: RescueRung::PlainNewton,
+                rungs: vec![RungTrace {
+                    rung: RescueRung::PlainNewton,
+                    converged: true,
+                    iterations: 0,
+                    steps: 1,
+                    residuals: vec![],
+                }],
+                total_iterations: 0,
+            };
+            return Ok((DcOperatingPoint { x: sol, layout }, report));
         }
 
         let mosfets: Vec<Mosfet> = self
@@ -90,24 +182,156 @@ impl Circuit {
                 _ => None,
             })
             .collect();
-        let wb = WoodburySolver::build(&static_t, &layout, &mosfets)?;
-        for iter in 0..MAX_ITER {
-            let x_new = wb.solve(&mosfets, &x, &rhs0)?;
-            // Damped update.
-            let mut delta_inf = 0.0f64;
-            for i in 0..layout.n {
-                let d = (x_new[i] - x[i]).clamp(-DAMP_LIMIT, DAMP_LIMIT);
-                delta_inf = delta_inf.max(d.abs());
-                x[i] += d;
-            }
-            if delta_inf < ABS_TOL + REL_TOL * norm_inf(&x) {
-                return Ok(DcOperatingPoint { x, layout });
-            }
-            let _ = iter;
+        let wb = WoodburySolver::build(&static_t, &layout, &mosfets)
+            .map_err(|e| annotate_singular(self, &layout, e))?;
+
+        let mut rungs: Vec<RungTrace> = Vec::new();
+        let mut total_iterations = 0usize;
+
+        // Rung 1: plain damped Newton, standard budget.
+        let plain = damped_newton(&wb, &mosfets, &rhs0, vec![0.0; layout.n], MAX_ITER)?;
+        #[cfg(feature = "solver-faults")]
+        let plain_converged = plain.converged && !crate::faults::plain_newton_forced_fail();
+        #[cfg(not(feature = "solver-faults"))]
+        let plain_converged = plain.converged;
+        total_iterations += plain.iterations;
+        let mut last_delta = plain.final_delta;
+        rungs.push(RungTrace {
+            rung: RescueRung::PlainNewton,
+            converged: plain_converged,
+            iterations: plain.iterations,
+            steps: 1,
+            residuals: plain.residuals,
+        });
+        if plain_converged {
+            let report = RescueReport {
+                converged_by: RescueRung::PlainNewton,
+                rungs,
+                total_iterations,
+            };
+            return Ok((DcOperatingPoint { x: plain.x, layout }, report));
         }
+
+        // Rung 2: gmin-stepping — strengthen every node's path to ground,
+        // then relax the extra conductance geometrically to zero,
+        // warm-starting each solve from the previous one.
+        if policy.gmin_stepping {
+            let mut trace = RungTrace {
+                rung: RescueRung::GminStepping,
+                converged: false,
+                iterations: 0,
+                steps: 0,
+                residuals: vec![],
+            };
+            let mut x = vec![0.0; layout.n];
+            let mut solved = Some(x.clone());
+            let steps = policy.gmin_steps.max(1);
+            for k in 0..=steps {
+                // Decades down from gmin_start; the last pass solves the
+                // *unmodified* system so the answer is the true one.
+                let extra = if k == steps {
+                    0.0
+                } else {
+                    policy.gmin_start * 0.1f64.powi(k as i32)
+                };
+                let mut t = static_t.clone();
+                if extra > 0.0 {
+                    for i in 0..layout.n_nodes {
+                        t.push(i, i, extra);
+                    }
+                }
+                let Ok(wb_g) = WoodburySolver::build_with(&t, &layout, &mosfets, true) else {
+                    solved = None;
+                    break;
+                };
+                let out = damped_newton(&wb_g, &mosfets, &rhs0, x.clone(), policy.max_iter)?;
+                trace.steps += 1;
+                trace.iterations += out.iterations;
+                trace.residuals.push(out.final_delta);
+                last_delta = out.final_delta;
+                if !out.converged {
+                    solved = None;
+                    break;
+                }
+                x = out.x;
+                solved = Some(x.clone());
+            }
+            total_iterations += trace.iterations;
+            if let Some(x) = solved {
+                trace.converged = true;
+                rungs.push(trace);
+                let report = RescueReport {
+                    converged_by: RescueRung::GminStepping,
+                    rungs,
+                    total_iterations,
+                };
+                return Ok((DcOperatingPoint { x, layout }, report));
+            }
+            rungs.push(trace);
+        }
+
+        // Rung 3: source-stepping — ramp all independent sources from
+        // zero (where x = 0 solves the circuit) to full value, bisecting
+        // the ramp step whenever a solve fails along the way.
+        if policy.source_stepping {
+            // Refinement enabled: homotopy steps may pass through
+            // marginal bias points where the plain solve loses digits.
+            let wb_s = WoodburySolver::build_with(&static_t, &layout, &mosfets, true)
+                .map_err(|e| annotate_singular(self, &layout, e))?;
+            let mut trace = RungTrace {
+                rung: RescueRung::SourceStepping,
+                converged: false,
+                iterations: 0,
+                steps: 0,
+                residuals: vec![],
+            };
+            let uniform = 1.0 / policy.source_steps.max(1) as f64;
+            let mut alpha = 0.0f64;
+            let mut d_alpha = uniform;
+            let mut bisections = 0usize;
+            let mut x = vec![0.0; layout.n];
+            let mut done = false;
+            while !done {
+                let target = (alpha + d_alpha).min(1.0);
+                let rhs: Vec<f64> = rhs0.iter().map(|v| v * target).collect();
+                let out = damped_newton(&wb_s, &mosfets, &rhs, x.clone(), policy.max_iter)?;
+                trace.steps += 1;
+                trace.iterations += out.iterations;
+                trace.residuals.push(out.final_delta);
+                last_delta = out.final_delta;
+                if out.converged {
+                    x = out.x;
+                    alpha = target;
+                    done = alpha >= 1.0;
+                    // Recover toward the uniform ramp after bisections.
+                    d_alpha = (d_alpha * 2.0).min(uniform);
+                } else {
+                    bisections += 1;
+                    d_alpha *= 0.5;
+                    if bisections > policy.max_bisections || d_alpha < 1e-6 {
+                        break;
+                    }
+                }
+            }
+            total_iterations += trace.iterations;
+            if done {
+                trace.converged = true;
+                rungs.push(trace);
+                let report = RescueReport {
+                    converged_by: RescueRung::SourceStepping,
+                    rungs,
+                    total_iterations,
+                };
+                return Ok((DcOperatingPoint { x, layout }, report));
+            }
+            rungs.push(trace);
+        }
+
         Err(CircuitError::NewtonDiverged {
             time: f64::NAN,
-            iterations: MAX_ITER,
+            iterations: total_iterations,
+            residual: last_delta,
+            damping_limit: DAMP_LIMIT,
         })
     }
 }
@@ -210,5 +434,88 @@ mod tests {
                 assert!(vo < 0.1, "vin={vin} vo={vo}");
             }
         }
+    }
+
+    #[test]
+    fn rescue_report_plain_for_easy_circuits() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let d = c.node("d");
+        let g = c.node("g");
+        c.vsrc(vdd, Circuit::GND, SourceWave::dc(1.8));
+        c.vsrc(g, Circuit::GND, SourceWave::dc(1.2));
+        c.resistor(vdd, d, 1_000.0);
+        c.mosfet(Mosfet {
+            d,
+            g,
+            s: Circuit::GND,
+            polarity: MosPolarity::Nmos,
+            beta: 0.5e-3,
+            vt: 0.5,
+            lambda: 0.0,
+        });
+        let (op, report) = c.dc_op_with(&RescuePolicy::full()).unwrap();
+        assert!(report.plain_sufficed(), "{}", report.summary());
+        assert_eq!(report.rungs.len(), 1);
+        assert!(report.rungs[0].converged);
+        assert!(report.total_iterations > 0);
+        // Bit-identical to the plain path when plain suffices.
+        let plain = c.dc_op().unwrap();
+        assert_eq!(op.unknowns(), plain.unknowns());
+    }
+
+    /// A circuit whose solution is farther from the origin than the
+    /// damped iteration can travel within its budget (1 V/iteration ×
+    /// 200 iterations < 1000 V): plain Newton genuinely fails, the
+    /// source-stepping rung drags the solution along the homotopy path.
+    fn far_operating_point_circuit() -> (Circuit, NodeId) {
+        let mut c = Circuit::new();
+        let hi = c.node("hi");
+        let g = c.node("g");
+        c.isrc(Circuit::GND, hi, SourceWave::dc(1.0));
+        c.resistor(hi, Circuit::GND, 1_000.0);
+        c.vsrc(g, Circuit::GND, SourceWave::dc(1.2));
+        c.mosfet(Mosfet {
+            d: hi,
+            g,
+            s: Circuit::GND,
+            polarity: MosPolarity::Nmos,
+            beta: 1e-9,
+            vt: 0.5,
+            lambda: 0.0,
+        });
+        (c, hi)
+    }
+
+    #[test]
+    fn plain_newton_fails_far_from_origin() {
+        let (c, _) = far_operating_point_circuit();
+        match c.dc_op() {
+            Err(CircuitError::NewtonDiverged {
+                iterations,
+                residual,
+                damping_limit,
+                ..
+            }) => {
+                assert_eq!(iterations, MAX_ITER);
+                assert!(residual > 0.0);
+                assert_eq!(damping_limit, DAMP_LIMIT);
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rescue_ladder_solves_far_operating_point() {
+        let (c, hi) = far_operating_point_circuit();
+        let (op, report) = c.dc_op_with(&RescuePolicy::full()).unwrap();
+        assert!(!report.plain_sufficed());
+        // The plain rung must be recorded as attempted and failed.
+        assert_eq!(report.rungs[0].rung, RescueRung::PlainNewton);
+        assert!(!report.rungs[0].converged);
+        assert_eq!(report.converged_by, RescueRung::SourceStepping);
+        let v = op.voltage(hi);
+        // ~1 kV (MOSFET at β=1e-9 draws negligible current).
+        assert!((v - 1_000.0).abs() < 1.0, "v = {v}");
     }
 }

@@ -9,12 +9,39 @@ use std::fmt;
 pub enum CircuitError {
     /// The underlying linear algebra failed (singular matrix etc.).
     Numeric(NumericError),
+    /// The MNA system is singular, mapped back to circuit structure.
+    ///
+    /// Produced instead of a bare [`NumericError::Singular`] whenever the
+    /// simulator can attribute the zero pivot to a concrete unknown —
+    /// e.g. "floating node 'n7' (no DC path to ground)" instead of
+    /// "singular at pivot 12".
+    SingularSystem {
+        /// MNA unknown index of the zero pivot (original, pre-reordering).
+        unknown: usize,
+        /// Human description of that unknown ("node 'n7'", "voltage
+        /// source #2 current", "inductor system 0 branch 3 current").
+        what: String,
+    },
     /// Newton iteration did not converge.
     NewtonDiverged {
         /// Simulation time at which convergence failed (NaN for DC).
         time: f64,
         /// Iterations attempted.
         iterations: usize,
+        /// Infinity norm of the last Newton update (the convergence
+        /// metric that failed to drop below tolerance).
+        residual: f64,
+        /// Per-iteration clamp applied to unknown updates, volts/amperes
+        /// (`f64::INFINITY` when the iteration ran undamped).
+        damping_limit: f64,
+    },
+    /// Adaptive transient stepping hit the `dt_min` floor and still
+    /// could not take an acceptable step.
+    StepUnderflow {
+        /// Simulation time at which the controller gave up.
+        time: f64,
+        /// The floor that was reached, seconds.
+        dt_min: f64,
     },
     /// An element parameter was invalid (non-positive R, C, etc.).
     InvalidElement {
@@ -42,9 +69,25 @@ impl fmt::Display for CircuitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::Numeric(e) => write!(f, "numeric failure: {e}"),
-            Self::NewtonDiverged { time, iterations } => {
-                write!(f, "Newton failed to converge at t={time:e}s after {iterations} iterations")
+            Self::SingularSystem { unknown, what } => {
+                write!(f, "singular MNA system at unknown {unknown}: {what}")
             }
+            Self::NewtonDiverged {
+                time,
+                iterations,
+                residual,
+                damping_limit,
+            } => {
+                write!(
+                    f,
+                    "Newton failed to converge at t={time:e}s after {iterations} iterations \
+                     (last update norm {residual:e}, damping limit {damping_limit})"
+                )
+            }
+            Self::StepUnderflow { time, dt_min } => write!(
+                f,
+                "adaptive step control underflowed dt_min = {dt_min:e}s at t={time:e}s"
+            ),
             Self::InvalidElement { what } => write!(f, "invalid element: {what}"),
             Self::UnknownNode { index } => write!(f, "unknown node index {index}"),
             Self::InvalidOptions { what } => write!(f, "invalid analysis options: {what}"),
@@ -77,7 +120,34 @@ mod tests {
         let e = CircuitError::Numeric(NumericError::Singular { pivot: 3 });
         assert!(e.to_string().contains("singular"));
         assert!(std::error::Error::source(&e).is_some());
-        let e = CircuitError::NewtonDiverged { time: 1e-9, iterations: 50 };
-        assert!(e.to_string().contains("50"));
+        let e = CircuitError::NewtonDiverged {
+            time: 1e-9,
+            iterations: 50,
+            residual: 0.25,
+            damping_limit: 1.0,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("50"));
+        assert!(msg.contains("2.5e-1") || msg.contains("2.5e-1"), "{msg}");
+    }
+
+    #[test]
+    fn singular_system_names_the_unknown() {
+        let e = CircuitError::SingularSystem {
+            unknown: 6,
+            what: "floating node 'n7' (no DC path to ground)".to_owned(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("n7"), "{msg}");
+        assert!(msg.contains('6'), "{msg}");
+    }
+
+    #[test]
+    fn step_underflow_reports_floor() {
+        let e = CircuitError::StepUnderflow {
+            time: 3e-10,
+            dt_min: 1e-18,
+        };
+        assert!(e.to_string().contains("1e-18"));
     }
 }

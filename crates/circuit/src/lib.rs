@@ -42,15 +42,19 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 mod ac;
 mod dcop;
 mod elements;
 mod error;
+#[cfg(feature = "solver-faults")]
+pub mod faults;
 pub mod measure;
 mod mna;
 mod netlist;
 mod nonlinear;
+mod rescue;
 mod solver;
 mod system;
 mod tran;
@@ -61,8 +65,9 @@ pub use dcop::DcOperatingPoint;
 pub use elements::{Element, MosPolarity, Mosfet};
 pub use error::CircuitError;
 pub use netlist::{Circuit, ElementCounts, InductorSystem, InverterParams, NodeId};
+pub use rescue::{RescuePolicy, RescueReport, RescueRung, RungTrace};
 pub use system::MnaSystem;
-pub use tran::{TranOptions, TranResult};
+pub use tran::{AdaptiveOptions, StepControl, TranOptions, TranResult};
 pub use waveform::{SourceWave, Trace};
 
 /// Result alias for circuit operations.

@@ -8,8 +8,9 @@
 //! makes the paper's "dense PEEC is slow" observation reproducible.
 
 use crate::elements::{Element, Mosfet};
+use crate::error::CircuitError;
 use crate::netlist::{Circuit, NodeId};
-use ind101_numeric::Triplets;
+use ind101_numeric::{NumericError, Triplets};
 
 /// Conductance from every node to ground that keeps the MNA matrix
 /// nonsingular for floating or cap-only nodes.
@@ -64,6 +65,46 @@ impl MnaLayout {
         } else {
             Some(n.0 - 1)
         }
+    }
+}
+
+/// Human description of MNA unknown `idx` in circuit terms.
+///
+/// Node-voltage unknowns map back to their netlist names; the common
+/// cause of a zero pivot there is a node with no DC path to ground, so
+/// the description says so. Current unknowns name the voltage source or
+/// inductive branch they belong to.
+pub(crate) fn describe_unknown(ckt: &Circuit, layout: &MnaLayout, idx: usize) -> String {
+    if idx < layout.n_nodes {
+        let name = ckt.node_name(NodeId(idx + 1));
+        return format!("floating node '{name}' (no DC path to ground)");
+    }
+    if let Some(k) = layout.vsrc_rows.iter().position(|&r| r == idx) {
+        return format!("voltage source #{k} current (voltage-source loop or short?)");
+    }
+    for (s, &off) in layout.ind_offsets.iter().enumerate() {
+        let len = ckt.inductor_systems()[s].len();
+        if (off..off + len).contains(&idx) {
+            return format!("inductor system {s} branch {} current", idx - off);
+        }
+    }
+    format!("unknown #{idx}")
+}
+
+/// Upgrades a bare [`NumericError::Singular`] into
+/// [`CircuitError::SingularSystem`] carrying the circuit-level
+/// description of the offending unknown. Other errors pass through.
+pub(crate) fn annotate_singular(
+    ckt: &Circuit,
+    layout: &MnaLayout,
+    e: CircuitError,
+) -> CircuitError {
+    match e {
+        CircuitError::Numeric(NumericError::Singular { pivot }) => CircuitError::SingularSystem {
+            unknown: pivot,
+            what: describe_unknown(ckt, layout, pivot),
+        },
+        other => other,
     }
 }
 
@@ -286,6 +327,32 @@ mod tests {
         assert_eq!(Scheme::Trap.k(1e-12), 2e12);
         assert_eq!(Scheme::Be.k(1e-12), 1e12);
         assert_eq!(Scheme::Dc.k(1e-12), 0.0);
+    }
+
+    #[test]
+    fn describe_unknown_names_circuit_structure() {
+        let mut c = Circuit::new();
+        let a = c.node("drv");
+        let b = c.node("rcv");
+        c.vsrc(a, Circuit::GND, SourceWave::dc(1.0));
+        c.resistor(a, b, 1.0);
+        c.inductor(b, Circuit::GND, 1e-9);
+        let l = MnaLayout::build(&c);
+        assert!(describe_unknown(&c, &l, 1).contains("'rcv'"));
+        assert!(describe_unknown(&c, &l, 2).contains("voltage source #0"));
+        assert!(describe_unknown(&c, &l, 3).contains("inductor system 0 branch 0"));
+        let e = annotate_singular(
+            &c,
+            &l,
+            CircuitError::Numeric(NumericError::Singular { pivot: 1 }),
+        );
+        match e {
+            CircuitError::SingularSystem { unknown, what } => {
+                assert_eq!(unknown, 1);
+                assert!(what.contains("no DC path to ground"), "{what}");
+            }
+            other => panic!("expected SingularSystem, got {other:?}"),
+        }
     }
 
     #[test]

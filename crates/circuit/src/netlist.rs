@@ -194,6 +194,10 @@ impl Circuit {
     /// # Panics
     ///
     /// Panics on invalid parameters; see [`Circuit::try_resistor`].
+    // Netlist-construction convenience: panicking on a bad element
+    // parameter at build time is intentional (the fallible form is
+    // `try_resistor`); the unwrap lint is scoped to solver paths.
+    #[allow(clippy::expect_used)]
     pub fn resistor(&mut self, a: NodeId, b: NodeId, ohms: f64) {
         self.try_resistor(a, b, ohms).expect("invalid resistor");
     }
@@ -220,6 +224,8 @@ impl Circuit {
     /// # Panics
     ///
     /// Panics on invalid parameters; see [`Circuit::try_capacitor`].
+    // Same rationale as `resistor`: intentional build-time panic.
+    #[allow(clippy::expect_used)]
     pub fn capacitor(&mut self, a: NodeId, b: NodeId, farads: f64) {
         self.try_capacitor(a, b, farads).expect("invalid capacitor");
     }

@@ -43,7 +43,22 @@ impl WoodburySolver {
         layout: &MnaLayout,
         mosfets: &[Mosfet],
     ) -> Result<Self> {
-        let base = Solver::build(static_t)?;
+        Self::build_with(static_t, layout, mosfets, false)
+    }
+
+    /// Like [`WoodburySolver::build`], optionally enabling iterative
+    /// refinement of ill-conditioned base solves (rescue/adaptive paths;
+    /// the default path must stay bit-for-bit reproducible).
+    pub(crate) fn build_with(
+        static_t: &Triplets,
+        layout: &MnaLayout,
+        mosfets: &[Mosfet],
+        refine: bool,
+    ) -> Result<Self> {
+        let mut base = Solver::build(static_t)?;
+        if refine {
+            base = base.with_refinement();
+        }
         let n = layout.n;
         let idx: Vec<DeviceIdx> = mosfets
             .iter()

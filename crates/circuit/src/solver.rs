@@ -5,20 +5,45 @@
 //! dense mutual-inductance block do not, and fall back to dense LU.
 //! This split *is* the paper's run-time story: PEEC-RC fast, PEEC-RLC
 //! slow, loop-model fast again.
+//!
+//! Robustness layer: the dense backend keeps the assembled matrix and a
+//! Hager 1-norm condition estimate; a solver built with
+//! [`Solver::with_refinement`] gives every solve one round of iterative
+//! refinement when the system is ill-conditioned (κ₁ beyond
+//! [`ILL_COND_THRESHOLD`]). Refinement is **opt-in** so the default
+//! fixed-step simulation path stays bit-for-bit reproducible; the
+//! rescue ladder and the adaptive transient path — where stiff,
+//! marginal systems actually arise — enable it.
+//! Singular pivots are mapped back from the
+//! solver's internal (possibly RCM-permuted) ordering to the original
+//! MNA unknown index, so analyses can name the offending node instead
+//! of an opaque pivot position.
 
 use crate::Result;
 use ind101_numeric::{
-    bandwidth, reverse_cuthill_mckee, BandedMatrix, LuFactors, Matrix, Permutation, Scalar,
-    Triplets,
+    bandwidth, reverse_cuthill_mckee, BandedMatrix, LuFactors, Matrix, NumericError, Permutation,
+    Scalar, Triplets,
 };
 
 /// Threshold below which a system is always solved densely.
 const SMALL_DENSE: usize = 48;
 
+/// Condition estimate beyond which dense solves are iteratively refined
+/// (≈ 1/√ε: past this, half the working digits are already gone).
+const ILL_COND_THRESHOLD: f64 = 1e8;
+
 /// A factored linear system `A·x = b`.
 #[derive(Clone, Debug)]
 pub(crate) enum Solver<T: Scalar> {
-    Dense(LuFactors<T>),
+    Dense {
+        fac: LuFactors<T>,
+        /// Original matrix, kept for residual computation when refining.
+        a: Matrix<T>,
+        /// Hager 1-norm condition estimate of `a`.
+        cond: f64,
+        /// Iteratively refine ill-conditioned solves (opt-in).
+        refine: bool,
+    },
     Banded {
         fac: BandedMatrix<T>,
         perm: Permutation,
@@ -27,10 +52,17 @@ pub(crate) enum Solver<T: Scalar> {
 
 impl<T: Scalar> Solver<T> {
     /// Chooses a backend from the assembled triplets and factors.
+    ///
+    /// Singular failures are re-mapped so `pivot` refers to the original
+    /// MNA unknown ordering regardless of backend permutations.
     pub(crate) fn build(t: &Triplets<T>) -> Result<Self> {
+        #[cfg(feature = "solver-faults")]
+        if let Some(pivot) = crate::faults::take_singular_pivot() {
+            return Err(NumericError::Singular { pivot }.into());
+        }
         let n = t.nrows();
         if n <= SMALL_DENSE {
-            return Ok(Self::Dense(t.to_dense().lu()?));
+            return Self::build_dense(t);
         }
         // Structural analysis: RCM + bandwidth.
         let csr = t.to_csr();
@@ -47,22 +79,82 @@ impl<T: Scalar> Solver<T> {
                 pt.push(perm.new_of(i), perm.new_of(j), v);
             }
             let mut fac = BandedMatrix::from_triplets(&pt, kl, ku)?;
-            fac.factor()?;
+            if let Err(e) = fac.factor() {
+                // Pivot indices inside the banded kernel live in RCM
+                // coordinates; translate back before reporting.
+                return Err(match e {
+                    NumericError::Singular { pivot } => NumericError::Singular {
+                        pivot: perm.old_of(pivot),
+                    }
+                    .into(),
+                    other => other.into(),
+                });
+            }
             Ok(Self::Banded { fac, perm })
         } else {
-            Ok(Self::Dense(t.to_dense().lu()?))
+            Self::build_dense(t)
         }
     }
 
-    /// Solves for one right-hand side.
+    fn build_dense(t: &Triplets<T>) -> Result<Self> {
+        let a = t.to_dense();
+        let fac = a.lu()?;
+        // Condition estimate costs a handful of O(n²) solves — noise
+        // next to the O(n³) factorization it piggybacks on. A failed
+        // estimate (cannot happen for valid factors) degrades to "well
+        // conditioned" rather than failing the build.
+        let cond = fac.condest_1(a.norm1()).unwrap_or(0.0);
+        Ok(Self::Dense {
+            fac,
+            a,
+            cond,
+            refine: false,
+        })
+    }
+
+    /// Enables one round of iterative refinement on ill-conditioned
+    /// dense solves. No-op for the banded backend.
+    #[must_use]
+    pub(crate) fn with_refinement(mut self) -> Self {
+        if let Self::Dense { refine, .. } = &mut self {
+            *refine = true;
+        }
+        self
+    }
+
+    /// Solves for one right-hand side, iteratively refining dense
+    /// solutions when refinement is enabled and the system is
+    /// ill-conditioned.
     pub(crate) fn solve(&self, b: &[T]) -> Result<Vec<T>> {
         match self {
-            Self::Dense(f) => Ok(f.solve(b)?),
+            Self::Dense {
+                fac,
+                a,
+                cond,
+                refine,
+            } => {
+                if *refine && *cond > ILL_COND_THRESHOLD {
+                    Ok(fac.solve_refined(a, b)?.x)
+                } else {
+                    Ok(fac.solve(b)?)
+                }
+            }
             Self::Banded { fac, perm } => {
                 let pb = perm.apply(b);
                 let px = fac.solve(&pb)?;
                 Ok(perm.apply_inverse(&px))
             }
+        }
+    }
+
+    /// Hager 1-norm condition estimate (dense backend only; `None` for
+    /// banded systems, whose RCM band structure keeps them benign in
+    /// practice and whose factors don't support the estimator).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn condition_estimate(&self) -> Option<f64> {
+        match self {
+            Self::Dense { cond, .. } => Some(*cond),
+            Self::Banded { .. } => None,
         }
     }
 
@@ -155,6 +247,76 @@ mod tests {
         let r = scrambled.to_dense().matvec(&x).unwrap();
         for (u, v) in r.iter().zip(&b) {
             assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn condition_estimate_reported_for_dense() {
+        let t = tridiag(8);
+        let s = Solver::build(&t).unwrap();
+        let k = s.condition_estimate().unwrap();
+        assert!((1.0..100.0).contains(&k), "κ₁ = {k}");
+        let big = Solver::build(&tridiag(400)).unwrap();
+        assert!(big.condition_estimate().is_none());
+    }
+
+    #[test]
+    fn ill_conditioned_dense_solve_is_refined() {
+        // Two conductance scales 12 decades apart: κ₁ far beyond the
+        // refinement threshold, yet the refined residual stays tiny.
+        let n = 6;
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            t.push(i, i, if i % 2 == 0 { 1e6 } else { 1e-7 });
+            if i + 1 < n {
+                t.push(i, i + 1, 1e-8);
+                t.push(i + 1, i, 1e-8);
+            }
+        }
+        let s = Solver::build(&t).unwrap().with_refinement();
+        assert!(s.condition_estimate().unwrap() > ILL_COND_THRESHOLD);
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+        let x = s.solve(&b).unwrap();
+        let r = t.to_dense().matvec(&x).unwrap();
+        let resid = r
+            .iter()
+            .zip(&b)
+            .map(|(u, v)| (u - v).abs())
+            .fold(0.0f64, f64::max);
+        assert!(resid < 1e-9 * 7.0, "residual {resid}");
+    }
+
+    #[test]
+    fn banded_singular_pivot_maps_to_original_ordering() {
+        // Decouple one unknown entirely (zero row/column) in a system
+        // large enough for the banded backend; the reported pivot must
+        // be the *original* index of that unknown, not its RCM position.
+        let n = 300;
+        let dead = 137usize;
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            if i == dead {
+                continue;
+            }
+            t.push(i, i, 4.0);
+            let mut nb = |j: usize| {
+                if j != dead && j < n {
+                    t.push(i, j, -1.0);
+                }
+            };
+            if i > 0 {
+                nb(i - 1);
+            }
+            nb(i + 1);
+        }
+        // Keep the dead unknown structurally present but numerically
+        // zero so the factorization (not assembly) detects it.
+        t.push(dead, dead, 0.0);
+        match Solver::build(&t) {
+            Err(crate::CircuitError::Numeric(NumericError::Singular { pivot })) => {
+                assert_eq!(pivot, dead, "pivot must map back to original index");
+            }
+            other => panic!("expected singular failure, got {other:?}"),
         }
     }
 }

@@ -1,4 +1,5 @@
-//! Fixed-step transient analysis with trapezoidal integration.
+//! Transient analysis: fixed-step trapezoidal integration plus an
+//! adaptive local-truncation-error (LTE) step controller.
 //!
 //! Companion-model formulation: capacitors become conductances with
 //! history currents, inductive branches keep their currents as MNA
@@ -8,30 +9,92 @@
 //! subsequent steps use the trapezoidal rule (A-stable, no numerical
 //! damping — important because the paper's waveforms *are* ringing and
 //! artificial damping would fake the RC-like behaviour).
+//!
+//! Two step-control modes ([`StepControl`]):
+//!
+//! * **Fixed** (the default) — the historical path, preserved
+//!   bit-for-bit: every step is exactly `dt`, a Newton failure is fatal.
+//! * **Adaptive** — each trapezoidal step is checked against a linear
+//!   predictor; when the predictor–corrector difference (an LTE proxy)
+//!   exceeds tolerance, or Newton fails to converge, the step is
+//!   rejected and retried at half the size. Accepted steps regrow
+//!   geometrically toward `dt_max`. Falling below `dt_min` aborts with
+//!   [`CircuitError::StepUnderflow`] rather than looping forever.
 
 use crate::elements::{Element, Mosfet};
 use crate::error::CircuitError;
-use crate::mna::{assemble_static, stamp_current, MnaLayout, Scheme};
+use crate::mna::{annotate_singular, assemble_static, stamp_current, MnaLayout, Scheme};
 use crate::nonlinear::WoodburySolver;
 use crate::netlist::{Circuit, NodeId};
+use crate::rescue::{RescuePolicy, RescueReport};
 use crate::solver::Solver;
 use crate::waveform::Trace;
 use crate::Result;
+use ind101_numeric::Triplets;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// Newton convergence tolerance per time point (infinity norm of the
+/// iterate update, volts/amperes).
+const NEWTON_TOL: f64 = 1e-6;
+
+/// Step-size control for [`Circuit::transient`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum StepControl {
+    /// Every step is exactly `dt` (the historical behaviour, default).
+    Fixed,
+    /// LTE-driven step rejection/halving and geometric regrowth.
+    Adaptive(AdaptiveOptions),
+}
+
+/// Tuning for [`StepControl::Adaptive`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdaptiveOptions {
+    /// Relative LTE tolerance (per unknown, against its magnitude).
+    pub lte_rel: f64,
+    /// Absolute LTE tolerance, volts/amperes.
+    pub lte_abs: f64,
+    /// Smallest allowed step, seconds. `0.0` = auto (`dt · 2⁻⁴⁰`).
+    pub dt_min: f64,
+    /// Largest allowed step, seconds. `0.0` = auto (`64 · dt`).
+    pub dt_max: f64,
+    /// Geometric regrowth factor applied after comfortably accepted
+    /// steps (must exceed 1).
+    pub growth: f64,
+}
+
+impl Default for AdaptiveOptions {
+    fn default() -> Self {
+        Self {
+            lte_rel: 1e-3,
+            lte_abs: 1e-6,
+            dt_min: 0.0,
+            dt_max: 0.0,
+            growth: 1.5,
+        }
+    }
+}
 
 /// Options for [`Circuit::transient`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct TranOptions {
-    /// Fixed time step, seconds.
+    /// Time step, seconds (fixed mode: every step; adaptive mode: the
+    /// initial step and the regrowth reference).
     pub dt: f64,
     /// Stop time, seconds.
     pub t_stop: f64,
     /// Maximum Newton iterations per time point.
     pub max_newton: usize,
-    /// Record every `record_stride`-th step (1 = every step).
+    /// Record every `record_stride`-th accepted step (1 = every step).
     pub record_stride: usize,
     /// Start from the DC operating point (default) or from all-zero
     /// state (useful for quiet-power-grid noise studies).
     pub start_from_dc: bool,
+    /// Step-size control mode (default [`StepControl::Fixed`]).
+    pub step_control: StepControl,
+    /// DC convergence-rescue ladder for the operating-point solve that
+    /// seeds the transient (default disabled: plain Newton only).
+    pub rescue: RescuePolicy,
 }
 
 impl TranOptions {
@@ -43,24 +106,48 @@ impl TranOptions {
             max_newton: 60,
             record_stride: 1,
             start_from_dc: true,
+            step_control: StepControl::Fixed,
+            rescue: RescuePolicy::disabled(),
         }
     }
 
+    /// Same options with default adaptive step control enabled.
+    #[must_use]
+    pub fn adaptive(mut self) -> Self {
+        self.step_control = StepControl::Adaptive(AdaptiveOptions::default());
+        self
+    }
+
     fn validate(&self) -> Result<()> {
+        let invalid = |what: String| Err(CircuitError::InvalidOptions { what });
         if !(self.dt > 0.0) || !self.dt.is_finite() {
-            return Err(CircuitError::InvalidOptions {
-                what: format!("dt = {}", self.dt),
-            });
+            return invalid(format!("dt = {}", self.dt));
         }
-        if !(self.t_stop > self.dt) {
-            return Err(CircuitError::InvalidOptions {
-                what: format!("t_stop = {} must exceed dt", self.t_stop),
-            });
+        if !(self.t_stop >= self.dt) {
+            return invalid(format!(
+                "t_stop = {} must be at least dt = {}",
+                self.t_stop, self.dt
+            ));
         }
         if self.record_stride == 0 {
-            return Err(CircuitError::InvalidOptions {
-                what: "record_stride must be ≥ 1".to_owned(),
-            });
+            return invalid("record_stride must be ≥ 1".to_owned());
+        }
+        if let StepControl::Adaptive(a) = &self.step_control {
+            if !(a.growth > 1.0) || !a.growth.is_finite() {
+                return invalid(format!("adaptive growth = {} must exceed 1", a.growth));
+            }
+            if a.lte_rel < 0.0 || a.lte_abs < 0.0 || (a.lte_rel == 0.0 && a.lte_abs == 0.0) {
+                return invalid(format!(
+                    "adaptive LTE tolerances rel = {}, abs = {} (need ≥ 0, not both 0)",
+                    a.lte_rel, a.lte_abs
+                ));
+            }
+            if a.dt_min < 0.0 || (a.dt_min > 0.0 && a.dt_min > self.dt) {
+                return invalid(format!("adaptive dt_min = {} (need 0 ≤ dt_min ≤ dt)", a.dt_min));
+            }
+            if a.dt_max < 0.0 || (a.dt_max > 0.0 && a.dt_max < self.dt) {
+                return invalid(format!("adaptive dt_max = {} (need 0 or ≥ dt)", a.dt_max));
+            }
         }
         Ok(())
     }
@@ -82,6 +169,13 @@ pub struct TranResult {
     layout: MnaLayout,
     /// Newton iterations actually used (diagnostics).
     pub newton_iterations: usize,
+    /// Time steps attempted (fixed mode: exactly the step count).
+    pub steps_attempted: usize,
+    /// Steps rejected by the adaptive controller (0 in fixed mode).
+    pub steps_rejected: usize,
+    /// Rescue-ladder report from the seeding DC solve, when the
+    /// options enabled a rescue policy.
+    pub rescue: Option<RescueReport>,
 }
 
 impl TranResult {
@@ -122,27 +216,108 @@ impl TranResult {
     }
 }
 
-impl Circuit {
-    /// Runs a fixed-step transient analysis.
-    ///
-    /// # Errors
-    ///
-    /// Invalid options, singular systems, or Newton divergence.
-    pub fn transient(&self, opts: &TranOptions) -> Result<TranResult> {
-        opts.validate()?;
-        let layout = MnaLayout::build(self);
-        let h = opts.dt;
-        let nonlinear = self.is_nonlinear();
+/// One factored time-step system: plain LU for linear circuits, LU plus
+/// Woodbury rank-m MOSFET updates for nonlinear ones.
+enum StepSolver {
+    Linear(Solver<f64>),
+    Woodbury(WoodburySolver),
+}
 
-        // Initial condition.
-        let mut x = if opts.start_from_dc {
-            self.dc_op()?.x
+/// Outcome of solving one time point.
+struct StepSolve {
+    x: Vec<f64>,
+    converged: bool,
+    iterations: usize,
+    /// Infinity norm of the last Newton update (0 for linear solves).
+    last_delta: f64,
+}
+
+impl StepSolver {
+    /// `refine` enables iterative refinement of ill-conditioned solves
+    /// (adaptive path only — the fixed path stays bit-identical).
+    fn build(
+        static_t: &Triplets,
+        layout: &MnaLayout,
+        mosfets: &[Mosfet],
+        nonlinear: bool,
+        refine: bool,
+    ) -> Result<Self> {
+        Ok(if nonlinear {
+            Self::Woodbury(WoodburySolver::build_with(static_t, layout, mosfets, refine)?)
         } else {
-            vec![0.0; layout.n]
-        };
+            let mut s = Solver::build(static_t)?;
+            if refine {
+                s = s.with_refinement();
+            }
+            Self::Linear(s)
+        })
+    }
 
-        // Element bookkeeping tables.
-        let caps: Vec<(NodeId, NodeId, f64)> = self
+    fn solve(
+        &self,
+        mosfets: &[Mosfet],
+        rhs: &[f64],
+        x_guess: &[f64],
+        max_newton: usize,
+    ) -> Result<StepSolve> {
+        match self {
+            Self::Linear(s) => Ok(StepSolve {
+                x: s.solve(rhs)?,
+                converged: true,
+                iterations: 0,
+                last_delta: 0.0,
+            }),
+            Self::Woodbury(wb) => {
+                #[cfg(feature = "solver-faults")]
+                if crate::faults::take_tran_newton_stall() {
+                    return Ok(StepSolve {
+                        x: x_guess.to_vec(),
+                        converged: false,
+                        iterations: 0,
+                        last_delta: f64::INFINITY,
+                    });
+                }
+                let mut guess = x_guess.to_vec();
+                let mut converged = false;
+                let mut iterations = 0usize;
+                let mut last_delta = f64::INFINITY;
+                for _ in 0..max_newton {
+                    iterations += 1;
+                    let sol = wb.solve(mosfets, &guess, rhs)?;
+                    let mut delta = 0.0f64;
+                    for i in 0..guess.len() {
+                        delta = delta.max((sol[i] - guess[i]).abs());
+                    }
+                    guess = sol;
+                    last_delta = delta;
+                    if delta < NEWTON_TOL {
+                        converged = true;
+                        break;
+                    }
+                }
+                Ok(StepSolve {
+                    x: guess,
+                    converged,
+                    iterations,
+                    last_delta,
+                })
+            }
+        }
+    }
+}
+
+/// Element bookkeeping shared by both step-control modes.
+struct TranState {
+    caps: Vec<(NodeId, NodeId, f64)>,
+    cap_state: Vec<CapState>,
+    /// Inductor branch history per system: (current, branch voltage).
+    ind_state: Vec<Vec<(f64, f64)>>,
+    mosfets: Vec<Mosfet>,
+}
+
+impl TranState {
+    fn new(ckt: &Circuit, layout: &MnaLayout, x: &[f64]) -> Self {
+        let caps: Vec<(NodeId, NodeId, f64)> = ckt
             .elements()
             .iter()
             .filter_map(|e| match e {
@@ -150,15 +325,14 @@ impl Circuit {
                 _ => None,
             })
             .collect();
-        let mut cap_state: Vec<CapState> = caps
+        let cap_state: Vec<CapState> = caps
             .iter()
             .map(|&(a, b, _)| CapState {
-                v: node_v(&layout, &x, a) - node_v(&layout, &x, b),
+                v: node_v(layout, x, a) - node_v(layout, x, b),
                 i: 0.0,
             })
             .collect();
-        // Inductor branch history: (current, branch voltage).
-        let mut ind_state: Vec<Vec<(f64, f64)>> = self
+        let ind_state: Vec<Vec<(f64, f64)>> = ckt
             .inductor_systems()
             .iter()
             .enumerate()
@@ -168,6 +342,131 @@ impl Circuit {
                     .collect()
             })
             .collect();
+        let mosfets: Vec<Mosfet> = ckt
+            .elements()
+            .iter()
+            .filter_map(|e| match e {
+                Element::Transistor(m) => Some(m.clone()),
+                _ => None,
+            })
+            .collect();
+        Self {
+            caps,
+            cap_state,
+            ind_state,
+            mosfets,
+        }
+    }
+
+    /// Right-hand side at `t_next`: sources plus companion histories for
+    /// companion factor `k` (`trap` selects trapezoidal history terms).
+    fn assemble_rhs(
+        &self,
+        ckt: &Circuit,
+        layout: &MnaLayout,
+        t_next: f64,
+        k: f64,
+        trap: bool,
+    ) -> Vec<f64> {
+        let mut rhs = vec![0.0; layout.n];
+        let mut vseq = 0usize;
+        for e in ckt.elements() {
+            match e {
+                Element::Vsrc { wave, .. } => {
+                    rhs[layout.vsrc_rows[vseq]] = wave.value_at(t_next);
+                    vseq += 1;
+                }
+                Element::Isrc { from, into, wave, .. } => {
+                    stamp_current(&mut rhs, layout, *from, *into, wave.value_at(t_next));
+                }
+                _ => {}
+            }
+        }
+        for (ci, &(a, b, farads)) in self.caps.iter().enumerate() {
+            let st = self.cap_state[ci];
+            let ieq = k * farads * st.v + if trap { st.i } else { 0.0 };
+            // Norton companion: current ieq from b to a externally.
+            stamp_current(&mut rhs, layout, b, a, ieq);
+        }
+        for (s, sys) in ckt.inductor_systems().iter().enumerate() {
+            let off = layout.ind_offsets[s];
+            for j in 0..sys.len() {
+                let mut acc = 0.0;
+                for jj in 0..sys.len() {
+                    let m = sys.m[(j, jj)];
+                    if m != 0.0 {
+                        acc += m * self.ind_state[s][jj].0;
+                    }
+                }
+                rhs[off + j] = -k * acc - if trap { self.ind_state[s][j].1 } else { 0.0 };
+            }
+        }
+        rhs
+    }
+
+    /// Commits an accepted solution: advances companion histories.
+    fn commit(&mut self, ckt: &Circuit, layout: &MnaLayout, x_next: &[f64], k: f64, trap: bool) {
+        for (ci, &(a, b, farads)) in self.caps.iter().enumerate() {
+            let v_new = node_v(layout, x_next, a) - node_v(layout, x_next, b);
+            let st = &mut self.cap_state[ci];
+            let i_new = k * farads * (v_new - st.v) - if trap { st.i } else { 0.0 };
+            st.v = v_new;
+            st.i = i_new;
+        }
+        for (s, sys) in ckt.inductor_systems().iter().enumerate() {
+            let off = layout.ind_offsets[s];
+            for (j, &(a, b)) in sys.branches.iter().enumerate() {
+                let i_new = x_next[off + j];
+                let v_new = node_v(layout, x_next, a) - node_v(layout, x_next, b);
+                self.ind_state[s][j] = (i_new, v_new);
+            }
+        }
+    }
+}
+
+impl Circuit {
+    /// Runs a transient analysis (fixed-step by default; adaptive when
+    /// [`TranOptions::step_control`] says so).
+    ///
+    /// # Errors
+    ///
+    /// Invalid options, singular systems (with the offending unknown
+    /// named), Newton divergence, or — adaptive mode only — step
+    /// underflow at `dt_min`.
+    pub fn transient(&self, opts: &TranOptions) -> Result<TranResult> {
+        opts.validate()?;
+        match opts.step_control.clone() {
+            StepControl::Fixed => self.transient_fixed(opts),
+            StepControl::Adaptive(a) => self.transient_adaptive(opts, &a),
+        }
+    }
+
+    /// Initial unknown vector (and rescue report, when enabled).
+    fn tran_initial_state(
+        &self,
+        opts: &TranOptions,
+        layout: &MnaLayout,
+    ) -> Result<(Vec<f64>, Option<RescueReport>)> {
+        if !opts.start_from_dc {
+            return Ok((vec![0.0; layout.n], None));
+        }
+        if opts.rescue.any_enabled() {
+            let (op, report) = self.dc_op_with(&opts.rescue)?;
+            Ok((op.x, Some(report)))
+        } else {
+            Ok((self.dc_op()?.x, None))
+        }
+    }
+
+    /// The historical fixed-step path, arithmetic untouched.
+    fn transient_fixed(&self, opts: &TranOptions) -> Result<TranResult> {
+        let layout = MnaLayout::build(self);
+        let h = opts.dt;
+        let nonlinear = self.is_nonlinear();
+        let annotate = |e| annotate_singular(self, &layout, e);
+
+        let (mut x, rescue) = self.tran_initial_state(opts, &layout)?;
+        let mut state = TranState::new(self, &layout, &x);
 
         // Pre-assembled static matrices, factored once per scheme. For
         // nonlinear circuits the MOSFET Jacobian is applied as a rank-m
@@ -176,29 +475,10 @@ impl Circuit {
         // time loop at all.
         let static_be = assemble_static(self, &layout, Scheme::Be, h);
         let static_trap = assemble_static(self, &layout, Scheme::Trap, h);
-        let mosfets: Vec<Mosfet> = self
-            .elements()
-            .iter()
-            .filter_map(|e| match e {
-                Element::Transistor(m) => Some(m.clone()),
-                _ => None,
-            })
-            .collect();
-        let (solver_be, solver_trap, wb_be, wb_trap) = if nonlinear {
-            (
-                None,
-                None,
-                Some(WoodburySolver::build(&static_be, &layout, &mosfets)?),
-                Some(WoodburySolver::build(&static_trap, &layout, &mosfets)?),
-            )
-        } else {
-            (
-                Some(Solver::build(&static_be)?),
-                Some(Solver::build(&static_trap)?),
-                None,
-                None,
-            )
-        };
+        let solver_be = StepSolver::build(&static_be, &layout, &state.mosfets, nonlinear, false)
+            .map_err(annotate)?;
+        let solver_trap = StepSolver::build(&static_trap, &layout, &state.mosfets, nonlinear, false)
+            .map_err(annotate)?;
 
         let n_steps = (opts.t_stop / h).ceil() as usize;
         let mut result = TranResult {
@@ -206,6 +486,9 @@ impl Circuit {
             data: Vec::with_capacity(n_steps / opts.record_stride + 2),
             layout: layout.clone(),
             newton_iterations: 0,
+            steps_attempted: n_steps,
+            steps_rejected: 0,
+            rescue,
         };
         result.time.push(0.0);
         result.data.push(x.clone());
@@ -216,102 +499,156 @@ impl Circuit {
             let scheme = if step == 1 { Scheme::Be } else { Scheme::Trap };
             let k = scheme.k(h);
             let trap = scheme == Scheme::Trap;
+            let solver = if step == 1 { &solver_be } else { &solver_trap };
 
-            // Right-hand side: sources at t_next + companion histories.
-            let mut rhs = vec![0.0; layout.n];
-            let mut vseq = 0usize;
-            for e in self.elements() {
-                match e {
-                    Element::Vsrc { wave, .. } => {
-                        rhs[layout.vsrc_rows[vseq]] = wave.value_at(t_next);
-                        vseq += 1;
-                    }
-                    Element::Isrc { from, into, wave, .. } => {
-                        stamp_current(&mut rhs, &layout, *from, *into, wave.value_at(t_next));
-                    }
-                    _ => {}
-                }
+            let rhs = state.assemble_rhs(self, &layout, t_next, k, trap);
+            let out = solver.solve(&state.mosfets, &rhs, &x, opts.max_newton)?;
+            newton_total += out.iterations;
+            if !out.converged {
+                return Err(CircuitError::NewtonDiverged {
+                    time: t_next,
+                    iterations: out.iterations,
+                    residual: out.last_delta,
+                    damping_limit: f64::INFINITY,
+                });
             }
-            for (ci, &(a, b, farads)) in caps.iter().enumerate() {
-                let st = cap_state[ci];
-                let ieq = k * farads * st.v + if trap { st.i } else { 0.0 };
-                // Norton companion: current ieq from b to a externally.
-                stamp_current(&mut rhs, &layout, b, a, ieq);
-            }
-            for (s, sys) in self.inductor_systems().iter().enumerate() {
-                let off = layout.ind_offsets[s];
-                for j in 0..sys.len() {
-                    let mut acc = 0.0;
-                    for jj in 0..sys.len() {
-                        let m = sys.m[(j, jj)];
-                        if m != 0.0 {
-                            acc += m * ind_state[s][jj].0;
-                        }
-                    }
-                    rhs[off + j] = -k * acc - if trap { ind_state[s][j].1 } else { 0.0 };
-                }
-            }
+            let x_next = out.x;
 
-            // Solve.
-            let x_next = if !nonlinear {
-                let solver = if step == 1 {
-                    solver_be.as_ref().expect("built for linear circuits")
-                } else {
-                    solver_trap.as_ref().expect("built for linear circuits")
-                };
-                solver.solve(&rhs)?
-            } else {
-                let wb = if step == 1 {
-                    wb_be.as_ref().expect("built for nonlinear circuits")
-                } else {
-                    wb_trap.as_ref().expect("built for nonlinear circuits")
-                };
-                let mut guess = x.clone();
-                let mut converged = false;
-                for _it in 0..opts.max_newton {
-                    newton_total += 1;
-                    let sol = wb.solve(&mosfets, &guess, &rhs)?;
-                    let mut delta = 0.0f64;
-                    for i in 0..layout.n {
-                        delta = delta.max((sol[i] - guess[i]).abs());
-                    }
-                    guess = sol;
-                    if delta < 1e-6 {
-                        converged = true;
-                        break;
-                    }
-                }
-                if !converged {
-                    return Err(CircuitError::NewtonDiverged {
-                        time: t_next,
-                        iterations: opts.max_newton,
-                    });
-                }
-                guess
-            };
-
-            // Update companion histories.
-            for (ci, &(a, b, farads)) in caps.iter().enumerate() {
-                let v_new = node_v(&layout, &x_next, a) - node_v(&layout, &x_next, b);
-                let st = &mut cap_state[ci];
-                let i_new = k * farads * (v_new - st.v) - if trap { st.i } else { 0.0 };
-                st.v = v_new;
-                st.i = i_new;
-            }
-            for (s, sys) in self.inductor_systems().iter().enumerate() {
-                let off = layout.ind_offsets[s];
-                for (j, &(a, b)) in sys.branches.iter().enumerate() {
-                    let i_new = x_next[off + j];
-                    let v_new = node_v(&layout, &x_next, a) - node_v(&layout, &x_next, b);
-                    ind_state[s][j] = (i_new, v_new);
-                }
-            }
-
+            state.commit(self, &layout, &x_next, k, trap);
             x = x_next;
             if step % opts.record_stride == 0 || step == n_steps {
                 result.time.push(t_next);
                 result.data.push(x.clone());
             }
+        }
+        result.newton_iterations = newton_total;
+        Ok(result)
+    }
+
+    /// LTE-controlled adaptive stepping.
+    ///
+    /// Each candidate step is solved with the trapezoidal companion
+    /// model (backward Euler for the very first step), then compared
+    /// against the linear predictor
+    /// `x_pred = x_n + (h/h_prev)·(x_n − x_{n−1})`. The
+    /// predictor–corrector gap is a standard LTE proxy: accept when the
+    /// worst per-unknown ratio against `lte_abs + lte_rel·|x|` is ≤ 1,
+    /// otherwise halve and retry. Newton failures also reject the step.
+    /// Solvers are cached per step size, so the halve/regrow cycle
+    /// revisits existing factorizations instead of refactoring.
+    fn transient_adaptive(&self, opts: &TranOptions, aopts: &AdaptiveOptions) -> Result<TranResult> {
+        let layout = MnaLayout::build(self);
+        let nonlinear = self.is_nonlinear();
+        let dt_min = if aopts.dt_min > 0.0 {
+            aopts.dt_min
+        } else {
+            opts.dt * 2.0f64.powi(-40)
+        };
+        let dt_max = if aopts.dt_max > 0.0 {
+            aopts.dt_max
+        } else {
+            64.0 * opts.dt
+        };
+
+        let (mut x, rescue) = self.tran_initial_state(opts, &layout)?;
+        let mut state = TranState::new(self, &layout, &x);
+
+        let mut result = TranResult {
+            time: vec![0.0],
+            data: vec![x.clone()],
+            layout: layout.clone(),
+            newton_iterations: 0,
+            steps_attempted: 0,
+            steps_rejected: 0,
+            rescue,
+        };
+
+        // Factored systems per (scheme, step size); the BE cache only
+        // ever holds first-step sizes.
+        let mut cache_be: HashMap<u64, StepSolver> = HashMap::new();
+        let mut cache_trap: HashMap<u64, StepSolver> = HashMap::new();
+
+        let mut t = 0.0f64;
+        let mut h_ctrl = opts.dt.min(dt_max);
+        // Previous accepted point (x_{n−1} and the step that led to x_n).
+        let mut prev: Option<(Vec<f64>, f64)> = None;
+        let mut accepted = 0usize;
+        let mut newton_total = 0usize;
+
+        loop {
+            let remaining = opts.t_stop - t;
+            if remaining <= opts.t_stop * 1e-12 {
+                break;
+            }
+            let h = h_ctrl.min(remaining);
+            let first = prev.is_none();
+            let scheme = if first { Scheme::Be } else { Scheme::Trap };
+            let cache = if first { &mut cache_be } else { &mut cache_trap };
+            let solver = match cache.entry(h.to_bits()) {
+                Entry::Occupied(o) => o.into_mut(),
+                Entry::Vacant(v) => {
+                    let st = assemble_static(self, &layout, scheme, h);
+                    v.insert(
+                        StepSolver::build(&st, &layout, &state.mosfets, nonlinear, true)
+                            .map_err(|e| annotate_singular(self, &layout, e))?,
+                    )
+                }
+            };
+            let k = scheme.k(h);
+            let trap = scheme == Scheme::Trap;
+
+            let rhs = state.assemble_rhs(self, &layout, t + h, k, trap);
+            result.steps_attempted += 1;
+            let out = solver.solve(&state.mosfets, &rhs, &x, opts.max_newton)?;
+            newton_total += out.iterations;
+
+            // LTE proxy: worst per-unknown predictor–corrector gap
+            // relative to tolerance (0 when no predictor exists yet).
+            let mut ratio = 0.0f64;
+            if out.converged {
+                if let Some((x_prev, h_prev)) = &prev {
+                    let r = h / h_prev;
+                    for i in 0..layout.n {
+                        let pred = x[i] + r * (x[i] - x_prev[i]);
+                        let tol = aopts.lte_abs + aopts.lte_rel * x[i].abs().max(out.x[i].abs());
+                        if tol > 0.0 {
+                            ratio = ratio.max((out.x[i] - pred).abs() / tol);
+                        }
+                    }
+                }
+            }
+
+            if !out.converged || ratio > 1.0 {
+                result.steps_rejected += 1;
+                h_ctrl = h * 0.5;
+                if h_ctrl < dt_min {
+                    result.newton_iterations = newton_total;
+                    return Err(CircuitError::StepUnderflow { time: t, dt_min });
+                }
+                continue;
+            }
+
+            // Accept.
+            state.commit(self, &layout, &out.x, k, trap);
+            prev = Some((std::mem::replace(&mut x, out.x), h));
+            t += h;
+            accepted += 1;
+            if accepted % opts.record_stride == 0 {
+                result.time.push(t);
+                result.data.push(x.clone());
+            }
+            // Geometric regrowth after comfortable steps; hold steady
+            // when the controller is near its tolerance.
+            h_ctrl = if ratio < 0.5 {
+                (h * aopts.growth).min(dt_max)
+            } else {
+                h
+            };
+        }
+        // Always include the final accepted point.
+        if result.time.last().copied() != Some(t) {
+            result.time.push(t);
+            result.data.push(x.clone());
         }
         result.newton_iterations = newton_total;
         Ok(result)
@@ -348,6 +685,9 @@ mod tests {
         let expected = 1.0 - (-1.0f64).exp();
         assert!((v.sample(tau) - expected).abs() < 0.01, "{}", v.sample(tau));
         assert!((v.last_value() - 1.0).abs() < 0.01);
+        assert_eq!(res.steps_rejected, 0);
+        assert_eq!(res.steps_attempted, 600);
+        assert!(res.rescue.is_none());
     }
 
     #[test]
@@ -481,5 +821,127 @@ mod tests {
         let mut opts = TranOptions::new(1e-12, 1e-9);
         opts.record_stride = 0;
         assert!(c.transient(&opts).is_err());
+        // Adaptive tuning is validated too.
+        let mut opts = TranOptions::new(1e-12, 1e-9).adaptive();
+        if let StepControl::Adaptive(a) = &mut opts.step_control {
+            a.growth = 0.9;
+        }
+        assert!(c.transient(&opts).is_err());
+        let mut opts = TranOptions::new(1e-12, 1e-9).adaptive();
+        if let StepControl::Adaptive(a) = &mut opts.step_control {
+            a.lte_rel = 0.0;
+            a.lte_abs = 0.0;
+        }
+        assert!(c.transient(&opts).is_err());
+    }
+
+    #[test]
+    fn t_stop_equal_to_dt_is_one_step() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.vsrc(a, Circuit::GND, SourceWave::dc(1.0));
+        c.resistor(a, Circuit::GND, 1.0);
+        let res = c.transient(&TranOptions::new(1e-12, 1e-12)).unwrap();
+        assert_eq!(res.len(), 2); // t = 0 and t = dt
+        assert_eq!(res.steps_attempted, 1);
+    }
+
+    #[test]
+    fn adaptive_rc_matches_analytic_with_fewer_steps() {
+        let r = 1_000.0;
+        let cap = 1e-12;
+        let tau = r * cap;
+        let build = || {
+            let mut c = Circuit::new();
+            let inp = c.node("in");
+            let out = c.node("out");
+            c.vsrc(inp, Circuit::GND, SourceWave::step(0.0, 1.0, 0.0, 1e-15));
+            c.resistor(inp, out, r);
+            c.capacitor(out, Circuit::GND, cap);
+            (c, out)
+        };
+        let (c, out) = build();
+        let fixed = c.transient(&TranOptions::new(tau / 200.0, 8.0 * tau)).unwrap();
+        let adaptive = c
+            .transient(&TranOptions::new(tau / 200.0, 8.0 * tau).adaptive())
+            .unwrap();
+        let vf = fixed.voltage(out);
+        let va = adaptive.voltage(out);
+        for frac in [0.5, 1.0, 2.0, 4.0, 7.5] {
+            let t = frac * tau;
+            let expect = 1.0 - (-frac as f64).exp();
+            assert!((va.sample(t) - expect).abs() < 5e-3, "t={t:e}: {}", va.sample(t));
+            assert!((va.sample(t) - vf.sample(t)).abs() < 5e-3);
+        }
+        // The controller must actually have grown the step.
+        assert!(
+            adaptive.steps_attempted < fixed.steps_attempted,
+            "adaptive {} vs fixed {}",
+            adaptive.steps_attempted,
+            fixed.steps_attempted
+        );
+        // Final times agree.
+        assert!((va.time.last().unwrap() - 8.0 * tau).abs() < 1e-18);
+    }
+
+    #[test]
+    fn adaptive_rejects_steps_across_pulse_edges() {
+        // A sharp pulse after a long quiet interval: the controller
+        // grows the step during the quiet part and must reject/halve
+        // when the edge arrives.
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.vsrc(
+            inp,
+            Circuit::GND,
+            SourceWave::Pulse {
+                v0: 0.0,
+                v1: 1.0,
+                delay: 200e-12,
+                rise: 5e-12,
+                fall: 5e-12,
+                width: 100e-12,
+                period: f64::INFINITY,
+            },
+        );
+        c.resistor(inp, out, 1_000.0);
+        c.capacitor(out, Circuit::GND, 1e-13); // τ = 100 ps = pulse width
+        let res = c
+            .transient(&TranOptions::new(1e-12, 600e-12).adaptive())
+            .unwrap();
+        assert!(res.steps_rejected > 0, "no rejections recorded");
+        let v = res.voltage(out);
+        // τ equals the pulse width, so the exact response peaks near
+        // 1 − e⁻¹ ≈ 0.63 V; far less means the pulse was stepped over.
+        assert!(v.max() > 0.5, "pulse missed: max {}", v.max());
+    }
+
+    #[test]
+    fn adaptive_inverter_matches_fixed_delay() {
+        let build = || {
+            let mut c = Circuit::new();
+            let vdd = c.node("vdd");
+            let inp = c.node("in");
+            let out = c.node("out");
+            c.vsrc(vdd, Circuit::GND, SourceWave::dc(1.8));
+            c.vsrc(inp, Circuit::GND, SourceWave::step(0.0, 1.8, 50e-12, 30e-12));
+            c.inverter(inp, out, vdd, Circuit::GND, InverterParams::default());
+            c.capacitor(out, Circuit::GND, 50e-15);
+            (c, out)
+        };
+        let (c, out) = build();
+        let fixed = c.transient(&TranOptions::new(1e-12, 500e-12)).unwrap();
+        let mut aopts = TranOptions::new(1e-12, 500e-12).adaptive();
+        if let StepControl::Adaptive(a) = &mut aopts.step_control {
+            a.dt_max = 8e-12; // keep the MOS switching well resolved
+        }
+        let adaptive = c.transient(&aopts).unwrap();
+        let tf = fixed.voltage(out).first_crossing(0.9).unwrap();
+        let ta = adaptive.voltage(out).first_crossing(0.9).unwrap();
+        assert!(
+            (tf - ta).abs() < 2e-12,
+            "50% crossing fixed {tf:e} vs adaptive {ta:e}"
+        );
     }
 }

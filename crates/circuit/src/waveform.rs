@@ -96,7 +96,7 @@ impl SourceWave {
                         return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
                     }
                 }
-                pts.last().expect("non-empty").1
+                pts.last().map_or(0.0, |p| p.1)
             }
         }
     }
@@ -150,7 +150,7 @@ impl Trace {
         if t <= self.time[0] {
             return self.values[0];
         }
-        if t >= *self.time.last().expect("non-empty") {
+        if self.time.last().is_some_and(|&last| t >= last) {
             return self.last_value();
         }
         // Binary search for the bracketing interval.

@@ -10,7 +10,10 @@
 //! segments."
 
 use crate::ladder::LadderFit;
-use ind101_circuit::{Circuit, CircuitError, InverterParams, NodeId, SourceWave};
+use ind101_circuit::{
+    Circuit, CircuitError, InverterParams, NodeId, RescuePolicy, SourceWave, TranOptions,
+    TranResult,
+};
 
 /// Interconnect representation in the loop netlist.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -74,6 +77,29 @@ pub struct LoopCircuit {
     pub driver_out: NodeId,
     /// Receiver (far) end where the lumped capacitance sits.
     pub receiver: NodeId,
+}
+
+impl LoopCircuit {
+    /// Transient simulation with the full robustness stack: the DC
+    /// operating point may escalate through the convergence-rescue
+    /// ladder (gmin-stepping, source-stepping), and the time loop runs
+    /// under adaptive LTE step control seeded with `dt`.
+    ///
+    /// Use this instead of a plain `transient` call when sweeping loop
+    /// parameters programmatically — strongly under-damped corners that
+    /// would abort a fixed-step run get rescued or resolved instead.
+    /// The returned result carries the rescue report and the
+    /// attempted/rejected step counts for diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Circuit::transient`]; reached only after
+    /// every rescue rung has been exhausted.
+    pub fn simulate_robust(&self, dt: f64, t_stop: f64) -> Result<TranResult, CircuitError> {
+        let mut opts = TranOptions::new(dt, t_stop).adaptive();
+        opts.rescue = RescuePolicy::full();
+        self.circuit.transient(&opts)
+    }
 }
 
 /// Builds the loop-model netlist.
@@ -230,6 +256,32 @@ mod tests {
             .transient(&TranOptions::new(1e-12, 2e-9))
             .unwrap();
         assert!(res.voltage(lc.receiver).last_value() < 0.1);
+    }
+
+    #[test]
+    fn robust_simulation_matches_fixed_step() {
+        let spec = LoopNetlistSpec::default();
+        let lc = build_loop_circuit(&spec).unwrap();
+        let fixed = lc
+            .circuit
+            .transient(&TranOptions::new(1e-12, 1.5e-9))
+            .unwrap();
+        let robust = lc.simulate_robust(1e-12, 1.5e-9).unwrap();
+        // The default loop circuit needs no rescue, but the report must
+        // be present and record that plain Newton sufficed.
+        let report = robust.rescue.as_ref().expect("rescue report");
+        assert!(report.plain_sufficed());
+        // Adaptive stepping tracks the fixed-step waveform closely.
+        let vf = fixed.voltage(lc.receiver);
+        let vr = robust.voltage(lc.receiver);
+        for (&t, &v) in vf.time.iter().zip(&vf.values) {
+            assert!(
+                (vr.sample(t) - v).abs() < 0.05,
+                "mismatch at t={t}: {} vs {v}",
+                vr.sample(t)
+            );
+        }
+        assert!(robust.steps_attempted > 0);
     }
 
     #[test]

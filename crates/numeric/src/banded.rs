@@ -101,6 +101,19 @@ impl<T: Scalar> BandedMatrix<T> {
         Some(self.ldab() * j + (self.kl + self.ku + i - j))
     }
 
+    /// Error for an access that landed outside the extended band
+    /// (cannot happen for in-band factorization indices; used to
+    /// degrade invariant violations to errors instead of panics).
+    #[cold]
+    fn outside_band(&self, row: usize, col: usize) -> NumericError {
+        NumericError::OutsideBand {
+            row,
+            col,
+            kl: self.kl,
+            ku: self.ku,
+        }
+    }
+
     /// Reads entry `(i, j)`; zero outside the band.
     pub fn get(&self, i: usize, j: usize) -> T {
         self.offset(i, j).map_or(T::zero(), |o| self.ab[o])
@@ -122,7 +135,16 @@ impl<T: Scalar> BandedMatrix<T> {
                 ku: self.ku,
             });
         }
-        let o = self.offset(i, j).expect("declared band is within storage");
+        let Some(o) = self.offset(i, j) else {
+            // Unreachable: the declared-band check above bounds the
+            // extended storage band, but degrade to an error anyway.
+            return Err(NumericError::OutsideBand {
+                row: i,
+                col: j,
+                kl: self.kl,
+                ku: self.ku,
+            });
+        };
         self.ab[o] += v;
         Ok(())
     }
@@ -182,7 +204,9 @@ impl<T: Scalar> BandedMatrix<T> {
                 if i > iend {
                     break;
                 }
-                let oij = self.offset(i, j).expect("within kl band");
+                let Some(oij) = self.offset(i, j) else {
+                    return Err(self.outside_band(i, j));
+                };
                 let m = self.ab[oij] / pivot;
                 self.ab[oij] = m;
                 if m.is_zero() {
@@ -193,9 +217,11 @@ impl<T: Scalar> BandedMatrix<T> {
                     if ujc.is_zero() {
                         continue;
                     }
-                    let oic = self
-                        .offset(i, c)
-                        .expect("fill stays within extended band");
+                    // Fill stays within the extended band by
+                    // construction; guard instead of panicking.
+                    let Some(oic) = self.offset(i, c) else {
+                        return Err(self.outside_band(i, c));
+                    };
                     self.ab[oic] -= m * ujc;
                 }
             }

@@ -304,6 +304,10 @@ impl<T: Scalar> IndexMut<(usize, usize)> for Matrix<T> {
     }
 }
 
+// The operator impls below panic on shape mismatch: `std::ops` traits
+// cannot return `Result`, and a mismatched shape is a programming error
+// at the call site. Fallible forms (`add_scaled`, `matmul`) exist.
+#[allow(clippy::expect_used)]
 impl<T: Scalar> Add for &Matrix<T> {
     type Output = Matrix<T>;
     fn add(self, rhs: Self) -> Matrix<T> {
@@ -311,6 +315,7 @@ impl<T: Scalar> Add for &Matrix<T> {
     }
 }
 
+#[allow(clippy::expect_used)]
 impl<T: Scalar> Sub for &Matrix<T> {
     type Output = Matrix<T>;
     fn sub(self, rhs: Self) -> Matrix<T> {
@@ -319,6 +324,7 @@ impl<T: Scalar> Sub for &Matrix<T> {
     }
 }
 
+#[allow(clippy::expect_used)]
 impl<T: Scalar> Mul for &Matrix<T> {
     type Output = Matrix<T>;
     fn mul(self, rhs: Self) -> Matrix<T> {

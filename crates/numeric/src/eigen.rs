@@ -77,7 +77,7 @@ pub fn jacobi_eigenvectors(a: &Matrix<f64>) -> Result<SymmetricEigen> {
         }
         if off <= tol {
             let mut order: Vec<usize> = (0..n).collect();
-            order.sort_by(|&x, &y| m[(x, x)].partial_cmp(&m[(y, y)]).unwrap());
+            order.sort_by(|&x, &y| m[(x, x)].total_cmp(&m[(y, y)]));
             let values: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
             let vectors = Matrix::from_fn(n, n, |i, j| v[(i, order[j])]);
             return Ok(SymmetricEigen { values, vectors });

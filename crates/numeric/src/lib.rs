@@ -34,10 +34,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 mod banded;
 mod cholesky;
 mod complex;
+mod condition;
 mod dense;
 mod eigen;
 mod error;
@@ -52,6 +54,7 @@ mod vecops;
 pub use banded::BandedMatrix;
 pub use cholesky::CholeskyFactor;
 pub use complex::Complex64;
+pub use condition::RefinedSolve;
 pub use dense::Matrix;
 pub use eigen::{jacobi_eigenvalues, jacobi_eigenvectors, SymmetricEigen};
 pub use error::NumericError;

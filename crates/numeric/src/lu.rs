@@ -140,6 +140,49 @@ impl<T: Scalar> LuFactors<T> {
         Ok(x)
     }
 
+    /// Solves `Aᵀ·x = b` using the stored factors of `A`.
+    ///
+    /// From `P·A = L·U` follows `Aᵀ = Uᵀ·Lᵀ·P`, so the transposed solve
+    /// is a forward substitution with `Uᵀ`, a backward substitution with
+    /// `Lᵀ`, and an inverse row permutation. Needed by the Hager 1-norm
+    /// condition estimator, which alternates solves with `A` and `Aᵀ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `b.len() != n`.
+    pub fn solve_transposed(&self, b: &[T]) -> Result<Vec<T>> {
+        let n = self.n();
+        if b.len() != n {
+            return Err(NumericError::DimensionMismatch {
+                expected: n,
+                found: b.len(),
+            });
+        }
+        let mut x = b.to_vec();
+        // Forward substitution with Uᵀ (lower triangular, general diag).
+        for i in 0..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[(j, i)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        // Backward substitution with Lᵀ (upper triangular, unit diag).
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(j, i)] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Undo the row permutation: x_orig[perm[i]] = x[i].
+        let mut out = vec![T::zero(); n];
+        for (i, &p) in self.perm.iter().enumerate() {
+            out[p] = x[i];
+        }
+        Ok(out)
+    }
+
     /// Solves for multiple right-hand sides given as matrix columns.
     ///
     /// # Errors

@@ -112,7 +112,11 @@ pub fn reverse_cuthill_mckee(adj: &[Vec<usize>]) -> Permutation {
         }
     }
     order.reverse();
-    Permutation::from_forward(order).expect("BFS visits each vertex exactly once")
+    // BFS visits each vertex exactly once, so this cannot fail; fall
+    // back to the identity ordering rather than panicking if it ever
+    // does (identity is always a *valid* ordering, just a slow one).
+    let n = order.len();
+    Permutation::from_forward(order).unwrap_or_else(|_| Permutation::identity(n))
 }
 
 /// One BFS hop toward a pseudo-peripheral vertex: from `seed`, find the

@@ -196,7 +196,11 @@ where
             .collect();
         let mut out = Vec::new();
         for h in handles {
-            out.extend(h.join().expect("row-block worker panicked"));
+            match h.join() {
+                Ok(rows) => out.extend(rows),
+                // Re-raise the worker's panic payload in this thread.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
         out
     })

@@ -75,8 +75,11 @@ impl<T: Scalar> Triplets<T> {
         let mut prev: Option<(usize, usize)> = None;
         for &(r, c, v) in &sorted {
             if prev == Some((r, c)) {
-                // Sorted order guarantees duplicates are adjacent.
-                *data.last_mut().expect("duplicate implies prior entry") += v;
+                // Sorted order guarantees duplicates are adjacent, so a
+                // prior entry always exists here.
+                if let Some(last) = data.last_mut() {
+                    *last += v;
+                }
             } else {
                 indices.push(c);
                 data.push(v);
