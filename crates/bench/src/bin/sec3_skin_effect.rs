@@ -56,7 +56,7 @@ fn main() {
             format!("{:.4}Ω", fil.r_ohm[k]),
             eng(solid.l_h[k], "H"),
             eng(fil.l_h[k], "H"),
-            eng(skin_depth(f, COPPER_RHO), "m"),
+            eng(skin_depth(f, COPPER_RHO).unwrap(), "m"),
         ]);
     }
     println!("{}", t.render());

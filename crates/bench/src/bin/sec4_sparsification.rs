@@ -7,6 +7,12 @@
 //! Part B demonstrates the truncation failure mode on a long
 //! tightly-coupled bus, where relative truncation provably destroys
 //! positive definiteness.
+//!
+//! With `--verify`, each sparsified matrix additionally goes through
+//! the static passivity auditor (`ind101-verify`), printing the
+//! per-screen verdict — including the broken Cholesky pivot and the
+//! verified diagonal repair shift for non-passive outputs — before any
+//! transient runs.
 
 use ind101_bench::table::TextTable;
 use ind101_bench::{clock_case, Scale};
@@ -16,7 +22,8 @@ use ind101_core::InductanceMode;
 use ind101_extract::PartialInductance;
 use ind101_geom::generators::{generate_bus, BusSpec};
 use ind101_geom::{um, Technology};
-use ind101_bench::parallel_config_from_args;
+use ind101_bench::{parallel_config_from_args, verify_flag_from_args};
+use ind101_verify::{audit_sparsified, MatrixAuditConfig};
 use ind101_numeric::ParallelConfig;
 use ind101_sparsify::block_diagonal::{block_diagonal_with, sections_by_signal_distance};
 use ind101_sparsify::halo::halo_sparsify_with;
@@ -29,11 +36,31 @@ use ind101_sparsify::{matrix_error, stability_report, Sparsified};
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let cfg = parallel_config_from_args(&mut args);
-    part_a(&cfg);
-    part_b(&cfg);
+    let verify = verify_flag_from_args(&mut args);
+    part_a(&cfg, verify);
+    part_b(&cfg, verify);
 }
 
-fn part_a(cfg: &ParallelConfig) {
+/// Prints the static auditor verdict for one sparsifier output.
+fn print_audit(s: &Sparsified) {
+    let audit = audit_sparsified(s, &MatrixAuditConfig::default());
+    if audit.passive {
+        println!("  audit[{}]: passive", s.method);
+        return;
+    }
+    let pivot = audit
+        .failed_pivot
+        .map_or("?".to_owned(), |(p, v)| format!("{p} ({v:.2e})"));
+    let repair = audit
+        .suggested_shift
+        .map_or("none".to_owned(), |d| format!("+{d:.2e} H on the diagonal"));
+    println!(
+        "  audit[{}]: NON-PASSIVE — Cholesky pivot {pivot}, verified repair: {repair}",
+        s.method
+    );
+}
+
+fn part_a(cfg: &ParallelConfig, verify: bool) {
     println!(
         "== Section 4 (A): technique comparison on the clock/grid matrix ({} threads) ==",
         cfg.threads
@@ -105,12 +132,19 @@ fn part_a(cfg: &ParallelConfig) {
         ]);
     }
     println!("{}", t.render());
+    if verify {
+        println!("static passivity audit (--verify):");
+        for (s, _) in &methods {
+            print_audit(s);
+        }
+        println!();
+    }
 }
 
 /// Part B: the paper's warning, demonstrated. On a long bus, relative
 /// truncation yields an indefinite matrix; simulating it generates
 /// energy and the waveforms blow up, while the full matrix is passive.
-fn part_b(cfg: &ParallelConfig) {
+fn part_b(cfg: &ParallelConfig, verify: bool) {
     println!("\n== Section 4 (B): truncation instability on a long bus ==");
     let tech = Technology::example_copper_6lm();
     let bus = generate_bus(
@@ -142,6 +176,9 @@ fn part_b(cfg: &ParallelConfig) {
         100.0 * s.stats.retention(),
         rep.min_eigenvalue
     );
+    if verify {
+        print_audit(&s);
+    }
     let full_peak = bus_transient_peak(&l, l.matrix());
     let trunc_peak = bus_transient_peak(&l, &s.matrix);
     println!(

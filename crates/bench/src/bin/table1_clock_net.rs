@@ -5,17 +5,24 @@
 //!
 //! ```text
 //! cargo run --release -p ind101-bench --bin table1_clock_net \
-//!     [small|medium|large] [--threads N]
+//!     [small|medium|large] [--threads N] [--verify]
 //! ```
+//!
+//! With `--verify`, the pre-simulation verification pass (netlist ERC +
+//! passivity audit) gates the flows: a rejected model aborts the run
+//! with the audit summary instead of producing garbage waveforms.
 
 use ind101_bench::flows::{run_loop_flow, run_peec_block_diagonal_flow_with, run_peec_flow};
 use ind101_bench::table::{eng, TextTable};
-use ind101_bench::{clock_case_with, parallel_config_from_args, Scale};
+use ind101_bench::{
+    clock_case_with, parallel_config_from_args, verify_clock_case, verify_flag_from_args, Scale,
+};
 use ind101_core::InductanceMode;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let cfg = parallel_config_from_args(&mut args);
+    let verify = verify_flag_from_args(&mut args);
     let scale = match args.first().map(String::as_str) {
         Some("small") | None => Scale::Small,
         Some("medium") => Scale::Medium,
@@ -39,6 +46,19 @@ fn main() {
         case.par.layout.nets().len(),
         case.par.partial_l.mutual_count(),
     );
+
+    if verify {
+        match verify_clock_case(&case) {
+            Ok(report) => println!(
+                "verification: model accepted ({} warning(s))\n",
+                report.warnings()
+            ),
+            Err(e) => {
+                eprintln!("verification: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     let flows = vec![
         run_peec_flow(&case, "PEEC (RC)", InductanceMode::None, dt, t_stop)

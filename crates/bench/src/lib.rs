@@ -84,6 +84,42 @@ pub fn clock_case_with(scale: Scale, cfg: &ParallelConfig) -> ClockCase {
     }
 }
 
+/// Parses an optional `--verify` flag out of `args`, removing it.
+///
+/// When present, the harness binaries run the pre-simulation
+/// verification pass (`ind101-verify`: netlist ERC + passivity audit)
+/// and refuse to simulate a rejected model — the "verify before you
+/// simulate" workflow.
+pub fn verify_flag_from_args(args: &mut Vec<String>) -> bool {
+    match args.iter().position(|a| a == "--verify") {
+        None => false,
+        Some(k) => {
+            args.remove(k);
+            true
+        }
+    }
+}
+
+/// Runs the verification gate over the full-RLC testbench of a clock
+/// case: union-find ERC on the netlist plus a Cholesky-backed passivity
+/// audit of the stamped inductance matrix.
+///
+/// # Errors
+///
+/// [`ind101_circuit::CircuitError::ModelRejected`] with the audit
+/// summary when any `Error`-severity finding is present; testbench
+/// construction failures pass through.
+pub fn verify_clock_case(
+    case: &ClockCase,
+) -> Result<ind101_verify::VerifyReport, ind101_circuit::CircuitError> {
+    let tb = ind101_core::testbench::build_testbench(
+        &case.par,
+        ind101_core::InductanceMode::Full,
+        &ind101_core::testbench::TestbenchSpec::default(),
+    )?;
+    ind101_verify::check(&tb.circuit, &ind101_verify::GateOptions::default())
+}
+
 /// Parses an optional `--threads N` flag out of `args`, removing it;
 /// returns the resulting [`ParallelConfig`] (default when absent).
 ///
@@ -123,6 +159,21 @@ mod tests {
             parallel_config_from_args(&mut args),
             ParallelConfig::default()
         );
+    }
+
+    #[test]
+    fn parse_verify_flag() {
+        let mut args = vec!["small".to_owned(), "--verify".to_owned()];
+        assert!(verify_flag_from_args(&mut args));
+        assert_eq!(args, vec!["small".to_owned()]);
+        assert!(!verify_flag_from_args(&mut args));
+    }
+
+    #[test]
+    fn clock_case_passes_verification() {
+        let case = clock_case(Scale::Small);
+        let report = verify_clock_case(&case).expect("pristine testcase must pass the gate");
+        assert!(report.is_clean());
     }
 
     #[test]

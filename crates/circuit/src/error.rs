@@ -63,6 +63,23 @@ pub enum CircuitError {
         /// Description of the problem.
         what: String,
     },
+    /// A pre-simulation verification pass (ERC / passivity audit)
+    /// rejected the model before any analysis ran.
+    ///
+    /// Produced by the opt-in verification gate (see `ind101-verify`):
+    /// instead of letting a non-passive inductance matrix or a broken
+    /// netlist surface as a cryptic `SingularSystem` or a diverging
+    /// transient, the gate refuses to simulate and reports the audit
+    /// summary up front.
+    ModelRejected {
+        /// Number of `Error`-severity diagnostics.
+        errors: usize,
+        /// Number of `Warning`-severity diagnostics.
+        warnings: usize,
+        /// Human summary of the most severe findings (one per line,
+        /// rule name first).
+        summary: String,
+    },
 }
 
 impl fmt::Display for CircuitError {
@@ -92,6 +109,17 @@ impl fmt::Display for CircuitError {
             Self::UnknownNode { index } => write!(f, "unknown node index {index}"),
             Self::InvalidOptions { what } => write!(f, "invalid analysis options: {what}"),
             Self::BadInductorSystem { what } => write!(f, "bad inductor system: {what}"),
+            Self::ModelRejected {
+                errors,
+                warnings,
+                summary,
+            } => {
+                write!(
+                    f,
+                    "model rejected by pre-simulation verification \
+                     ({errors} error(s), {warnings} warning(s)):\n{summary}"
+                )
+            }
         }
     }
 }
@@ -140,6 +168,18 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains("n7"), "{msg}");
         assert!(msg.contains('6'), "{msg}");
+    }
+
+    #[test]
+    fn model_rejected_reports_counts_and_summary() {
+        let e = CircuitError::ModelRejected {
+            errors: 2,
+            warnings: 1,
+            summary: "non-passive-matrix: truncation broke definiteness".to_owned(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("2 error(s)"), "{msg}");
+        assert!(msg.contains("non-passive-matrix"), "{msg}");
     }
 
     #[test]

@@ -1,0 +1,60 @@
+//! Typed errors for the extraction kernels.
+//!
+//! The analytic inductance formulas are only defined for positive
+//! geometric parameters; the kernels used to `assert!` and abort the
+//! process. Library callers feeding externally-sourced geometry get a
+//! typed [`ExtractError`] instead, while the geometry layer (which
+//! validates dimensions at `Segment` construction) keeps its infallible
+//! fast path.
+
+use std::fmt;
+
+/// Error from an extraction kernel fed an invalid parameter.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ExtractError {
+    /// A geometric or physical parameter that must be strictly positive
+    /// was zero, negative, NaN or infinite.
+    NonPositiveParameter {
+        /// Name of the parameter ("length", "frequency", …).
+        what: &'static str,
+        /// The offending value (SI units of the parameter).
+        value: f64,
+    },
+}
+
+impl fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NonPositiveParameter { what, value } => {
+                write!(f, "{what} must be positive and finite, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+/// Validates that `value` is strictly positive and finite.
+pub(crate) fn require_positive(what: &'static str, value: f64) -> Result<(), ExtractError> {
+    if value > 0.0 && value.is_finite() {
+        Ok(())
+    } else {
+        Err(ExtractError::NonPositiveParameter { what, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_positive_and_non_finite() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let e = require_positive("length", bad).unwrap_err();
+            assert!(matches!(e, ExtractError::NonPositiveParameter { what: "length", .. }));
+            assert!(e.to_string().contains("length"), "{e}");
+        }
+        assert!(require_positive("length", 1e-6).is_ok());
+    }
+}

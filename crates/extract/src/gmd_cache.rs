@@ -92,7 +92,7 @@ impl GmdCache {
         }
         let key = GmdKey::quantize(dx, dz, w1, t1, w2, t2);
         let shard = &self.shards[key.shard()];
-        if let Some(&v) = shard.lock().expect("gmd cache shard poisoned").get(&key) {
+        if let Some(&v) = shard.lock().unwrap_or_else(std::sync::PoisonError::into_inner).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return v;
         }
@@ -101,7 +101,7 @@ impl GmdCache {
         // identical value, so dropping the lock is harmless.
         let v = rect_gmd(dx, dz, w1, t1, w2, t2);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut map = shard.lock().expect("gmd cache shard poisoned");
+        let mut map = shard.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if map.len() < self.capacity_per_shard {
             map.insert(key, v);
         }
@@ -122,7 +122,7 @@ impl GmdCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("gmd cache shard poisoned").len())
+            .map(|s| s.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len())
             .sum()
     }
 

@@ -27,15 +27,19 @@
 //! use ind101_extract::self_inductance::bar_self_inductance;
 //!
 //! // 1 mm of 1 µm × 1 µm wire is on the order of a nanohenry.
-//! let l = bar_self_inductance(1e-3, 1e-6, 1e-6);
+//! let l = bar_self_inductance(1e-3, 1e-6, 1e-6).unwrap();
 //! assert!(l > 0.5e-9 && l < 3e-9);
+//! // Invalid geometry yields a typed error instead of a panic.
+//! assert!(bar_self_inductance(-1.0, 1e-6, 1e-6).is_err());
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod capacitance;
 pub mod constants;
+mod error;
 pub mod gmd;
 pub mod gmd_cache;
 mod matrix;
@@ -43,6 +47,7 @@ pub mod mutual_inductance;
 pub mod resistance;
 pub mod self_inductance;
 
+pub use error::ExtractError;
 pub use gmd_cache::GmdCache;
 pub use matrix::PartialInductance;
 pub use ind101_numeric::ParallelConfig;

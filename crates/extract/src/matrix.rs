@@ -7,8 +7,8 @@
 
 use crate::gmd::rect_gmd;
 use crate::gmd_cache::GmdCache;
-use crate::mutual_inductance::filament_mutual;
-use crate::self_inductance::{bar_self_inductance, self_gmd};
+use crate::mutual_inductance::filament_mutual_unchecked;
+use crate::self_inductance::{bar_self_inductance_unchecked, self_gmd};
 use ind101_geom::{Segment, Technology};
 use ind101_numeric::partition::{for_each_row_chunk, triangle_row_blocks};
 use ind101_numeric::{Matrix, ParallelConfig};
@@ -179,7 +179,7 @@ fn fill_upper_row(
     let si = &segments[i];
     let li = tech.layer(si.layer);
     let ti = li.thickness_nm as f64 * 1e-9;
-    row[i] = bar_self_inductance(si.length_m(), si.width_m(), ti);
+    row[i] = bar_self_inductance_unchecked(si.length_m(), si.width_m(), ti);
     for j in (i + 1)..n {
         let sj = &segments[j];
         if !si.is_parallel(sj) {
@@ -200,7 +200,7 @@ fn fill_upper_row(
             }
         };
         let offset = si.axial_offset_nm(sj) as f64 * 1e-9;
-        row[j] = filament_mutual(si.length_m(), sj.length_m(), offset, d);
+        row[j] = filament_mutual_unchecked(si.length_m(), sj.length_m(), offset, d);
     }
 }
 

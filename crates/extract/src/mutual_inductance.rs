@@ -6,6 +6,7 @@
 //! through the geometric mean distance ([`crate::gmd`]).
 
 use crate::constants::MU0;
+use crate::error::{require_positive, ExtractError};
 use std::f64::consts::PI;
 
 /// Antiderivative `G(u) = u·asinh(u/d) − √(u² + d²)` satisfying
@@ -28,12 +29,20 @@ fn g(u: f64, d: f64) -> f64 {
 /// segments (collinear separation included, since partial elements of
 /// the *same* wire also couple).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `len1`, `len2` or `d` is not positive.
-pub fn filament_mutual(len1: f64, len2: f64, offset: f64, d: f64) -> f64 {
-    assert!(len1 > 0.0 && len2 > 0.0, "filament lengths must be positive");
-    assert!(d > 0.0, "filament distance must be positive (use GMD)");
+/// Returns [`ExtractError::NonPositiveParameter`] if `len1`, `len2` or
+/// `d` is not strictly positive and finite.
+pub fn filament_mutual(len1: f64, len2: f64, offset: f64, d: f64) -> Result<f64, ExtractError> {
+    require_positive("filament length", len1)?;
+    require_positive("filament length", len2)?;
+    require_positive("filament distance", d)?;
+    Ok(filament_mutual_unchecked(len1, len2, offset, d))
+}
+
+/// [`filament_mutual`] without parameter validation — the hot-path
+/// kernel for geometry already validated at `Segment` construction.
+pub(crate) fn filament_mutual_unchecked(len1: f64, len2: f64, offset: f64, d: f64) -> f64 {
     let s = offset;
     // Double integral of 1/√((x−y)² + d²) over x ∈ [0,len1], y ∈ [s,s+len2].
     let val = g(len1 - s, d) - g(len1 - s - len2, d) - g(-s, d) + g(-s - len2, d);
@@ -46,10 +55,17 @@ pub fn filament_mutual(len1: f64, len2: f64, offset: f64, d: f64) -> f64 {
 /// ```text
 /// M = (μ₀ l / 2π) · [ ln(l/d + √(1 + l²/d²)) − √(1 + d²/l²) + d/l ]
 /// ```
-pub fn aligned_filament_mutual(len: f64, d: f64) -> f64 {
-    assert!(len > 0.0 && d > 0.0);
+///
+/// # Errors
+///
+/// Returns [`ExtractError::NonPositiveParameter`] if `len` or `d` is
+/// not strictly positive and finite.
+pub fn aligned_filament_mutual(len: f64, d: f64) -> Result<f64, ExtractError> {
+    require_positive("filament length", len)?;
+    require_positive("filament distance", d)?;
     let r = len / d;
-    MU0 * len / (2.0 * PI) * ((r + (1.0 + r * r).sqrt()).ln() - (1.0 + 1.0 / (r * r)).sqrt() + 1.0 / r)
+    Ok(MU0 * len / (2.0 * PI)
+        * ((r + (1.0 + r * r).sqrt()).ln() - (1.0 + 1.0 / (r * r)).sqrt() + 1.0 / r))
 }
 
 #[cfg(test)]
@@ -59,8 +75,8 @@ mod tests {
     #[test]
     fn general_formula_matches_aligned_special_case() {
         for &(len, d) in &[(1e-3, 1e-6), (100e-6, 5e-6), (10e-6, 2e-6)] {
-            let general = filament_mutual(len, len, 0.0, d);
-            let special = aligned_filament_mutual(len, d);
+            let general = filament_mutual(len, len, 0.0, d).unwrap();
+            let special = aligned_filament_mutual(len, d).unwrap();
             assert!(
                 (general - special).abs() / special < 1e-12,
                 "len={len} d={d}: {general} vs {special}"
@@ -70,25 +86,25 @@ mod tests {
 
     #[test]
     fn mutual_positive_and_below_self_scale() {
-        let m = filament_mutual(1e-3, 1e-3, 0.0, 2e-6);
-        let l_self = crate::self_inductance::bar_self_inductance(1e-3, 1e-6, 1e-6);
+        let m = filament_mutual(1e-3, 1e-3, 0.0, 2e-6).unwrap();
+        let l_self = crate::self_inductance::bar_self_inductance(1e-3, 1e-6, 1e-6).unwrap();
         assert!(m > 0.0);
         assert!(m < l_self, "mutual must be below self inductance");
     }
 
     #[test]
     fn mutual_decreases_with_distance() {
-        let m1 = filament_mutual(1e-3, 1e-3, 0.0, 1e-6);
-        let m2 = filament_mutual(1e-3, 1e-3, 0.0, 10e-6);
-        let m3 = filament_mutual(1e-3, 1e-3, 0.0, 100e-6);
+        let m1 = filament_mutual(1e-3, 1e-3, 0.0, 1e-6).unwrap();
+        let m2 = filament_mutual(1e-3, 1e-3, 0.0, 10e-6).unwrap();
+        let m3 = filament_mutual(1e-3, 1e-3, 0.0, 100e-6).unwrap();
         assert!(m1 > m2 && m2 > m3);
     }
 
     #[test]
     fn mutual_is_reciprocal() {
         // Swap the two filaments (lengths and frame).
-        let a = filament_mutual(1e-3, 0.4e-3, 0.2e-3, 3e-6);
-        let b = filament_mutual(0.4e-3, 1e-3, -0.2e-3, 3e-6);
+        let a = filament_mutual(1e-3, 0.4e-3, 0.2e-3, 3e-6).unwrap();
+        let b = filament_mutual(0.4e-3, 1e-3, -0.2e-3, 3e-6).unwrap();
         assert!((a - b).abs() / a.abs() < 1e-12);
     }
 
@@ -97,19 +113,19 @@ mod tests {
         // Two successive 100 µm segments of the same line (gap 0,
         // lateral distance = self-GMD of a 1 µm × 1 µm section).
         let d = crate::self_inductance::self_gmd(1e-6, 1e-6);
-        let m = filament_mutual(100e-6, 100e-6, 100e-6, d);
+        let m = filament_mutual(100e-6, 100e-6, 100e-6, d).unwrap();
         assert!(m > 0.0);
         // Far smaller than an aligned neighbor at the same distance.
-        let aligned = filament_mutual(100e-6, 100e-6, 0.0, d);
+        let aligned = filament_mutual(100e-6, 100e-6, 0.0, d).unwrap();
         assert!(m < 0.2 * aligned);
     }
 
     #[test]
     fn translation_invariance() {
         // Shifting both filaments together must not change M.
-        let a = filament_mutual(50e-6, 80e-6, 10e-6, 4e-6);
+        let a = filament_mutual(50e-6, 80e-6, 10e-6, 4e-6).unwrap();
         // Express in filament-2's frame: filament 1 at offset −10 µm.
-        let b = filament_mutual(80e-6, 50e-6, -10e-6, 4e-6);
+        let b = filament_mutual(80e-6, 50e-6, -10e-6, 4e-6).unwrap();
         assert!((a - b).abs() / a.abs() < 1e-12);
     }
 
@@ -119,9 +135,30 @@ mod tests {
         // the bar self-inductance (that is the GMD definition).
         let (w, t, l) = (1e-6, 1e-6, 1e-3);
         let d = crate::self_inductance::self_gmd(w, t);
-        let m = filament_mutual(l, l, 0.0, d);
-        let ls = crate::self_inductance::bar_self_inductance(l, w, t);
+        let m = filament_mutual(l, l, 0.0, d).unwrap();
+        let ls = crate::self_inductance::bar_self_inductance(l, w, t).unwrap();
         assert!((m - ls).abs() / ls < 0.02, "m={m} ls={ls}");
+    }
+
+    #[test]
+    fn rejects_degenerate_filaments_with_typed_error() {
+        assert!(matches!(
+            filament_mutual(0.0, 1e-3, 0.0, 1e-6),
+            Err(ExtractError::NonPositiveParameter { what: "filament length", .. })
+        ));
+        assert!(matches!(
+            filament_mutual(1e-3, 1e-3, 0.0, 0.0),
+            Err(ExtractError::NonPositiveParameter { what: "filament distance", .. })
+        ));
+        assert!(matches!(
+            aligned_filament_mutual(1e-3, f64::NAN),
+            Err(ExtractError::NonPositiveParameter { .. })
+        ));
+        // The unchecked kernel agrees with the validated path.
+        assert_eq!(
+            filament_mutual(1e-3, 1e-3, 0.0, 2e-6).unwrap(),
+            filament_mutual_unchecked(1e-3, 1e-3, 0.0, 2e-6)
+        );
     }
 
     #[test]
@@ -129,8 +166,8 @@ mod tests {
         // Partial mutual inductance decays only logarithmically — the
         // reason the PEEC matrix is dense and Section 4 exists.
         let l = 1e-3;
-        let m10 = filament_mutual(l, l, 0.0, 10e-6);
-        let m100 = filament_mutual(l, l, 0.0, 100e-6);
+        let m10 = filament_mutual(l, l, 0.0, 10e-6).unwrap();
+        let m100 = filament_mutual(l, l, 0.0, 100e-6).unwrap();
         // Far slower than 1/d decay:
         assert!(m100 > m10 / 10.0 * 3.0);
     }

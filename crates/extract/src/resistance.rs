@@ -5,7 +5,7 @@
 //! effect-aware *effective* AC resistance is provided for validation of
 //! the filament approach, not used by the base PEEC model.
 
-use crate::constants::skin_depth;
+use crate::constants::skin_depth_unchecked;
 use ind101_geom::{Segment, Technology, Via};
 
 /// DC resistance of a segment: `R = ρ_sheet · L / W`.
@@ -39,7 +39,10 @@ pub fn bar_ac_resistance(
     if freq_hz <= 0.0 {
         return rho_ohm_m * length_m / area;
     }
-    let delta = skin_depth(freq_hz, rho_ohm_m);
+    // `freq_hz > 0` is established by the early return above; a
+    // non-positive resistivity is a caller bug that yields NaN here just
+    // as it would in the DC branch.
+    let delta = skin_depth_unchecked(freq_hz, rho_ohm_m);
     // Area of the conducting shell.
     let w_in = (width_m - 2.0 * delta).max(0.0);
     let t_in = (thickness_m - 2.0 * delta).max(0.0);

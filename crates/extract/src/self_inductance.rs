@@ -14,6 +14,7 @@
 //! segments stay long relative to their cross-section).
 
 use crate::constants::MU0;
+use crate::error::{require_positive, ExtractError};
 use std::f64::consts::PI;
 
 /// Partial self-inductance of a rectangular bar, henries.
@@ -21,12 +22,28 @@ use std::f64::consts::PI;
 /// * `length_m` — bar length along the current direction.
 /// * `width_m`, `thickness_m` — cross-section dimensions.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if any dimension is not positive.
-pub fn bar_self_inductance(length_m: f64, width_m: f64, thickness_m: f64) -> f64 {
-    assert!(length_m > 0.0, "length must be positive");
-    assert!(width_m > 0.0 && thickness_m > 0.0, "cross-section must be positive");
+/// Returns [`ExtractError::NonPositiveParameter`] if any dimension is
+/// not strictly positive and finite.
+pub fn bar_self_inductance(
+    length_m: f64,
+    width_m: f64,
+    thickness_m: f64,
+) -> Result<f64, ExtractError> {
+    require_positive("length", length_m)?;
+    require_positive("width", width_m)?;
+    require_positive("thickness", thickness_m)?;
+    Ok(bar_self_inductance_unchecked(length_m, width_m, thickness_m))
+}
+
+/// [`bar_self_inductance`] without parameter validation — the hot-path
+/// kernel for geometry already validated at `Segment` construction.
+pub(crate) fn bar_self_inductance_unchecked(
+    length_m: f64,
+    width_m: f64,
+    thickness_m: f64,
+) -> f64 {
     let wt = width_m + thickness_m;
     let l = length_m;
     MU0 * l / (2.0 * PI) * ((2.0 * l / wt).ln() + 0.5 + 0.2235 * wt / l)
@@ -49,15 +66,15 @@ mod tests {
     #[test]
     fn magnitude_of_typical_global_wire() {
         // 1 mm × 1 µm × 1 µm: Grover gives ≈ 1.4 nH (about 1.4 pH/µm).
-        let l = bar_self_inductance(1e-3, 1e-6, 1e-6);
+        let l = bar_self_inductance(1e-3, 1e-6, 1e-6).unwrap();
         assert!(l > 1.2e-9 && l < 1.7e-9, "L = {l}");
     }
 
     #[test]
     fn inductance_superlinear_in_length() {
         // L(2l) > 2·L(l) because of the log term.
-        let l1 = bar_self_inductance(1e-4, 1e-6, 1e-6);
-        let l2 = bar_self_inductance(2e-4, 1e-6, 1e-6);
+        let l1 = bar_self_inductance(1e-4, 1e-6, 1e-6).unwrap();
+        let l2 = bar_self_inductance(2e-4, 1e-6, 1e-6).unwrap();
         assert!(l2 > 2.0 * l1);
         assert!(l2 < 2.6 * l1);
     }
@@ -67,8 +84,8 @@ mod tests {
         // The inter-digitation technique (paper Fig. 7) relies on this:
         // splitting a wide wire raises each strand's L but the paralleled
         // total reflects the width dependence here.
-        let narrow = bar_self_inductance(1e-3, 1e-6, 1e-6);
-        let wide = bar_self_inductance(1e-3, 10e-6, 1e-6);
+        let narrow = bar_self_inductance(1e-3, 1e-6, 1e-6).unwrap();
+        let wide = bar_self_inductance(1e-3, 10e-6, 1e-6).unwrap();
         assert!(wide < narrow);
     }
 
@@ -79,8 +96,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "length must be positive")]
-    fn rejects_zero_length() {
-        let _ = bar_self_inductance(0.0, 1e-6, 1e-6);
+    fn rejects_zero_length_with_typed_error() {
+        assert!(matches!(
+            bar_self_inductance(0.0, 1e-6, 1e-6),
+            Err(ExtractError::NonPositiveParameter { what: "length", .. })
+        ));
+        assert!(matches!(
+            bar_self_inductance(1e-3, f64::NAN, 1e-6),
+            Err(ExtractError::NonPositiveParameter { what: "width", .. })
+        ));
+        // The unchecked kernel agrees with the validated path.
+        assert_eq!(
+            bar_self_inductance(1e-3, 1e-6, 1e-6).unwrap(),
+            bar_self_inductance_unchecked(1e-3, 1e-6, 1e-6)
+        );
     }
 }

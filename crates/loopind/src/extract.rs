@@ -214,8 +214,8 @@ mod tests {
         // L_loop = L1 + L2 − 2M for a simple two-wire loop.
         let tech = Technology::example_copper_6lm();
         let t = tech.layer(ind101_geom::LayerId(5)).thickness_nm as f64 * 1e-9;
-        let l_self = bar_self_inductance(1e-3, 1e-6, t);
-        let m = aligned_filament_mutual(1e-3, 3e-6); // pitch = w + s = 3 µm
+        let l_self = bar_self_inductance(1e-3, 1e-6, t).unwrap();
+        let m = aligned_filament_mutual(1e-3, 3e-6).unwrap(); // pitch = w + s = 3 µm
         let expect = 2.0 * l_self - 2.0 * m;
         let got = ext.l_h[0];
         assert!(

@@ -83,10 +83,10 @@ pub fn sections_by_signal_distance(
                 .iter()
                 .map(|p| (p.x - m.x).abs() + (p.y - m.y).abs())
                 .min()
-                .expect("non-empty signal mids")
+                .unwrap_or(0) // unreachable: signal_mids checked non-empty above
         })
         .collect();
-    let max_d = *dists.iter().max().expect("non-empty") + 1;
+    let max_d = dists.iter().max().copied().unwrap_or(0) + 1;
     dists
         .iter()
         .map(|&d| ((d as u128 * n_sections as u128) / max_d as u128) as usize)

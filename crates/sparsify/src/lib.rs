@@ -38,6 +38,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod block_diagonal;
 pub mod halo;
@@ -48,4 +49,7 @@ mod screen;
 pub mod shell;
 pub mod truncation;
 
-pub use metrics::{matrix_error, stability_report, Sparsified, SparsityStats, StabilityReport};
+pub use metrics::{
+    coupling_coefficient, matrix_error, max_coupling_coefficient, stability_report,
+    CouplingError, Sparsified, SparsityStats, StabilityReport,
+};

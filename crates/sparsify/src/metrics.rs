@@ -1,6 +1,98 @@
 //! Shared result types and quality metrics for sparsification.
 
 use ind101_numeric::{jacobi_eigenvalues, Matrix};
+use std::fmt;
+
+/// Typed error from coupling-coefficient evaluation.
+///
+/// A coupling coefficient `k_ij = L_ij / √(L_ii·L_jj)` is only defined
+/// for positive self terms; a zero or negative diagonal previously fed
+/// `sqrt` a non-positive argument and produced a silent NaN that every
+/// comparison treated as "below threshold".
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CouplingError {
+    /// A diagonal (self-inductance) entry is zero, negative or NaN.
+    NonPositiveDiagonal {
+        /// Matrix index of the offending diagonal entry.
+        index: usize,
+        /// The offending value, henries.
+        value: f64,
+    },
+    /// An off-diagonal entry is NaN or infinite.
+    NonFiniteEntry {
+        /// Row of the offending entry.
+        i: usize,
+        /// Column of the offending entry.
+        j: usize,
+        /// The offending value, henries.
+        value: f64,
+    },
+}
+
+impl fmt::Display for CouplingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NonPositiveDiagonal { index, value } => write!(
+                f,
+                "self inductance L[{index},{index}] = {value:e} H is not positive; \
+                 coupling coefficients are undefined"
+            ),
+            Self::NonFiniteEntry { i, j, value } => {
+                write!(f, "mutual inductance L[{i},{j}] = {value} H is not finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CouplingError {}
+
+/// Coupling coefficient `k_ij = L_ij / √(L_ii·L_jj)` of a symmetric
+/// inductance matrix, guarded against degenerate diagonals.
+///
+/// # Errors
+///
+/// * [`CouplingError::NonPositiveDiagonal`] if `L_ii` or `L_jj` is zero,
+///   negative or NaN (the former silent-NaN path).
+/// * [`CouplingError::NonFiniteEntry`] if `L_ij` is NaN or infinite.
+pub fn coupling_coefficient(m: &Matrix<f64>, i: usize, j: usize) -> Result<f64, CouplingError> {
+    for idx in [i, j] {
+        let d = m[(idx, idx)];
+        if !(d > 0.0) || !d.is_finite() {
+            return Err(CouplingError::NonPositiveDiagonal {
+                index: idx,
+                value: d,
+            });
+        }
+    }
+    let v = m[(i, j)];
+    if !v.is_finite() {
+        return Err(CouplingError::NonFiniteEntry { i, j, value: v });
+    }
+    Ok(v / (m[(i, i)] * m[(j, j)]).sqrt())
+}
+
+/// Largest-magnitude off-diagonal coupling coefficient of the strict
+/// upper triangle, with its index pair; `None` for matrices of
+/// dimension < 2.
+///
+/// # Errors
+///
+/// Propagates [`CouplingError`] from any entry.
+pub fn max_coupling_coefficient(
+    m: &Matrix<f64>,
+) -> Result<Option<(usize, usize, f64)>, CouplingError> {
+    let n = m.nrows();
+    let mut best: Option<(usize, usize, f64)> = None;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let k = coupling_coefficient(m, i, j)?;
+            if best.map_or(true, |(_, _, b)| k.abs() > b.abs()) {
+                best = Some((i, j, k));
+            }
+        }
+    }
+    Ok(best)
+}
 
 /// Sparsity statistics of a sparsified inductance matrix.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -83,11 +175,19 @@ pub fn stability_report(m: &Matrix<f64>) -> StabilityReport {
             positive_definite: true,
         };
     }
-    let ev = jacobi_eigenvalues(m).expect("symmetric matrix eigenvalues");
-    StabilityReport {
-        min_eigenvalue: ev[0],
-        max_eigenvalue: *ev.last().expect("non-empty"),
-        positive_definite: ev[0] > 0.0,
+    // `jacobi_eigenvalues` only fails on non-square input; report that
+    // degenerate case as "not positive definite" rather than panicking.
+    match jacobi_eigenvalues(m).ok().filter(|ev| !ev.is_empty()) {
+        Some(ev) => StabilityReport {
+            min_eigenvalue: ev[0],
+            max_eigenvalue: ev[ev.len() - 1],
+            positive_definite: ev[0] > 0.0,
+        },
+        None => StabilityReport {
+            min_eigenvalue: f64::NAN,
+            max_eigenvalue: f64::NAN,
+            positive_definite: false,
+        },
     }
 }
 
@@ -143,6 +243,46 @@ mod tests {
         b[(0, 0)] = 0.0;
         let e = matrix_error(&a, &b);
         assert!((e - (1.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coupling_coefficient_of_valid_matrix() {
+        let m = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 1.0]]);
+        let k = coupling_coefficient(&m, 0, 1).unwrap();
+        assert!((k - 0.5).abs() < 1e-15);
+        let best = max_coupling_coefficient(&m).unwrap().unwrap();
+        assert_eq!((best.0, best.1), (0, 1));
+    }
+
+    #[test]
+    fn coupling_coefficient_rejects_bad_diagonal() {
+        for bad in [0.0, -1.0, f64::NAN] {
+            let m = Matrix::from_rows(&[&[bad, 0.5], &[0.5, 1.0]]);
+            let e = coupling_coefficient(&m, 0, 1).unwrap_err();
+            assert!(
+                matches!(e, CouplingError::NonPositiveDiagonal { index: 0, .. }),
+                "value {bad}: {e}"
+            );
+            assert!(e.to_string().contains("not positive"), "{e}");
+            assert!(max_coupling_coefficient(&m).is_err());
+        }
+    }
+
+    #[test]
+    fn coupling_coefficient_rejects_nan_mutual() {
+        let m = Matrix::from_rows(&[&[1.0, f64::NAN], &[f64::NAN, 1.0]]);
+        let e = coupling_coefficient(&m, 0, 1).unwrap_err();
+        assert!(matches!(e, CouplingError::NonFiniteEntry { i: 0, j: 1, .. }));
+        assert!(e.to_string().contains("not finite"), "{e}");
+    }
+
+    #[test]
+    fn empty_matrix_has_no_max_coupling() {
+        assert_eq!(max_coupling_coefficient(&Matrix::zeros(0, 0)).unwrap(), None);
+        assert_eq!(
+            max_coupling_coefficient(&Matrix::identity(1)).unwrap(),
+            None
+        );
     }
 
     #[test]

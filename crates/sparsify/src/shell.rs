@@ -54,7 +54,10 @@ pub fn shell_sparsify(l: &PartialInductance, r0_m: f64) -> Sparsified {
                 continue;
             }
             let offset = si.axial_offset_nm(sj) as f64 * 1e-9;
-            let shell_m = filament_mutual(si.length_m(), sj.length_m(), offset, r0_m);
+            // Segment lengths are positive by construction and r0_m is
+            // validated above, so the kernel cannot fail.
+            let shell_m =
+                filament_mutual(si.length_m(), sj.length_m(), offset, r0_m).unwrap_or(0.0);
             let v = (m[(i, j)] - shell_m).max(0.0);
             m[(i, j)] = v;
             m[(j, i)] = v;

@@ -8,7 +8,7 @@
 //! truncation is not a feasible solution."  The experiments use this
 //! module to *demonstrate* that failure mode (SEC4 ablation).
 
-use crate::metrics::{Sparsified, SparsityStats};
+use crate::metrics::{coupling_coefficient, CouplingError, Sparsified, SparsityStats};
 use crate::screen::screen_upper_triangle;
 use ind101_extract::PartialInductance;
 use ind101_numeric::ParallelConfig;
@@ -42,27 +42,76 @@ pub fn truncate_absolute_with(
 /// Relative truncation is the form used in practice (coupling
 /// coefficients are dimensionless); it shares the absolute variant's
 /// instability.
+///
+/// # Panics
+///
+/// Panics if a diagonal entry is zero, negative or NaN — use
+/// [`try_truncate_relative`] for the fallible form.
 pub fn truncate_relative(l: &PartialInductance, k_min: f64) -> Sparsified {
     truncate_relative_with(l, k_min, &ParallelConfig::default())
 }
 
 /// [`truncate_relative`] with an explicit parallelism configuration.
+///
+/// # Panics
+///
+/// Panics if a diagonal entry is zero, negative or NaN — use
+/// [`try_truncate_relative_with`] for the fallible form.
+// Extraction-produced matrices always have positive diagonals; the
+// fallible form exists for matrices of unknown provenance.
+#[allow(clippy::expect_used)]
 pub fn truncate_relative_with(
     l: &PartialInductance,
     k_min: f64,
     cfg: &ParallelConfig,
 ) -> Sparsified {
+    try_truncate_relative_with(l, k_min, cfg).expect("degenerate inductance diagonal")
+}
+
+/// Fallible [`truncate_relative`]: validates the matrix before screening.
+///
+/// # Errors
+///
+/// Returns [`CouplingError`] if a diagonal entry is zero, negative or
+/// NaN (previously a silent NaN path that dropped every coupling of the
+/// offending row), or if an off-diagonal entry is not finite.
+pub fn try_truncate_relative(
+    l: &PartialInductance,
+    k_min: f64,
+) -> Result<Sparsified, CouplingError> {
+    try_truncate_relative_with(l, k_min, &ParallelConfig::default())
+}
+
+/// [`try_truncate_relative`] with an explicit parallelism configuration.
+///
+/// # Errors
+///
+/// Returns [`CouplingError`] on degenerate diagonal or non-finite
+/// mutual entries.
+pub fn try_truncate_relative_with(
+    l: &PartialInductance,
+    k_min: f64,
+    cfg: &ParallelConfig,
+) -> Result<Sparsified, CouplingError> {
     let src = l.matrix();
+    // Validate every entry the screen will read up front, so the
+    // parallel screen itself never sees a NaN comparison.
+    let n = src.nrows();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            coupling_coefficient(src, i, j)?;
+        }
+    }
     let m = screen_upper_triangle(src, cfg, |i, j| {
         let denom = (src[(i, i)] * src[(j, j)]).sqrt();
-        denom != 0.0 && src[(i, j)].abs() / denom >= k_min
+        src[(i, j)].abs() / denom >= k_min
     });
     let stats = SparsityStats::compare(src, &m);
-    Sparsified {
+    Ok(Sparsified {
         matrix: m,
         stats,
         method: "truncate-relative",
-    }
+    })
 }
 
 #[cfg(test)]
@@ -133,6 +182,32 @@ mod tests {
             found_unstable,
             "expected some truncation level to break positive definiteness"
         );
+    }
+
+    #[test]
+    fn degenerate_diagonal_yields_typed_error() {
+        use crate::metrics::CouplingError;
+        let mut l = bus_l(3, 2);
+        let mut m = l.matrix().clone();
+        m[(1, 1)] = -1e-9; // corrupt one self term
+        l.set_matrix(m);
+        let e = try_truncate_relative(&l, 0.1).unwrap_err();
+        assert_eq!(
+            e,
+            CouplingError::NonPositiveDiagonal {
+                index: 1,
+                value: -1e-9
+            }
+        );
+    }
+
+    #[test]
+    fn fallible_and_panicking_forms_agree() {
+        let l = bus_l(4, 2);
+        let a = truncate_relative(&l, 0.3);
+        let b = try_truncate_relative(&l, 0.3).unwrap();
+        assert_eq!(a.matrix, b.matrix);
+        assert_eq!(a.stats, b.stats);
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! Structured diagnostics shared by the matrix auditor and the ERC.
+
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational — worth knowing, never blocks simulation.
+    Info,
+    /// Suspicious — the model will simulate but results are doubtful.
+    Warning,
+    /// Broken — simulating this model would fail or produce garbage
+    /// (singular MNA system, energy-generating inductance matrix, …).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Info => write!(f, "info"),
+            Self::Warning => write!(f, "warning"),
+            Self::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One verification finding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    /// Finding severity.
+    pub severity: Severity,
+    /// The element or matrix the finding is about ("node 'n7'",
+    /// "inductor system 0 branch 3", "sparsified matrix (truncation)").
+    pub element: String,
+    /// Stable kebab-case rule identifier ("floating-node",
+    /// "non-passive-matrix", …) for filtering and tests.
+    pub rule: &'static str,
+    /// What was observed.
+    pub message: String,
+    /// How to repair it — actionable, quantitative where possible
+    /// ("add 3.2e-12 H to each diagonal", "switch to the shell screen").
+    pub fix_hint: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} [{}]: {} (fix: {})",
+            self.severity, self.element, self.rule, self.message, self.fix_hint
+        )
+    }
+}
+
+/// The accumulated findings of one or more verification passes.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct VerifyReport {
+    /// All findings, in discovery order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl VerifyReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a finding.
+    pub fn push(
+        &mut self,
+        severity: Severity,
+        element: impl Into<String>,
+        rule: &'static str,
+        message: impl Into<String>,
+        fix_hint: impl Into<String>,
+    ) {
+        self.diagnostics.push(Diagnostic {
+            severity,
+            element: element.into(),
+            rule,
+            message: message.into(),
+            fix_hint: fix_hint.into(),
+        });
+    }
+
+    /// Appends every finding of `other`.
+    pub fn merge(&mut self, other: VerifyReport) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Number of `Error`-severity findings.
+    pub fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of `Warning`-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    fn count(&self, s: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == s).count()
+    }
+
+    /// Whether the model may be simulated (no `Error` findings).
+    pub fn is_clean(&self) -> bool {
+        self.errors() == 0
+    }
+
+    /// Findings matching a rule identifier.
+    pub fn by_rule(&self, rule: &str) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.rule == rule).collect()
+    }
+
+    /// A human summary of the most severe findings, one per line, rule
+    /// name first, capped at `max_lines` lines (a trailing "… and N
+    /// more" line accounts for the rest).
+    pub fn summary(&self, max_lines: usize) -> String {
+        let mut sorted: Vec<&Diagnostic> = self.diagnostics.iter().collect();
+        sorted.sort_by_key(|d| std::cmp::Reverse(d.severity));
+        let mut lines: Vec<String> = sorted
+            .iter()
+            .take(max_lines)
+            .map(|d| format!("{}: {} — {} ({})", d.rule, d.element, d.message, d.fix_hint))
+            .collect();
+        if sorted.len() > max_lines {
+            lines.push(format!("… and {} more", sorted.len() - max_lines));
+        }
+        lines.join("\n")
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.diagnostics.is_empty() {
+            return write!(f, "verification clean");
+        }
+        for (k, d) in self.diagnostics.iter().enumerate() {
+            if k > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_error_highest() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn report_counts_and_summary() {
+        let mut r = VerifyReport::new();
+        r.push(Severity::Info, "matrix", "diag-dominance", "not dominant", "none needed");
+        r.push(
+            Severity::Error,
+            "node 'n3'",
+            "floating-node",
+            "no DC path to ground",
+            "add a resistor to ground",
+        );
+        r.push(Severity::Warning, "R5", "degenerate-branch", "tiny value", "check units");
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.warnings(), 1);
+        assert!(!r.is_clean());
+        assert_eq!(r.by_rule("floating-node").len(), 1);
+        // Errors sort first in the summary.
+        let s = r.summary(2);
+        assert!(s.starts_with("floating-node"), "{s}");
+        assert!(s.contains("and 1 more"), "{s}");
+    }
+
+    #[test]
+    fn clean_report_is_clean() {
+        let r = VerifyReport::new();
+        assert!(r.is_clean());
+        assert_eq!(r.to_string(), "verification clean");
+    }
+}

@@ -1,0 +1,499 @@
+//! Electrical rule check (ERC) over `ind101-circuit` netlists.
+//!
+//! Connectivity is analysed with a union-find over two element classes:
+//!
+//! * **DC-conducting** edges — resistors, voltage sources, inductive
+//!   branches, and MOSFET drain–source channels (the level-1 device
+//!   always has at least its leakage conductance). A node outside the
+//!   ground component of *this* graph has no DC path to ground: its MNA
+//!   column is singular at DC and the operating point cannot be solved.
+//! * **All-element** edges — additionally capacitors, current sources,
+//!   and MOSFET gate attachments. A node isolated even in this graph is
+//!   entirely unused.
+//!
+//! On top of connectivity, per-element rules flag degenerate values,
+//! shorted sources, voltage-source loops, and coupled-inductor systems
+//! whose matrices reference branches that do not exist.
+
+use crate::diagnostic::{Severity, VerifyReport};
+use ind101_circuit::{Circuit, Element, NodeId};
+
+/// Union-find over circuit nodes.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        let mut r = x;
+        while self.parent[r] != r {
+            r = self.parent[r];
+        }
+        // Path compression.
+        let mut c = x;
+        while self.parent[c] != r {
+            let next = self.parent[c];
+            self.parent[c] = r;
+            c = next;
+        }
+        r
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+
+    fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// Whether an element conducts at DC, and which terminal pairs it
+/// connects for connectivity purposes.
+fn dc_edges(e: &Element) -> Vec<(NodeId, NodeId)> {
+    match e {
+        Element::Resistor { a, b, .. } => vec![(*a, *b)],
+        Element::Vsrc { plus, minus, .. } => vec![(*plus, *minus)],
+        // The level-1 MOSFET channel always has ≥ leakage conductance.
+        Element::Transistor(m) => vec![(m.d, m.s)],
+        // Capacitors block DC; an ideal current source has infinite
+        // impedance (it fixes the current, not a conductance).
+        Element::Capacitor { .. } | Element::Isrc { .. } => Vec::new(),
+    }
+}
+
+/// All terminal attachments of an element (for the unused-node check).
+fn all_touches(e: &Element) -> Vec<NodeId> {
+    match e {
+        Element::Resistor { a, b, .. } | Element::Capacitor { a, b, .. } => vec![*a, *b],
+        Element::Vsrc { plus, minus, .. } => vec![*plus, *minus],
+        Element::Isrc { from, into, .. } => vec![*from, *into],
+        Element::Transistor(m) => vec![m.d, m.g, m.s],
+    }
+}
+
+fn describe(e: &Element, idx: usize, c: &Circuit) -> String {
+    let nn = |n: NodeId| c.node_name(n).to_owned();
+    match e {
+        Element::Resistor { a, b, ohms } => {
+            format!("resistor #{idx} {}–{} ({ohms} Ω)", nn(*a), nn(*b))
+        }
+        Element::Capacitor { a, b, farads } => {
+            format!("capacitor #{idx} {}–{} ({farads} F)", nn(*a), nn(*b))
+        }
+        Element::Vsrc { plus, minus, .. } => {
+            format!("voltage source #{idx} {}–{}", nn(*plus), nn(*minus))
+        }
+        Element::Isrc { from, into, .. } => {
+            format!("current source #{idx} {}→{}", nn(*from), nn(*into))
+        }
+        Element::Transistor(m) => format!(
+            "transistor #{idx} d={} g={} s={}",
+            nn(m.d),
+            nn(m.g),
+            nn(m.s)
+        ),
+    }
+}
+
+/// Checks one coupled-inductor system against the structural rules
+/// (`dangling-mutual`, `degenerate-branch`).
+///
+/// `Circuit::add_inductor_system` rejects most of these at construction
+/// time; this check exists for systems assembled outside that path
+/// (e.g. a sparsifier output wired in by hand) and as the
+/// defense-in-depth layer the verification gate runs regardless.
+pub fn check_inductor_system(
+    c: &Circuit,
+    s: usize,
+    sys: &ind101_circuit::InductorSystem,
+) -> VerifyReport {
+    let mut report = VerifyReport::new();
+    let nb = sys.branches.len();
+    if sys.m.nrows() != nb || sys.m.ncols() != nb {
+        report.push(
+            Severity::Error,
+            format!("inductor system {s}"),
+            "dangling-mutual",
+            format!(
+                "coupling matrix is {}x{} but only {nb} branches exist — \
+                 mutual terms reference absent inductors",
+                sys.m.nrows(),
+                sys.m.ncols()
+            ),
+            "trim the matrix to the branch list (or add the missing branches)",
+        );
+        return report;
+    }
+    for (k, (a, b)) in sys.branches.iter().enumerate() {
+        if a == b {
+            report.push(
+                Severity::Error,
+                format!("inductor system {s} branch {k}"),
+                "degenerate-branch",
+                format!("both terminals on node '{}'", c.node_name(*a)),
+                "a zero-length inductive branch shorts its own voltage; \
+                 remove it from the system",
+            );
+        }
+        let l_kk = sys.m[(k, k)];
+        if !(l_kk.is_finite() && l_kk > 0.0) {
+            let couplings = (0..nb)
+                .filter(|&j| j != k && sys.m[(k, j)] != 0.0)
+                .count();
+            report.push(
+                Severity::Error,
+                format!("inductor system {s} branch {k}"),
+                if couplings > 0 {
+                    "dangling-mutual"
+                } else {
+                    "degenerate-branch"
+                },
+                format!(
+                    "self inductance {l_kk:e} H is not positive \
+                     ({couplings} mutual coupling(s) reference this branch)"
+                ),
+                "restore the diagonal from extraction; a mutual without a \
+                 self inductance has no physical meaning",
+            );
+        }
+    }
+    report
+}
+
+/// Runs every electrical rule over the netlist and returns the report.
+///
+/// Rules (stable identifiers, see [`crate::diagnostic::Diagnostic::rule`]):
+///
+/// * `degenerate-element` — non-positive / non-finite R, C.
+/// * `port-short` — an element with both terminals on the same node.
+/// * `vsrc-loop` — a loop of ideal voltage sources (over-determined).
+/// * `no-dc-path` — node with no DC-conducting path to ground.
+/// * `unused-node` — declared node touched by no element at all.
+/// * `degenerate-branch` — inductive branch with both ends on one node.
+/// * `dangling-mutual` — coupling matrix row whose branch is missing
+///   or whose self inductance is zero while couplings remain.
+pub fn check_netlist(c: &Circuit) -> VerifyReport {
+    let mut report = VerifyReport::new();
+    let n = c.num_nodes();
+    let mut dc = Dsu::new(n);
+    let mut vloop = Dsu::new(n);
+    let mut touched = vec![false; n];
+    touched[Circuit::GND.0] = true;
+
+    for (idx, e) in c.elements().iter().enumerate() {
+        for node in all_touches(e) {
+            touched[node.0] = true;
+        }
+        // Value sanity.
+        match e {
+            Element::Resistor { ohms: v, .. } if !(v.is_finite() && *v > 0.0) => {
+                report.push(
+                    Severity::Error,
+                    describe(e, idx, c),
+                    "degenerate-element",
+                    format!("resistance {v} is not a positive finite value"),
+                    "remove the element or give it a physical value",
+                );
+            }
+            Element::Capacitor { farads: v, .. } if !(v.is_finite() && *v > 0.0) => {
+                report.push(
+                    Severity::Error,
+                    describe(e, idx, c),
+                    "degenerate-element",
+                    format!("capacitance {v} is not a positive finite value"),
+                    "remove the element or give it a physical value",
+                );
+            }
+            _ => {}
+        }
+        // Shorted two-terminal elements.
+        let short = match e {
+            Element::Resistor { a, b, .. } | Element::Capacitor { a, b, .. } => {
+                (a == b).then_some((*a, "element connects a node to itself"))
+            }
+            Element::Vsrc { plus, minus, .. } => {
+                (plus == minus).then_some((*plus, "voltage source is shorted (plus == minus)"))
+            }
+            Element::Isrc { from, into, .. } => {
+                (from == into).then_some((*from, "current source feeds its own node"))
+            }
+            Element::Transistor(_) => None,
+        };
+        if let Some((node, why)) = short {
+            report.push(
+                Severity::Error,
+                describe(e, idx, c),
+                "port-short",
+                format!("{why} ('{}')", c.node_name(node)),
+                "reconnect one terminal; a self-loop stamps nothing into MNA \
+                 or over-determines it",
+            );
+        }
+        // Voltage-source loop detection: adding a vsrc edge between
+        // nodes already connected purely through voltage sources
+        // over-determines the node voltages.
+        if let Element::Vsrc { plus, minus, .. } = e {
+            if plus != minus {
+                if vloop.connected(plus.0, minus.0) {
+                    report.push(
+                        Severity::Error,
+                        describe(e, idx, c),
+                        "vsrc-loop",
+                        "forms a loop of ideal voltage sources".to_owned(),
+                        "break the loop with a series resistance",
+                    );
+                } else {
+                    vloop.union(plus.0, minus.0);
+                }
+            }
+        }
+        for (a, b) in dc_edges(e) {
+            dc.union(a.0, b.0);
+        }
+    }
+
+    // Coupled-inductor systems: branches conduct DC; their coupling
+    // matrix must be consistent with the branch list.
+    for (s, sys) in c.inductor_systems().iter().enumerate() {
+        report.merge(check_inductor_system(c, s, sys));
+        if sys.m.nrows() == sys.branches.len() && sys.m.ncols() == sys.branches.len() {
+            for (a, b) in &sys.branches {
+                touched[a.0] = true;
+                touched[b.0] = true;
+                dc.union(a.0, b.0);
+            }
+        }
+    }
+
+    // Connectivity verdicts.
+    for (k, &is_touched) in touched.iter().enumerate().take(n).skip(1) {
+        if !is_touched {
+            report.push(
+                Severity::Warning,
+                format!("node '{}'", c.node_name(NodeId(k))),
+                "unused-node",
+                "declared but not connected to any element".to_owned(),
+                "remove the node or wire it up",
+            );
+            continue;
+        }
+        if !dc.connected(k, Circuit::GND.0) {
+            report.push(
+                Severity::Error,
+                format!("node '{}'", c.node_name(NodeId(k))),
+                "no-dc-path",
+                "no DC-conducting path to ground (capacitors and current \
+                 sources do not conduct at DC)"
+                    .to_owned(),
+                "add a DC return (resistor or inductive branch) to ground; \
+                 the node's MNA column is singular at DC",
+            );
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ind101_circuit::{InductorSystem, SourceWave};
+    use ind101_numeric::Matrix;
+
+    #[test]
+    fn clean_rc_ladder_passes() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsrc(a, Circuit::GND, SourceWave::dc(1.0));
+        c.resistor(a, b, 10.0);
+        c.capacitor(b, Circuit::GND, 1e-12);
+        let r = check_netlist(&c);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn capacitor_only_node_has_no_dc_path() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let fl = c.node("float");
+        c.vsrc(a, Circuit::GND, SourceWave::dc(1.0));
+        c.capacitor(a, fl, 1e-12);
+        let r = check_netlist(&c);
+        assert!(!r.is_clean());
+        let d = &r.by_rule("no-dc-path")[0];
+        assert!(d.element.contains("float"), "{d:?}");
+    }
+
+    #[test]
+    fn unused_node_is_a_warning_not_an_error() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let _orphan = c.node("orphan");
+        c.resistor(a, Circuit::GND, 5.0);
+        let r = check_netlist(&c);
+        assert!(r.is_clean()); // warnings only
+        assert_eq!(r.warnings(), 1);
+        assert_eq!(r.by_rule("unused-node").len(), 1);
+    }
+
+    #[test]
+    fn shorted_vsrc_flagged() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.resistor(a, Circuit::GND, 1.0);
+        c.vsrc(a, a, SourceWave::dc(1.0));
+        let r = check_netlist(&c);
+        assert_eq!(r.by_rule("port-short").len(), 1);
+    }
+
+    #[test]
+    fn vsrc_loop_flagged() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.vsrc(a, Circuit::GND, SourceWave::dc(1.0));
+        c.vsrc(a, Circuit::GND, SourceWave::dc(2.0));
+        let r = check_netlist(&c);
+        assert_eq!(r.by_rule("vsrc-loop").len(), 1);
+    }
+
+    #[test]
+    fn dangling_mutual_dimension_mismatch_flagged() {
+        // `add_inductor_system` rejects such a system at construction,
+        // so drive the per-system check directly with a corrupted
+        // struct (its fields are public).
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        let mut m = Matrix::zeros(3, 3);
+        for k in 0..3 {
+            m[(k, k)] = 1e-9;
+        }
+        let sys = InductorSystem {
+            branches: vec![(a, b), (b, Circuit::GND)],
+            m,
+        };
+        let r = check_inductor_system(&c, 0, &sys);
+        let d = &r.by_rule("dangling-mutual")[0];
+        assert!(d.message.contains("3x3"), "{d:?}");
+        assert!(d.message.contains("2 branches"), "{d:?}");
+    }
+
+    #[test]
+    fn zero_self_with_couplings_is_dangling_mutual() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        let mut m = Matrix::zeros(2, 2);
+        m[(0, 0)] = 1e-9;
+        m[(1, 1)] = 0.0; // lost its self term …
+        m[(0, 1)] = 0.2e-9; // … but couplings still reference it
+        m[(1, 0)] = 0.2e-9;
+        let sys = InductorSystem {
+            branches: vec![(a, b), (b, Circuit::GND)],
+            m,
+        };
+        let r = check_inductor_system(&c, 0, &sys);
+        assert_eq!(r.by_rule("dangling-mutual").len(), 1);
+    }
+
+    #[test]
+    fn valid_coupled_system_checks_clean() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsrc(a, Circuit::GND, SourceWave::dc(1.0));
+        c.resistor(b, Circuit::GND, 1.0);
+        let mut m = Matrix::zeros(2, 2);
+        m[(0, 0)] = 1e-9;
+        m[(1, 1)] = 1e-9;
+        m[(0, 1)] = 0.2e-9;
+        m[(1, 0)] = 0.2e-9;
+        c.add_inductor_system(InductorSystem {
+            branches: vec![(a, b), (b, Circuit::GND)],
+            m,
+        })
+        .unwrap();
+        let r = check_netlist(&c);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn degenerate_inductor_branch_flagged() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.resistor(a, Circuit::GND, 1.0);
+        let mut m = Matrix::zeros(1, 1);
+        m[(0, 0)] = 1e-9;
+        c.add_inductor_system(InductorSystem {
+            branches: vec![(a, a)],
+            m,
+        })
+        .unwrap();
+        let r = check_netlist(&c);
+        assert_eq!(r.by_rule("degenerate-branch").len(), 1);
+    }
+
+    #[test]
+    fn inductor_branch_provides_dc_path() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsrc(a, Circuit::GND, SourceWave::dc(1.0));
+        let mut m = Matrix::zeros(1, 1);
+        m[(0, 0)] = 1e-9;
+        c.add_inductor_system(InductorSystem {
+            branches: vec![(a, b)],
+            m,
+        })
+        .unwrap();
+        c.resistor(b, Circuit::GND, 50.0);
+        let r = check_netlist(&c);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn mosfet_gate_without_dc_path_flagged() {
+        let mut c = Circuit::new();
+        let d = c.node("d");
+        let g = c.node("g");
+        c.vsrc(d, Circuit::GND, SourceWave::dc(1.8));
+        c.mosfet(ind101_circuit::Mosfet {
+            d,
+            g,
+            s: Circuit::GND,
+            polarity: ind101_circuit::MosPolarity::Nmos,
+            beta: 1e-3,
+            vt: 0.5,
+            lambda: 0.05,
+        });
+        // Gate only driven through a capacitor: no DC path.
+        c.capacitor(g, d, 1e-15);
+        let r = check_netlist(&c);
+        let diags = r.by_rule("no-dc-path");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].element.contains('g'), "{:?}", diags[0]);
+    }
+
+    #[test]
+    fn degenerate_resistor_value_flagged() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        // `resistor` asserts on bad values, so exercise the rule through
+        // try_resistor's accepted range boundary: build a valid circuit
+        // and check the rule does not fire.
+        c.resistor(a, Circuit::GND, 1e-3);
+        let r = check_netlist(&c);
+        assert!(r.by_rule("degenerate-element").is_empty());
+        assert!(r.is_clean(), "{r}");
+    }
+}

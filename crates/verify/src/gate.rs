@@ -1,0 +1,194 @@
+//! The opt-in verification gate: run the ERC and the matrix auditor,
+//! and refuse to simulate a broken model.
+//!
+//! Instead of letting a non-passive inductance matrix surface as a
+//! diverging transient (or a floating node as a cryptic singular-pivot
+//! failure deep in the solver), the gate rejects the model *before*
+//! analysis with [`CircuitError::ModelRejected`] carrying the full
+//! audit summary.
+
+use crate::diagnostic::VerifyReport;
+use crate::erc::check_netlist;
+use crate::matrix::{audit_matrix, MatrixAuditConfig};
+use ind101_circuit::{Circuit, CircuitError, DcOperatingPoint, TranOptions, TranResult};
+
+/// Options of the verification gate.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct GateOptions {
+    /// Matrix-auditor tunables.
+    pub matrix: MatrixAuditConfig,
+    /// Also reject on `Warning`-severity findings (default: only
+    /// `Error` findings reject).
+    pub reject_on_warnings: bool,
+}
+
+/// Maximum summary lines embedded in a [`CircuitError::ModelRejected`].
+const SUMMARY_LINES: usize = 8;
+
+/// Runs the full pre-simulation audit: netlist ERC plus a passivity
+/// audit of every coupled-inductor matrix.
+///
+/// Returns the report regardless of verdict; use [`check`] to convert
+/// a failing report into a hard error.
+pub fn verify_circuit(c: &Circuit, opts: &GateOptions) -> VerifyReport {
+    let mut report = check_netlist(c);
+    for (s, sys) in c.inductor_systems().iter().enumerate() {
+        let label = format!("inductor system {s} coupling matrix");
+        report.merge(audit_matrix(&sys.m, &label, &opts.matrix).report);
+    }
+    report
+}
+
+/// Audits the model and rejects it with [`CircuitError::ModelRejected`]
+/// if any `Error`-severity finding (or, with
+/// [`GateOptions::reject_on_warnings`], any warning) is present.
+///
+/// # Errors
+///
+/// [`CircuitError::ModelRejected`] describing the findings.
+pub fn check(c: &Circuit, opts: &GateOptions) -> Result<VerifyReport, CircuitError> {
+    let report = verify_circuit(c, opts);
+    let errors = report.errors();
+    let warnings = report.warnings();
+    let reject = errors > 0 || (opts.reject_on_warnings && warnings > 0);
+    if reject {
+        return Err(CircuitError::ModelRejected {
+            errors,
+            warnings,
+            summary: report.summary(SUMMARY_LINES),
+        });
+    }
+    Ok(report)
+}
+
+/// [`Circuit::dc_op`] behind the verification gate.
+///
+/// # Errors
+///
+/// [`CircuitError::ModelRejected`] if the audit fails; otherwise
+/// whatever the DC solve itself produces.
+pub fn dc_op_verified(
+    c: &Circuit,
+    opts: &GateOptions,
+) -> Result<DcOperatingPoint, CircuitError> {
+    check(c, opts)?;
+    c.dc_op()
+}
+
+/// [`Circuit::transient`] behind the verification gate.
+///
+/// # Errors
+///
+/// [`CircuitError::ModelRejected`] if the audit fails; otherwise
+/// whatever the transient solve itself produces.
+pub fn transient_verified(
+    c: &Circuit,
+    tran: &TranOptions,
+    opts: &GateOptions,
+) -> Result<TranResult, CircuitError> {
+    check(c, opts)?;
+    c.transient(tran)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ind101_circuit::{InductorSystem, SourceWave};
+    use ind101_numeric::Matrix;
+
+    fn rl_line(m: Matrix<f64>) -> Circuit {
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        c.vsrc(inp, Circuit::GND, SourceWave::step(0.0, 1.0, 0.0, 1e-11));
+        let n = m.nrows();
+        let mut prev = inp;
+        let mut branches = Vec::new();
+        for k in 0..n {
+            let mid = c.node(format!("m{k}"));
+            let nxt = c.node(format!("n{k}"));
+            c.resistor(prev, mid, 1.0);
+            branches.push((mid, nxt));
+            c.capacitor(nxt, Circuit::GND, 10e-15);
+            prev = nxt;
+        }
+        c.resistor(prev, Circuit::GND, 50.0);
+        c.add_inductor_system(InductorSystem { branches, m }).unwrap();
+        c
+    }
+
+    fn passive2() -> Matrix<f64> {
+        let mut m = Matrix::zeros(2, 2);
+        m[(0, 0)] = 1e-9;
+        m[(1, 1)] = 1e-9;
+        m[(0, 1)] = 0.3e-9;
+        m[(1, 0)] = 0.3e-9;
+        m
+    }
+
+    /// Symmetric, positive diagonal, |k|<1 pairwise — but indefinite.
+    fn active3() -> Matrix<f64> {
+        let mut m = Matrix::zeros(3, 3);
+        for k in 0..3 {
+            m[(k, k)] = 1e-9;
+        }
+        for (i, j) in [(0, 1), (1, 2), (0, 2)] {
+            m[(i, j)] = -0.9e-9;
+            m[(j, i)] = -0.9e-9;
+        }
+        assert!(!m.is_positive_definite());
+        m
+    }
+
+    #[test]
+    fn clean_model_passes_the_gate_and_simulates() {
+        let c = rl_line(passive2());
+        let report = check(&c, &GateOptions::default()).unwrap();
+        assert!(report.is_clean());
+        let op = dc_op_verified(&c, &GateOptions::default()).unwrap();
+        // DC: inductors are shorts, so the line conducts.
+        let out = c.find_node("n1").unwrap();
+        assert!(op.voltage(out) > 0.0 || op.voltage(out) == 0.0);
+    }
+
+    #[test]
+    fn non_passive_matrix_is_rejected_before_simulation() {
+        let c = rl_line(active3());
+        let err = check(&c, &GateOptions::default()).unwrap_err();
+        match err {
+            CircuitError::ModelRejected {
+                errors, summary, ..
+            } => {
+                assert!(errors >= 1);
+                assert!(summary.contains("non-passive-matrix"), "{summary}");
+            }
+            other => panic!("expected ModelRejected, got {other:?}"),
+        }
+        // The gated transient refuses identically.
+        let err = transient_verified(
+            &c,
+            &TranOptions::new(1e-12, 1e-10),
+            &GateOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CircuitError::ModelRejected { .. }));
+    }
+
+    #[test]
+    fn warnings_reject_only_when_asked() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let _unused = c.node("scratch");
+        c.vsrc(a, Circuit::GND, SourceWave::dc(1.0));
+        c.resistor(a, Circuit::GND, 50.0);
+        assert!(check(&c, &GateOptions::default()).is_ok());
+        let strict = GateOptions {
+            reject_on_warnings: true,
+            ..GateOptions::default()
+        };
+        let err = check(&c, &strict).unwrap_err();
+        assert!(matches!(
+            err,
+            CircuitError::ModelRejected { errors: 0, warnings: 1, .. }
+        ));
+    }
+}

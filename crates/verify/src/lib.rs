@@ -1,0 +1,62 @@
+//! Pre-simulation model verification for the `ind101` toolkit —
+//! "verify before you simulate".
+//!
+//! The paper's Section 4 warns that sparsified partial-inductance
+//! matrices "can become non-positive definite, and the sparsified
+//! system becomes active and can generate energy". That failure is
+//! cheap to detect *statically* — one Cholesky factorization — and
+//! catastrophic to discover dynamically (a diverged transient hours
+//! into a run). This crate is the static layer:
+//!
+//! * [`matrix`] — the **passivity auditor**: finiteness, reciprocity
+//!   (symmetry), coupling-coefficient bound |k| ≤ 1, diagonal
+//!   dominance screen, and a Cholesky-backed verdict that names the
+//!   pivot that broke and suggests a *verified* diagonal repair shift.
+//! * [`erc`] — the **netlist ERC**: union-find connectivity flagging
+//!   nodes with no DC path to ground, dangling mutual couplings,
+//!   degenerate elements, shorted and looped sources.
+//! * [`gate`] — the opt-in **simulation gate** that rejects a failing
+//!   model with [`ind101_circuit::CircuitError::ModelRejected`] before
+//!   any DC or transient analysis runs.
+//!
+//! # Example
+//!
+//! ```
+//! use ind101_circuit::{Circuit, SourceWave};
+//! use ind101_verify::{check_netlist, audit_matrix, MatrixAuditConfig};
+//! use ind101_numeric::Matrix;
+//!
+//! // A capacitor-only node has no DC path: the ERC names it.
+//! let mut c = Circuit::new();
+//! let a = c.node("a");
+//! let fl = c.node("float");
+//! c.vsrc(a, Circuit::GND, SourceWave::dc(1.0));
+//! c.capacitor(a, fl, 1e-12);
+//! let report = check_netlist(&c);
+//! assert_eq!(report.by_rule("no-dc-path").len(), 1);
+//!
+//! // A truncation-damaged inductance matrix is caught statically.
+//! let mut m = Matrix::zeros(2, 2);
+//! m[(0, 0)] = 1e-9;
+//! m[(1, 1)] = 1e-9;
+//! m[(0, 1)] = -1.5e-9; // |k| > 1: unphysical
+//! m[(1, 0)] = -1.5e-9;
+//! let audit = audit_matrix(&m, "example", &MatrixAuditConfig::default());
+//! assert!(!audit.passive);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+mod diagnostic;
+pub mod erc;
+pub mod gate;
+pub mod matrix;
+
+pub use diagnostic::{Diagnostic, Severity, VerifyReport};
+pub use erc::{check_inductor_system, check_netlist};
+pub use gate::{check, dc_op_verified, transient_verified, verify_circuit, GateOptions};
+pub use matrix::{
+    audit_matrix, audit_sparsified, repaired_with_shift, MatrixAudit, MatrixAuditConfig,
+};

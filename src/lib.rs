@@ -15,6 +15,7 @@
 //! | [`circuit`] | `ind101-circuit` | MNA simulator (DC/AC/transient) |
 //! | [`peec`] | `ind101-core` | detailed PEEC model + flows |
 //! | [`sparsify`] | `ind101-sparsify` | Section 4 sparsification |
+//! | [`verify`] | `ind101-verify` | pre-simulation ERC + passivity audit |
 //! | [`mor`] | `ind101-mor` | PRIMA model-order reduction |
 //! | [`loopind`] | `ind101-loop` | Section 5 loop methodology |
 //! | [`design`] | `ind101-design` | Section 7 design techniques |
@@ -30,3 +31,4 @@ pub use ind101_loop as loopind;
 pub use ind101_mor as mor;
 pub use ind101_numeric as numeric;
 pub use ind101_sparsify as sparsify;
+pub use ind101_verify as verify;
