@@ -1,0 +1,133 @@
+//! Criterion benchmark of the blocked dense-kernel core: tiled GEMM,
+//! panel-blocked LU and Cholesky versus their unblocked `*_reference`
+//! kernels, over f64 and Complex64, at 1/2/4/8 threads. Results land in
+//! `BENCH_dense_kernels.json`; `EXPERIMENTS.md` records the measured
+//! speedups.
+//!
+//! Set `IND101_BENCH_QUICK=1` to run the reduced CI matrix (used by the
+//! `bench-smoke` job, which gates on blocked LU beating the reference
+//! at n = 512).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ind101_numeric::{Complex64, Matrix, ParallelConfig, Scalar};
+
+fn lcg(seed: &mut u64) -> f64 {
+    *seed = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    ((*seed >> 33) as f64) / (u32::MAX as f64) - 0.5
+}
+
+trait BenchScalar: Scalar {
+    const TAG: &'static str;
+    fn gen(seed: &mut u64) -> Self;
+}
+
+impl BenchScalar for f64 {
+    const TAG: &'static str = "f64";
+    fn gen(seed: &mut u64) -> Self {
+        lcg(seed)
+    }
+}
+
+impl BenchScalar for Complex64 {
+    const TAG: &'static str = "c64";
+    fn gen(seed: &mut u64) -> Self {
+        Complex64::new(lcg(seed), lcg(seed))
+    }
+}
+
+/// Dense random matrix with a boosted diagonal (well-conditioned for LU).
+fn random_matrix<T: BenchScalar>(n: usize, seed: u64) -> Matrix<T> {
+    let mut s = seed;
+    let mut m = Matrix::from_fn(n, n, |_, _| T::gen(&mut s));
+    for i in 0..n {
+        m[(i, i)] += T::from_f64(n as f64);
+    }
+    m
+}
+
+/// Hermitian positive definite matrix: ½(B + Bᴴ) + n·I.
+fn random_hpd<T: BenchScalar>(n: usize, seed: u64) -> Matrix<T> {
+    let mut s = seed;
+    let b = Matrix::from_fn(n, n, |_, _| T::gen(&mut s));
+    let mut h = Matrix::from_fn(n, n, |i, j| {
+        (b[(i, j)] + b[(j, i)].conj_val()) * T::from_f64(0.5)
+    });
+    for i in 0..n {
+        h[(i, i)] += T::from_f64(n as f64);
+    }
+    h
+}
+
+fn samples_for(n: usize, quick: bool) -> usize {
+    if quick {
+        3
+    } else {
+        match n {
+            0..=64 => 20,
+            65..=256 => 10,
+            257..=512 => 5,
+            _ => 3,
+        }
+    }
+}
+
+fn bench_scalar<T: BenchScalar>(
+    g: &mut criterion::BenchmarkGroup<'_>,
+    sizes: &[usize],
+    ref_sizes: &[usize],
+    threads: &[usize],
+    quick: bool,
+) {
+    for &n in sizes {
+        g.sample_size(samples_for(n, quick));
+        let a: Matrix<T> = random_matrix(n, 11 + n as u64);
+        let b: Matrix<T> = random_matrix(n, 29 + n as u64);
+        let spd: Matrix<T> = random_hpd(n, 47 + n as u64);
+
+        if ref_sizes.contains(&n) {
+            g.bench_function(BenchmarkId::new(format!("gemm_ref_{}", T::TAG), n), |be| {
+                be.iter(|| a.matmul_reference(&b).unwrap())
+            });
+            g.bench_function(BenchmarkId::new(format!("lu_ref_{}", T::TAG), n), |be| {
+                be.iter(|| a.lu_reference().unwrap())
+            });
+            g.bench_function(BenchmarkId::new(format!("chol_ref_{}", T::TAG), n), |be| {
+                be.iter(|| spd.cholesky_reference().unwrap())
+            });
+        }
+
+        for &t in threads {
+            let cfg = ParallelConfig::with_threads(t);
+            g.bench_function(
+                BenchmarkId::new(format!("gemm_blocked_{}_t{}", T::TAG, t), n),
+                |be| be.iter(|| a.matmul_with(&b, &cfg).unwrap()),
+            );
+            g.bench_function(
+                BenchmarkId::new(format!("lu_blocked_{}_t{}", T::TAG, t), n),
+                |be| be.iter(|| a.lu_with(&cfg).unwrap()),
+            );
+            g.bench_function(
+                BenchmarkId::new(format!("chol_blocked_{}_t{}", T::TAG, t), n),
+                |be| be.iter(|| spd.cholesky_with(&cfg).unwrap()),
+            );
+        }
+    }
+}
+
+fn bench_dense_kernels(c: &mut Criterion) {
+    let quick = std::env::var("IND101_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let (sizes, ref_sizes, threads): (Vec<usize>, Vec<usize>, Vec<usize>) = if quick {
+        (vec![64, 512], vec![64, 512], vec![1, 4])
+    } else {
+        (vec![64, 256, 512, 1024], vec![64, 256, 512], vec![1, 2, 4, 8])
+    };
+    let mut g = c.benchmark_group("dense_kernels");
+    bench_scalar::<f64>(&mut g, &sizes, &ref_sizes, &threads, quick);
+    bench_scalar::<Complex64>(&mut g, &sizes, &ref_sizes, &threads, quick);
+    g.finish();
+}
+
+criterion_group!(benches, bench_dense_kernels);
+criterion_main!(benches);

@@ -4,15 +4,20 @@
 //! ladder model of Figure 3(d).
 
 use ind101_bench::table::{eng, TextTable};
-use ind101_bench::{clock_case, Scale};
-use ind101_loop::{extract_loop_rl, LadderFit, LoopPortSpec};
+use ind101_bench::{clock_case_with, parallel_config_from_args, Scale};
+use ind101_loop::{extract_loop_rl_with, LadderFit, LoopPortSpec};
 
 fn main() {
-    println!("== Figure 3(b): loop R and L vs log(frequency) ==");
-    let case = clock_case(Scale::Small);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = parallel_config_from_args(&mut args);
+    println!(
+        "== Figure 3(b): loop R and L vs log(frequency) ({} threads) ==",
+        cfg.threads
+    );
+    let case = clock_case_with(Scale::Small, &cfg);
     let spec = LoopPortSpec::from_layout(&case.par).expect("clock ports");
     let freqs: Vec<f64> = (0..13).map(|k| 1e7 * 10f64.powf(k as f64 / 3.0)).collect();
-    let ext = extract_loop_rl(&case.par, &spec, &freqs).expect("loop extraction");
+    let ext = extract_loop_rl_with(&case.par, &spec, &freqs, &cfg).expect("loop extraction");
 
     // Ladder fit at two frequencies (one low, one high), as [5] does.
     let i1 = ext.nearest_index(1e8);

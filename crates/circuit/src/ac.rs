@@ -9,8 +9,10 @@ use crate::error::CircuitError;
 use crate::mna::{MnaLayout, GMIN};
 use crate::netlist::{Circuit, NodeId};
 use crate::solver::Solver;
+use crate::dcop::DcOperatingPoint;
 use crate::Result;
-use ind101_numeric::{Complex64, Triplets};
+use ind101_numeric::partition::{collect_row_blocks, uniform_row_blocks};
+use ind101_numeric::{Complex64, ParallelConfig, Triplets};
 
 /// AC sweep options: explicit frequency list.
 #[derive(Clone, Debug, PartialEq)]
@@ -92,6 +94,20 @@ impl Circuit {
     ///
     /// Invalid options or singular systems.
     pub fn ac_sweep(&self, opts: &AcOptions) -> Result<AcResult> {
+        self.ac_sweep_with(opts, &ParallelConfig::default())
+    }
+
+    /// [`Circuit::ac_sweep`] with an explicit parallelism configuration:
+    /// the per-frequency complex solves are independent, so the sweep is
+    /// split into contiguous frequency blocks across `cfg.threads` scoped
+    /// worker threads. Results (and the choice of reported error, if
+    /// any) are in deterministic frequency order regardless of thread
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Invalid options or singular systems.
+    pub fn ac_sweep_with(&self, opts: &AcOptions, cfg: &ParallelConfig) -> Result<AcResult> {
         opts.validate()?;
         let layout = MnaLayout::build(self);
 
@@ -102,99 +118,113 @@ impl Circuit {
             None
         };
 
-        let mut data = Vec::with_capacity(opts.freqs_hz.len());
-        for &f in &opts.freqs_hz {
-            let omega = 2.0 * std::f64::consts::PI * f;
-            let jw = Complex64::jomega(omega);
-            let mut t: Triplets<Complex64> = Triplets::new(layout.n, layout.n);
-            let mut rhs = vec![Complex64::ZERO; layout.n];
-            for i in 0..layout.n_nodes {
-                t.push(i, i, Complex64::from_real(GMIN));
-            }
-            let mut vseq = 0usize;
-            for e in self.elements() {
-                match e {
-                    Element::Resistor { a, b, ohms } => {
-                        stamp_admittance(&mut t, &layout, *a, *b, Complex64::from_real(1.0 / ohms));
-                    }
-                    Element::Capacitor { a, b, farads } => {
-                        stamp_admittance(&mut t, &layout, *a, *b, jw * *farads);
-                    }
-                    Element::Vsrc { plus, minus, ac_mag, .. } => {
-                        let row = layout.vsrc_rows[vseq];
-                        vseq += 1;
-                        if let Some(p) = layout.node(*plus) {
-                            t.push(p, row, Complex64::ONE);
-                            t.push(row, p, Complex64::ONE);
-                        }
-                        if let Some(m) = layout.node(*minus) {
-                            t.push(m, row, -Complex64::ONE);
-                            t.push(row, m, -Complex64::ONE);
-                        }
-                        rhs[row] = Complex64::from_real(*ac_mag);
-                    }
-                    Element::Isrc { from, into, ac_mag, .. } => {
-                        if let Some(i) = layout.node(*into) {
-                            rhs[i] += Complex64::from_real(*ac_mag);
-                        }
-                        if let Some(i) = layout.node(*from) {
-                            rhs[i] -= Complex64::from_real(*ac_mag);
-                        }
-                    }
-                    Element::Transistor(m) => {
-                        // `op` is Some whenever a transistor exists
-                        // (is_nonlinear() gated the DC solve above).
-                        let Some(opref) = op.as_ref() else { continue };
-                        let lin = m.linearize(
-                            opref.voltage(m.d),
-                            opref.voltage(m.g),
-                            opref.voltage(m.s),
-                        );
-                        let (d, g, s) = (layout.node(m.d), layout.node(m.g), layout.node(m.s));
-                        for (row, sign) in [(d, 1.0), (s, -1.0)] {
-                            let Some(r) = row else { continue };
-                            if let Some(dc) = d {
-                                t.push(r, dc, Complex64::from_real(sign * lin.gds));
-                            }
-                            if let Some(gc) = g {
-                                t.push(r, gc, Complex64::from_real(sign * lin.gm));
-                            }
-                            if let Some(sc) = s {
-                                t.push(r, sc, Complex64::from_real(-sign * (lin.gm + lin.gds)));
-                            }
-                        }
-                    }
-                }
-            }
-            for (s, sys) in self.inductor_systems().iter().enumerate() {
-                let off = layout.ind_offsets[s];
-                for (j, &(a, b)) in sys.branches.iter().enumerate() {
-                    let row = off + j;
-                    if let Some(ia) = layout.node(a) {
-                        t.push(ia, row, Complex64::ONE);
-                        t.push(row, ia, Complex64::ONE);
-                    }
-                    if let Some(ib) = layout.node(b) {
-                        t.push(ib, row, -Complex64::ONE);
-                        t.push(row, ib, -Complex64::ONE);
-                    }
-                    for jj in 0..sys.len() {
-                        let m = sys.m[(j, jj)];
-                        if m != 0.0 {
-                            t.push(row, off + jj, -(jw * m));
-                        }
-                    }
-                }
-            }
-            let annotate = |e| crate::mna::annotate_singular(self, &layout, e);
-            let solver = Solver::build(&t).map_err(annotate)?;
-            data.push(solver.solve(&rhs).map_err(annotate)?);
-        }
+        let nf = opts.freqs_hz.len();
+        let ranges = uniform_row_blocks(nf, cfg.blocks_for(nf));
+        let per_freq = collect_row_blocks(&ranges, |rows| {
+            rows.map(|i| self.ac_solve_one(&layout, op.as_ref(), opts.freqs_hz[i]))
+                .collect()
+        });
+        // First error in frequency order wins — same as the serial loop.
+        let data = per_freq.into_iter().collect::<Result<Vec<_>>>()?;
         Ok(AcResult {
             freqs_hz: opts.freqs_hz.clone(),
             data,
             layout,
         })
+    }
+
+    /// Assembles and solves the complex MNA system at one frequency.
+    fn ac_solve_one(
+        &self,
+        layout: &MnaLayout,
+        op: Option<&DcOperatingPoint>,
+        f: f64,
+    ) -> Result<Vec<Complex64>> {
+        let omega = 2.0 * std::f64::consts::PI * f;
+        let jw = Complex64::jomega(omega);
+        let mut t: Triplets<Complex64> = Triplets::new(layout.n, layout.n);
+        let mut rhs = vec![Complex64::ZERO; layout.n];
+        for i in 0..layout.n_nodes {
+            t.push(i, i, Complex64::from_real(GMIN));
+        }
+        let mut vseq = 0usize;
+        for e in self.elements() {
+            match e {
+                Element::Resistor { a, b, ohms } => {
+                    stamp_admittance(&mut t, &layout, *a, *b, Complex64::from_real(1.0 / ohms));
+                }
+                Element::Capacitor { a, b, farads } => {
+                    stamp_admittance(&mut t, &layout, *a, *b, jw * *farads);
+                }
+                Element::Vsrc { plus, minus, ac_mag, .. } => {
+                    let row = layout.vsrc_rows[vseq];
+                    vseq += 1;
+                    if let Some(p) = layout.node(*plus) {
+                        t.push(p, row, Complex64::ONE);
+                        t.push(row, p, Complex64::ONE);
+                    }
+                    if let Some(m) = layout.node(*minus) {
+                        t.push(m, row, -Complex64::ONE);
+                        t.push(row, m, -Complex64::ONE);
+                    }
+                    rhs[row] = Complex64::from_real(*ac_mag);
+                }
+                Element::Isrc { from, into, ac_mag, .. } => {
+                    if let Some(i) = layout.node(*into) {
+                        rhs[i] += Complex64::from_real(*ac_mag);
+                    }
+                    if let Some(i) = layout.node(*from) {
+                        rhs[i] -= Complex64::from_real(*ac_mag);
+                    }
+                }
+                Element::Transistor(m) => {
+                    // `op` is Some whenever a transistor exists
+                    // (is_nonlinear() gated the DC solve above).
+                    let Some(opref) = op.as_ref() else { continue };
+                    let lin = m.linearize(
+                        opref.voltage(m.d),
+                        opref.voltage(m.g),
+                        opref.voltage(m.s),
+                    );
+                    let (d, g, s) = (layout.node(m.d), layout.node(m.g), layout.node(m.s));
+                    for (row, sign) in [(d, 1.0), (s, -1.0)] {
+                        let Some(r) = row else { continue };
+                        if let Some(dc) = d {
+                            t.push(r, dc, Complex64::from_real(sign * lin.gds));
+                        }
+                        if let Some(gc) = g {
+                            t.push(r, gc, Complex64::from_real(sign * lin.gm));
+                        }
+                        if let Some(sc) = s {
+                            t.push(r, sc, Complex64::from_real(-sign * (lin.gm + lin.gds)));
+                        }
+                    }
+                }
+            }
+        }
+        for (s, sys) in self.inductor_systems().iter().enumerate() {
+            let off = layout.ind_offsets[s];
+            for (j, &(a, b)) in sys.branches.iter().enumerate() {
+                let row = off + j;
+                if let Some(ia) = layout.node(a) {
+                    t.push(ia, row, Complex64::ONE);
+                    t.push(row, ia, Complex64::ONE);
+                }
+                if let Some(ib) = layout.node(b) {
+                    t.push(ib, row, -Complex64::ONE);
+                    t.push(row, ib, -Complex64::ONE);
+                }
+                for jj in 0..sys.len() {
+                    let m = sys.m[(j, jj)];
+                    if m != 0.0 {
+                        t.push(row, off + jj, -(jw * m));
+                    }
+                }
+            }
+        }
+        let annotate = |e| crate::mna::annotate_singular(self, layout, e);
+        let solver = Solver::build(&t).map_err(annotate)?;
+        solver.solve(&rhs).map_err(annotate)
     }
 }
 

@@ -3,6 +3,7 @@
 use ind101_circuit::{AcOptions, Circuit, CircuitError, SourceWave};
 use ind101_core::{InductanceMode, PeecModel, PeecParasitics};
 use ind101_geom::{NetKind, PortKind};
+use ind101_numeric::ParallelConfig;
 
 /// Resistance of the artificial short tying the receiver to local
 /// ground, ohms (small against any wire resistance).
@@ -82,6 +83,22 @@ pub fn extract_loop_rl(
     spec: &LoopPortSpec,
     freqs_hz: &[f64],
 ) -> Result<LoopExtraction, CircuitError> {
+    extract_loop_rl_with(par, spec, freqs_hz, &ParallelConfig::default())
+}
+
+/// [`extract_loop_rl`] with an explicit parallelism configuration: the
+/// underlying AC sweep runs its per-frequency solves on `cfg.threads`
+/// worker threads, in deterministic frequency order.
+///
+/// # Errors
+///
+/// Fails if the named ports don't exist or the network is singular.
+pub fn extract_loop_rl_with(
+    par: &PeecParasitics,
+    spec: &LoopPortSpec,
+    freqs_hz: &[f64],
+    cfg: &ParallelConfig,
+) -> Result<LoopExtraction, CircuitError> {
     // Capacitance-free clone of the parasitics.
     let mut rl_par = par.clone();
     for c in &mut rl_par.ground_cap {
@@ -152,9 +169,12 @@ pub fn extract_loop_rl(
     // 1 A AC probe across the port.
     circuit.isrc_ac(port_return, driver_node, SourceWave::dc(0.0), 1.0);
 
-    let ac = circuit.ac_sweep(&AcOptions {
-        freqs_hz: freqs_hz.to_vec(),
-    })?;
+    let ac = circuit.ac_sweep_with(
+        &AcOptions {
+            freqs_hz: freqs_hz.to_vec(),
+        },
+        cfg,
+    )?;
     let mut r_ohm = Vec::with_capacity(freqs_hz.len());
     let mut l_h = Vec::with_capacity(freqs_hz.len());
     for (i, &f) in freqs_hz.iter().enumerate() {

@@ -29,6 +29,6 @@ mod extract;
 mod ladder;
 mod netlist;
 
-pub use extract::{extract_loop_rl, LoopExtraction, LoopPortSpec};
+pub use extract::{extract_loop_rl, extract_loop_rl_with, LoopExtraction, LoopPortSpec};
 pub use ladder::LadderFit;
 pub use netlist::{build_loop_circuit, LoopCircuit, LoopInterconnect, LoopNetlistSpec};

@@ -163,13 +163,50 @@ impl<T: Scalar> Matrix<T> {
         Ok(y)
     }
 
-    /// Matrix product `A·B`.
+    /// Matrix product `A·B` through the cache-blocked kernel
+    /// ([`crate::gemm`]), threaded when the product is large enough to
+    /// amortize thread spawn.
     ///
     /// # Errors
     ///
     /// Returns [`NumericError::DimensionMismatch`] if the inner
     /// dimensions disagree.
     pub fn matmul(&self, rhs: &Self) -> Result<Self> {
+        let flops = self.nrows * self.ncols * rhs.ncols();
+        if flops < crate::gemm::PARALLEL_FLOP_THRESHOLD {
+            // Skip the available-parallelism lookup for small products.
+            let serial = crate::ParallelConfig {
+                threads: 1,
+                cache_capacity: 0,
+            };
+            self.matmul_with(rhs, &serial)
+        } else {
+            self.matmul_with(rhs, &crate::ParallelConfig::default())
+        }
+    }
+
+    /// [`Matrix::matmul`] with an explicit parallelism configuration.
+    /// Results are bit-identical across thread counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if the inner
+    /// dimensions disagree.
+    pub fn matmul_with(&self, rhs: &Self, cfg: &crate::ParallelConfig) -> Result<Self> {
+        let mut out = Self::zeros(self.nrows, rhs.ncols);
+        crate::gemm::gemm_into(&mut out, T::one(), self, rhs, cfg)?;
+        Ok(out)
+    }
+
+    /// Unblocked scalar triple-loop product kept as the differential
+    /// oracle for the blocked kernel (`crates/numeric/tests`); prefer
+    /// [`Matrix::matmul`] everywhere else.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if the inner
+    /// dimensions disagree.
+    pub fn matmul_reference(&self, rhs: &Self) -> Result<Self> {
         if self.ncols != rhs.nrows {
             return Err(NumericError::DimensionMismatch {
                 expected: self.ncols,

@@ -43,6 +43,7 @@ mod condition;
 mod dense;
 mod eigen;
 mod error;
+pub mod gemm;
 mod lu;
 mod ordering;
 pub mod partition;
@@ -58,7 +59,8 @@ pub use condition::RefinedSolve;
 pub use dense::Matrix;
 pub use eigen::{jacobi_eigenvalues, jacobi_eigenvectors, SymmetricEigen};
 pub use error::NumericError;
-pub use lu::LuFactors;
+pub use gemm::gemm_into;
+pub use lu::{LuFactors, LU_BLOCK};
 pub use ordering::{bandwidth, reverse_cuthill_mckee, Permutation};
 pub use partition::ParallelConfig;
 pub use qr::{mgs_orthonormalize, orthonormalize_against};

@@ -25,6 +25,8 @@ pub trait Scalar:
     + SubAssign
     + MulAssign
     + DivAssign
+    + Send
+    + Sync
     + 'static
 {
     /// Additive identity.
@@ -37,6 +39,19 @@ pub trait Scalar:
     fn abs_val(self) -> f64;
     /// Complex conjugate (identity for reals).
     fn conj_val(self) -> Self;
+    /// Real part (identity for reals). Hermitian factorizations pivot on
+    /// this: the diagonal of a Hermitian matrix is real, so any residual
+    /// imaginary rounding noise is discarded rather than propagated.
+    fn real_part(self) -> f64;
+    /// Fused multiply–add: `self · m + a`. For `f64` this lowers to a
+    /// hardware FMA (single rounding) where the target has one; the
+    /// default is the unfused two-op form. The GEMM micro-kernel routes
+    /// every accumulation through this so all code paths (and all thread
+    /// counts) perform identical float ops.
+    #[inline]
+    fn mul_add(self, m: Self, a: Self) -> Self {
+        self * m + a
+    }
     /// Returns `true` if the value is exactly zero.
     fn is_zero(self) -> bool {
         self == Self::zero()
@@ -64,6 +79,14 @@ impl Scalar for f64 {
     fn conj_val(self) -> Self {
         self
     }
+    #[inline]
+    fn real_part(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn mul_add(self, m: Self, a: Self) -> Self {
+        f64::mul_add(self, m, a)
+    }
 }
 
 impl Scalar for Complex64 {
@@ -86,6 +109,10 @@ impl Scalar for Complex64 {
     #[inline]
     fn conj_val(self) -> Self {
         self.conj()
+    }
+    #[inline]
+    fn real_part(self) -> f64 {
+        self.re
     }
 }
 
