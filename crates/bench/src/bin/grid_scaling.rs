@@ -1,0 +1,188 @@
+//! GRID — DC-operating-point solve scaling on power-grid meshes,
+//! comparing the circuit engine's solver backends.
+//!
+//! ```text
+//! cargo run --release -p ind101-bench --bin grid_scaling \
+//!     [--backend dense|sparse|auto|all] [--quick] [--out PATH]
+//! ```
+//!
+//! Sweeps square resistive P/G meshes of growing node count, forces
+//! each [`SolverBackend`] through `dc_op`, and writes
+//! `BENCH_grid_scaling.json` (criterion-compatible shape, ids
+//! `dcop_<backend>/<unknowns>`). The committed JSON is the scaling
+//! record behind the EXPERIMENTS.md entry; CI re-runs the sweep in
+//! `--quick` mode and asserts the sparse backend keeps its ≥5× lead
+//! over dense at the largest swept size.
+//!
+//! Every sparse solve is cross-checked against the dense oracle before
+//! timing, so a silently wrong factorization fails the run rather than
+//! producing a fast-but-bogus number.
+
+use ind101_circuit::{Circuit, NodeId, SolverBackend, SourceWave};
+use std::time::Instant;
+
+/// One timed configuration.
+struct Row {
+    id: String,
+    min_ns: f64,
+    median_ns: f64,
+    mean_ns: f64,
+    samples: usize,
+}
+
+/// Builds a `w × w` resistive power mesh: 0.5 Ω rail segments, pad
+/// voltage sources at the four corners, and a distributed load current
+/// drawn from every interior node (the classic IR-drop testcase).
+fn power_mesh(w: usize) -> Circuit {
+    let mut c = Circuit::new();
+    let nodes: Vec<Vec<NodeId>> = (0..w)
+        .map(|i| (0..w).map(|j| c.node(format!("g{i}_{j}"))).collect())
+        .collect();
+    for i in 0..w {
+        for j in 0..w {
+            if i + 1 < w {
+                c.resistor(nodes[i][j], nodes[i + 1][j], 0.5);
+            }
+            if j + 1 < w {
+                c.resistor(nodes[i][j], nodes[i][j + 1], 0.5);
+            }
+        }
+    }
+    for (i, j) in [(0, 0), (0, w - 1), (w - 1, 0), (w - 1, w - 1)] {
+        c.vsrc(nodes[i][j], Circuit::GND, SourceWave::dc(1.8));
+    }
+    // ~10 mA total load, spread over the interior.
+    let interior = (w - 2) * (w - 2);
+    let per_node = 10e-3 / interior as f64;
+    for i in 1..w - 1 {
+        for j in 1..w - 1 {
+            c.isrc(nodes[i][j], Circuit::GND, SourceWave::dc(per_node));
+        }
+    }
+    c
+}
+
+fn time_dcop(c: &Circuit, backend: SolverBackend, samples: usize) -> (Row, Vec<f64>, usize) {
+    let mut cb = c.clone();
+    cb.set_solver_backend(backend);
+    // Warm-up (and correctness) run outside the timed loop.
+    let op = cb.dc_op().expect("dc_op");
+    let n = op.unknowns().len();
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            let op = cb.dc_op().expect("dc_op");
+            let dt = t0.elapsed().as_nanos() as f64;
+            assert_eq!(op.unknowns().len(), n);
+            dt
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let row = Row {
+        id: format!("dcop_{}/{}", backend.name(), n),
+        min_ns: times[0],
+        median_ns: times[times.len() / 2],
+        mean_ns: times.iter().sum::<f64>() / times.len() as f64,
+        samples,
+    };
+    (row, op.unknowns().to_vec(), n)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut backend_arg = "all".to_owned();
+    let mut quick = false;
+    let mut out = format!("{}/BENCH_grid_scaling.json", env!("CARGO_MANIFEST_DIR"));
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--backend" => {
+                backend_arg = it.next().expect("--backend needs a value").clone();
+            }
+            "--quick" => quick = true,
+            "--out" => out = it.next().expect("--out needs a value").clone(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: grid_scaling [--backend dense|sparse|auto|all] [--quick] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let backends: Vec<SolverBackend> = match backend_arg.as_str() {
+        "all" => vec![SolverBackend::Dense, SolverBackend::Sparse, SolverBackend::Auto],
+        one => vec![SolverBackend::parse(one).unwrap_or_else(|| {
+            eprintln!("unknown backend {one:?}; use dense|sparse|auto|all");
+            std::process::exit(2);
+        })],
+    };
+    let widths: &[usize] = if quick { &[18, 32] } else { &[18, 28, 40, 52] };
+
+    println!("== grid_scaling: DC-op solve vs power-grid size ==");
+    let mut rows: Vec<Row> = Vec::new();
+    for &w in widths {
+        let c = power_mesh(w);
+        let samples = if w >= 40 { 3 } else { 5 };
+        let mut oracle: Option<Vec<f64>> = None;
+        for &b in &backends {
+            let (row, x, n) = time_dcop(&c, b, samples);
+            // Cross-check every backend against the first one timed at
+            // this size (dense when running the full matrix).
+            match &oracle {
+                None => oracle = Some(x),
+                Some(x0) => {
+                    let scale = x0.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+                    for (k, (a, bb)) in x0.iter().zip(&x).enumerate() {
+                        assert!(
+                            (a - bb).abs() <= 1e-8 * scale,
+                            "backend {} disagrees with oracle at unknown {k}",
+                            b.name()
+                        );
+                    }
+                }
+            }
+            println!(
+                "  {:>5} unknowns  {:>6}  min {:>10.3} ms  (median {:.3} ms, {} samples)",
+                n,
+                b.name(),
+                row.min_ns / 1e6,
+                row.median_ns / 1e6,
+                row.samples
+            );
+            rows.push(row);
+        }
+    }
+
+    // Criterion-compatible JSON, hand-rolled (no serde in this tree).
+    let mut body = String::from("{\n  \"group\": \"grid_scaling\",\n  \"benchmarks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"id\": \"{}\", \"min_ns\": {:.1}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"samples\": {}}}{}\n",
+            r.id,
+            r.min_ns,
+            r.median_ns,
+            r.mean_ns,
+            r.samples,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    std::fs::write(&out, body).expect("write bench json");
+    println!("wrote {out}");
+
+    // Report the headline ratio when both contenders ran.
+    let min_of = |prefix: &str| -> Option<(usize, f64)> {
+        rows.iter()
+            .filter_map(|r| {
+                let (name, n) = r.id.split_once('/')?;
+                (name == prefix).then(|| (n.parse::<usize>().ok(), r.min_ns))
+            })
+            .filter_map(|(n, t)| n.map(|n| (n, t)))
+            .max_by_key(|&(n, _)| n)
+    };
+    if let (Some((n, dense)), Some((_, sparse))) = (min_of("dcop_dense"), min_of("dcop_sparse")) {
+        println!(
+            "largest grid ({n} unknowns): sparse is {:.1}x faster than dense",
+            dense / sparse
+        );
+    }
+}

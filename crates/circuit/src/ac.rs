@@ -8,11 +8,12 @@ use crate::elements::Element;
 use crate::error::CircuitError;
 use crate::mna::{MnaLayout, GMIN};
 use crate::netlist::{Circuit, NodeId};
-use crate::solver::Solver;
+use crate::solver::{Solver, SolverBackend, SMALL_DENSE};
 use crate::dcop::DcOperatingPoint;
 use crate::Result;
 use ind101_numeric::partition::{collect_row_blocks, uniform_row_blocks};
-use ind101_numeric::{Complex64, ParallelConfig, Triplets};
+use ind101_numeric::{Complex64, ParallelConfig, SymbolicLu, Triplets};
+use std::sync::Arc;
 
 /// AC sweep options: explicit frequency list.
 #[derive(Clone, Debug, PartialEq)]
@@ -118,11 +119,33 @@ impl Circuit {
             None
         };
 
+        // The complex MNA pattern is frequency-independent (for f > 0
+        // every jωC/jωM stamp is structurally nonzero), so one symbolic
+        // factorization serves the whole sweep. Analyzed up front —
+        // pattern only, no numeric work — and shared read-only across
+        // the worker threads.
+        let backend = self.effective_backend();
+        let sym_hint: Option<Arc<SymbolicLu>> =
+            if backend != SolverBackend::Dense && layout.n > SMALL_DENSE {
+                let (t0, _) = self.ac_assemble(&layout, op.as_ref(), opts.freqs_hz[0]);
+                SymbolicLu::analyze(&t0.to_csr()).ok().map(Arc::new)
+            } else {
+                None
+            };
+
         let nf = opts.freqs_hz.len();
         let ranges = uniform_row_blocks(nf, cfg.blocks_for(nf));
         let per_freq = collect_row_blocks(&ranges, |rows| {
-            rows.map(|i| self.ac_solve_one(&layout, op.as_ref(), opts.freqs_hz[i]))
-                .collect()
+            rows.map(|i| {
+                self.ac_solve_one(
+                    &layout,
+                    op.as_ref(),
+                    opts.freqs_hz[i],
+                    backend,
+                    sym_hint.as_ref(),
+                )
+            })
+            .collect()
         });
         // First error in frequency order wins — same as the serial loop.
         let data = per_freq.into_iter().collect::<Result<Vec<_>>>()?;
@@ -139,7 +162,22 @@ impl Circuit {
         layout: &MnaLayout,
         op: Option<&DcOperatingPoint>,
         f: f64,
+        backend: SolverBackend,
+        hint: Option<&Arc<SymbolicLu>>,
     ) -> Result<Vec<Complex64>> {
+        let (t, rhs) = self.ac_assemble(layout, op, f);
+        let annotate = |e| crate::mna::annotate_singular(self, layout, e);
+        let solver = Solver::build_with(&t, backend, hint).map_err(annotate)?;
+        solver.solve(&rhs).map_err(annotate)
+    }
+
+    /// Assembles the complex MNA triplets and RHS at one frequency.
+    fn ac_assemble(
+        &self,
+        layout: &MnaLayout,
+        op: Option<&DcOperatingPoint>,
+        f: f64,
+    ) -> (Triplets<Complex64>, Vec<Complex64>) {
         let omega = 2.0 * std::f64::consts::PI * f;
         let jw = Complex64::jomega(omega);
         let mut t: Triplets<Complex64> = Triplets::new(layout.n, layout.n);
@@ -222,9 +260,7 @@ impl Circuit {
                 }
             }
         }
-        let annotate = |e| crate::mna::annotate_singular(self, layout, e);
-        let solver = Solver::build(&t).map_err(annotate)?;
-        solver.solve(&rhs).map_err(annotate)
+        (t, rhs)
     }
 }
 

@@ -158,7 +158,8 @@ impl Circuit {
 
         if !self.is_nonlinear() {
             let annotate = |e| annotate_singular(self, &layout, e);
-            let solver = Solver::build(&static_t).map_err(annotate)?;
+            let solver =
+                Solver::build_with(&static_t, self.effective_backend(), None).map_err(annotate)?;
             let sol = solver.solve(&rhs0).map_err(annotate)?;
             let report = RescueReport {
                 converged_by: RescueRung::PlainNewton,
@@ -182,7 +183,7 @@ impl Circuit {
                 _ => None,
             })
             .collect();
-        let wb = WoodburySolver::build(&static_t, &layout, &mosfets)
+        let wb = WoodburySolver::build_with(&static_t, &layout, &mosfets, false, self.effective_backend())
             .map_err(|e| annotate_singular(self, &layout, e))?;
 
         let mut rungs: Vec<RungTrace> = Vec::new();
@@ -240,7 +241,9 @@ impl Circuit {
                         t.push(i, i, extra);
                     }
                 }
-                let Ok(wb_g) = WoodburySolver::build_with(&t, &layout, &mosfets, true) else {
+                let Ok(wb_g) =
+                    WoodburySolver::build_with(&t, &layout, &mosfets, true, self.effective_backend())
+                else {
                     solved = None;
                     break;
                 };
@@ -276,8 +279,9 @@ impl Circuit {
         if policy.source_stepping {
             // Refinement enabled: homotopy steps may pass through
             // marginal bias points where the plain solve loses digits.
-            let wb_s = WoodburySolver::build_with(&static_t, &layout, &mosfets, true)
-                .map_err(|e| annotate_singular(self, &layout, e))?;
+            let wb_s =
+                WoodburySolver::build_with(&static_t, &layout, &mosfets, true, self.effective_backend())
+                    .map_err(|e| annotate_singular(self, &layout, e))?;
             let mut trace = RungTrace {
                 rung: RescueRung::SourceStepping,
                 converged: false,

@@ -66,6 +66,7 @@ pub use elements::{Element, MosPolarity, Mosfet};
 pub use error::CircuitError;
 pub use netlist::{Circuit, ElementCounts, InductorSystem, InverterParams, NodeId};
 pub use rescue::{RescuePolicy, RescueReport, RescueRung, RungTrace};
+pub use solver::SolverBackend;
 pub use system::MnaSystem;
 pub use tran::{AdaptiveOptions, StepControl, TranOptions, TranResult};
 pub use waveform::{SourceWave, Trace};

@@ -2,6 +2,7 @@
 
 use crate::elements::{Element, MosPolarity, Mosfet};
 use crate::error::CircuitError;
+use crate::solver::SolverBackend;
 use crate::waveform::SourceWave;
 use crate::Result;
 use ind101_numeric::Matrix;
@@ -112,6 +113,7 @@ pub struct Circuit {
     by_name: HashMap<String, NodeId>,
     pub(crate) elements: Vec<Element>,
     pub(crate) inductors: Vec<InductorSystem>,
+    solver_backend: SolverBackend,
 }
 
 impl Circuit {
@@ -125,9 +127,30 @@ impl Circuit {
             by_name: HashMap::new(),
             elements: Vec::new(),
             inductors: Vec::new(),
+            solver_backend: SolverBackend::Auto,
         };
         c.by_name.insert("0".to_owned(), Self::GND);
         c
+    }
+
+    /// Selects the linear-solver family used by every analysis on this
+    /// circuit (DC operating point, transient, AC sweep). The default is
+    /// [`SolverBackend::Auto`], which picks by structure and honours the
+    /// `IND101_SOLVER_BACKEND` environment variable.
+    pub fn set_solver_backend(&mut self, backend: SolverBackend) {
+        self.solver_backend = backend;
+    }
+
+    /// The configured solver backend (as set, before environment
+    /// resolution).
+    pub fn solver_backend(&self) -> SolverBackend {
+        self.solver_backend
+    }
+
+    /// Backend after resolving `Auto` through the environment: what the
+    /// analyses actually hand to the solver.
+    pub(crate) fn effective_backend(&self) -> SolverBackend {
+        self.solver_backend.resolve()
     }
 
     /// Returns the node with the given name, creating it if necessary.

@@ -13,7 +13,7 @@
 
 use crate::elements::Mosfet;
 use crate::mna::MnaLayout;
-use crate::solver::Solver;
+use crate::solver::{Solver, SolverBackend};
 use crate::{CircuitError, Result};
 use ind101_numeric::{Matrix, NumericError, Triplets};
 
@@ -37,25 +37,29 @@ pub(crate) struct WoodburySolver {
 }
 
 impl WoodburySolver {
-    /// Factors the static matrix and prepares the update columns.
+    /// Factors the static matrix and prepares the update columns
+    /// (Auto backend, no refinement — the differential-test baseline).
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn build(
         static_t: &Triplets,
         layout: &MnaLayout,
         mosfets: &[Mosfet],
     ) -> Result<Self> {
-        Self::build_with(static_t, layout, mosfets, false)
+        Self::build_with(static_t, layout, mosfets, false, SolverBackend::Auto)
     }
 
     /// Like [`WoodburySolver::build`], optionally enabling iterative
     /// refinement of ill-conditioned base solves (rescue/adaptive paths;
-    /// the default path must stay bit-for-bit reproducible).
+    /// the default path must stay bit-for-bit reproducible) and forcing
+    /// a linear-solver family for the factored base matrix.
     pub(crate) fn build_with(
         static_t: &Triplets,
         layout: &MnaLayout,
         mosfets: &[Mosfet],
         refine: bool,
+        backend: SolverBackend,
     ) -> Result<Self> {
-        let mut base = Solver::build(static_t)?;
+        let mut base = Solver::build_with(static_t, backend, None)?;
         if refine {
             base = base.with_refinement();
         }

@@ -1,10 +1,25 @@
-//! Linear solver backend with automatic dense/banded selection.
+//! Linear solver backend with automatic dense/banded/sparse selection.
 //!
 //! RC-dominated circuits (grids) reorder into tight bands under reverse
-//! Cuthill–McKee and factor in near-linear time; circuits carrying a
-//! dense mutual-inductance block do not, and fall back to dense LU.
+//! Cuthill–McKee and factor in near-linear time; wide but still sparse
+//! patterns route to the AMD-ordered sparse LU; circuits carrying a
+//! dense mutual-inductance block fall back to dense LU.
 //! This split *is* the paper's run-time story: PEEC-RC fast, PEEC-RLC
 //! slow, loop-model fast again.
+//!
+//! The [`SolverBackend`] knob picks the family: `Dense` keeps the dense
+//! kernel as the differential oracle, `Sparse` forces the sparse direct
+//! path, and `Auto` (the default) selects by structure — small systems
+//! dense, tight bands banded, low-density patterns sparse. `Auto` also
+//! honours the `IND101_SOLVER_BACKEND` environment variable so CI can
+//! run the whole suite under either family without code changes.
+//!
+//! The sparse backend splits factorization into a one-time **symbolic**
+//! phase (ordering + fill pattern) and a per-matrix **numeric** phase;
+//! callers that re-factor a fixed structure (transient stepping, Newton
+//! iterations, AC frequency points) pass the previous factorization's
+//! [`SymbolicLu`] back in via `build_with` so only the numeric phase
+//! re-runs.
 //!
 //! Robustness layer: the dense backend keeps the assembled matrix and a
 //! Hager 1-norm condition estimate; a solver built with
@@ -21,16 +36,88 @@
 
 use crate::Result;
 use ind101_numeric::{
-    bandwidth, reverse_cuthill_mckee, BandedMatrix, LuFactors, Matrix, NumericError, Permutation,
-    Scalar, Triplets,
+    bandwidth, reverse_cuthill_mckee, BandedMatrix, CsrMatrix, LuFactors, Matrix, NumericError,
+    Permutation, Scalar, SparseLu, SymbolicLu, Triplets,
 };
+use std::sync::Arc;
 
-/// Threshold below which a system is always solved densely.
-const SMALL_DENSE: usize = 48;
+/// Threshold below which a system is always solved densely — even under
+/// a forced `Sparse` backend, so tiny testbench results stay bit-for-bit
+/// identical across backend settings.
+pub(crate) const SMALL_DENSE: usize = 48;
 
 /// Condition estimate beyond which dense solves are iteratively refined
 /// (≈ 1/√ε: past this, half the working digits are already gone).
 const ILL_COND_THRESHOLD: f64 = 1e8;
+
+/// Auto heuristic: patterns at or below this stored-entry fraction route
+/// to the sparse direct kernel when they are not tightly banded.
+const SPARSE_DENSITY: f64 = 0.1;
+
+/// Iterative-refinement rounds every sparse solve performs. Static
+/// pivoting can shed digits on stiff MNA systems; two residual passes
+/// (cheap CSR matvecs) restore them deterministically.
+const SPARSE_REFINE_ROUNDS: usize = 2;
+
+/// Which linear-solver family the circuit engine uses.
+///
+/// `Dense` is the reference oracle (partial-pivot LU on the full
+/// matrix), `Sparse` is the AMD-ordered sparse direct LU with reusable
+/// symbolic factorization, and `Auto` picks per system by size, band
+/// structure, and density. `Auto` defers to the
+/// `IND101_SOLVER_BACKEND` environment variable (`dense` | `sparse` |
+/// `auto`) when it is set, which is how the CI matrix forces each
+/// family.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SolverBackend {
+    /// Always factor the full dense matrix (differential oracle).
+    Dense,
+    /// Force the sparse direct path for systems above the small-dense
+    /// floor.
+    Sparse,
+    /// Choose by structure; honours `IND101_SOLVER_BACKEND`.
+    #[default]
+    Auto,
+}
+
+impl SolverBackend {
+    /// Parses a backend name (case-insensitive): `dense`, `sparse`,
+    /// `auto`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "dense" => Some(Self::Dense),
+            "sparse" => Some(Self::Sparse),
+            "auto" => Some(Self::Auto),
+            _ => None,
+        }
+    }
+
+    /// Backend requested by `IND101_SOLVER_BACKEND`, if set and valid.
+    pub fn from_env() -> Option<Self> {
+        std::env::var("IND101_SOLVER_BACKEND")
+            .ok()
+            .and_then(|v| Self::parse(&v))
+    }
+
+    /// Resolves `Auto` through the environment: an explicit choice wins,
+    /// `Auto` consults `IND101_SOLVER_BACKEND`, and an unset/invalid
+    /// variable leaves the structural heuristic in charge.
+    pub fn resolve(self) -> Self {
+        match self {
+            Self::Auto => Self::from_env().unwrap_or(Self::Auto),
+            forced => forced,
+        }
+    }
+
+    /// Stable lowercase name (bench/report output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Dense => "dense",
+            Self::Sparse => "sparse",
+            Self::Auto => "auto",
+        }
+    }
+}
 
 /// A factored linear system `A·x = b`.
 #[derive(Clone, Debug)]
@@ -48,14 +135,34 @@ pub(crate) enum Solver<T: Scalar> {
         fac: BandedMatrix<T>,
         perm: Permutation,
     },
+    Sparse {
+        lu: SparseLu<T>,
+        /// Assembled matrix, kept for the refinement matvecs.
+        a: CsrMatrix<T>,
+    },
 }
 
 impl<T: Scalar> Solver<T> {
-    /// Chooses a backend from the assembled triplets and factors.
+    /// Chooses a backend automatically (`SolverBackend::Auto`, no reused
+    /// symbolic pattern) and factors. Unaffected by the backend
+    /// environment override — callers that want it go through
+    /// [`Solver::build_with`] with a resolved backend.
     ///
     /// Singular failures are re-mapped so `pivot` refers to the original
     /// MNA unknown ordering regardless of backend permutations.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn build(t: &Triplets<T>) -> Result<Self> {
+        Self::build_with(t, SolverBackend::Auto, None)
+    }
+
+    /// Factors under an explicit backend choice, optionally reusing a
+    /// sparse symbolic factorization from a previous same-pattern build
+    /// (the hint is validated and silently ignored on mismatch).
+    pub(crate) fn build_with(
+        t: &Triplets<T>,
+        backend: SolverBackend,
+        hint: Option<&Arc<SymbolicLu>>,
+    ) -> Result<Self> {
         #[cfg(feature = "solver-faults")]
         if let Some(pivot) = crate::faults::take_singular_pivot() {
             return Err(NumericError::Singular { pivot }.into());
@@ -63,6 +170,11 @@ impl<T: Scalar> Solver<T> {
         let n = t.nrows();
         if n <= SMALL_DENSE {
             return Self::build_dense(t);
+        }
+        match backend {
+            SolverBackend::Dense => return Self::build_dense(t),
+            SolverBackend::Sparse => return Self::build_sparse(t.to_csr(), hint),
+            SolverBackend::Auto => {}
         }
         // Structural analysis: RCM + bandwidth.
         let csr = t.to_csr();
@@ -91,9 +203,28 @@ impl<T: Scalar> Solver<T> {
                 });
             }
             Ok(Self::Banded { fac, perm })
+        } else if csr.density() <= SPARSE_DENSITY {
+            // Wide-band but sparse pattern: the sparse direct kernel. A
+            // static-pivot singularity is not proof of a singular
+            // matrix, so Auto retries densely (partial pivoting) before
+            // giving up.
+            match Self::build_sparse(csr, hint) {
+                Err(crate::CircuitError::Numeric(NumericError::Singular { .. })) => {
+                    Self::build_dense(t)
+                }
+                other => other,
+            }
         } else {
             Self::build_dense(t)
         }
+    }
+
+    fn build_sparse(csr: CsrMatrix<T>, hint: Option<&Arc<SymbolicLu>>) -> Result<Self> {
+        let lu = match hint {
+            Some(sym) if sym.matches(&csr) => SparseLu::factor_with(Arc::clone(sym), &csr)?,
+            _ => SparseLu::factor(&csr)?,
+        };
+        Ok(Self::Sparse { lu, a: csr })
     }
 
     fn build_dense(t: &Triplets<T>) -> Result<Self> {
@@ -144,6 +275,20 @@ impl<T: Scalar> Solver<T> {
                 let px = fac.solve(&pb)?;
                 Ok(perm.apply_inverse(&px))
             }
+            // Sparse solves always refine: static pivoting trades
+            // pivot-hunting for accuracy, and two CSR-matvec refinement
+            // rounds buy the digits back at negligible cost.
+            Self::Sparse { lu, a } => Ok(lu.solve_refined(a, b, SPARSE_REFINE_ROUNDS)?),
+        }
+    }
+
+    /// The sparse symbolic factorization, when the sparse backend is
+    /// active — passed back into [`Solver::build_with`] by callers that
+    /// re-factor the same pattern.
+    pub(crate) fn symbolic_hint(&self) -> Option<Arc<SymbolicLu>> {
+        match self {
+            Self::Sparse { lu, .. } => Some(Arc::clone(lu.symbolic())),
+            _ => None,
         }
     }
 
@@ -154,7 +299,7 @@ impl<T: Scalar> Solver<T> {
     pub(crate) fn condition_estimate(&self) -> Option<f64> {
         match self {
             Self::Dense { cond, .. } => Some(*cond),
-            Self::Banded { .. } => None,
+            Self::Banded { .. } | Self::Sparse { .. } => None,
         }
     }
 
@@ -163,6 +308,12 @@ impl<T: Scalar> Solver<T> {
     #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn is_banded(&self) -> bool {
         matches!(self, Self::Banded { .. })
+    }
+
+    /// Whether the sparse direct backend was selected.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn is_sparse(&self) -> bool {
+        matches!(self, Self::Sparse { .. })
     }
 }
 
@@ -284,6 +435,94 @@ mod tests {
             .map(|(u, v)| (u - v).abs())
             .fold(0.0f64, f64::max);
         assert!(resid < 1e-9 * 7.0, "residual {resid}");
+    }
+
+    /// 2-D resistive grid: wide band after RCM relative to a 1-D chain,
+    /// still very sparse — the sparse backend's home turf.
+    fn grid2d(w: usize, h: usize) -> Triplets {
+        let n = w * h;
+        let idx = |x: usize, y: usize| y * w + x;
+        let mut t = Triplets::new(n, n);
+        for y in 0..h {
+            for x in 0..w {
+                let i = idx(x, y);
+                t.push(i, i, 4.2);
+                let mut nb = |j: usize| t.push(i, j, -1.0);
+                if x > 0 {
+                    nb(idx(x - 1, y));
+                }
+                if x + 1 < w {
+                    nb(idx(x + 1, y));
+                }
+                if y > 0 {
+                    nb(idx(x, y - 1));
+                }
+                if y + 1 < h {
+                    nb(idx(x, y + 1));
+                }
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn forced_sparse_backend_matches_dense() {
+        let t = grid2d(14, 11);
+        let n = t.nrows();
+        let b: Vec<f64> = (0..n).map(|i| (0.11 * i as f64).sin()).collect();
+        let sp = Solver::build_with(&t, SolverBackend::Sparse, None).unwrap();
+        assert!(sp.is_sparse());
+        let de = Solver::build_with(&t, SolverBackend::Dense, None).unwrap();
+        assert!(!de.is_sparse() && !de.is_banded());
+        let xs = sp.solve(&b).unwrap();
+        let xd = de.solve(&b).unwrap();
+        for (s, d) in xs.iter().zip(&xd) {
+            assert!((s - d).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn small_systems_stay_dense_under_forced_sparse() {
+        // Bit-identity guarantee: below SMALL_DENSE every backend
+        // setting routes to the same dense kernel.
+        let t = tridiag(8);
+        let s = Solver::build_with(&t, SolverBackend::Sparse, None).unwrap();
+        assert!(!s.is_sparse());
+    }
+
+    #[test]
+    fn symbolic_hint_round_trips() {
+        let t = grid2d(12, 12);
+        let s1 = Solver::build_with(&t, SolverBackend::Sparse, None).unwrap();
+        let hint = s1.symbolic_hint().unwrap();
+        // Same pattern, shifted values: the rebuilt solver must share
+        // the symbolic object (numeric-only refactorization).
+        let mut t2 = Triplets::new(t.nrows(), t.ncols());
+        for &(i, j, v) in t.entries() {
+            t2.push(i, j, if i == j { v + 1.0 } else { v });
+        }
+        let s2 = Solver::build_with(&t2, SolverBackend::Sparse, Some(&hint)).unwrap();
+        let hint2 = s2.symbolic_hint().unwrap();
+        assert!(Arc::ptr_eq(&hint, &hint2), "symbolic pattern not reused");
+        let b = vec![1.0; t.nrows()];
+        let x = s2.solve(&b).unwrap();
+        let r = t2.to_dense().matvec(&x).unwrap();
+        for (u, v) in r.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn backend_parse_and_names() {
+        assert_eq!(SolverBackend::parse("dense"), Some(SolverBackend::Dense));
+        assert_eq!(SolverBackend::parse(" SPARSE "), Some(SolverBackend::Sparse));
+        assert_eq!(SolverBackend::parse("Auto"), Some(SolverBackend::Auto));
+        assert_eq!(SolverBackend::parse("banded"), None);
+        assert_eq!(SolverBackend::default(), SolverBackend::Auto);
+        assert_eq!(SolverBackend::Sparse.name(), "sparse");
+        // Forced choices resolve to themselves regardless of env.
+        assert_eq!(SolverBackend::Dense.resolve(), SolverBackend::Dense);
+        assert_eq!(SolverBackend::Sparse.resolve(), SolverBackend::Sparse);
     }
 
     #[test]

@@ -27,12 +27,13 @@ use crate::mna::{annotate_singular, assemble_static, stamp_current, MnaLayout, S
 use crate::nonlinear::WoodburySolver;
 use crate::netlist::{Circuit, NodeId};
 use crate::rescue::{RescuePolicy, RescueReport};
-use crate::solver::Solver;
+use crate::solver::{Solver, SolverBackend};
 use crate::waveform::Trace;
 use crate::Result;
-use ind101_numeric::Triplets;
+use ind101_numeric::{SymbolicLu, Triplets};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Newton convergence tolerance per time point (infinity norm of the
 /// iterate update, volts/amperes).
@@ -235,22 +236,38 @@ struct StepSolve {
 impl StepSolver {
     /// `refine` enables iterative refinement of ill-conditioned solves
     /// (adaptive path only — the fixed path stays bit-identical).
+    /// `hint` forwards a sparse symbolic factorization from an earlier
+    /// same-pattern build (BE → trapezoidal, or across adaptive step
+    /// sizes) so only the numeric phase re-runs.
     fn build(
         static_t: &Triplets,
         layout: &MnaLayout,
         mosfets: &[Mosfet],
         nonlinear: bool,
         refine: bool,
+        backend: SolverBackend,
+        hint: Option<&Arc<SymbolicLu>>,
     ) -> Result<Self> {
         Ok(if nonlinear {
-            Self::Woodbury(WoodburySolver::build_with(static_t, layout, mosfets, refine)?)
+            Self::Woodbury(WoodburySolver::build_with(
+                static_t, layout, mosfets, refine, backend,
+            )?)
         } else {
-            let mut s = Solver::build(static_t)?;
+            let mut s = Solver::build_with(static_t, backend, hint)?;
             if refine {
                 s = s.with_refinement();
             }
             Self::Linear(s)
         })
+    }
+
+    /// Sparse symbolic pattern of the linear backend, for reuse by the
+    /// next same-structure build.
+    fn symbolic_hint(&self) -> Option<Arc<SymbolicLu>> {
+        match self {
+            Self::Linear(s) => s.symbolic_hint(),
+            Self::Woodbury(_) => None,
+        }
     }
 
     fn solve(
@@ -475,10 +492,19 @@ impl Circuit {
         // time loop at all.
         let static_be = assemble_static(self, &layout, Scheme::Be, h);
         let static_trap = assemble_static(self, &layout, Scheme::Trap, h);
-        let solver_be = StepSolver::build(&static_be, &layout, &state.mosfets, nonlinear, false)
-            .map_err(annotate)?;
-        let solver_trap = StepSolver::build(&static_trap, &layout, &state.mosfets, nonlinear, false)
-            .map_err(annotate)?;
+        let backend = self.effective_backend();
+        let solver_be = StepSolver::build(
+            &static_be, &layout, &state.mosfets, nonlinear, false, backend, None,
+        )
+        .map_err(annotate)?;
+        // The BE and trapezoidal systems share a sparsity pattern (only
+        // the companion coefficients differ), so the trapezoidal build
+        // reuses the BE symbolic factorization.
+        let hint = solver_be.symbolic_hint();
+        let solver_trap = StepSolver::build(
+            &static_trap, &layout, &state.mosfets, nonlinear, false, backend, hint.as_ref(),
+        )
+        .map_err(annotate)?;
 
         let n_steps = (opts.t_stop / h).ceil() as usize;
         let mut result = TranResult {
@@ -567,6 +593,10 @@ impl Circuit {
         // ever holds first-step sizes.
         let mut cache_be: HashMap<u64, StepSolver> = HashMap::new();
         let mut cache_trap: HashMap<u64, StepSolver> = HashMap::new();
+        // Every step size shares one MNA sparsity pattern; the first
+        // sparse build's symbolic factorization seeds all later ones.
+        let backend = self.effective_backend();
+        let mut sym_hint: Option<Arc<SymbolicLu>> = None;
 
         let mut t = 0.0f64;
         let mut h_ctrl = opts.dt.min(dt_max);
@@ -588,10 +618,20 @@ impl Circuit {
                 Entry::Occupied(o) => o.into_mut(),
                 Entry::Vacant(v) => {
                     let st = assemble_static(self, &layout, scheme, h);
-                    v.insert(
-                        StepSolver::build(&st, &layout, &state.mosfets, nonlinear, true)
-                            .map_err(|e| annotate_singular(self, &layout, e))?,
+                    let built = StepSolver::build(
+                        &st,
+                        &layout,
+                        &state.mosfets,
+                        nonlinear,
+                        true,
+                        backend,
+                        sym_hint.as_ref(),
                     )
+                    .map_err(|e| annotate_singular(self, &layout, e))?;
+                    if sym_hint.is_none() {
+                        sym_hint = built.symbolic_hint();
+                    }
+                    v.insert(built)
                 }
             };
             let k = scheme.k(h);

@@ -1,0 +1,137 @@
+//! Physical invariants of the design-technique studies (paper §5).
+//!
+//! These are integration-level checks that the full geometry →
+//! extraction → loop/coupling pipelines reproduce the qualitative
+//! claims of Figures 5, 6 and 9 — the quantitative per-module math is
+//! covered by each module's unit tests.
+
+use ind101_design::ground_plane::{loop_l_vs_freq, GroundPlaneStudy, PlaneConfig};
+use ind101_design::shielding::{run_shielding_study, ShieldingStudy};
+use ind101_design::twisted::bundle_coupling;
+use ind101_geom::generators::{BundleStyle, TwistedBundleSpec};
+use ind101_geom::{um, Technology};
+
+/// Figure 5: "loop inductance can be reduced by sandwiching a signal
+/// line between ground return lines" — and the closer the shields, the
+/// lower the loop inductance.
+#[test]
+fn shield_proximity_monotonically_lowers_loop_inductance() {
+    let tech = Technology::example_copper_6lm();
+    let study = ShieldingStudy {
+        spacings_nm: vec![um(1), um(2), um(4), um(8)],
+        ..ShieldingStudy::default()
+    };
+    let points = run_shielding_study(&tech, &study).expect("study");
+    assert_eq!(points.len(), 1 + study.spacings_nm.len());
+
+    // Everything must be physical: positive R and L.
+    for p in &points {
+        assert!(p.r_ohm > 0.0, "non-positive loop R at {:?}", p.spacing_nm);
+        assert!(p.l_h > 0.0, "non-positive loop L at {:?}", p.spacing_nm);
+    }
+
+    // The unshielded baseline (distant return) has the largest loop L.
+    let baseline = &points[0];
+    assert!(baseline.spacing_nm.is_none());
+    for p in &points[1..] {
+        assert!(
+            p.l_h < baseline.l_h,
+            "shielded L {} not below baseline {}",
+            p.l_h,
+            baseline.l_h
+        );
+    }
+
+    // Monotone in spacing: tighter shields → smaller loop.
+    for w in points[1..].windows(2) {
+        assert!(
+            w[0].l_h < w[1].l_h,
+            "loop L must grow with shield spacing: {:?} vs {:?}",
+            w[0],
+            w[1]
+        );
+    }
+}
+
+/// Figure 6: dedicated ground planes "provide excellent return paths
+/// ... at high frequencies"; loop L is non-increasing in frequency for
+/// every configuration, and at the top frequency the plane beats the
+/// bare line.
+#[test]
+fn ground_plane_beats_bare_line_at_high_frequency() {
+    let tech = Technology::example_copper_6lm();
+    let study = GroundPlaneStudy {
+        freqs_hz: vec![1e8, 1e9, 1e10, 1e11],
+        ..GroundPlaneStudy::default()
+    };
+    let bare = loop_l_vs_freq(&tech, &study, PlaneConfig::Bare).expect("bare");
+    let plane = loop_l_vs_freq(&tech, &study, PlaneConfig::GroundPlane).expect("plane");
+
+    for ext in [&bare, &plane] {
+        assert_eq!(ext.freqs_hz, study.freqs_hz);
+        for w in ext.l_h.windows(2) {
+            assert!(
+                w[1] <= w[0] * (1.0 + 1e-9),
+                "loop L must not increase with frequency: {w:?}"
+            );
+        }
+        for (&r, &l) in ext.r_ohm.iter().zip(&ext.l_h) {
+            assert!(r > 0.0 && l > 0.0);
+        }
+    }
+
+    let last = study.freqs_hz.len() - 1;
+    assert!(
+        plane.l_h[last] < bare.l_h[last],
+        "plane L {} must undercut bare L {} at {} Hz",
+        plane.l_h[last],
+        bare.l_h[last],
+        study.freqs_hz[last]
+    );
+}
+
+/// Figure 9: twisting makes "the magnetic fluxes arising from any
+/// signal net within a twisted group cancel each other" — the twisted
+/// bundle's worst loop-to-loop coupling coefficient must undercut the
+/// parallel bundle's by a wide margin.
+#[test]
+fn twisting_cancels_inductive_coupling() {
+    let tech = Technology::example_copper_6lm();
+    let parallel = bundle_coupling(
+        &tech,
+        &TwistedBundleSpec {
+            style: BundleStyle::Parallel,
+            ..TwistedBundleSpec::default()
+        },
+    );
+    let twisted = bundle_coupling(
+        &tech,
+        &TwistedBundleSpec {
+            style: BundleStyle::Twisted,
+            ..TwistedBundleSpec::default()
+        },
+    );
+
+    // Coupling coefficients live in [0, 1) off-diagonal; the matrix is
+    // symmetric with a unit diagonal.
+    for bc in [&parallel, &twisted] {
+        let n = bc.kappa.nrows();
+        for i in 0..n {
+            assert!((bc.kappa[(i, i)] - 1.0).abs() < 1e-12);
+            for j in 0..n {
+                assert!((bc.kappa[(i, j)] - bc.kappa[(j, i)]).abs() < 1e-12);
+                if i != j {
+                    assert!(bc.kappa[(i, j)].abs() < 1.0);
+                }
+            }
+        }
+        assert!(bc.worst >= bc.mean);
+    }
+
+    assert!(
+        twisted.worst < 0.5 * parallel.worst,
+        "twisting must cut worst coupling at least in half: twisted {} vs parallel {}",
+        twisted.worst,
+        parallel.worst
+    );
+}

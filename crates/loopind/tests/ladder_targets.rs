@@ -1,0 +1,118 @@
+//! Ladder synthesis against R(f)/L(f) targets — the paper's Figure 3(d)
+//! methodology: extract loop impedance at two frequencies, fit the
+//! R₀/L₀/R₁‖L₁ ladder, and the ladder must reproduce the targets.
+
+use ind101_core::PeecParasitics;
+use ind101_geom::generators::{generate_bus, BusSpec, ShieldPattern};
+use ind101_geom::{um, Technology};
+use ind101_loop::{extract_loop_rl, LadderFit, LoopPortSpec};
+
+/// Round trip: a known ladder sampled at two frequencies must be
+/// recovered exactly, and interpolate correctly at a third.
+#[test]
+fn fit_recovers_known_ladder_parameters() {
+    let truth = LadderFit {
+        r0: 1.5,
+        l0: 2.0e-9,
+        r1: 4.0,
+        l1: 1.2e-9,
+    };
+    let (f1, f2) = (2e8, 2e10);
+    let (ra, la) = truth.rl_at(f1);
+    let (rb, lb) = truth.rl_at(f2);
+    let fit = LadderFit::fit((f1, ra, la), (f2, rb, lb)).expect("fit");
+
+    for (got, want, what) in [
+        (fit.r0, truth.r0, "r0"),
+        (fit.l0, truth.l0, "l0"),
+        (fit.r1, truth.r1, "r1"),
+        (fit.l1, truth.l1, "l1"),
+    ] {
+        assert!(
+            (got - want).abs() < 1e-6 * want.abs(),
+            "{what}: recovered {got} vs truth {want}"
+        );
+    }
+
+    // Interpolation at an unseen frequency agrees with the truth model.
+    let fm = 2e9;
+    let (rt, lt) = truth.rl_at(fm);
+    let (rf, lf) = fit.rl_at(fm);
+    assert!((rf - rt).abs() < 1e-6 * rt);
+    assert!((lf - lt).abs() < 1e-6 * lt);
+}
+
+/// Frequency-independent targets degenerate to a pure series ladder.
+#[test]
+fn flat_targets_yield_degenerate_ladder() {
+    let fit = LadderFit::fit((1e8, 2.0, 3e-9), (1e10, 2.0, 3e-9)).expect("fit");
+    assert_eq!(fit.r1, 0.0);
+    assert_eq!(fit.l1, 0.0);
+    assert!((fit.r0 - 2.0).abs() < 1e-12);
+    assert!((fit.l0 - 3e-9).abs() < 1e-21);
+    let (r, l) = fit.rl_at(5e9);
+    assert!((r - 2.0).abs() < 1e-12 && (l - 3e-9).abs() < 1e-21);
+}
+
+/// Unphysical targets (R falling or L rising with frequency) are not
+/// fit-able by a passive ladder and must be rejected.
+#[test]
+fn unphysical_targets_are_rejected() {
+    assert!(LadderFit::fit((1e8, 3.0, 2e-9), (1e10, 2.0, 1e-9)).is_none());
+    assert!(LadderFit::fit((1e8, 2.0, 1e-9), (1e10, 3.0, 2e-9)).is_none());
+    // Inverted frequency order is equally invalid.
+    assert!(LadderFit::fit((1e10, 2.0, 2e-9), (1e8, 3.0, 1e-9)).is_none());
+}
+
+/// Full pipeline on a signal/return pair: the extracted R(f) rises and
+/// L(f) falls with frequency (proximity effect on the return path), the
+/// two-point ladder fit succeeds, and the ladder reproduces both target
+/// points to numerical precision.
+#[test]
+fn extracted_loop_targets_are_reproduced_by_the_ladder() {
+    let tech = Technology::example_copper_6lm();
+    let spec = BusSpec {
+        signals: 1,
+        length_nm: um(2000),
+        width_nm: um(2),
+        spacing_nm: um(2),
+        shields: ShieldPattern::Edges,
+        tie_shields: true,
+        ..BusSpec::default()
+    };
+    let layout = generate_bus(&tech, &spec);
+    let par = PeecParasitics::extract(&layout, um(2000));
+    let port = LoopPortSpec::from_layout(&par).expect("ports");
+
+    let freqs = [1e8, 1e9, 1e10];
+    let ext = extract_loop_rl(&par, &port, &freqs).expect("extraction");
+    assert_eq!(ext.freqs_hz, freqs);
+    for w in ext.r_ohm.windows(2) {
+        assert!(w[1] >= w[0] * (1.0 - 1e-9), "loop R must not fall: {w:?}");
+    }
+    for w in ext.l_h.windows(2) {
+        assert!(w[1] <= w[0] * (1.0 + 1e-9), "loop L must not rise: {w:?}");
+    }
+
+    let (f1, f2) = (freqs[0], freqs[2]);
+    let fit = LadderFit::fit((f1, ext.r_ohm[0], ext.l_h[0]), (f2, ext.r_ohm[2], ext.l_h[2]))
+        .expect("ladder fit of extracted targets");
+
+    // The ladder must hit both extraction targets.
+    for (f, r_t, l_t) in [(f1, ext.r_ohm[0], ext.l_h[0]), (f2, ext.r_ohm[2], ext.l_h[2])] {
+        let (r, l) = fit.rl_at(f);
+        assert!(
+            (r - r_t).abs() <= 1e-6 * r_t,
+            "R target missed at {f} Hz: {r} vs {r_t}"
+        );
+        assert!(
+            (l - l_t).abs() <= 1e-6 * l_t,
+            "L target missed at {f} Hz: {l} vs {l_t}"
+        );
+    }
+
+    // And interpolate sanely in between: within the bracketing targets.
+    let (rm, lm) = fit.rl_at(freqs[1]);
+    assert!(rm >= ext.r_ohm[0] - 1e-12 && rm <= ext.r_ohm[2] + 1e-12);
+    assert!(lm <= ext.l_h[0] + 1e-21 && lm >= ext.l_h[2] - 1e-21);
+}

@@ -1,0 +1,133 @@
+//! PRIMA against the full model: a low-order reduced system must
+//! reproduce the full MNA system's DC gain, frequency response around
+//! the expansion point, and transient step response.
+
+use ind101_circuit::{AcOptions, Circuit, SourceWave};
+use ind101_mor::{prima, prima_active_ports, PrimaOptions};
+
+const SECTIONS: usize = 40;
+
+/// A 40-section RC transmission line driven by a unit-AC source and
+/// resistively terminated, plus the output node's unknown index.
+fn rc_line() -> (Circuit, usize) {
+    let mut c = Circuit::new();
+    let inp = c.node("in");
+    c.vsrc_ac(inp, Circuit::GND, SourceWave::step(0.0, 1.0, 20e-12, 20e-12), 1.0);
+    let mut prev = inp;
+    for k in 0..SECTIONS {
+        let n = c.node(format!("n{k}"));
+        c.resistor(prev, n, 50.0);
+        c.capacitor(n, Circuit::GND, 20e-15);
+        prev = n;
+    }
+    c.resistor(prev, Circuit::GND, 20_000.0);
+    let sys = c.mna_system().expect("mna system");
+    let out = sys.node_index(prev).expect("output index");
+    (c, out)
+}
+
+#[test]
+fn reduced_model_matches_full_ac_response_at_low_order() {
+    let (c, out) = rc_line();
+    let sys = c.mna_system().expect("mna system");
+    let opts = PrimaOptions::default();
+    let rom = prima(&sys, &[out], &opts).expect("prima");
+    assert!(rom.order() <= opts.order);
+    assert!(rom.order() < sys.n, "reduction must actually reduce");
+    assert_eq!(rom.num_inputs(), sys.num_inputs());
+    assert_eq!(rom.num_outputs(), 1);
+
+    // Full-model reference: unit AC magnitude at the only source makes
+    // the output node voltage the transfer function itself.
+    let freqs = [1e8, 3e8, 1e9, 3e9, 1e10];
+    let full = c
+        .ac_sweep(&AcOptions {
+            freqs_hz: freqs.to_vec(),
+        })
+        .expect("full ac");
+    let rom_h = rom.ac(&freqs).expect("reduced ac");
+    for (k, h) in rom_h.iter().enumerate() {
+        let href = full.voltage(ladder_output_node(&c), k);
+        let got = h[(0, 0)];
+        let err = (got - href).abs() / href.abs().max(1e-30);
+        assert!(
+            err < 1e-3,
+            "PRIMA transfer mismatch at {} Hz: full {href:?} vs reduced {got:?} (rel {err:.2e})",
+            freqs[k]
+        );
+    }
+}
+
+/// Resolves the ladder's output node (`n{SECTIONS-1}`) by name.
+fn ladder_output_node(c: &Circuit) -> ind101_circuit::NodeId {
+    let mut c2 = c.clone();
+    c2.node(format!("n{}", SECTIONS - 1))
+}
+
+#[test]
+fn reduced_model_matches_full_dc_gain() {
+    let (c, out) = rc_line();
+    let sys = c.mna_system().expect("mna system");
+    let rom = prima(&sys, &[out], &PrimaOptions::default()).expect("prima");
+    let gain = rom.dc_gain().expect("dc gain");
+    // DC: the series ladder (40 × 50 Ω) against the 20 kΩ termination
+    // is a plain resistive divider. PRIMA matches moments at s₀ (1 GHz),
+    // not at DC, and the MNA adds GMIN leakage — so the reduced DC gain
+    // is approximate, though very close at this order.
+    let expected = 20_000.0 / (20_000.0 + SECTIONS as f64 * 50.0);
+    let got = gain[(0, 0)];
+    assert!(
+        (got - expected).abs() < 1e-6 * expected.abs(),
+        "DC gain {got} vs analytic {expected}"
+    );
+}
+
+#[test]
+fn reduced_transient_matches_full_simulation() {
+    let (c, out) = rc_line();
+    let sys = c.mna_system().expect("mna system");
+    let rom = prima(&sys, &[out], &PrimaOptions::default()).expect("prima");
+
+    let dt = 5e-12;
+    let t_stop = 2e-9;
+    let full = c
+        .transient(&ind101_circuit::TranOptions::new(dt, t_stop))
+        .expect("full transient");
+    let full_trace = full.voltage(ladder_output_node(&c));
+
+    let inputs = vec![SourceWave::step(0.0, 1.0, 20e-12, 20e-12)];
+    let traces = rom.transient(&inputs, dt, t_stop).expect("reduced transient");
+    assert_eq!(traces.len(), 1);
+    let rt = &traces[0];
+
+    // Compare on the shared grid; both use trapezoidal integration.
+    let scale = full_trace
+        .values
+        .iter()
+        .fold(1e-3f64, |m, v| m.max(v.abs()));
+    for (i, &t) in full_trace.time.iter().enumerate() {
+        let want = full_trace.values[i];
+        let got = rt.sample(t);
+        assert!(
+            (got - want).abs() < 1e-3 * scale,
+            "transient mismatch at t={t}: full {want} vs reduced {got}"
+        );
+    }
+}
+
+/// Restricting Krylov generation to the active port must still match
+/// the full response when that port is the only one driven.
+#[test]
+fn active_port_restriction_matches_full_prima_for_single_input() {
+    let (c, out) = rc_line();
+    let sys = c.mna_system().expect("mna system");
+    let opts = PrimaOptions::default();
+    let all = prima(&sys, &[out], &opts).expect("prima");
+    let active = prima_active_ports(&sys, &[0], &[out], &opts).expect("prima active");
+
+    let freqs = [1e9];
+    let ha = all.ac(&freqs).expect("ac")[0][(0, 0)];
+    let hb = active.ac(&freqs).expect("ac")[0][(0, 0)];
+    let err = (ha - hb).abs() / ha.abs().max(1e-30);
+    assert!(err < 1e-9, "single-input active-port PRIMA diverged: {err}");
+}

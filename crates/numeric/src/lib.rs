@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
+mod amd;
 mod banded;
 mod cholesky;
 mod complex;
@@ -50,8 +51,11 @@ pub mod partition;
 mod qr;
 mod scalar;
 mod sparse;
+mod sparse_cholesky;
+mod sparse_lu;
 mod vecops;
 
+pub use amd::approximate_minimum_degree;
 pub use banded::BandedMatrix;
 pub use cholesky::CholeskyFactor;
 pub use complex::Complex64;
@@ -66,6 +70,8 @@ pub use partition::ParallelConfig;
 pub use qr::{mgs_orthonormalize, orthonormalize_against};
 pub use scalar::Scalar;
 pub use sparse::{CsrMatrix, Triplets};
+pub use sparse_cholesky::{SparseCholesky, SymbolicCholesky};
+pub use sparse_lu::{SparseLu, SymbolicLu};
 pub use vecops::{axpy, dot, norm2, norm_inf, scale};
 
 /// Convenient result alias for fallible numeric operations.

@@ -162,10 +162,35 @@ impl<T: Scalar> CsrMatrix<T> {
     }
 
     /// Value at `(i, j)`, zero if not stored.
+    ///
+    /// `to_csr` emits each row's columns in ascending order, so lookup
+    /// is a binary search within the row, not a linear scan.
     pub fn get(&self, i: usize, j: usize) -> T {
-        self.row_iter(i)
-            .find(|&(c, _)| c == j)
-            .map_or(T::zero(), |(_, v)| v)
+        let lo = self.indptr[i];
+        let hi = self.indptr[i + 1];
+        match self.indices[lo..hi].binary_search(&j) {
+            Ok(k) => self.data[lo + k],
+            Err(_) => T::zero(),
+        }
+    }
+
+    /// Whether `(i, j)` is *structurally* present (stored, even if the
+    /// stored value happens to be zero).
+    pub fn contains(&self, i: usize, j: usize) -> bool {
+        let lo = self.indptr[i];
+        let hi = self.indptr[i + 1];
+        self.indices[lo..hi].binary_search(&j).is_ok()
+    }
+
+    /// Fraction of stored entries: `nnz / (nrows · ncols)`; 0 for an
+    /// empty shape. Drives the Auto backend-selection heuristic.
+    pub fn density(&self) -> f64 {
+        let cells = self.nrows * self.ncols;
+        if cells == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / cells as f64
+        }
     }
 
     /// Matrix–vector product `y = A·x`.
@@ -300,5 +325,47 @@ mod tests {
         let t = Triplets::<f64>::new(2, 3);
         let csr = t.to_csr();
         assert!(csr.matvec(&[0.0; 2]).is_err());
+        assert!(csr.matvec(&[0.0; 4]).is_err());
+    }
+
+    #[test]
+    fn get_binary_search_agrees_with_scan_on_wide_rows() {
+        // A row with many entries: every stored and absent column must
+        // resolve exactly as a linear scan would.
+        let mut t = Triplets::new(2, 101);
+        for c in (0..101).step_by(3) {
+            t.push(0, c, c as f64 + 0.5);
+        }
+        let csr = t.to_csr();
+        for c in 0..101 {
+            let expect = if c % 3 == 0 { c as f64 + 0.5 } else { 0.0 };
+            assert_eq!(csr.get(0, c), expect, "col {c}");
+            assert_eq!(csr.contains(0, c), c % 3 == 0);
+        }
+        // Row 1 is empty: everything absent.
+        assert_eq!(csr.get(1, 50), 0.0);
+        assert!(!csr.contains(1, 50));
+    }
+
+    #[test]
+    fn contains_sees_structural_zeros() {
+        // Cancelling duplicates leave a stored zero: `get` reports 0,
+        // `contains` reports presence.
+        let mut t = Triplets::new(1, 2);
+        t.push(0, 0, 1.0);
+        t.push(0, 0, -1.0);
+        let csr = t.to_csr();
+        assert_eq!(csr.get(0, 0), 0.0);
+        assert!(csr.contains(0, 0));
+        assert!(!csr.contains(0, 1));
+    }
+
+    #[test]
+    fn density_counts_stored_fraction() {
+        let mut t = Triplets::new(4, 5);
+        t.push(0, 0, 1.0);
+        t.push(3, 4, 2.0);
+        assert!((t.to_csr().density() - 2.0 / 20.0).abs() < 1e-15);
+        assert_eq!(Triplets::<f64>::new(0, 0).to_csr().density(), 0.0);
     }
 }

@@ -1,0 +1,493 @@
+//! Sparse up-looking Cholesky (`P·A·Pᵀ = L·Lᴴ`) with a reusable
+//! symbolic factorization.
+//!
+//! The structural phase ([`SymbolicCholesky::analyze`]) runs AMD, builds
+//! the **elimination tree**, and computes each row's fill pattern with
+//! the classic `ereach` traversal — the pattern of row `k` of `L` is the
+//! set of nodes on elimination-tree paths from the structural nonzeros
+//! of `A(k, 0..k)` up toward `k`. The numeric phase
+//! ([`SparseCholesky::factor_with`] / [`SparseCholesky::refactor`])
+//! re-runs in `O(|L|·flops)` with zero pattern work, which is what makes
+//! SPD transient matrices with a fixed structure cheap to re-factor per
+//! step size.
+//!
+//! The factorization is Hermitian-aware via [`Scalar::conj_val`]: for
+//! `Complex64` input it computes `L·Lᴴ` with a real positive diagonal,
+//! so frequency-domain SPD-like systems (e.g. susceptance-only models)
+//! use the same code path.
+
+use crate::amd::approximate_minimum_degree;
+use crate::ordering::Permutation;
+use crate::scalar::Scalar;
+use crate::sparse::CsrMatrix;
+use crate::{NumericError, Result};
+use std::sync::Arc;
+
+const NONE: usize = usize::MAX;
+
+/// Structural fingerprint identical in construction to the sparse-LU
+/// one; duplicated locally to keep the modules independent.
+fn pattern_key<T: Scalar>(a: &CsrMatrix<T>) -> (usize, u64) {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |x: usize| {
+        for b in (x as u64).to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for &p in a.indptr() {
+        eat(p);
+    }
+    for &c in a.indices() {
+        eat(c);
+    }
+    (a.nnz(), h)
+}
+
+/// Reusable structural half of a sparse Cholesky factorization.
+#[derive(Clone, Debug)]
+pub struct SymbolicCholesky {
+    n: usize,
+    perm: Permutation,
+    /// Elimination-tree parent of each permuted column (`usize::MAX` for
+    /// roots).
+    parent: Vec<usize>,
+    /// Per permuted row `k`: the strictly-lower pattern of `L(k, ·)` in
+    /// topological (ereach) order — every column appears before any of
+    /// its elimination-tree ancestors, which is exactly the order the
+    /// up-looking numeric phase must visit them in.
+    row_patterns: Vec<Vec<usize>>,
+    /// Per permuted column `j`: the rows `k > j` with `L(k,j) ≠ 0`,
+    /// ascending. Numeric storage aligns with this.
+    col_rows: Vec<Vec<usize>>,
+    key: (usize, u64),
+}
+
+impl SymbolicCholesky {
+    /// Analyzes a structurally symmetric matrix with an AMD ordering.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::NotSquare`] for non-square input.
+    pub fn analyze<T: Scalar>(a: &CsrMatrix<T>) -> Result<Self> {
+        let n = a.nrows();
+        if a.ncols() != n {
+            return Err(NumericError::NotSquare {
+                rows: n,
+                cols: a.ncols(),
+            });
+        }
+        // SPD matrices always carry their diagonal; no deferral needed.
+        let perm = approximate_minimum_degree(&a.adjacency(), &[]);
+        Self::analyze_with_ordering(a, perm)
+    }
+
+    /// Analyzes under a caller-supplied symmetric permutation.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::NotSquare`] / [`NumericError::DimensionMismatch`]
+    /// on shape problems.
+    pub fn analyze_with_ordering<T: Scalar>(a: &CsrMatrix<T>, perm: Permutation) -> Result<Self> {
+        let n = a.nrows();
+        if a.ncols() != n {
+            return Err(NumericError::NotSquare {
+                rows: n,
+                cols: a.ncols(),
+            });
+        }
+        if perm.len() != n {
+            return Err(NumericError::DimensionMismatch {
+                expected: n,
+                found: perm.len(),
+            });
+        }
+        // Strictly-lower permuted pattern per row (both triangles of the
+        // input are folded in, so an upper-only or full matrix works).
+        let mut below: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for old_r in 0..n {
+            let i = perm.new_of(old_r);
+            for (old_c, _) in a.row_iter(old_r) {
+                let j = perm.new_of(old_c);
+                if j < i {
+                    below[i].push(j);
+                } else if i < j {
+                    below[j].push(i);
+                }
+            }
+        }
+        for r in &mut below {
+            r.sort_unstable();
+            r.dedup();
+        }
+
+        // Elimination tree with ancestor path compression (cs_etree).
+        let mut parent = vec![NONE; n];
+        let mut ancestor = vec![NONE; n];
+        for (k, row) in below.iter().enumerate() {
+            for &entry in row {
+                let mut i = entry;
+                while i != NONE && i < k {
+                    let next = ancestor[i];
+                    ancestor[i] = k;
+                    if next == NONE {
+                        parent[i] = k;
+                    }
+                    i = next;
+                }
+            }
+        }
+
+        // Row patterns via ereach: walk each structural entry up the
+        // tree until a node already marked for this row; paths are laid
+        // into `stack` from the END so that a later path (whose nodes
+        // are tree-descendants of the node where it joins an earlier
+        // one) reads out BEFORE the earlier path — that is what makes
+        // the final order topological.
+        let mut mark = vec![NONE; n];
+        let mut stack = vec![0usize; n];
+        let mut path = Vec::with_capacity(n);
+        let mut row_patterns: Vec<Vec<usize>> = Vec::with_capacity(n);
+        let mut col_rows: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (k, row) in below.iter().enumerate() {
+            mark[k] = k;
+            let mut top = n;
+            for &entry in row {
+                let mut i = entry;
+                path.clear();
+                while i != NONE && i < k && mark[i] != k {
+                    path.push(i);
+                    mark[i] = k;
+                    i = parent[i];
+                }
+                while let Some(node) = path.pop() {
+                    top -= 1;
+                    stack[top] = node;
+                }
+            }
+            let pat = stack[top..].to_vec();
+            for &j in &pat {
+                col_rows[j].push(k);
+            }
+            row_patterns.push(pat);
+        }
+
+        Ok(Self {
+            n,
+            perm,
+            parent,
+            row_patterns,
+            col_rows,
+            key: pattern_key(a),
+        })
+    }
+
+    /// Dimension of the analyzed system.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// The fill-reducing permutation in use.
+    pub fn perm(&self) -> &Permutation {
+        &self.perm
+    }
+
+    /// Elimination-tree parent array (`usize::MAX` marks a root).
+    pub fn etree(&self) -> &[usize] {
+        &self.parent
+    }
+
+    /// Stored entries of `L` including the diagonal.
+    pub fn factor_nnz(&self) -> usize {
+        self.n + self.col_rows.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Whether this symbolic factorization applies to `a` (identical
+    /// structural pattern).
+    pub fn matches<T: Scalar>(&self, a: &CsrMatrix<T>) -> bool {
+        a.nrows() == self.n && a.ncols() == self.n && pattern_key(a) == self.key
+    }
+}
+
+/// Numeric sparse Cholesky factors sharing a [`SymbolicCholesky`].
+#[derive(Clone, Debug)]
+pub struct SparseCholesky<T: Scalar> {
+    sym: Arc<SymbolicCholesky>,
+    /// Real positive diagonal of `L` (permuted order).
+    diag: Vec<f64>,
+    /// Column-major strictly-lower values aligned with
+    /// `sym.col_rows[j]`.
+    col_vals: Vec<Vec<T>>,
+}
+
+impl<T: Scalar> SparseCholesky<T> {
+    /// Analyzes and factors in one call.
+    ///
+    /// # Errors
+    ///
+    /// Structural errors from [`SymbolicCholesky::analyze`] or
+    /// [`NumericError::NotPositiveDefinite`] (pivot reported in the
+    /// original, pre-permutation index space).
+    pub fn factor(a: &CsrMatrix<T>) -> Result<Self> {
+        let sym = Arc::new(SymbolicCholesky::analyze(a)?);
+        Self::factor_with(sym, a)
+    }
+
+    /// Numeric factorization reusing an existing symbolic pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::DimensionMismatch`] if the pattern differs,
+    /// [`NumericError::NotPositiveDefinite`] on a non-positive pivot.
+    pub fn factor_with(sym: Arc<SymbolicCholesky>, a: &CsrMatrix<T>) -> Result<Self> {
+        let mut ch = Self {
+            diag: vec![0.0; sym.n],
+            col_vals: sym.col_rows.iter().map(|c| vec![T::zero(); c.len()]).collect(),
+            sym,
+        };
+        ch.refactor(a)?;
+        Ok(ch)
+    }
+
+    /// Re-runs only the numeric phase on a same-pattern matrix.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SparseCholesky::factor_with`].
+    pub fn refactor(&mut self, a: &CsrMatrix<T>) -> Result<()> {
+        let sym = &self.sym;
+        if !sym.matches(a) {
+            return Err(NumericError::DimensionMismatch {
+                expected: sym.key.0,
+                found: a.nnz(),
+            });
+        }
+        let n = sym.n;
+        let perm = &sym.perm;
+        let mut x = vec![T::zero(); n];
+        // Per-column fill cursor: entries [0, fill[j]) of column j are
+        // finalized and have row < current k.
+        let mut fill = vec![0usize; n];
+        for k in 0..n {
+            // Scatter the lower half of permuted row k.
+            let mut d = 0.0;
+            for (c, v) in a.row_iter(perm.old_of(k)) {
+                let j = perm.new_of(c);
+                if j < k {
+                    x[j] = v;
+                } else if j == k {
+                    d = v.real_part();
+                }
+            }
+            for &j in &sym.row_patterns[k] {
+                // With x holding row k of the permuted matrix,
+                // M(k,j) = Σ_{m<j} L(k,m)·conj(L(j,m)) + L(k,j)·diag[j],
+                // so after the updates below x[j] / diag[j] IS L(k,j).
+                let lkj = x[j] / T::from_f64(self.diag[j]);
+                x[j] = T::zero();
+                let rows = &sym.col_rows[j];
+                let vals = &self.col_vals[j];
+                for p in 0..fill[j] {
+                    x[rows[p]] -= vals[p].conj_val() * lkj;
+                }
+                d -= lkj.abs_val() * lkj.abs_val();
+                self.col_vals[j][fill[j]] = lkj;
+                fill[j] += 1;
+            }
+            if !(d > 0.0) || !d.is_finite() {
+                return Err(NumericError::NotPositiveDefinite {
+                    pivot: perm.old_of(k),
+                    value: d,
+                });
+            }
+            self.diag[k] = d.sqrt();
+        }
+        Ok(())
+    }
+
+    /// The shared symbolic factorization.
+    pub fn symbolic(&self) -> &Arc<SymbolicCholesky> {
+        &self.sym
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::DimensionMismatch`] on a wrong-length `b`.
+    pub fn solve(&self, b: &[T]) -> Result<Vec<T>> {
+        let sym = &self.sym;
+        let n = sym.n;
+        if b.len() != n {
+            return Err(NumericError::DimensionMismatch {
+                expected: n,
+                found: b.len(),
+            });
+        }
+        let mut x = sym.perm.apply(b);
+        // Forward: L·z = P·b, column-oriented.
+        for j in 0..n {
+            let zj = x[j] / T::from_f64(self.diag[j]);
+            x[j] = zj;
+            for (p, &r) in sym.col_rows[j].iter().enumerate() {
+                x[r] -= self.col_vals[j][p] * zj;
+            }
+        }
+        // Backward: Lᴴ·w = z.
+        for j in (0..n).rev() {
+            let mut acc = x[j];
+            for (p, &r) in sym.col_rows[j].iter().enumerate() {
+                acc -= self.col_vals[j][p].conj_val() * x[r];
+            }
+            x[j] = acc / T::from_f64(self.diag[j]);
+        }
+        Ok(sym.perm.apply_inverse(&x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::Triplets;
+    use crate::Complex64;
+
+    fn grid_laplacian(w: usize, h: usize) -> Triplets {
+        let n = w * h;
+        let idx = |x: usize, y: usize| y * w + x;
+        let mut t = Triplets::new(n, n);
+        for y in 0..h {
+            for x in 0..w {
+                let i = idx(x, y);
+                t.push(i, i, 4.1);
+                let mut nb = |j: usize| t.push(i, j, -1.0);
+                if x > 0 {
+                    nb(idx(x - 1, y));
+                }
+                if x + 1 < w {
+                    nb(idx(x + 1, y));
+                }
+                if y > 0 {
+                    nb(idx(x, y - 1));
+                }
+                if y + 1 < h {
+                    nb(idx(x, y + 1));
+                }
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn spd_grid_solves_exactly() {
+        let t = grid_laplacian(11, 7);
+        let csr = t.to_csr();
+        let ch = SparseCholesky::factor(&csr).unwrap();
+        let n = t.nrows();
+        let b: Vec<f64> = (0..n).map(|i| (0.23 * i as f64).cos()).collect();
+        let x = ch.solve(&b).unwrap();
+        let ax = csr.matvec(&x).unwrap();
+        for (u, v) in ax.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn matches_dense_cholesky_solution() {
+        let t = grid_laplacian(5, 5);
+        let b: Vec<f64> = (0..25).map(|i| i as f64 - 7.0).collect();
+        let sparse = SparseCholesky::factor(&t.to_csr()).unwrap().solve(&b).unwrap();
+        let dense = t.to_dense().lu().unwrap().solve(&b).unwrap();
+        for (s, d) in sparse.iter().zip(&dense) {
+            assert!((s - d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn refactor_reuses_pattern() {
+        let t1 = grid_laplacian(9, 9);
+        let mut t2 = Triplets::new(t1.nrows(), t1.ncols());
+        for &(i, j, v) in t1.entries() {
+            t2.push(i, j, if i == j { v + 3.0 } else { v });
+        }
+        let c1 = t1.to_csr();
+        let c2 = t2.to_csr();
+        let mut ch = SparseCholesky::factor(&c1).unwrap();
+        assert!(ch.symbolic().matches(&c2));
+        ch.refactor(&c2).unwrap();
+        let b = vec![1.0; t1.nrows()];
+        let x = ch.solve(&b).unwrap();
+        let ax = c2.matvec(&x).unwrap();
+        for (u, v) in ax.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn indefinite_matrix_is_rejected_with_original_pivot() {
+        // Diagonally dominant everywhere except one negative diagonal.
+        let n = 30;
+        let bad = 17usize;
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            t.push(i, i, if i == bad { -5.0 } else { 4.0 });
+            if i + 1 < n {
+                t.push(i, i + 1, -1.0);
+                t.push(i + 1, i, -1.0);
+            }
+        }
+        match SparseCholesky::factor(&t.to_csr()) {
+            Err(NumericError::NotPositiveDefinite { pivot, value }) => {
+                assert_eq!(pivot, bad);
+                assert!(value <= 0.0);
+            }
+            other => panic!("expected NotPositiveDefinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hermitian_complex_system_solves() {
+        // Hermitian positive definite: real dominant diagonal, conjugate
+        // off-diagonal pair.
+        let n = 40;
+        let mut t: Triplets<Complex64> = Triplets::new(n, n);
+        let off = Complex64::new(-0.8, 0.4);
+        for i in 0..n {
+            t.push(i, i, Complex64::new(3.0, 0.0));
+            if i + 1 < n {
+                t.push(i, i + 1, off);
+                t.push(i + 1, i, off.conj());
+            }
+        }
+        let csr = t.to_csr();
+        let ch = SparseCholesky::factor(&csr).unwrap();
+        let b: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i % 3) as f64, -1.0))
+            .collect();
+        let x = ch.solve(&b).unwrap();
+        let ax = csr.matvec(&x).unwrap();
+        for (u, v) in ax.iter().zip(&b) {
+            assert!((*u - *v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn etree_and_fill_are_reported() {
+        let a = grid_laplacian(8, 8).to_csr();
+        let sym = SymbolicCholesky::analyze(&a).unwrap();
+        assert_eq!(sym.dim(), 64);
+        assert_eq!(sym.etree().len(), 64);
+        // Exactly one root per connected component (grid: one).
+        assert_eq!(sym.etree().iter().filter(|&&p| p == usize::MAX).count(), 1);
+        // Factor holds at least the lower triangle of A, at most dense.
+        assert!(sym.factor_nnz() >= (a.nnz() + 64) / 2);
+        assert!(sym.factor_nnz() <= 64 * 65 / 2);
+    }
+
+    #[test]
+    fn pattern_mismatch_rejected() {
+        let a = grid_laplacian(6, 6).to_csr();
+        let b = grid_laplacian(6, 5).to_csr();
+        let sym = Arc::new(SymbolicCholesky::analyze(&a).unwrap());
+        assert!(SparseCholesky::factor_with(sym, &b).is_err());
+    }
+}

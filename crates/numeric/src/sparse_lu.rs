@@ -1,0 +1,591 @@
+//! Sparse direct LU with a reusable symbolic factorization.
+//!
+//! The factorization is split into the two classic phases:
+//!
+//! * [`SymbolicLu::analyze`] — one-time structural work: a fill-reducing
+//!   ordering (AMD, with structurally-zero diagonals deferred so static
+//!   pivoting is safe on MNA systems) followed by a row-merge symbolic
+//!   elimination that computes the exact fill pattern of `L` and `U`.
+//! * [`SparseLu::factor_with`] / [`SparseLu::refactor`] — the numeric
+//!   phase: an up-looking row Doolittle factorization that scatters each
+//!   row into a dense workspace and eliminates along the precomputed
+//!   pattern. Transient stepping and Newton iterations re-run **only**
+//!   this phase; the pattern (and its ordering) is shared via
+//!   [`std::sync::Arc`].
+//!
+//! Pivoting is static: the AMD order is fixed up front and the diagonal
+//! is the pivot. That is exact for diagonally-strong circuit matrices
+//! and, combined with the deferral constraint and the iterative
+//! refinement in [`SparseLu::solve_refined`], accurate in practice for
+//! the paper's MNA systems. A zero (or non-finite) pivot surfaces as
+//! [`NumericError::Singular`] with the pivot mapped back to the
+//! *original* row index, so circuit-level diagnostics can name the
+//! offending unknown.
+
+use crate::amd::approximate_minimum_degree;
+use crate::ordering::Permutation;
+use crate::scalar::Scalar;
+use crate::sparse::CsrMatrix;
+use crate::{NumericError, Result};
+use std::sync::Arc;
+
+/// Sentinel for "no next column" in the symbolic merge list.
+const NONE: usize = usize::MAX;
+
+/// Structural fingerprint of a CSR pattern: (nnz, FNV-1a over the row
+/// pointers and column indices). Used to decide whether a cached
+/// symbolic factorization applies to a new matrix.
+fn pattern_key<T: Scalar>(a: &CsrMatrix<T>) -> (usize, u64) {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |x: usize| {
+        for b in (x as u64).to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for &p in a.indptr() {
+        eat(p);
+    }
+    for &c in a.indices() {
+        eat(c);
+    }
+    (a.nnz(), h)
+}
+
+/// The reusable structural half of a sparse LU factorization: ordering
+/// plus the exact fill patterns of `L` (strictly lower) and `U`
+/// (diagonal first), both in the permuted index space.
+#[derive(Clone, Debug)]
+pub struct SymbolicLu {
+    n: usize,
+    perm: Permutation,
+    /// Per permuted row `i`: columns `j < i` of `L(i, ·)`, ascending.
+    l_cols: Vec<Vec<usize>>,
+    /// Per permuted row `i`: columns `j ≥ i` of `U(i, ·)`, ascending —
+    /// the diagonal is always first (and always structurally present).
+    u_cols: Vec<Vec<usize>>,
+    key: (usize, u64),
+}
+
+impl SymbolicLu {
+    /// Analyzes `a` with the default ordering: AMD on the symmetrized
+    /// pattern, deferring rows whose diagonal is structurally absent
+    /// (voltage-source incidence rows in MNA systems) so the static
+    /// pivot order never meets a structural zero.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::NotSquare`] for non-square input.
+    pub fn analyze<T: Scalar>(a: &CsrMatrix<T>) -> Result<Self> {
+        let n = a.nrows();
+        if a.ncols() != n {
+            return Err(NumericError::NotSquare {
+                rows: n,
+                cols: a.ncols(),
+            });
+        }
+        let adj = a.adjacency();
+        let defer: Vec<bool> = (0..n).map(|i| !a.contains(i, i)).collect();
+        let perm = approximate_minimum_degree(&adj, &defer);
+        Self::analyze_with_ordering(a, perm)
+    }
+
+    /// Analyzes `a` under a caller-supplied symmetric permutation
+    /// (`P·A·Pᵀ` is factored).
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::NotSquare`] for non-square input,
+    /// [`NumericError::DimensionMismatch`] if the permutation length
+    /// differs from the matrix dimension.
+    pub fn analyze_with_ordering<T: Scalar>(a: &CsrMatrix<T>, perm: Permutation) -> Result<Self> {
+        let n = a.nrows();
+        if a.ncols() != n {
+            return Err(NumericError::NotSquare {
+                rows: n,
+                cols: a.ncols(),
+            });
+        }
+        if perm.len() != n {
+            return Err(NumericError::DimensionMismatch {
+                expected: n,
+                found: perm.len(),
+            });
+        }
+        // Permuted structural rows, sorted ascending.
+        let rows_p: Vec<Vec<usize>> = (0..n)
+            .map(|i| {
+                let mut r: Vec<usize> =
+                    a.row_iter(perm.old_of(i)).map(|(c, _)| perm.new_of(c)).collect();
+                r.sort_unstable();
+                r
+            })
+            .collect();
+
+        let mut l_cols: Vec<Vec<usize>> = Vec::with_capacity(n);
+        let mut u_cols: Vec<Vec<usize>> = Vec::with_capacity(n);
+        // Sorted singly-linked merge list over column indices; rebuilt
+        // per row, so no reset pass is needed.
+        let mut next = vec![NONE; n + 1];
+        for i in 0..n {
+            // Seed the list with the row's own pattern plus the diagonal.
+            let mut head = NONE;
+            let mut tail = NONE;
+            let mut push_tail = |next: &mut Vec<usize>, c: usize| {
+                if tail == NONE {
+                    head = c;
+                } else {
+                    next[tail] = c;
+                }
+                next[c] = NONE;
+                tail = c;
+            };
+            let mut saw_diag = false;
+            for &c in &rows_p[i] {
+                if c == i {
+                    saw_diag = true;
+                }
+                if !saw_diag && c > i {
+                    push_tail(&mut next, i);
+                    saw_diag = true;
+                }
+                push_tail(&mut next, c);
+            }
+            if !saw_diag {
+                push_tail(&mut next, i);
+            }
+
+            // Traverse: every list column below the diagonal is an L
+            // entry whose row of U merges in behind it.
+            let mut lc = Vec::new();
+            let mut j = head;
+            while j != NONE && j < i {
+                lc.push(j);
+                let mut prev = j;
+                let mut cursor = next[j];
+                for &c in &u_cols[j][1..] {
+                    while cursor != NONE && cursor < c {
+                        prev = cursor;
+                        cursor = next[cursor];
+                    }
+                    if cursor == c {
+                        prev = c;
+                        cursor = next[c];
+                        continue;
+                    }
+                    next[prev] = c;
+                    next[c] = cursor;
+                    prev = c;
+                }
+                j = next[j];
+            }
+            let mut uc = Vec::new();
+            while j != NONE {
+                uc.push(j);
+                j = next[j];
+            }
+            debug_assert_eq!(uc.first().copied(), Some(i), "diagonal must lead U row");
+            l_cols.push(lc);
+            u_cols.push(uc);
+        }
+
+        Ok(Self {
+            n,
+            perm,
+            l_cols,
+            u_cols,
+            key: pattern_key(a),
+        })
+    }
+
+    /// Dimension of the analyzed system.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// The fill-reducing permutation in use.
+    pub fn perm(&self) -> &Permutation {
+        &self.perm
+    }
+
+    /// Stored entries in `L` plus `U` (unit diagonal of `L` excluded):
+    /// the memory and per-refactor work the pattern implies.
+    pub fn factor_nnz(&self) -> usize {
+        self.l_cols.iter().map(Vec::len).sum::<usize>()
+            + self.u_cols.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Whether this symbolic factorization applies to `a` (identical
+    /// structural pattern). Matching is by dimension + nnz + a pattern
+    /// hash, so it is O(nnz) with no allocation.
+    pub fn matches<T: Scalar>(&self, a: &CsrMatrix<T>) -> bool {
+        a.nrows() == self.n && a.ncols() == self.n && pattern_key(a) == self.key
+    }
+}
+
+/// A numerically factored sparse system `P·A·Pᵀ = L·U` sharing a
+/// [`SymbolicLu`] pattern.
+#[derive(Clone, Debug)]
+pub struct SparseLu<T: Scalar> {
+    sym: Arc<SymbolicLu>,
+    /// Values aligned with `sym.l_cols` / `sym.u_cols`.
+    l_vals: Vec<Vec<T>>,
+    u_vals: Vec<Vec<T>>,
+}
+
+impl<T: Scalar> SparseLu<T> {
+    /// Analyzes and factors `a` in one call.
+    ///
+    /// # Errors
+    ///
+    /// Structural errors from [`SymbolicLu::analyze`], or
+    /// [`NumericError::Singular`] (pivot in original coordinates).
+    pub fn factor(a: &CsrMatrix<T>) -> Result<Self> {
+        let sym = Arc::new(SymbolicLu::analyze(a)?);
+        Self::factor_with(sym, a)
+    }
+
+    /// Numeric factorization reusing an existing symbolic pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::DimensionMismatch`] if `a`'s pattern differs from
+    /// the one `sym` was analyzed on; [`NumericError::Singular`] on a
+    /// zero/non-finite pivot.
+    pub fn factor_with(sym: Arc<SymbolicLu>, a: &CsrMatrix<T>) -> Result<Self> {
+        let n = sym.n;
+        let mut lu = Self {
+            l_vals: sym.l_cols.iter().map(|c| vec![T::zero(); c.len()]).collect(),
+            u_vals: sym.u_cols.iter().map(|c| vec![T::zero(); c.len()]).collect(),
+            sym,
+        };
+        let mut x = vec![T::zero(); n];
+        lu.refactor_into(a, &mut x)?;
+        Ok(lu)
+    }
+
+    /// Re-runs only the numeric phase on a matrix with the same pattern
+    /// (new time step, new Newton linearization…). No allocation beyond
+    /// a transient workspace.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SparseLu::factor_with`].
+    pub fn refactor(&mut self, a: &CsrMatrix<T>) -> Result<()> {
+        let mut x = vec![T::zero(); self.sym.n];
+        self.refactor_into(a, &mut x)
+    }
+
+    fn refactor_into(&mut self, a: &CsrMatrix<T>, x: &mut [T]) -> Result<()> {
+        let sym = &self.sym;
+        if !sym.matches(a) {
+            return Err(NumericError::DimensionMismatch {
+                expected: sym.key.0,
+                found: a.nnz(),
+            });
+        }
+        let perm = &sym.perm;
+        for i in 0..sym.n {
+            // Scatter permuted row i. Every entry lies inside the
+            // symbolic pattern by construction (the pattern contains the
+            // matrix pattern, and `matches` pinned the pattern).
+            for (c, v) in a.row_iter(perm.old_of(i)) {
+                x[perm.new_of(c)] = v;
+            }
+            // Eliminate along the precomputed L pattern (ascending).
+            for (slot, &j) in sym.l_cols[i].iter().enumerate() {
+                let lij = x[j] / self.u_vals[j][0];
+                x[j] = T::zero();
+                self.l_vals[i][slot] = lij;
+                if lij.is_zero() {
+                    continue;
+                }
+                for (uslot, &c) in sym.u_cols[j].iter().enumerate().skip(1) {
+                    x[c] -= lij * self.u_vals[j][uslot];
+                }
+            }
+            // Gather the U row; the diagonal is the static pivot.
+            for (slot, &c) in sym.u_cols[i].iter().enumerate() {
+                self.u_vals[i][slot] = x[c];
+                x[c] = T::zero();
+            }
+            let piv = self.u_vals[i][0];
+            if !(piv.abs_val() > 0.0) || !piv.abs_val().is_finite() {
+                return Err(NumericError::Singular {
+                    pivot: perm.old_of(i),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The shared symbolic factorization.
+    pub fn symbolic(&self) -> &Arc<SymbolicLu> {
+        &self.sym
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::DimensionMismatch`] on a wrong-length `b`.
+    pub fn solve(&self, b: &[T]) -> Result<Vec<T>> {
+        let sym = &self.sym;
+        if b.len() != sym.n {
+            return Err(NumericError::DimensionMismatch {
+                expected: sym.n,
+                found: b.len(),
+            });
+        }
+        let mut x = sym.perm.apply(b);
+        // Forward: L·y = P·b (unit diagonal).
+        for i in 0..sym.n {
+            let mut acc = x[i];
+            for (slot, &j) in sym.l_cols[i].iter().enumerate() {
+                acc -= self.l_vals[i][slot] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Backward: U·z = y.
+        for i in (0..sym.n).rev() {
+            let mut acc = x[i];
+            for (slot, &c) in sym.u_cols[i].iter().enumerate().skip(1) {
+                acc -= self.u_vals[i][slot] * x[c];
+            }
+            x[i] = acc / self.u_vals[i][0];
+        }
+        Ok(sym.perm.apply_inverse(&x))
+    }
+
+    /// Solves with `rounds` of iterative refinement against the
+    /// original matrix (one CSR matvec plus one re-solve per round) —
+    /// the standard antidote to the digits static pivoting can lose.
+    ///
+    /// # Errors
+    ///
+    /// Dimension mismatches between `a`, `b` and the factors.
+    pub fn solve_refined(&self, a: &CsrMatrix<T>, b: &[T], rounds: usize) -> Result<Vec<T>> {
+        let mut x = self.solve(b)?;
+        for _ in 0..rounds {
+            let ax = a.matvec(&x)?;
+            let r: Vec<T> = b.iter().zip(&ax).map(|(&bi, &axi)| bi - axi).collect();
+            let dx = self.solve(&r)?;
+            for (xi, di) in x.iter_mut().zip(&dx) {
+                *xi += *di;
+            }
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::Triplets;
+    use crate::Complex64;
+
+    fn grid_laplacian(w: usize, h: usize) -> Triplets {
+        let n = w * h;
+        let idx = |x: usize, y: usize| y * w + x;
+        let mut t = Triplets::new(n, n);
+        for y in 0..h {
+            for x in 0..w {
+                let i = idx(x, y);
+                t.push(i, i, 4.01);
+                let mut nb = |j: usize| {
+                    t.push(i, j, -1.0);
+                };
+                if x > 0 {
+                    nb(idx(x - 1, y));
+                }
+                if x + 1 < w {
+                    nb(idx(x + 1, y));
+                }
+                if y > 0 {
+                    nb(idx(x, y - 1));
+                }
+                if y + 1 < h {
+                    nb(idx(x, y + 1));
+                }
+            }
+        }
+        t
+    }
+
+    fn max_residual(t: &Triplets, x: &[f64], b: &[f64]) -> f64 {
+        let r = t.to_dense().matvec(x).unwrap();
+        r.iter()
+            .zip(b)
+            .map(|(u, v)| (u - v).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn grid_system_solves_exactly() {
+        let t = grid_laplacian(12, 9);
+        let n = t.nrows();
+        let csr = t.to_csr();
+        let lu = SparseLu::factor(&csr).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let x = lu.solve(&b).unwrap();
+        assert!(max_residual(&t, &x, &b) < 1e-10);
+    }
+
+    #[test]
+    fn matches_dense_lu_solution() {
+        let t = grid_laplacian(6, 6);
+        let csr = t.to_csr();
+        let lu = SparseLu::factor(&csr).unwrap();
+        let b: Vec<f64> = (0..36).map(|i| 1.0 + i as f64).collect();
+        let sparse = lu.solve(&b).unwrap();
+        let dense = t.to_dense().lu().unwrap().solve(&b).unwrap();
+        for (s, d) in sparse.iter().zip(&dense) {
+            assert!((s - d).abs() < 1e-9, "{s} vs {d}");
+        }
+    }
+
+    #[test]
+    fn refactor_reuses_pattern_for_new_values() {
+        let t1 = grid_laplacian(8, 8);
+        // Same pattern, different values (as a new transient step size
+        // produces).
+        let mut t2 = Triplets::new(t1.nrows(), t1.ncols());
+        for &(i, j, v) in t1.entries() {
+            t2.push(i, j, if i == j { v * 2.5 } else { v * 0.5 });
+        }
+        let c1 = t1.to_csr();
+        let c2 = t2.to_csr();
+        let mut lu = SparseLu::factor(&c1).unwrap();
+        let sym = lu.symbolic().clone();
+        assert!(sym.matches(&c2));
+        lu.refactor(&c2).unwrap();
+        let b = vec![1.0; t1.nrows()];
+        let x = lu.solve(&b).unwrap();
+        assert!(max_residual(&t2, &x, &b) < 1e-10);
+        // And factor_with on the shared pattern gives the same answer.
+        let lu2 = SparseLu::factor_with(sym, &c2).unwrap();
+        assert_eq!(lu2.solve(&b).unwrap(), x);
+    }
+
+    #[test]
+    fn pattern_mismatch_is_rejected() {
+        let a = grid_laplacian(5, 5).to_csr();
+        let b = grid_laplacian(5, 4).to_csr();
+        let sym = Arc::new(SymbolicLu::analyze(&a).unwrap());
+        assert!(!sym.matches(&b));
+        assert!(SparseLu::factor_with(sym, &b).is_err());
+    }
+
+    #[test]
+    fn zero_structural_diagonal_rows_are_deferred() {
+        // An MNA-shaped system: a resistive node block bordered by a
+        // voltage-source incidence row with *no* diagonal. Static
+        // pivoting only works because analyze() defers that row.
+        let n = 80;
+        let mut t = Triplets::new(n, n);
+        for i in 0..n - 1 {
+            t.push(i, i, 3.0);
+            if i + 1 < n - 1 {
+                t.push(i, i + 1, -1.0);
+                t.push(i + 1, i, -1.0);
+            }
+        }
+        // Row n-1: vsrc row pinning node 0 (incidence ±1 only).
+        t.push(n - 1, 0, 1.0);
+        t.push(0, n - 1, 1.0);
+        let csr = t.to_csr();
+        assert!(!csr.contains(n - 1, n - 1));
+        let lu = SparseLu::factor(&csr).unwrap();
+        let mut b = vec![0.0; n];
+        b[n - 1] = 2.0; // pin v0 = 2
+        let x = lu.solve(&b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-10, "v0 = {}", x[0]);
+        assert!(max_residual(&t, &x, &b) < 1e-9);
+    }
+
+    #[test]
+    fn singular_pivot_maps_to_original_index() {
+        let n = 60;
+        let dead = 23usize;
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            if i == dead {
+                continue;
+            }
+            t.push(i, i, 2.0);
+            if i + 1 < n && i + 1 != dead {
+                t.push(i, i + 1, -0.5);
+                t.push(i + 1, i, -0.5);
+            }
+        }
+        t.push(dead, dead, 0.0);
+        // A structurally-present but numerically zero diagonal entry is
+        // dropped by Triplets::push? No: push skips exact zeros, so use
+        // a cancelling duplicate to store a structural zero.
+        t.push(dead, dead, 1.0);
+        t.push(dead, dead, -1.0);
+        match SparseLu::factor(&t.to_csr()) {
+            Err(NumericError::Singular { pivot }) => assert_eq!(pivot, dead),
+            other => panic!("expected singular, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn complex_system_via_scalar_trait() {
+        // 1-D "AC ladder": complex admittances.
+        let n = 64;
+        let mut t: Triplets<Complex64> = Triplets::new(n, n);
+        for i in 0..n {
+            t.push(i, i, Complex64::new(2.0, 0.7));
+            if i + 1 < n {
+                t.push(i, i + 1, Complex64::new(-1.0, -0.3));
+                t.push(i + 1, i, Complex64::new(-1.0, -0.3));
+            }
+        }
+        let csr = t.to_csr();
+        let lu = SparseLu::factor(&csr).unwrap();
+        let b: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new(1.0, (i % 5) as f64 * 0.2))
+            .collect();
+        let x = lu.solve(&b).unwrap();
+        let ax = csr.matvec(&x).unwrap();
+        for (u, v) in ax.iter().zip(&b) {
+            assert!((*u - *v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn refinement_tightens_ill_scaled_solves() {
+        let n = 50;
+        let mut t = Triplets::new(n, n);
+        for i in 0..n {
+            t.push(i, i, if i % 2 == 0 { 1e7 } else { 1e-6 });
+            if i + 1 < n {
+                t.push(i, i + 1, 1e-7);
+                t.push(i + 1, i, 1e-7);
+            }
+        }
+        let csr = t.to_csr();
+        let lu = SparseLu::factor(&csr).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let refined = lu.solve_refined(&csr, &b, 2).unwrap();
+        assert!(max_residual(&t, &refined, &b) < 1e-9);
+    }
+
+    #[test]
+    fn wrong_rhs_length_rejected() {
+        let lu = SparseLu::factor(&grid_laplacian(4, 4).to_csr()).unwrap();
+        assert!(lu.solve(&[1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn factor_nnz_reports_fill() {
+        let a = grid_laplacian(10, 10).to_csr();
+        let sym = SymbolicLu::analyze(&a).unwrap();
+        // Factors hold at least the matrix pattern, at most dense.
+        assert!(sym.factor_nnz() >= a.nnz());
+        assert!(sym.factor_nnz() < 100 * 100);
+        assert_eq!(sym.dim(), 100);
+        assert_eq!(sym.perm().len(), 100);
+    }
+}

@@ -1,0 +1,156 @@
+//! Cross-screen invariants for the Section 4 sparsification methods:
+//! idempotence (screening a screened matrix changes nothing) and
+//! bookkeeping consistency between the returned matrices and their
+//! [`SparsityStats`].
+
+use ind101_extract::PartialInductance;
+use ind101_geom::generators::{generate_bus, BusSpec, ShieldPattern};
+use ind101_geom::{um, Technology};
+use ind101_numeric::Matrix;
+use ind101_sparsify::truncation::truncate_relative;
+use ind101_sparsify::{block_diagonal, kmatrix, matrix_error, shell, stability_report, Sparsified, SparsityStats};
+
+/// A multi-conductor bus with enough mutual terms to make dropping
+/// meaningful.
+fn bus_inductance() -> PartialInductance {
+    let tech = Technology::example_copper_6lm();
+    let spec = BusSpec {
+        signals: 8,
+        length_nm: um(400),
+        width_nm: um(1),
+        spacing_nm: um(2),
+        shields: ShieldPattern::None,
+        ..BusSpec::default()
+    };
+    let layout = generate_bus(&tech, &spec);
+    PartialInductance::extract(&tech, layout.segments())
+}
+
+fn assert_consistent(label: &str, original: &Matrix<f64>, s: &Sparsified) {
+    // Stats must agree with an independent recount.
+    let recount = SparsityStats::compare(original, &s.matrix);
+    assert_eq!(s.stats.total, recount.total, "{label}: total");
+    assert_eq!(s.stats.kept, recount.kept, "{label}: kept");
+    assert_eq!(s.stats.dropped, recount.dropped, "{label}: dropped");
+    assert_eq!(s.stats.kept + s.stats.dropped, s.stats.total, "{label}");
+    let r = s.stats.retention();
+    assert!((0.0..=1.0).contains(&r), "{label}: retention {r}");
+
+    // Kept entries are copied verbatim, dropped entries are exact
+    // zeros, the diagonal survives untouched, and symmetry holds.
+    let n = original.nrows();
+    for i in 0..n {
+        assert_eq!(s.matrix[(i, i)], original[(i, i)], "{label}: diagonal");
+        for j in 0..n {
+            let v = s.matrix[(i, j)];
+            assert!(
+                v == original[(i, j)] || v == 0.0,
+                "{label}: entry ({i},{j}) was altered, not dropped"
+            );
+            assert_eq!(v, s.matrix[(j, i)], "{label}: symmetry");
+        }
+    }
+}
+
+#[test]
+fn screens_report_consistent_stats_and_preserve_kept_entries() {
+    let l = bus_inductance();
+    let m = l.matrix().clone();
+    // One section label per segment: split the bus into two halves.
+    let sections: Vec<usize> = (0..l.len()).map(|i| i / (l.len() / 2)).collect();
+
+    assert_consistent("relative", &m, &truncate_relative(&l, 0.05));
+    assert_consistent("block-diagonal", &m, &block_diagonal::block_diagonal(&l, &sections));
+}
+
+/// The shell (shift-truncate) method is *not* a keep/zero screen:
+/// every in-shell term — the diagonal included — is shifted by the
+/// mutual inductance to the return shell. Check its actual contract:
+/// symmetry, a consistent recount, and entries only ever pulled toward
+/// zero, never amplified or made negative.
+#[test]
+fn shell_shifts_entries_toward_zero_with_consistent_stats() {
+    let l = bus_inductance();
+    let s = shell::shell_sparsify(&l, 3e-6);
+    let recount = SparsityStats::compare(l.matrix(), &s.matrix);
+    assert_eq!(s.stats.total, recount.total, "shell: total");
+    assert_eq!(s.stats.kept, recount.kept, "shell: kept");
+    assert_eq!(s.stats.dropped, recount.dropped, "shell: dropped");
+
+    let n = l.matrix().nrows();
+    for i in 0..n {
+        assert!(
+            s.matrix[(i, i)] > 0.0 && s.matrix[(i, i)] < l.matrix()[(i, i)],
+            "shell: self term must shrink by the shell mutual but stay positive"
+        );
+        for j in 0..n {
+            assert_eq!(s.matrix[(i, j)], s.matrix[(j, i)], "shell: symmetry");
+            assert!(
+                (0.0..=l.matrix()[(i, j)]).contains(&s.matrix[(i, j)]),
+                "shell: entry ({i},{j}) left [0, original]"
+            );
+        }
+    }
+}
+
+/// Keep/zero screening is a pure function of the entry's *position*
+/// (sections) or its *relative magnitude* against the untouched
+/// diagonal — so re-screening an already screened matrix is a no-op.
+/// (The shell method is deliberately absent: shift-truncate subtracts
+/// the shell mutual on every pass, so it is not idempotent.)
+#[test]
+fn screens_are_idempotent() {
+    let l = bus_inductance();
+    let sections: Vec<usize> = (0..l.len()).map(|i| i / (l.len() / 2)).collect();
+
+    let rescreen = |name: &str, apply: &dyn Fn(&PartialInductance) -> Sparsified| {
+        let once = apply(&l);
+        let mut l2 = l.clone();
+        l2.set_matrix(once.matrix.clone());
+        let twice = apply(&l2);
+        assert_eq!(
+            once.matrix, twice.matrix,
+            "{name}: second screening pass changed the matrix"
+        );
+    };
+    rescreen("relative", &|p| truncate_relative(p, 0.05));
+    rescreen("block-diagonal", &|p| {
+        block_diagonal::block_diagonal(p, &sections)
+    });
+}
+
+/// Tightening the relative-coupling threshold can only drop more.
+#[test]
+fn relative_truncation_is_monotone_in_threshold() {
+    let l = bus_inductance();
+    let mut prev_kept = usize::MAX;
+    for k_min in [0.0, 0.01, 0.05, 0.2, 1.0] {
+        let s = truncate_relative(&l, k_min);
+        assert!(
+            s.stats.kept <= prev_kept,
+            "kept count must not grow as k_min rises"
+        );
+        prev_kept = s.stats.kept;
+    }
+    // k_min = 0 keeps everything; k_min = 1 keeps nothing off-diagonal.
+    assert_eq!(truncate_relative(&l, 0.0).stats.dropped, 0);
+    assert_eq!(truncate_relative(&l, 1.0).stats.kept, 0);
+}
+
+/// The K-matrix route (paper §4): truncating K = L⁻¹ keeps the
+/// effective inductance positive definite where naive L-truncation has
+/// no such guarantee, and its error metric stays finite and sane.
+#[test]
+fn k_matrix_screen_stays_passive_and_bounded() {
+    let l = bus_inductance();
+    let ks = kmatrix::k_sparsify(&l, 0.02).expect("k-sparsify");
+    let report = stability_report(&ks.effective_l.matrix);
+    assert!(
+        report.positive_definite,
+        "K-route effective L lost passivity: {report:?}"
+    );
+    let err = matrix_error(l.matrix(), &ks.effective_l.matrix);
+    assert!(err.is_finite() && err >= 0.0);
+    assert!(err < 0.5, "K-route error implausibly large: {err}");
+    assert!(ks.k_stats.kept + ks.k_stats.dropped == ks.k_stats.total);
+}

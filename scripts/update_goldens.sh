@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Regenerates the golden-scalar files under tests/golden/ after an
+# intentional numerical change. Hand-tuned per-key tolerances in the
+# existing files are preserved; only the values are rewritten.
+#
+# Review the resulting diff like any other code change before
+# committing — a surprising golden shift usually means a real bug, not
+# a tolerance problem.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+UPDATE_GOLDEN=1 cargo test -q --test golden -- --test-threads=1
+git --no-pager diff --stat tests/golden/ || true
