@@ -1,0 +1,195 @@
+//! FFT — dense-vs-matrix-free crossover for partial-inductance
+//! extraction on regular filament lattices.
+//!
+//! ```text
+//! cargo run --release -p ind101-bench --bin fft_extraction \
+//!     [--quick] [--out PATH]
+//! ```
+//!
+//! Sweeps 1-D filament lattices of growing count, timing four stages:
+//!
+//! * `mf_setup/<n>` — kernel generation + circulant embedding + FFT of
+//!   the embedded kernel ([`GridInductanceOperator::new`]);
+//! * `mf_matvec/<n>` — one O(n log n) operator application;
+//! * `dense_assemble/<n>` — materializing the n×n partial-inductance
+//!   matrix the direct path factorizes (skipped above
+//!   `DENSE_LIMIT`: 131 072 filaments would need ~137 GB);
+//! * `dense_matvec/<n>` — one O(n²) dense row-dot application.
+//!
+//! Before timing, the matrix-free matvec is cross-checked against the
+//! dense oracle to 1e-10 at every size where dense fits — a silently
+//! wrong FFT fails the run rather than producing a fast-but-bogus
+//! number. The committed `BENCH_fft_extraction.json` is the scaling
+//! record behind the EXPERIMENTS.md crossover table; CI re-runs in
+//! `--quick` mode and gates on matrix-free beating dense
+//! assemble+matvec by ≥5× at the largest quick size.
+
+use ind101_extract::{FilamentGridSpec, GridInductanceOperator};
+use ind101_numeric::LinearOperator;
+use std::time::Instant;
+
+/// One timed configuration.
+struct Row {
+    id: String,
+    min_ns: f64,
+    median_ns: f64,
+    mean_ns: f64,
+    samples: usize,
+}
+
+/// Largest size at which the dense n×n matrix is materialized
+/// (8192² × 8 B = 512 MB; the next swept size would need 8 GB).
+const DENSE_LIMIT: usize = 8192;
+
+/// 1-D signal-lattice spec: 1 µm wide, 0.5 µm thick, 1 mm long
+/// filaments on a 2 µm pitch — the shape `filamentize_wide` produces.
+fn lattice(n: usize) -> FilamentGridSpec {
+    FilamentGridSpec {
+        count_z: 1,
+        count_lat: n,
+        pitch_z_nm: 0,
+        pitch_lat_nm: 2000,
+        length_nm: 1_000_000,
+        width_nm: 1000,
+        thickness_nm: 500,
+    }
+}
+
+fn time_ns<R>(samples: usize, mut f: impl FnMut() -> R) -> (Vec<f64>, R) {
+    let mut times = Vec::with_capacity(samples);
+    let mut last = None;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        let r = f();
+        times.push(t0.elapsed().as_nanos() as f64);
+        last = Some(r);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    (times, last.expect("samples >= 1"))
+}
+
+fn row(id: String, times: &[f64]) -> Row {
+    Row {
+        id,
+        min_ns: times[0],
+        median_ns: times[times.len() / 2],
+        mean_ns: times.iter().sum::<f64>() / times.len() as f64,
+        samples: times.len(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out = format!("{}/BENCH_fft_extraction.json", env!("CARGO_MANIFEST_DIR"));
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = it.next().expect("--out needs a value").clone(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: fft_extraction [--quick] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let sizes: &[usize] = if quick {
+        &[512, 2048]
+    } else {
+        &[512, 2048, 8192, 32_768, 131_072]
+    };
+
+    println!("== fft_extraction: dense vs matrix-free partial-L application ==");
+    let mut rows: Vec<Row> = Vec::new();
+    for &n in sizes {
+        let spec = lattice(n);
+        let samples = if n >= 32_768 { 3 } else { 7 };
+        let x: Vec<f64> = (0..n).map(|i| (0.37 * i as f64).cos()).collect();
+
+        let (setup_t, op) = time_ns(samples, || {
+            GridInductanceOperator::new(spec, None).expect("valid lattice")
+        });
+        rows.push(row(format!("mf_setup/{n}"), &setup_t));
+
+        let mut y_fast = vec![0.0; n];
+        let (mv_t, ()) = time_ns(samples, || {
+            LinearOperator::<f64>::apply(&op, &x, &mut y_fast);
+        });
+        rows.push(row(format!("mf_matvec/{n}"), &mv_t));
+        assert!(y_fast.iter().all(|v| v.is_finite()));
+
+        if n <= DENSE_LIMIT {
+            let (asm_t, dense) = time_ns(samples.min(5), || op.to_dense());
+            rows.push(row(format!("dense_assemble/{n}"), &asm_t));
+
+            // Correctness wall before trusting any timing.
+            let mut y_slow = vec![0.0; n];
+            let (dmv_t, ()) = time_ns(samples.min(5), || {
+                LinearOperator::<f64>::apply(&dense, &x, &mut y_slow);
+            });
+            rows.push(row(format!("dense_matvec/{n}"), &dmv_t));
+            let scale = y_slow.iter().map(|v| v.abs()).fold(0.0f64, f64::max);
+            for (k, (f, s)) in y_fast.iter().zip(&y_slow).enumerate() {
+                assert!(
+                    (f - s).abs() <= 1e-10 * scale,
+                    "matrix-free disagrees with dense at n={n}, row {k}: {f} vs {s}"
+                );
+            }
+        } else {
+            let gb = (n * n * 8) as f64 / 1e9;
+            println!("  n={n}: dense matrix would need {gb:.0} GB — matrix-free only");
+        }
+        let mv = rows
+            .iter()
+            .rev()
+            .find(|r| r.id.starts_with("mf_matvec/"))
+            .expect("just pushed");
+        println!(
+            "  {:>7} filaments  mf matvec min {:>10.3} ms  (setup {:.1} ms)",
+            n,
+            mv.min_ns / 1e6,
+            setup_t[0] / 1e6
+        );
+    }
+
+    // Criterion-compatible JSON, hand-rolled (no serde in this tree).
+    let mut body = String::from("{\n  \"group\": \"fft_extraction\",\n  \"benchmarks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"id\": \"{}\", \"min_ns\": {:.1}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"samples\": {}}}{}\n",
+            r.id,
+            r.min_ns,
+            r.median_ns,
+            r.mean_ns,
+            r.samples,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    std::fs::write(&out, body).expect("write bench json");
+    println!("wrote {out}");
+
+    // Headline: crossover at the largest size where both paths ran.
+    let min_of = |prefix: &str, n: usize| -> Option<f64> {
+        rows.iter()
+            .find(|r| r.id == format!("{prefix}/{n}"))
+            .map(|r| r.min_ns)
+    };
+    let largest_dense = sizes
+        .iter()
+        .copied()
+        .filter(|&n| n <= DENSE_LIMIT)
+        .max()
+        .expect("at least one dense size");
+    if let (Some(asm), Some(dmv), Some(mv)) = (
+        min_of("dense_assemble", largest_dense),
+        min_of("dense_matvec", largest_dense),
+        min_of("mf_matvec", largest_dense),
+    ) {
+        println!(
+            "largest dense size ({largest_dense}): matrix-free matvec is {:.1}x faster than dense assemble+matvec",
+            (asm + dmv) / mv
+        );
+    }
+}

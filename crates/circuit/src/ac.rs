@@ -40,7 +40,7 @@ impl AcOptions {
         Self { freqs_hz }
     }
 
-    fn validate(&self) -> Result<()> {
+    pub(crate) fn validate(&self) -> Result<()> {
         if self.freqs_hz.is_empty() {
             return Err(CircuitError::InvalidOptions {
                 what: "empty frequency list".to_owned(),
@@ -83,6 +83,76 @@ impl AcResult {
     /// at sweep point `idx`.
     pub fn inductor_current(&self, sys: usize, branch: usize, idx: usize) -> Complex64 {
         self.data[idx][self.layout.ind_offsets[sys] + branch]
+    }
+
+    /// Assembles a result from per-frequency solution vectors (the
+    /// matrix-free sweep builds its solutions outside this module).
+    pub(crate) fn from_parts(
+        freqs_hz: Vec<f64>,
+        data: Vec<Vec<Complex64>>,
+        layout: MnaLayout,
+    ) -> Self {
+        Self {
+            freqs_hz,
+            data,
+            layout,
+        }
+    }
+}
+
+/// How much of each inductor system's `−jωM` block the assembly stamps.
+///
+/// The matrix-free AC path assembles the same MNA system twice per
+/// frequency with different modes: the *operator part* (every stamp
+/// except the overridden systems' `−jωM` blocks, which a
+/// `LinearOperator` supplies on the fly) and the *preconditioner*
+/// (overridden systems reduced to their diagonal `−jωL` stamps, so the
+/// factorization stays sparse but still captures the dominant
+/// inductive impedance).
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum AcStampMode<'a> {
+    /// Every stamp — the classic dense-path matrix.
+    Full,
+    /// Skip the whole `−jωM` block of the listed systems (incidence
+    /// rows are kept; the operator adds the block during matvecs).
+    OperatorPart {
+        /// Indices into `Circuit::inductor_systems`.
+        overridden: &'a [usize],
+    },
+    /// Keep only the diagonal `−jωL` stamps of the listed systems.
+    DiagonalPreconditioner {
+        /// Indices into `Circuit::inductor_systems`.
+        overridden: &'a [usize],
+    },
+}
+
+/// Per-system stamping decision derived from [`AcStampMode`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SysStamps {
+    Every,
+    DiagOnly,
+    Skip,
+}
+
+impl AcStampMode<'_> {
+    fn stamps_for(&self, sys_index: usize) -> SysStamps {
+        match self {
+            Self::Full => SysStamps::Every,
+            Self::OperatorPart { overridden } => {
+                if overridden.contains(&sys_index) {
+                    SysStamps::Skip
+                } else {
+                    SysStamps::Every
+                }
+            }
+            Self::DiagonalPreconditioner { overridden } => {
+                if overridden.contains(&sys_index) {
+                    SysStamps::DiagOnly
+                } else {
+                    SysStamps::Every
+                }
+            }
+        }
     }
 }
 
@@ -171,12 +241,25 @@ impl Circuit {
         solver.solve(&rhs).map_err(annotate)
     }
 
-    /// Assembles the complex MNA triplets and RHS at one frequency.
+    /// Assembles the complex MNA triplets and RHS at one frequency
+    /// (full stamps — the direct-solver path).
     fn ac_assemble(
         &self,
         layout: &MnaLayout,
         op: Option<&DcOperatingPoint>,
         f: f64,
+    ) -> (Triplets<Complex64>, Vec<Complex64>) {
+        self.ac_assemble_mode(layout, op, f, AcStampMode::Full)
+    }
+
+    /// Assembles the complex MNA triplets and RHS at one frequency,
+    /// with per-inductor-system stamp control (see [`AcStampMode`]).
+    pub(crate) fn ac_assemble_mode(
+        &self,
+        layout: &MnaLayout,
+        op: Option<&DcOperatingPoint>,
+        f: f64,
+        mode: AcStampMode<'_>,
     ) -> (Triplets<Complex64>, Vec<Complex64>) {
         let omega = 2.0 * std::f64::consts::PI * f;
         let jw = Complex64::jomega(omega);
@@ -242,6 +325,7 @@ impl Circuit {
         }
         for (s, sys) in self.inductor_systems().iter().enumerate() {
             let off = layout.ind_offsets[s];
+            let stamps = mode.stamps_for(s);
             for (j, &(a, b)) in sys.branches.iter().enumerate() {
                 let row = off + j;
                 if let Some(ia) = layout.node(a) {
@@ -252,11 +336,22 @@ impl Circuit {
                     t.push(ib, row, -Complex64::ONE);
                     t.push(row, ib, -Complex64::ONE);
                 }
-                for jj in 0..sys.len() {
-                    let m = sys.m[(j, jj)];
-                    if m != 0.0 {
-                        t.push(row, off + jj, -(jw * m));
+                match stamps {
+                    SysStamps::Every => {
+                        for jj in 0..sys.len() {
+                            let m = sys.m[(j, jj)];
+                            if m != 0.0 {
+                                t.push(row, off + jj, -(jw * m));
+                            }
+                        }
                     }
+                    SysStamps::DiagOnly => {
+                        let m = sys.m[(j, j)];
+                        if m != 0.0 {
+                            t.push(row, row, -(jw * m));
+                        }
+                    }
+                    SysStamps::Skip => {}
                 }
             }
         }

@@ -45,6 +45,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 mod ac;
+mod ac_matrix_free;
 mod dcop;
 mod elements;
 mod error;
@@ -61,6 +62,7 @@ mod tran;
 mod waveform;
 
 pub use ac::{AcOptions, AcResult};
+pub use ac_matrix_free::MatrixFreeAcOptions;
 pub use dcop::DcOperatingPoint;
 pub use elements::{Element, MosPolarity, Mosfet};
 pub use error::CircuitError;

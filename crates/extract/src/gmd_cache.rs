@@ -12,13 +12,21 @@
 //!
 //! Keys are the six kernel arguments quantized to [`QUANTUM_M`]
 //! (10⁻¹² m = 1 pm). Segment geometry in this toolkit lives on an
-//! integer-nanometer grid, so distinct geometries differ by ≥ 1 nm =
-//! 1000 quanta in at least one argument and can never alias to one key;
-//! the quantization only merges bit-identical reconstructions of the
-//! same geometry. A cached value is therefore always exactly the value
-//! `rect_gmd` would return, which is what makes cached, uncached,
-//! serial and parallel extraction agree **bit-for-bit** — the property
-//! the differential tests assert.
+//! integer-nanometer grid, so nm-grid geometries differ by ≥ 1 nm =
+//! 1000 quanta in at least one argument and get distinct keys. But the
+//! cache can also be fed *off-grid* arguments (derived quantities such
+//! as averaged GMD distances, or geometry from external netlists), and
+//! two distinct such inputs lying within half a quantum of the same
+//! bucket boundary **do** alias to one key. To stay exact under
+//! aliasing, every entry stores the precise six arguments it was
+//! computed from; a lookup whose arguments do not match the stored ones
+//! bitwise is treated as a collision and recomputed directly (counted
+//! by [`GmdCache::collisions`]), never served the aliased value. A
+//! cached value is therefore always exactly the value `rect_gmd` would
+//! return, which is what makes cached, uncached, serial and parallel
+//! extraction agree **bit-for-bit** — the property the differential
+//! tests assert. The first occupant keeps the bucket, so results do not
+//! depend on thread interleaving.
 //!
 //! The cache is sharded and thread-safe; insertion order between
 //! threads is irrelevant because every insert for a given key carries
@@ -58,13 +66,19 @@ impl GmdKey {
     }
 }
 
+/// A cache entry: the exact (unquantized) kernel arguments it was
+/// computed from, plus the kernel value. The stored arguments guard
+/// against quantization aliasing of off-grid inputs.
+type GmdEntry = ([f64; 6], f64);
+
 /// Sharded, thread-safe memoization cache for [`rect_gmd`] values.
 #[derive(Debug)]
 pub struct GmdCache {
-    shards: Vec<Mutex<HashMap<GmdKey, f64>>>,
+    shards: Vec<Mutex<HashMap<GmdKey, GmdEntry>>>,
     capacity_per_shard: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    collisions: AtomicU64,
 }
 
 impl GmdCache {
@@ -76,6 +90,7 @@ impl GmdCache {
             capacity_per_shard: capacity.div_ceil(SHARDS),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            collisions: AtomicU64::new(0),
         }
     }
 
@@ -90,20 +105,35 @@ impl GmdCache {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return rect_gmd(dx, dz, w1, t1, w2, t2);
         }
+        let args = [dx, dz, w1, t1, w2, t2];
         let key = GmdKey::quantize(dx, dz, w1, t1, w2, t2);
         let shard = &self.shards[key.shard()];
-        if let Some(&v) = shard.lock().unwrap_or_else(std::sync::PoisonError::into_inner).get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return v;
+        if let Some(&(stored, v)) =
+            shard.lock().unwrap_or_else(std::sync::PoisonError::into_inner).get(&key)
+        {
+            if stored == args {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return v;
+            }
+            // Quantization collision: a *different* geometry landed in
+            // this bucket (inputs straddling a bucket boundary within
+            // half a quantum). Serving `v` would be wrong — compute
+            // directly and leave the first occupant in place so the
+            // outcome is independent of insertion order.
+            self.collisions.fetch_add(1, Ordering::Relaxed);
+            return rect_gmd(dx, dz, w1, t1, w2, t2);
         }
         // Compute outside the lock: the kernel is the expensive part,
         // and a duplicate concurrent compute of the same key writes the
-        // identical value, so dropping the lock is harmless.
+        // identical value, so dropping the lock is harmless. If another
+        // thread won the race with *different* aliasing args, keep its
+        // entry (first occupant wins) — this lookup already has its own
+        // directly computed value.
         let v = rect_gmd(dx, dz, w1, t1, w2, t2);
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut map = shard.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if map.len() < self.capacity_per_shard {
-            map.insert(key, v);
+            map.entry(key).or_insert((args, v));
         }
         v
     }
@@ -116,6 +146,12 @@ impl GmdCache {
     /// Number of lookups that had to compute the kernel.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that found an aliased bucket (same quantized
+    /// key, different exact arguments) and recomputed directly.
+    pub fn collisions(&self) -> u64 {
+        self.collisions.load(Ordering::Relaxed)
     }
 
     /// Number of distinct entries currently stored.

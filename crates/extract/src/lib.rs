@@ -44,10 +44,12 @@ pub mod gmd;
 pub mod gmd_cache;
 mod matrix;
 pub mod mutual_inductance;
+pub mod operator;
 pub mod resistance;
 pub mod self_inductance;
 
 pub use error::ExtractError;
 pub use gmd_cache::GmdCache;
 pub use matrix::PartialInductance;
+pub use operator::{grid_kernel, FilamentGridSpec, GridInductanceOperator};
 pub use ind101_numeric::ParallelConfig;

@@ -166,8 +166,9 @@ impl PartialInductance {
 /// and every parallel block, which is what makes serial and parallel
 /// assembly bit-identical: the GMD is either computed directly
 /// (`cache: None`) or served through the memoization cache, and a
-/// cached value is always exactly the direct [`rect_gmd`] result (see
-/// [`crate::gmd_cache`] for why quantization cannot alias).
+/// cached value is always exactly the direct [`rect_gmd`] result (the
+/// cache stores the exact arguments per entry and recomputes on any
+/// quantization collision — see [`crate::gmd_cache`]).
 fn fill_upper_row(
     tech: &Technology,
     segments: &[Segment],

@@ -1,0 +1,178 @@
+//! Regression tests for latent edge cases exposed by the matrix-free
+//! extraction path.
+//!
+//! 1. `GmdCache` quantized-key collision: two *distinct* off-grid
+//!    geometries straddling the same 1 pm bucket boundary alias to one
+//!    quantized key; the cache must detect the alias and recompute
+//!    instead of serving the other geometry's value.
+//! 2. Zero-length/degenerate filament input to the kernel generator
+//!    must return a typed [`ExtractError`], never a NaN.
+//! 3. The FFT grid operator must agree with the dense oracle on real
+//!    segment lattices.
+
+use ind101_extract::gmd::rect_gmd;
+use ind101_extract::gmd_cache::QUANTUM_M;
+use ind101_extract::operator::grid_kernel;
+use ind101_extract::{
+    ExtractError, FilamentGridSpec, GmdCache, GridInductanceOperator, PartialInductance,
+};
+use ind101_geom::{um, Axis, LayerId, NetId, Point, Segment, Technology};
+use ind101_numeric::LinearOperator;
+
+/// Two geometries 0.4 pm apart straddling a bucket boundary: both
+/// quantize to the same key, but their true GMDs differ. Before the
+/// fix the second lookup was served the first geometry's value.
+#[test]
+fn quantized_key_collision_straddling_bucket_boundary() {
+    let cache = GmdCache::new(1024);
+    // Distinct geometries 0.4 pm apart on either side of the bucket
+    // center 3 µm: both round to the same 1 pm quantized key.
+    let dx_lo = 3e-6 - 0.2 * QUANTUM_M;
+    let dx_hi = 3e-6 + 0.2 * QUANTUM_M;
+    let (w, t) = (1e-6, 0.5e-6);
+
+    // Sanity: both inputs really do alias to one quantized key, yet are
+    // distinct numbers with distinct direct kernel values.
+    assert_ne!(dx_lo, dx_hi);
+    use ind101_extract::gmd_cache::GmdKey;
+    assert_eq!(
+        GmdKey::quantize(dx_lo, 0.0, w, t, w, t),
+        GmdKey::quantize(dx_hi, 0.0, w, t, w, t),
+        "test premise: the two inputs must share a quantized key"
+    );
+    let direct_lo = rect_gmd(dx_lo, 0.0, w, t, w, t);
+    let direct_hi = rect_gmd(dx_hi, 0.0, w, t, w, t);
+
+    let cached_lo = cache.gmd(dx_lo, 0.0, w, t, w, t);
+    let cached_hi = cache.gmd(dx_hi, 0.0, w, t, w, t);
+
+    assert_eq!(
+        cached_lo.to_bits(),
+        direct_lo.to_bits(),
+        "first occupant must be exact"
+    );
+    assert_eq!(
+        cached_hi.to_bits(),
+        direct_hi.to_bits(),
+        "aliased lookup must recompute, not serve the occupant's value"
+    );
+    assert_eq!(cache.collisions(), 1, "the alias must be counted");
+
+    // Replays of both geometries stay exact: the occupant hits the
+    // cache, the alias keeps recomputing.
+    assert_eq!(cache.gmd(dx_lo, 0.0, w, t, w, t).to_bits(), direct_lo.to_bits());
+    assert_eq!(cache.gmd(dx_hi, 0.0, w, t, w, t).to_bits(), direct_hi.to_bits());
+    assert_eq!(cache.collisions(), 2);
+}
+
+/// On-grid (integer-nanometer) geometries never alias, so the fix must
+/// not cost them anything: all lookups are hits after first compute.
+#[test]
+fn nanometer_grid_geometries_still_hit_cleanly() {
+    let cache = GmdCache::new(1024);
+    for k in 1..50i64 {
+        let dx = k as f64 * 1e-9 * 1000.0;
+        let _ = cache.gmd(dx, 0.0, 1e-6, 0.5e-6, 1e-6, 0.5e-6);
+        let _ = cache.gmd(dx, 0.0, 1e-6, 0.5e-6, 1e-6, 0.5e-6);
+    }
+    assert_eq!(cache.collisions(), 0);
+    assert_eq!(cache.hits(), 49);
+    assert_eq!(cache.misses(), 49);
+}
+
+#[test]
+fn zero_length_filament_is_typed_error_not_nan() {
+    let spec = FilamentGridSpec {
+        count_z: 1,
+        count_lat: 4,
+        pitch_z_nm: 0,
+        pitch_lat_nm: 2000,
+        length_nm: 0, // degenerate
+        width_nm: 1000,
+        thickness_nm: 500,
+    };
+    match grid_kernel(&spec, None) {
+        Err(ExtractError::NonPositiveParameter { what, value }) => {
+            assert_eq!(what, "filament length");
+            assert_eq!(value, 0.0);
+        }
+        Ok(k) => panic!("degenerate filament produced a kernel: {k:?}"),
+        Err(e) => panic!("wrong error: {e}"),
+    }
+}
+
+#[test]
+fn degenerate_dimensions_all_rejected_without_nan() {
+    let good = FilamentGridSpec {
+        count_z: 2,
+        count_lat: 4,
+        pitch_z_nm: 800,
+        pitch_lat_nm: 2000,
+        length_nm: 100_000,
+        width_nm: 1000,
+        thickness_nm: 500,
+    };
+    let bads = [
+        FilamentGridSpec { width_nm: 0, ..good },
+        FilamentGridSpec { thickness_nm: -3, ..good },
+        FilamentGridSpec { pitch_lat_nm: -1, ..good },
+        FilamentGridSpec { pitch_z_nm: 0, ..good }, // count_z > 1 needs pitch
+        FilamentGridSpec { count_z: 0, ..good },
+    ];
+    for bad in bads {
+        let r = grid_kernel(&bad, None);
+        assert!(
+            matches!(r, Err(ExtractError::NonPositiveParameter { .. })),
+            "{bad:?} must be a typed error, got {r:?}"
+        );
+        assert!(GridInductanceOperator::new(bad, None).is_err());
+    }
+    // The good spec yields an all-finite kernel.
+    let k = grid_kernel(&good, None).unwrap();
+    assert!(k.iter().all(|v| v.is_finite()));
+}
+
+/// End-to-end differential: the FFT operator's matvec against the
+/// dense serial oracle on a realistic on-layer bus lattice.
+#[test]
+fn grid_operator_differential_against_dense_oracle() {
+    let tech = Technology::example_copper_6lm();
+    for (n, pitch_um) in [(8usize, 2i64), (31, 3), (64, 1)] {
+        let segs: Vec<Segment> = (0..n)
+            .map(|k| {
+                Segment::new(
+                    NetId(0),
+                    LayerId(4),
+                    Axis::Y,
+                    Point::new(um(pitch_um * k as i64), 0),
+                    um(250),
+                    um(1),
+                )
+            })
+            .collect();
+        let op = GridInductanceOperator::detect(&tech, &segs)
+            .expect("uniform lattice must be detected");
+        let dense = PartialInductance::extract_serial(&tech, &segs);
+        let x: Vec<f64> = (0..n).map(|i| (0.9 * i as f64).cos()).collect();
+        let mut fast = vec![0.0; n];
+        LinearOperator::<f64>::apply(&op, &x, &mut fast);
+        let mut slow = vec![0.0; n];
+        LinearOperator::<f64>::apply(dense.matrix(), &x, &mut slow);
+        let scale: f64 = slow.iter().map(|v| v.abs()).fold(0.0, f64::max);
+        for (f, s) in fast.iter().zip(&slow) {
+            assert!(
+                (f - s).abs() <= 1e-12 * scale,
+                "n={n} pitch={pitch_um}: {f} vs {s}"
+            );
+        }
+        // And the materialized operator equals the dense matrix to
+        // rounding (the kernel entries are bitwise equal; the dense
+        // reconstruction just reindexes them).
+        let md = op.to_dense();
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(md[(i, j)].to_bits(), dense.mutual(i, j).to_bits());
+            }
+        }
+    }
+}

@@ -1,9 +1,14 @@
 //! FastHenry-style loop R(f)/L(f) extraction.
 
-use ind101_circuit::{AcOptions, Circuit, CircuitError, SourceWave};
+use ind101_circuit::{
+    AcOptions, Circuit, CircuitError, MatrixFreeAcOptions, NodeId, SourceWave,
+};
 use ind101_core::{InductanceMode, PeecModel, PeecParasitics};
-use ind101_geom::{NetKind, PortKind};
-use ind101_numeric::ParallelConfig;
+use ind101_extract::GridInductanceOperator;
+use ind101_geom::{NetKind, PortKind, Segment};
+use ind101_numeric::{Complex64, LinearOperator, ParallelConfig};
+
+use crate::backend::ExtractionBackend;
 
 /// Resistance of the artificial short tying the receiver to local
 /// ground, ohms (small against any wire resistance).
@@ -99,6 +104,26 @@ pub fn extract_loop_rl_with(
     freqs_hz: &[f64],
     cfg: &ParallelConfig,
 ) -> Result<LoopExtraction, CircuitError> {
+    extract_loop_rl_backend(par, spec, freqs_hz, cfg, ExtractionBackend::default())
+}
+
+/// The loop-extraction probe circuit, before any AC sweep runs.
+struct ProbeCircuit {
+    circuit: Circuit,
+    driver_node: NodeId,
+    port_return: NodeId,
+    /// Index of the PEEC partial-inductance system in the circuit (the
+    /// pad inductors add their own single-branch systems *after* it).
+    inductor_system: Option<usize>,
+    /// Segments behind the PEEC system's branches, in branch order.
+    inductive: Vec<Segment>,
+}
+
+/// Builds the extraction circuit shared by every backend: the layout's
+/// R + partial-L network (capacitance stripped), supply pads tied to
+/// the AC reference, receivers shorted to local ground, and a 1 A AC
+/// probe across the driver port.
+fn build_probe(par: &PeecParasitics, spec: &LoopPortSpec) -> Result<ProbeCircuit, CircuitError> {
     // Capacitance-free clone of the parasitics.
     let mut rl_par = par.clone();
     for c in &mut rl_par.ground_cap {
@@ -169,16 +194,68 @@ pub fn extract_loop_rl_with(
     // 1 A AC probe across the port.
     circuit.isrc_ac(port_return, driver_node, SourceWave::dc(0.0), 1.0);
 
-    let ac = circuit.ac_sweep_with(
-        &AcOptions {
-            freqs_hz: freqs_hz.to_vec(),
-        },
-        cfg,
-    )?;
+    let inductive = model
+        .inductive_segments
+        .iter()
+        .map(|&i| rl_par.segments[i].clone())
+        .collect();
+    Ok(ProbeCircuit {
+        circuit,
+        driver_node,
+        port_return,
+        inductor_system: model.inductor_system_index,
+        inductive,
+    })
+}
+
+/// [`extract_loop_rl_with`] with an explicit [`ExtractionBackend`].
+///
+/// `Dense` stamps the full partial-inductance matrix into the MNA
+/// system and factorizes directly — the reference oracle. `MatrixFree`
+/// keeps the `−jωM` block out of the factorized matrix and applies it
+/// through a [`LinearOperator`] inside preconditioned GMRES: an
+/// FFT-accelerated block-Toeplitz operator when the inductive segments
+/// form a regular filament lattice
+/// ([`GridInductanceOperator::detect`]), a dense matvec otherwise.
+/// `Auto` defers to `IND101_EXTRACTION_BACKEND`, then to problem size.
+///
+/// # Errors
+///
+/// Fails if the named ports don't exist, the network is singular, the
+/// Krylov solve does not converge, or `IND101_EXTRACTION_BACKEND` is
+/// set to an unrecognized value.
+pub fn extract_loop_rl_backend(
+    par: &PeecParasitics,
+    spec: &LoopPortSpec,
+    freqs_hz: &[f64],
+    cfg: &ParallelConfig,
+    backend: ExtractionBackend,
+) -> Result<LoopExtraction, CircuitError> {
+    let probe = build_probe(par, spec)?;
+    let resolved = backend.resolve(probe.inductive.len())?;
+    let opts = AcOptions {
+        freqs_hz: freqs_hz.to_vec(),
+    };
+    let ac = match (resolved, probe.inductor_system) {
+        (ExtractionBackend::MatrixFree, Some(sys)) => {
+            let grid = GridInductanceOperator::detect(par.layout.tech(), &probe.inductive);
+            let op: &dyn LinearOperator<Complex64> = match grid.as_ref() {
+                Some(g) => g,
+                None => &probe.circuit.inductor_systems()[sys].m,
+            };
+            probe
+                .circuit
+                .ac_sweep_matrix_free(&opts, &[(sys, op)], &MatrixFreeAcOptions::default())?
+        }
+        // A matrix-free request with no inductive system degenerates to
+        // the plain sweep: there is no `−jωM` block to keep matrix-free.
+        _ => probe.circuit.ac_sweep_with(&opts, cfg)?,
+    };
+
     let mut r_ohm = Vec::with_capacity(freqs_hz.len());
     let mut l_h = Vec::with_capacity(freqs_hz.len());
     for (i, &f) in freqs_hz.iter().enumerate() {
-        let z = ac.voltage(driver_node, i) - ac.voltage(port_return, i);
+        let z = ac.voltage(probe.driver_node, i) - ac.voltage(probe.port_return, i);
         r_ohm.push(z.re);
         l_h.push(z.im / (2.0 * std::f64::consts::PI * f));
     }
@@ -330,6 +407,50 @@ mod tests {
         );
         // Filament L falls further with frequency than solid L.
         assert!(fil.l_h[1] < fil.l_h[0]);
+    }
+
+    /// Dense-vs-matrix-free differential at the loop level, on both
+    /// operator flavors: an untied shielded bus is a uniform lattice
+    /// (FFT block-Toeplitz operator), a tied one has perpendicular
+    /// straps (dense-matvec fallback inside the Krylov loop).
+    #[test]
+    fn matrix_free_backend_matches_dense_oracle() {
+        let tech = Technology::example_copper_6lm();
+        let freqs = [1e8, 5e9, 4e10];
+        let cfg = ParallelConfig::default();
+        for tie in [false, true] {
+            let spec = BusSpec {
+                signals: 3,
+                length_nm: um(800),
+                spacing_nm: um(2),
+                shields: ShieldPattern::Explicit(vec![1]),
+                tie_shields: tie,
+                ..BusSpec::default()
+            };
+            let bus = generate_bus(&tech, &spec);
+            let par = PeecParasitics::extract(&bus, um(800));
+            let pspec = LoopPortSpec::from_layout(&par).unwrap();
+            let dense =
+                extract_loop_rl_backend(&par, &pspec, &freqs, &cfg, ExtractionBackend::Dense)
+                    .unwrap();
+            let mf =
+                extract_loop_rl_backend(&par, &pspec, &freqs, &cfg, ExtractionBackend::MatrixFree)
+                    .unwrap();
+            for i in 0..freqs.len() {
+                let (rd, ld) = dense.at(i);
+                let (rm, lm) = mf.at(i);
+                assert!(
+                    (rd - rm).abs() <= 1e-8 * rd.abs().max(1.0),
+                    "tie={tie} f={}: R {rd} vs {rm}",
+                    freqs[i]
+                );
+                assert!(
+                    (ld - lm).abs() <= 1e-8 * ld.abs(),
+                    "tie={tie} f={}: L {ld:e} vs {lm:e}",
+                    freqs[i]
+                );
+            }
+        }
     }
 
     #[test]

@@ -25,10 +25,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod extract;
 mod ladder;
 mod netlist;
 
-pub use extract::{extract_loop_rl, extract_loop_rl_with, LoopExtraction, LoopPortSpec};
+pub use backend::{ExtractionBackend, AUTO_MATRIX_FREE_THRESHOLD, EXTRACTION_BACKEND_ENV};
+pub use extract::{
+    extract_loop_rl, extract_loop_rl_backend, extract_loop_rl_with, LoopExtraction, LoopPortSpec,
+};
 pub use ladder::LadderFit;
 pub use netlist::{build_loop_circuit, LoopCircuit, LoopInterconnect, LoopNetlistSpec};

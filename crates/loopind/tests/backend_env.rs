@@ -1,0 +1,82 @@
+//! `IND101_EXTRACTION_BACKEND` environment-override coverage.
+//!
+//! Everything lives in ONE `#[test]` on purpose: the harness runs tests
+//! in threads of one process, and `std::env::set_var` is process-global
+//! state — splitting these cases across tests would race.
+
+use ind101_circuit::CircuitError;
+use ind101_loop::{ExtractionBackend, AUTO_MATRIX_FREE_THRESHOLD, EXTRACTION_BACKEND_ENV};
+
+#[test]
+fn extraction_backend_env_override() {
+    let saved = std::env::var(EXTRACTION_BACKEND_ENV).ok();
+
+    // Unset: from_env is silent, Auto falls back to the size heuristic.
+    std::env::remove_var(EXTRACTION_BACKEND_ENV);
+    assert_eq!(ExtractionBackend::from_env().unwrap(), None);
+    assert_eq!(
+        ExtractionBackend::Auto.resolve(4).unwrap(),
+        ExtractionBackend::Dense
+    );
+    assert_eq!(
+        ExtractionBackend::Auto
+            .resolve(AUTO_MATRIX_FREE_THRESHOLD)
+            .unwrap(),
+        ExtractionBackend::MatrixFree
+    );
+
+    // Valid values parse through the environment, any case and alias.
+    for (v, want) in [
+        ("dense", ExtractionBackend::Dense),
+        ("DENSE", ExtractionBackend::Dense),
+        ("matrix-free", ExtractionBackend::MatrixFree),
+        ("matrixfree", ExtractionBackend::MatrixFree),
+        ("matrix_free", ExtractionBackend::MatrixFree),
+        ("auto", ExtractionBackend::Auto),
+    ] {
+        std::env::set_var(EXTRACTION_BACKEND_ENV, v);
+        assert_eq!(ExtractionBackend::from_env().unwrap(), Some(want), "{v}");
+    }
+
+    // The environment overrides Auto but never an explicit choice.
+    std::env::set_var(EXTRACTION_BACKEND_ENV, "matrix-free");
+    assert_eq!(
+        ExtractionBackend::Auto.resolve(1).unwrap(),
+        ExtractionBackend::MatrixFree
+    );
+    assert_eq!(
+        ExtractionBackend::Dense.resolve(1_000_000).unwrap(),
+        ExtractionBackend::Dense
+    );
+    // An env value of "auto" defers back to the heuristic.
+    std::env::set_var(EXTRACTION_BACKEND_ENV, "auto");
+    assert_eq!(
+        ExtractionBackend::Auto.resolve(1).unwrap(),
+        ExtractionBackend::Dense
+    );
+
+    // Invalid value: typed error naming the variable, from both
+    // from_env and anything that resolves Auto — never a silent
+    // fallback (the two backends have different arithmetic).
+    std::env::set_var(EXTRACTION_BACKEND_ENV, "fft-please");
+    match ExtractionBackend::from_env() {
+        Err(CircuitError::InvalidOptions { what }) => {
+            assert!(
+                what.contains(EXTRACTION_BACKEND_ENV) && what.contains("fft-please"),
+                "error must name the variable and the bad value: {what}"
+            );
+        }
+        other => panic!("expected InvalidOptions, got {other:?}"),
+    }
+    assert!(ExtractionBackend::Auto.resolve(4).is_err());
+    // Explicit backends ignore the environment entirely, even invalid.
+    assert_eq!(
+        ExtractionBackend::Dense.resolve(4).unwrap(),
+        ExtractionBackend::Dense
+    );
+
+    match saved {
+        Some(v) => std::env::set_var(EXTRACTION_BACKEND_ENV, v),
+        None => std::env::remove_var(EXTRACTION_BACKEND_ENV),
+    }
+}

@@ -55,6 +55,11 @@ pub enum NumericError {
         /// The container length.
         len: usize,
     },
+    /// A length that must be a power of two (FFT plans) was not.
+    NotPowerOfTwo {
+        /// The offending length.
+        n: usize,
+    },
 }
 
 impl fmt::Display for NumericError {
@@ -82,6 +87,9 @@ impl fmt::Display for NumericError {
             }
             Self::IndexOutOfRange { index, len } => {
                 write!(f, "index {index} out of range for length {len}")
+            }
+            Self::NotPowerOfTwo { n } => {
+                write!(f, "length {n} is not a power of two")
             }
         }
     }

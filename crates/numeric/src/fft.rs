@@ -1,0 +1,237 @@
+//! In-house radix-2 complex FFT.
+//!
+//! The offline dependency set has no FFT crate, so the block-Toeplitz
+//! fast matvec ([`crate::ToeplitzOperator2D`]) is built on this
+//! from-scratch iterative Cooley–Tukey transform: power-of-two lengths,
+//! precomputed twiddle table, in-place bit-reversal permutation. The
+//! plan ([`Fft`]) is immutable after construction and `Sync`, so one
+//! plan serves any number of threads.
+//!
+//! Conventions: [`Fft::forward`] computes `X[k] = Σ x[j]·e^{-2πi jk/n}`
+//! (unscaled); [`Fft::inverse`] applies the conjugate transform scaled
+//! by `1/n`, so `inverse(forward(x)) == x` to rounding.
+
+use crate::{Complex64, NumericError, Result};
+
+/// A reusable FFT plan for one power-of-two transform length.
+#[derive(Clone, Debug)]
+pub struct Fft {
+    n: usize,
+    /// Forward twiddles `e^{-2πi k/n}` for `k < n/2`.
+    twiddles: Vec<Complex64>,
+}
+
+impl Fft {
+    /// Builds a plan for length-`n` transforms.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::NotPowerOfTwo`] unless `n` is a power of two
+    /// (`n = 1` is allowed and makes the transform the identity).
+    pub fn new(n: usize) -> Result<Self> {
+        if n == 0 || !n.is_power_of_two() {
+            return Err(NumericError::NotPowerOfTwo { n });
+        }
+        let twiddles = (0..n / 2)
+            .map(|k| {
+                let ang = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+                Complex64::new(ang.cos(), ang.sin())
+            })
+            .collect();
+        Ok(Self { n, twiddles })
+    }
+
+    /// Transform length of this plan.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan length is zero (never true: lengths are ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward transform (unscaled).
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::DimensionMismatch`] if `data.len()` differs from
+    /// the plan length.
+    pub fn forward(&self, data: &mut [Complex64]) -> Result<()> {
+        self.check(data.len())?;
+        self.transform(data, false);
+        Ok(())
+    }
+
+    /// In-place inverse transform (scaled by `1/n`).
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::DimensionMismatch`] if `data.len()` differs from
+    /// the plan length.
+    pub fn inverse(&self, data: &mut [Complex64]) -> Result<()> {
+        self.check(data.len())?;
+        self.transform(data, true);
+        let s = 1.0 / self.n as f64;
+        for v in data {
+            *v = v.scale(s);
+        }
+        Ok(())
+    }
+
+    fn check(&self, len: usize) -> Result<()> {
+        if len == self.n {
+            Ok(())
+        } else {
+            Err(NumericError::DimensionMismatch {
+                expected: self.n,
+                found: len,
+            })
+        }
+    }
+
+    /// Iterative decimation-in-time butterfly pass over bit-reversed
+    /// data. `conjugate` selects the inverse-transform twiddles.
+    fn transform(&self, data: &mut [Complex64], conjugate: bool) {
+        let n = self.n;
+        if n == 1 {
+            return;
+        }
+        bit_reverse_permute(data);
+        let mut len = 2usize;
+        while len <= n {
+            let half = len / 2;
+            let step = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let mut w = self.twiddles[k * step];
+                    if conjugate {
+                        w = w.conj();
+                    }
+                    let a = data[start + k];
+                    let b = data[start + k + half] * w;
+                    data[start + k] = a + b;
+                    data[start + k + half] = a - b;
+                }
+            }
+            len *= 2;
+        }
+    }
+}
+
+/// Reorders `data` so index `i` holds the element whose index is the
+/// bit-reversal of `i` (the input order the iterative butterflies need).
+fn bit_reverse_permute(data: &mut [Complex64]) {
+    let n = data.len();
+    let shift = usize::BITS - n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> shift;
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(x: &[Complex64]) -> Vec<Complex64> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex64::ZERO;
+                for (j, &v) in x.iter().enumerate() {
+                    let ang = -2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64;
+                    acc += v * Complex64::new(ang.cos(), ang.sin());
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn test_vec(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                Complex64::new((0.37 * t).sin() + 0.2, (0.53 * t).cos() - 0.1)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [1usize, 2, 4, 8, 32, 128] {
+            let plan = Fft::new(n).unwrap();
+            let x = test_vec(n);
+            let want = naive_dft(&x);
+            let mut got = x.clone();
+            plan.forward(&mut got).unwrap();
+            for (g, w) in got.iter().zip(&want) {
+                assert!((*g - *w).abs() < 1e-9 * n as f64, "n={n}: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        for n in [1usize, 2, 16, 256, 1024] {
+            let plan = Fft::new(n).unwrap();
+            let x = test_vec(n);
+            let mut y = x.clone();
+            plan.forward(&mut y).unwrap();
+            plan.inverse(&mut y).unwrap();
+            for (a, b) in x.iter().zip(&y) {
+                assert!((*a - *b).abs() < 1e-12, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_identity() {
+        let n = 512;
+        let plan = Fft::new(n).unwrap();
+        let x = test_vec(n);
+        let time_energy: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let mut f = x;
+        plan.forward(&mut f).unwrap();
+        let freq_energy: f64 = f.iter().map(|v| v.norm_sqr()).sum::<f64>() / n as f64;
+        assert!(
+            (time_energy - freq_energy).abs() < 1e-9 * time_energy,
+            "{time_energy} vs {freq_energy}"
+        );
+    }
+
+    #[test]
+    fn non_power_of_two_rejected() {
+        for n in [0usize, 3, 6, 100] {
+            assert!(matches!(
+                Fft::new(n),
+                Err(NumericError::NotPowerOfTwo { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let plan = Fft::new(8).unwrap();
+        let mut short = vec![Complex64::ZERO; 4];
+        assert!(matches!(
+            plan.forward(&mut short),
+            Err(NumericError::DimensionMismatch { expected: 8, found: 4 })
+        ));
+        assert!(plan.inverse(&mut short).is_err());
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let n = 64;
+        let plan = Fft::new(n).unwrap();
+        let mut x = vec![Complex64::ZERO; n];
+        x[0] = Complex64::ONE;
+        plan.forward(&mut x).unwrap();
+        for v in &x {
+            assert!((*v - Complex64::ONE).abs() < 1e-12);
+        }
+    }
+}

@@ -44,7 +44,9 @@ mod condition;
 mod dense;
 mod eigen;
 mod error;
+mod fft;
 pub mod gemm;
+mod krylov;
 mod lu;
 mod ordering;
 pub mod partition;
@@ -53,6 +55,7 @@ mod scalar;
 mod sparse;
 mod sparse_cholesky;
 mod sparse_lu;
+mod toeplitz;
 mod vecops;
 
 pub use amd::approximate_minimum_degree;
@@ -63,7 +66,13 @@ pub use condition::RefinedSolve;
 pub use dense::Matrix;
 pub use eigen::{jacobi_eigenvalues, jacobi_eigenvectors, SymmetricEigen};
 pub use error::NumericError;
+pub use fft::Fft;
 pub use gemm::gemm_into;
+pub use krylov::{
+    conjugate_gradient, gmres, BlockJacobiPreconditioner, IdentityPreconditioner,
+    JacobiPreconditioner, KrylovError, KrylovOptions, KrylovSolution, LinearOperator,
+    Preconditioner,
+};
 pub use lu::{LuFactors, LU_BLOCK};
 pub use ordering::{bandwidth, reverse_cuthill_mckee, Permutation};
 pub use partition::ParallelConfig;
@@ -72,6 +81,7 @@ pub use scalar::Scalar;
 pub use sparse::{CsrMatrix, Triplets};
 pub use sparse_cholesky::{SparseCholesky, SymbolicCholesky};
 pub use sparse_lu::{SparseLu, SymbolicLu};
+pub use toeplitz::ToeplitzOperator2D;
 pub use vecops::{axpy, dot, norm2, norm_inf, scale};
 
 /// Convenient result alias for fallible numeric operations.

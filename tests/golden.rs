@@ -25,7 +25,10 @@ use ind101_bench::flows::{
 };
 use ind101_bench::{clock_case, Scale};
 use ind101_core::InductanceMode;
-use ind101_loop::{extract_loop_rl, LadderFit, LoopPortSpec};
+use ind101_loop::{
+    extract_loop_rl, extract_loop_rl_backend, ExtractionBackend, LadderFit, LoopPortSpec,
+};
+use ind101_numeric::ParallelConfig;
 use ind101_sparsify::block_diagonal::{block_diagonal, sections_by_signal_distance};
 use ind101_sparsify::kmatrix::k_sparsify;
 use ind101_sparsify::truncation::truncate_relative;
@@ -238,6 +241,65 @@ fn golden_fig3_loop_rl() {
             val("ladder_l1_h", ladder.l1),
         ],
     );
+}
+
+/// Figure 3 under both extraction backends: the matrix-free Krylov
+/// path must agree with the dense direct path to 1e-8 on every sweep
+/// point, and both must sit inside the committed fig3 goldens.
+#[test]
+fn golden_fig3_backend_independence() {
+    let case = clock_case(Scale::Small);
+    let spec = LoopPortSpec::from_layout(&case.par).expect("clock ports");
+    let freqs = [1e8, 1e9, 2e10];
+    let cfg = ParallelConfig::default();
+    let dense = extract_loop_rl_backend(&case.par, &spec, &freqs, &cfg, ExtractionBackend::Dense)
+        .expect("dense loop extraction");
+    let mf =
+        extract_loop_rl_backend(&case.par, &spec, &freqs, &cfg, ExtractionBackend::MatrixFree)
+            .expect("matrix-free loop extraction");
+    for i in 0..freqs.len() {
+        let (rd, ld) = dense.at(i);
+        let (rm, lm) = mf.at(i);
+        assert!(
+            (rd - rm).abs() <= 1e-8 * rd.abs().max(1.0),
+            "R at {}: dense {rd:e} vs matrix-free {rm:e}",
+            freqs[i]
+        );
+        assert!(
+            (ld - lm).abs() <= 1e-8 * ld.abs(),
+            "L at {}: dense {ld:e} vs matrix-free {lm:e}",
+            freqs[i]
+        );
+    }
+    // Regeneration of fig3.json is owned by golden_fig3_loop_rl; here
+    // both backends only have to *pass* against the committed file.
+    if std::env::var("UPDATE_GOLDEN").as_deref() != Ok("1") {
+        for ext in [&dense, &mf] {
+            check(
+                "fig3_backends",
+                &[
+                    val("r_ohm_100mhz", ext.r_ohm[0]),
+                    val("r_ohm_1ghz", ext.r_ohm[1]),
+                    val("r_ohm_20ghz", ext.r_ohm[2]),
+                    val("l_h_100mhz", ext.l_h[0]),
+                    val("l_h_1ghz", ext.l_h[1]),
+                    val("l_h_20ghz", ext.l_h[2]),
+                ],
+            );
+        }
+    } else {
+        check(
+            "fig3_backends",
+            &[
+                val("r_ohm_100mhz", dense.r_ohm[0]),
+                val("r_ohm_1ghz", dense.r_ohm[1]),
+                val("r_ohm_20ghz", dense.r_ohm[2]),
+                val("l_h_100mhz", dense.l_h[0]),
+                val("l_h_1ghz", dense.l_h[1]),
+                val("l_h_20ghz", dense.l_h[2]),
+            ],
+        );
+    }
 }
 
 /// Figure 4: the PEEC (RLC) clock transient's delay/skew/overshoot.

@@ -1,11 +1,14 @@
 //! Cross-crate property-based tests: physics invariants that must hold
 //! for *any* generated layout, not just the hand-picked cases.
 
-use ind101::extract::{ParallelConfig, PartialInductance};
+use ind101::extract::operator::grid_kernel;
+use ind101::extract::{FilamentGridSpec, ParallelConfig, PartialInductance};
 use ind101::geom::generators::{generate_bus, BusSpec, ShieldPattern};
 use ind101::geom::{um, Layout, Technology};
-use ind101::loopind::{extract_loop_rl, LoopPortSpec};
-use ind101::numeric::Matrix;
+use ind101::loopind::{extract_loop_rl, extract_loop_rl_backend, ExtractionBackend, LoopPortSpec};
+use ind101::numeric::{Complex64, Fft, LinearOperator, Matrix, ToeplitzOperator2D};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use ind101::peec::{InductanceMode, PeecModel, PeecParasitics};
 use ind101::sparsify::block_diagonal::block_diagonal;
 use ind101::sparsify::halo::halo_sparsify;
@@ -199,6 +202,129 @@ proptest! {
                 .zip(par.matrix().as_slice())
                 .all(|(a, b)| a.to_bits() == b.to_bits());
             prop_assert!(same, "threads = {}", threads);
+        }
+    }
+
+    /// FFT round trip is the identity to 1e-12 for any power-of-two
+    /// length and any data.
+    #[test]
+    fn fft_round_trip_is_identity(exp in 0u32..11, seed in 0u64..1 << 20) {
+        let n = 1usize << exp;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<Complex64> = (0..n)
+            .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let fft = Fft::new(n).expect("power of two");
+        let mut y = x.clone();
+        fft.forward(&mut y).expect("len matches");
+        fft.inverse(&mut y).expect("len matches");
+        for (a, b) in x.iter().zip(&y) {
+            prop_assert!((*a - *b).abs() <= 1e-12, "n = {}: {:?} vs {:?}", n, a, b);
+        }
+    }
+
+    /// Parseval: the transform preserves energy up to the 1/n inverse
+    /// scaling, `Σ|xᵢ|² = (1/n)·Σ|Xₖ|²`.
+    #[test]
+    fn fft_satisfies_parseval(exp in 1u32..11, seed in 0u64..1 << 20) {
+        let n = 1usize << exp;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<Complex64> = (0..n)
+            .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let time: f64 = x.iter().map(|v| v.abs() * v.abs()).sum();
+        let fft = Fft::new(n).expect("power of two");
+        let mut xf = x;
+        fft.forward(&mut xf).expect("len matches");
+        let freq: f64 = xf.iter().map(|v| v.abs() * v.abs()).sum::<f64>() / n as f64;
+        prop_assert!(
+            (time - freq).abs() <= 1e-12 * time.max(1.0),
+            "n = {}: {} vs {}",
+            n, time, freq
+        );
+    }
+
+    /// The circulant-embedded block-Toeplitz matvec equals the dense
+    /// symmetric-Toeplitz matvec for any grid shape, pitch, and input —
+    /// on the real extraction kernel, not a synthetic one.
+    #[test]
+    fn toeplitz_matvec_matches_dense(
+        count_z in 1usize..4,
+        count_lat in 1usize..14,
+        pitch_z_um in 1i64..4,
+        pitch_lat_um in 2i64..7,
+        seed in 0u64..1 << 20,
+    ) {
+        let spec = FilamentGridSpec {
+            count_z,
+            count_lat,
+            pitch_z_nm: um(pitch_z_um),
+            pitch_lat_nm: um(pitch_lat_um),
+            length_nm: um(400),
+            width_nm: um(1),
+            thickness_nm: 500,
+        };
+        let kernel = grid_kernel(&spec, None).expect("valid spec");
+        let op = ToeplitzOperator2D::new(count_z, count_lat, &kernel).expect("valid kernel");
+        let dense = op.to_dense_kernel(&kernel);
+        let n = count_z * count_lat;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut fast = vec![0.0; n];
+        LinearOperator::<f64>::apply(&op, &x, &mut fast);
+        let mut slow = vec![0.0; n];
+        LinearOperator::<f64>::apply(&dense, &x, &mut slow);
+        let scale = slow.iter().map(|v| v.abs()).fold(f64::MIN_POSITIVE, f64::max);
+        for (f, s) in fast.iter().zip(&slow) {
+            prop_assert!(
+                (f - s).abs() <= 1e-12 * scale,
+                "{}x{}: {} vs {}",
+                count_z, count_lat, f, s
+            );
+        }
+    }
+
+    /// Loop R(f)/L(f) is backend-independent: the matrix-free Krylov
+    /// path agrees with the dense direct oracle to 1e-8 on any
+    /// generated bus with a return path.
+    #[test]
+    fn loop_extraction_backend_independent(
+        signals in 1usize..4,
+        len_um in 400i64..1500,
+        sp_um in 1i64..5,
+        tie in prop::bool::ANY,
+    ) {
+        let tech = Technology::example_copper_6lm();
+        let spec = BusSpec {
+            signals,
+            length_nm: um(len_um),
+            spacing_nm: um(sp_um),
+            shields: ShieldPattern::Explicit(vec![1]),
+            tie_shields: tie,
+            ..BusSpec::default()
+        };
+        let bus = generate_bus(&tech, &spec);
+        let par = PeecParasitics::extract(&bus, um(len_um));
+        let port = LoopPortSpec::from_layout(&par).expect("ports");
+        let freqs = [1e8, 2e9, 3e10];
+        let cfg = ParallelConfig::default();
+        let dense = extract_loop_rl_backend(&par, &port, &freqs, &cfg, ExtractionBackend::Dense)
+            .expect("dense");
+        let mf = extract_loop_rl_backend(&par, &port, &freqs, &cfg, ExtractionBackend::MatrixFree)
+            .expect("matrix-free");
+        for i in 0..freqs.len() {
+            let (rd, ld) = dense.at(i);
+            let (rm, lm) = mf.at(i);
+            prop_assert!(
+                (rd - rm).abs() <= 1e-8 * rd.abs().max(1.0),
+                "R at {}: {} vs {}",
+                freqs[i], rd, rm
+            );
+            prop_assert!(
+                (ld - lm).abs() <= 1e-8 * ld.abs(),
+                "L at {}: {:e} vs {:e}",
+                freqs[i], ld, lm
+            );
         }
     }
 
