@@ -14,7 +14,11 @@
 //! * `dense_assemble/<n>` — materializing the n×n partial-inductance
 //!   matrix the direct path factorizes (skipped above
 //!   `DENSE_LIMIT`: 131 072 filaments would need ~137 GB);
-//! * `dense_matvec/<n>` — one O(n²) dense row-dot application.
+//! * `dense_matvec/<n>` — one O(n²) dense row-dot application;
+//! * `rescue_off/<n>` / `rescue_on/<n>` — a full Jacobi-GMRES solve
+//!   through the plain entry point vs the rescue ladder with every
+//!   rung armed but never firing (sizes ≤ `RESCUE_LIMIT`); CI gates
+//!   the on/off ratio at ≤ 2 % on the committed record.
 //!
 //! Before timing, the matrix-free matvec is cross-checked against the
 //! dense oracle to 1e-10 at every size where dense fits — a silently
@@ -25,7 +29,10 @@
 //! assemble+matvec by ≥5× at the largest quick size.
 
 use ind101_extract::{FilamentGridSpec, GridInductanceOperator};
-use ind101_numeric::LinearOperator;
+use ind101_numeric::{
+    gmres, solve_with_rescue, JacobiPreconditioner, KrylovOptions, KrylovRescuePolicy,
+    LinearOperator, NoEscalation, SolveBudget,
+};
 use std::time::Instant;
 
 /// One timed configuration.
@@ -40,6 +47,13 @@ struct Row {
 /// Largest size at which the dense n×n matrix is materialized
 /// (8192² × 8 B = 512 MB; the next swept size would need 8 GB).
 const DENSE_LIMIT: usize = 8192;
+
+/// Largest size at which the rescue-overhead pair (`rescue_off` /
+/// `rescue_on`) is timed: a full Jacobi-GMRES solve per sample, so the
+/// pair is restricted to the quick sizes where it stays cheap. CI
+/// gates the `rescue_on`/`rescue_off` ratio — the resilience layer on
+/// the no-fault path must cost ≤ 2 % on the committed record.
+const RESCUE_LIMIT: usize = 2048;
 
 /// 1-D signal-lattice spec: 1 µm wide, 0.5 µm thick, 1 mm long
 /// filaments on a 2 µm pitch — the shape `filamentize_wide` produces.
@@ -119,6 +133,56 @@ fn main() {
         rows.push(row(format!("mf_matvec/{n}"), &mv_t));
         assert!(y_fast.iter().all(|v| v.is_finite()));
 
+        if n <= RESCUE_LIMIT {
+            // Resilience-layer overhead on the no-fault path: the same
+            // Jacobi-GMRES solve through the plain entry point vs the
+            // rescue ladder (full policy armed, no rung ever fires).
+            // The lattice is uniform, so the kernel diagonal is one
+            // matvec against e₀.
+            let mut e0 = vec![0.0; n];
+            e0[0] = 1.0;
+            let mut col0 = vec![0.0; n];
+            LinearOperator::<f64>::apply(&op, &e0, &mut col0);
+            let precond = JacobiPreconditioner::new(&vec![col0[0]; n]);
+            let b: Vec<f64> = (0..n).map(|i| (0.11 * i as f64).sin()).collect();
+            let kopts = KrylovOptions {
+                tol: 1e-8,
+                max_iters: 2000,
+                restart: 80,
+            };
+            let (off_t, sol_off) = time_ns(samples, || {
+                gmres(&op, &b, None, &precond, &kopts).expect("rescue-off solve")
+            });
+            rows.push(row(format!("rescue_off/{n}"), &off_t));
+
+            let policy = KrylovRescuePolicy::full();
+            let budget = SolveBudget::unlimited();
+            let (on_t, outcome) = time_ns(samples, || {
+                solve_with_rescue(
+                    &op,
+                    &b,
+                    None,
+                    &precond,
+                    &kopts,
+                    &policy,
+                    &budget,
+                    &NoEscalation,
+                )
+                .expect("rescue-on solve")
+            });
+            rows.push(row(format!("rescue_on/{n}"), &on_t));
+            let (sol_on, report) = outcome;
+            assert!(
+                report.initial_sufficed(),
+                "a rescue rung fired on the no-fault path at n={n}: {}",
+                report.summary()
+            );
+            assert_eq!(
+                sol_on.x, sol_off.x,
+                "resilience layer changed the solve arithmetic at n={n}"
+            );
+        }
+
         if n <= DENSE_LIMIT {
             let (asm_t, dense) = time_ns(samples.min(5), || op.to_dense());
             rows.push(row(format!("dense_assemble/{n}"), &asm_t));
@@ -191,5 +255,16 @@ fn main() {
             "largest dense size ({largest_dense}): matrix-free matvec is {:.1}x faster than dense assemble+matvec",
             (asm + dmv) / mv
         );
+    }
+    let largest_rescue = sizes.iter().copied().filter(|&n| n <= RESCUE_LIMIT).max();
+    if let Some(n) = largest_rescue {
+        if let (Some(off), Some(on)) = (min_of("rescue_off", n), min_of("rescue_on", n)) {
+            println!(
+                "rescue overhead at {n} filaments: {:.2}% (on {:.3} ms vs off {:.3} ms)",
+                (on / off - 1.0) * 100.0,
+                on / 1e6,
+                off / 1e6
+            );
+        }
     }
 }

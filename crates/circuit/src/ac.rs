@@ -8,11 +8,15 @@ use crate::elements::Element;
 use crate::error::CircuitError;
 use crate::mna::{MnaLayout, GMIN};
 use crate::netlist::{Circuit, NodeId};
+use crate::resilience::{
+    FailurePolicy, FrequencyRecovery, FrequencyStatus, RecoveryReport, ResilienceOptions,
+    ResilientAcSweep,
+};
 use crate::solver::{Solver, SolverBackend, SMALL_DENSE};
 use crate::dcop::DcOperatingPoint;
 use crate::Result;
-use ind101_numeric::partition::{collect_row_blocks, uniform_row_blocks};
-use ind101_numeric::{Complex64, ParallelConfig, SymbolicLu, Triplets};
+use ind101_numeric::partition::{collect_row_blocks, collect_row_blocks_until, uniform_row_blocks};
+use ind101_numeric::{CancelToken, Complex64, ParallelConfig, SolveGuard, SymbolicLu, Triplets};
 use std::sync::Arc;
 
 /// AC sweep options: explicit frequency list.
@@ -223,6 +227,190 @@ impl Circuit {
             freqs_hz: opts.freqs_hz.clone(),
             data,
             layout,
+        })
+    }
+
+    /// [`Circuit::ac_sweep_with`] wrapped in the solve-resilience layer:
+    /// the sweep shares one [`ind101_numeric::SolveBudget`], workers
+    /// poll its [`CancelToken`] (and the wall-clock deadline) before
+    /// every frequency inside the row-block parallel loop, and the
+    /// [`FailurePolicy`] decides whether a singular frequency aborts
+    /// the sweep or is skipped with a typed record.
+    ///
+    /// The dense path has no Krylov ladder, so
+    /// [`ResilienceOptions::rescue`] is ignored here and
+    /// [`FailurePolicy::DegradeToDense`] behaves like
+    /// [`FailurePolicy::SkipAndReport`] (every solve is already
+    /// direct). With no budget set and no failures the solutions are
+    /// bit-identical to [`Circuit::ac_sweep_with`].
+    ///
+    /// # Errors
+    ///
+    /// Invalid options always abort. A per-frequency solve failure
+    /// aborts — first in frequency order — only under
+    /// [`FailurePolicy::Abort`]; cancellation and budget exhaustion
+    /// stop the sweep early but still return the partial result.
+    pub fn ac_sweep_resilient(
+        &self,
+        opts: &AcOptions,
+        cfg: &ParallelConfig,
+        resilience: &ResilienceOptions,
+    ) -> Result<ResilientAcSweep> {
+        opts.validate()?;
+        let layout = MnaLayout::build(self);
+        let op = if self.is_nonlinear() {
+            Some(self.dc_op()?)
+        } else {
+            None
+        };
+        let backend = self.effective_backend();
+        let sym_hint: Option<Arc<SymbolicLu>> =
+            if backend != SolverBackend::Dense && layout.n > SMALL_DENSE {
+                let (t0, _) = self.ac_assemble(&layout, op.as_ref(), opts.freqs_hz[0]);
+                SymbolicLu::analyze(&t0.to_csr()).ok().map(Arc::new)
+            } else {
+                None
+            };
+
+        enum FreqItem {
+            Solved(Vec<Complex64>, f64),
+            Failed(CircuitError, f64),
+            Stopped,
+        }
+
+        let guard = SolveGuard::new(resilience.budget.clone());
+        // Internal stop flag: the first worker to observe a budget
+        // violation trips it, so blocks that have not started yet are
+        // skipped wholesale and running blocks cut at their next
+        // frequency boundary.
+        let stop = CancelToken::new();
+        let nf = opts.freqs_hz.len();
+        let ranges = uniform_row_blocks(nf, cfg.blocks_for(nf));
+        let per_block: Vec<Option<Vec<FreqItem>>> =
+            collect_row_blocks_until(&ranges, &stop, |rows| {
+                rows.map(|i| {
+                    if stop.is_cancelled() {
+                        return FreqItem::Stopped;
+                    }
+                    if guard.check().is_err() {
+                        stop.cancel();
+                        return FreqItem::Stopped;
+                    }
+                    let started = guard.elapsed_seconds();
+                    let outcome = self.ac_solve_one(
+                        &layout,
+                        op.as_ref(),
+                        opts.freqs_hz[i],
+                        backend,
+                        sym_hint.as_ref(),
+                    );
+                    let elapsed = guard.elapsed_seconds() - started;
+                    match outcome {
+                        Ok(x) => FreqItem::Solved(x, elapsed),
+                        Err(e) => FreqItem::Failed(e, elapsed),
+                    }
+                })
+                .collect()
+            });
+
+        let mut records: Vec<FrequencyRecovery> = Vec::with_capacity(nf);
+        let mut solutions: Vec<Option<Vec<Complex64>>> = Vec::with_capacity(nf);
+        let mut any_stopped = false;
+        for (range, block) in ranges.iter().zip(per_block) {
+            match block {
+                None => {
+                    any_stopped = true;
+                    for i in range.clone() {
+                        records.push(FrequencyRecovery {
+                            freq_hz: opts.freqs_hz[i],
+                            status: FrequencyStatus::NotAttempted,
+                            iterations: 0,
+                            rungs_attempted: 0,
+                            trajectory: String::new(),
+                            elapsed_seconds: 0.0,
+                        });
+                        solutions.push(None);
+                    }
+                }
+                Some(items) => {
+                    for (i, item) in range.clone().zip(items) {
+                        let f = opts.freqs_hz[i];
+                        match item {
+                            FreqItem::Solved(x, elapsed) => {
+                                records.push(FrequencyRecovery {
+                                    freq_hz: f,
+                                    status: FrequencyStatus::Solved,
+                                    iterations: 1,
+                                    rungs_attempted: 1,
+                                    trajectory: "direct(converged)".to_owned(),
+                                    elapsed_seconds: elapsed,
+                                });
+                                solutions.push(Some(x));
+                            }
+                            FreqItem::Failed(e, elapsed) => {
+                                if resilience.policy == FailurePolicy::Abort {
+                                    // First failure in frequency order
+                                    // wins — same as the plain sweep.
+                                    return Err(e);
+                                }
+                                records.push(FrequencyRecovery {
+                                    freq_hz: f,
+                                    status: FrequencyStatus::Skipped {
+                                        error: e.to_string(),
+                                    },
+                                    iterations: 1,
+                                    rungs_attempted: 1,
+                                    trajectory: "direct(failed)".to_owned(),
+                                    elapsed_seconds: elapsed,
+                                });
+                                solutions.push(None);
+                            }
+                            FreqItem::Stopped => {
+                                any_stopped = true;
+                                records.push(FrequencyRecovery {
+                                    freq_hz: f,
+                                    status: FrequencyStatus::NotAttempted,
+                                    iterations: 0,
+                                    rungs_attempted: 0,
+                                    trajectory: String::new(),
+                                    elapsed_seconds: 0.0,
+                                });
+                                solutions.push(None);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let stopped = if any_stopped {
+            Some(
+                guard
+                    .check()
+                    .err()
+                    .map_or_else(|| "sweep stopped".to_owned(), |e| e.to_string()),
+            )
+        } else {
+            None
+        };
+
+        let mut freqs = Vec::new();
+        let mut data = Vec::new();
+        for (rec, sol) in records.iter().zip(solutions) {
+            if let Some(x) = sol {
+                freqs.push(rec.freq_hz);
+                data.push(x);
+            }
+        }
+        Ok(ResilientAcSweep {
+            ac: AcResult {
+                freqs_hz: freqs,
+                data,
+                layout,
+            },
+            report: RecoveryReport {
+                frequencies: records,
+                stopped,
+            },
         })
     }
 

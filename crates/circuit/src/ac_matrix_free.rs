@@ -26,14 +26,19 @@
 //! result.
 
 use crate::ac::{AcOptions, AcResult, AcStampMode};
+use crate::dcop::DcOperatingPoint;
 use crate::error::CircuitError;
 use crate::mna::MnaLayout;
 use crate::netlist::Circuit;
+use crate::resilience::{
+    FailurePolicy, FrequencyRecovery, FrequencyStatus, RecoveryReport, ResilienceOptions,
+    ResilientAcSweep,
+};
 use crate::solver::{Solver, SMALL_DENSE};
 use crate::Result;
 use ind101_numeric::{
-    gmres, Complex64, CsrMatrix, KrylovOptions, LinearOperator, NumericError, Preconditioner,
-    SymbolicLu,
+    gmres, solve_with_rescue, Complex64, CsrMatrix, KrylovOptions, LinearOperator, Matrix,
+    NumericError, Preconditioner, RescueProvider, SolveGuard, SymbolicLu,
 };
 use std::sync::Arc;
 
@@ -136,33 +141,8 @@ impl Circuit {
     ) -> Result<AcResult> {
         opts.validate()?;
         let layout = MnaLayout::build(self);
+        self.validate_overrides(overrides)?;
         let systems = self.inductor_systems();
-        for &(s, op) in overrides {
-            let Some(sys) = systems.get(s) else {
-                return Err(CircuitError::InvalidOptions {
-                    what: format!(
-                        "inductor system override index {s} out of range ({} systems)",
-                        systems.len()
-                    ),
-                });
-            };
-            if op.dim() != sys.len() {
-                return Err(CircuitError::InvalidOptions {
-                    what: format!(
-                        "operator dimension {} does not match inductor system {s} ({} branches)",
-                        op.dim(),
-                        sys.len()
-                    ),
-                });
-            }
-        }
-        let mut seen: Vec<usize> = overrides.iter().map(|&(s, _)| s).collect();
-        seen.sort_unstable();
-        if seen.windows(2).any(|w| w[0] == w[1]) {
-            return Err(CircuitError::InvalidOptions {
-                what: "duplicate inductor system override".to_owned(),
-            });
-        }
 
         let dc = if self.is_nonlinear() {
             Some(self.dc_op()?)
@@ -222,6 +202,291 @@ impl Circuit {
             data.push(sol.x);
         }
         Ok(AcResult::from_parts(opts.freqs_hz.clone(), data, layout))
+    }
+
+    /// Checks that every override names an existing inductor system,
+    /// matches its dimension, and appears at most once.
+    fn validate_overrides(
+        &self,
+        overrides: &[(usize, &dyn LinearOperator<Complex64>)],
+    ) -> Result<()> {
+        let systems = self.inductor_systems();
+        for &(s, op) in overrides {
+            let Some(sys) = systems.get(s) else {
+                return Err(CircuitError::InvalidOptions {
+                    what: format!(
+                        "inductor system override index {s} out of range ({} systems)",
+                        systems.len()
+                    ),
+                });
+            };
+            if op.dim() != sys.len() {
+                return Err(CircuitError::InvalidOptions {
+                    what: format!(
+                        "operator dimension {} does not match inductor system {s} ({} branches)",
+                        op.dim(),
+                        sys.len()
+                    ),
+                });
+            }
+        }
+        let mut seen: Vec<usize> = overrides.iter().map(|&(s, _)| s).collect();
+        seen.sort_unstable();
+        if seen.windows(2).any(|w| w[0] == w[1]) {
+            return Err(CircuitError::InvalidOptions {
+                what: "duplicate inductor system override".to_owned(),
+            });
+        }
+        Ok(())
+    }
+
+    /// [`Circuit::ac_sweep_matrix_free`] wrapped in the solve-resilience
+    /// layer: per-frequency Krylov failures climb the
+    /// [`ind101_numeric::KrylovRescuePolicy`] ladder (grown restart →
+    /// dense-direct fallback, the latter gated by the memory budget),
+    /// the whole sweep shares one
+    /// [`ind101_numeric::SolveBudget`] (wall clock, memory,
+    /// cancellation), and the [`FailurePolicy`] decides whether a
+    /// frequency that still fails aborts the sweep or is skipped with a
+    /// typed record. The returned [`ResilientAcSweep`] holds solutions
+    /// for every frequency that solved plus a [`RecoveryReport`] for
+    /// the full request.
+    ///
+    /// With [`ResilienceOptions::strict`] the results are bit-identical
+    /// to [`Circuit::ac_sweep_matrix_free`].
+    ///
+    /// The GMRES warm start is reset whenever a frequency needed any
+    /// rescue rung or was skipped — a guess that led to failure (or
+    /// came from a dense fallback on a different escalation path) is
+    /// not trusted as the next frequency's starting point.
+    ///
+    /// # Errors
+    ///
+    /// Invalid options/overrides always abort. Per-frequency solve
+    /// failures abort only under [`FailurePolicy::Abort`]; cancellation
+    /// and sweep-wide budget exhaustion stop the sweep early but still
+    /// return the partial result.
+    pub fn ac_sweep_matrix_free_resilient(
+        &self,
+        opts: &AcOptions,
+        overrides: &[(usize, &dyn LinearOperator<Complex64>)],
+        mf: &MatrixFreeAcOptions,
+        resilience: &ResilienceOptions,
+    ) -> Result<ResilientAcSweep> {
+        opts.validate()?;
+        let layout = MnaLayout::build(self);
+        self.validate_overrides(overrides)?;
+        let systems = self.inductor_systems();
+
+        let dc = if self.is_nonlinear() {
+            Some(self.dc_op()?)
+        } else {
+            None
+        };
+        let overridden: Vec<usize> = overrides.iter().map(|&(s, _)| s).collect();
+        let backend = self.effective_backend();
+        let kopts = KrylovOptions {
+            tol: mf.tol,
+            max_iters: mf.max_iters,
+            restart: mf.restart.max(1),
+        };
+        let mut rescue = resilience.rescue.clone();
+        if resilience.policy == FailurePolicy::DegradeToDense {
+            rescue.dense_fallback = true;
+        }
+
+        // One guard for the whole sweep; each frequency's ladder gets
+        // the remaining wall-clock allowance so the sweep-wide deadline
+        // is enforced inside the Krylov iterations too.
+        let guard = SolveGuard::new(resilience.budget.clone());
+        let mut records: Vec<FrequencyRecovery> = Vec::with_capacity(opts.freqs_hz.len());
+        let mut solutions: Vec<Option<Vec<Complex64>>> = Vec::with_capacity(opts.freqs_hz.len());
+        let mut stopped: Option<String> = None;
+        let mut prev: Option<Vec<Complex64>> = None;
+        let mut hint: Option<Arc<SymbolicLu>> = None;
+
+        for &f in &opts.freqs_hz {
+            if stopped.is_some() {
+                records.push(not_attempted(f));
+                solutions.push(None);
+                continue;
+            }
+            if let Err(e) = guard.check() {
+                stopped = Some(e.to_string());
+                records.push(not_attempted(f));
+                solutions.push(None);
+                continue;
+            }
+            let freq_started = guard.elapsed_seconds();
+            let mut freq_budget = resilience.budget.clone();
+            if let Some(limit) = resilience.budget.max_wall_seconds {
+                freq_budget.max_wall_seconds = Some((limit - freq_started).max(0.0));
+            }
+
+            let jw = Complex64::jomega(2.0 * std::f64::consts::PI * f);
+            let (t_op, rhs) = self.ac_assemble_mode(
+                &layout,
+                dc.as_ref(),
+                f,
+                AcStampMode::OperatorPart {
+                    overridden: &overridden,
+                },
+            );
+            let (t_pre, _) = self.ac_assemble_mode(
+                &layout,
+                dc.as_ref(),
+                f,
+                AcStampMode::DiagonalPreconditioner {
+                    overridden: &overridden,
+                },
+            );
+            let annotate = |e| crate::mna::annotate_singular(self, &layout, e);
+            let solver = match Solver::build_with(&t_pre, backend, hint.as_ref()) {
+                Ok(s) => s,
+                Err(e) => {
+                    let err = annotate(e);
+                    if resilience.policy == FailurePolicy::Abort {
+                        return Err(err);
+                    }
+                    // A singular diagonal-stamped system is almost
+                    // certainly singular in full form too: skip.
+                    records.push(FrequencyRecovery {
+                        freq_hz: f,
+                        status: FrequencyStatus::Skipped {
+                            error: err.to_string(),
+                        },
+                        iterations: 0,
+                        rungs_attempted: 0,
+                        trajectory: "preconditioner-build".to_owned(),
+                        elapsed_seconds: guard.elapsed_seconds() - freq_started,
+                    });
+                    solutions.push(None);
+                    prev = None;
+                    continue;
+                }
+            };
+            if hint.is_none() && layout.n > SMALL_DENSE {
+                hint = solver.symbolic_hint();
+            }
+            let precond = SolverPreconditioner { solver };
+            let operator = MnaAcOperator {
+                csr: t_op.to_csr(),
+                blocks: overrides
+                    .iter()
+                    .map(|&(s, op)| (layout.ind_offsets[s], systems[s].len(), op, -jw))
+                    .collect(),
+            };
+            let provider = FullStampProvider {
+                circuit: self,
+                layout: &layout,
+                dc: dc.as_ref(),
+                f,
+            };
+            let x0 = if mf.warm_start { prev.as_deref() } else { None };
+            match solve_with_rescue(
+                &operator,
+                &rhs,
+                x0,
+                &precond,
+                &kopts,
+                &rescue,
+                &freq_budget,
+                &provider,
+            ) {
+                Ok((sol, report)) => {
+                    let initial = report.initial_sufficed();
+                    let status = if initial {
+                        FrequencyStatus::Solved
+                    } else {
+                        FrequencyStatus::Rescued {
+                            rung: report
+                                .converged_by
+                                .unwrap_or(ind101_numeric::KrylovRescueRung::Initial),
+                        }
+                    };
+                    // Warm-start hygiene: only a plainly solved point
+                    // seeds the next frequency.
+                    prev = (mf.warm_start && initial).then(|| sol.x.clone());
+                    records.push(FrequencyRecovery {
+                        freq_hz: f,
+                        status,
+                        iterations: report.total_iterations,
+                        rungs_attempted: report.rungs.len(),
+                        trajectory: report.summary(),
+                        elapsed_seconds: guard.elapsed_seconds() - freq_started,
+                    });
+                    solutions.push(Some(sol.x));
+                }
+                Err(failure) => {
+                    prev = None;
+                    let err = CircuitError::from(NumericError::from(failure.error.clone()));
+                    if resilience.policy == FailurePolicy::Abort {
+                        return Err(err);
+                    }
+                    records.push(FrequencyRecovery {
+                        freq_hz: f,
+                        status: FrequencyStatus::Skipped {
+                            error: err.to_string(),
+                        },
+                        iterations: failure.report.total_iterations,
+                        rungs_attempted: failure.report.rungs.len(),
+                        trajectory: failure.report.summary(),
+                        elapsed_seconds: guard.elapsed_seconds() - freq_started,
+                    });
+                    solutions.push(None);
+                    // The next loop iteration's guard poll converts a
+                    // sweep-wide cancellation/deadline into a stop.
+                }
+            }
+        }
+
+        let mut freqs = Vec::new();
+        let mut data = Vec::new();
+        for (rec, sol) in records.iter().zip(solutions) {
+            if let Some(x) = sol {
+                freqs.push(rec.freq_hz);
+                data.push(x);
+            }
+        }
+        Ok(ResilientAcSweep {
+            ac: AcResult::from_parts(freqs, data, layout),
+            report: RecoveryReport {
+                frequencies: records,
+                stopped,
+            },
+        })
+    }
+}
+
+fn not_attempted(freq_hz: f64) -> FrequencyRecovery {
+    FrequencyRecovery {
+        freq_hz,
+        status: FrequencyStatus::NotAttempted,
+        iterations: 0,
+        rungs_attempted: 0,
+        trajectory: String::new(),
+        elapsed_seconds: 0.0,
+    }
+}
+
+/// Rescue provider for the matrix-free AC solve: the dense-direct rung
+/// assembles the *full* MNA matrix (every `−jωM` stamp included) and
+/// lets the ladder LU-solve it. No preconditioner escalation is
+/// offered — the matrix-free path's baseline preconditioner is already
+/// a direct factorization, stronger than Jacobi or block-Jacobi.
+struct FullStampProvider<'a> {
+    circuit: &'a Circuit,
+    layout: &'a MnaLayout,
+    dc: Option<&'a DcOperatingPoint>,
+    f: f64,
+}
+
+impl RescueProvider<Complex64> for FullStampProvider<'_> {
+    fn dense_matrix(&self) -> Option<Matrix<Complex64>> {
+        let (t, _) =
+            self.circuit
+                .ac_assemble_mode(self.layout, self.dc, self.f, AcStampMode::Full);
+        Some(t.to_dense())
     }
 }
 

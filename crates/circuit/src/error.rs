@@ -80,6 +80,18 @@ pub enum CircuitError {
         /// rule name first).
         summary: String,
     },
+    /// The analysis was cooperatively cancelled via a
+    /// [`ind101_numeric::CancelToken`] in its [`ind101_numeric::SolveBudget`].
+    Cancelled {
+        /// What was cancelled ("AC sweep at 12/200 frequencies", …).
+        what: String,
+    },
+    /// A [`ind101_numeric::SolveBudget`] ceiling (wall clock or memory)
+    /// was exceeded, refusing or aborting the analysis.
+    BudgetExceeded {
+        /// Which ceiling tripped and by how much.
+        what: String,
+    },
 }
 
 impl fmt::Display for CircuitError {
@@ -120,6 +132,10 @@ impl fmt::Display for CircuitError {
                      ({errors} error(s), {warnings} warning(s)):\n{summary}"
                 )
             }
+            Self::Cancelled { what } => write!(f, "analysis cancelled: {what}"),
+            Self::BudgetExceeded { what } => {
+                write!(f, "analysis budget exceeded: {what}")
+            }
         }
     }
 }
@@ -135,7 +151,15 @@ impl std::error::Error for CircuitError {
 
 impl From<NumericError> for CircuitError {
     fn from(e: NumericError) -> Self {
-        Self::Numeric(e)
+        // Budget/cancellation failures keep their typed identity at the
+        // circuit layer instead of hiding inside a generic wrapper.
+        match e {
+            NumericError::Cancelled => Self::Cancelled {
+                what: "numeric kernel observed cancellation".to_owned(),
+            },
+            NumericError::BudgetExceeded { what } => Self::BudgetExceeded { what },
+            other => Self::Numeric(other),
+        }
     }
 }
 

@@ -58,9 +58,13 @@ pub(crate) fn take_tran_newton_stall() -> bool {
         .is_ok()
 }
 
-/// Clears all armed faults (call at the start of every fault test).
+pub use ind101_numeric::faults::{inject_gmres_stagnation, inject_matvec_nan};
+
+/// Clears all armed faults (call at the start of every fault test),
+/// including the numeric crate's Krylov-stack hooks.
 pub fn reset() {
     force_plain_newton_failure(false);
     inject_singular_pivot(None);
     inject_tran_newton_stalls(0);
+    ind101_numeric::faults::reset();
 }

@@ -56,6 +56,7 @@ mod mna;
 mod netlist;
 mod nonlinear;
 mod rescue;
+mod resilience;
 mod solver;
 mod system;
 mod tran;
@@ -68,6 +69,10 @@ pub use elements::{Element, MosPolarity, Mosfet};
 pub use error::CircuitError;
 pub use netlist::{Circuit, ElementCounts, InductorSystem, InverterParams, NodeId};
 pub use rescue::{RescuePolicy, RescueReport, RescueRung, RungTrace};
+pub use resilience::{
+    FailurePolicy, FrequencyRecovery, FrequencyStatus, RecoveryReport, ResilienceOptions,
+    ResilientAcSweep,
+};
 pub use solver::SolverBackend;
 pub use system::MnaSystem;
 pub use tran::{AdaptiveOptions, StepControl, TranOptions, TranResult};

@@ -16,6 +16,7 @@
 //! other backend.
 
 use ind101_circuit::CircuitError;
+use ind101_numeric::{Complex64, SolveBudget};
 
 /// Name of the environment override consulted by
 /// [`ExtractionBackend::Auto`].
@@ -103,6 +104,43 @@ impl ExtractionBackend {
         Ok(chosen)
     }
 
+    /// [`ExtractionBackend::resolve`] gated by a memory budget: when
+    /// the resolution lands on the dense path but stamping the
+    /// `n × n` complex partial-inductance block would exceed
+    /// `budget.max_memory_bytes`, the resolution is **refused with a
+    /// typed error** instead of letting the allocator abort the
+    /// process. `Auto` is refused rather than silently rerouted to
+    /// matrix-free because the matrix-free fallback for irregular
+    /// filament sets materializes the same dense block for its matvec
+    /// — rerouting would just move the OOM, not avoid it.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::BudgetExceeded`] when the dense block does not
+    /// fit the budget; plus everything [`ExtractionBackend::resolve`]
+    /// returns.
+    pub fn resolve_with_budget(
+        self,
+        n_filaments: usize,
+        budget: &SolveBudget,
+    ) -> Result<Self, CircuitError> {
+        let chosen = self.resolve(n_filaments)?;
+        if chosen == Self::Dense {
+            let needed = n_filaments
+                .saturating_mul(n_filaments)
+                .saturating_mul(std::mem::size_of::<Complex64>());
+            if let Err(e) = budget.check_alloc(needed) {
+                return Err(CircuitError::BudgetExceeded {
+                    what: format!(
+                        "dense extraction path needs a {n_filaments}×{n_filaments} \
+                         complex partial-inductance block: {e}"
+                    ),
+                });
+            }
+        }
+        Ok(chosen)
+    }
+
     /// Stable lowercase name (bench/report output).
     pub fn name(self) -> &'static str {
         match self {
@@ -137,6 +175,36 @@ mod tests {
         assert_eq!(
             ExtractionBackend::MatrixFree.resolve(2).unwrap(),
             ExtractionBackend::MatrixFree
+        );
+    }
+
+    #[test]
+    fn budget_refuses_dense_with_typed_error() {
+        // 64 filaments → 64·64·16 = 65 536 bytes of dense block.
+        let tight = SolveBudget::unlimited().with_memory_bytes(1024);
+        let err = ExtractionBackend::Auto
+            .resolve_with_budget(64, &tight)
+            .unwrap_err();
+        assert!(
+            matches!(err, CircuitError::BudgetExceeded { .. }),
+            "expected BudgetExceeded, got {err:?}"
+        );
+        let err = ExtractionBackend::Dense
+            .resolve_with_budget(64, &tight)
+            .unwrap_err();
+        assert!(matches!(err, CircuitError::BudgetExceeded { .. }));
+        // Matrix-free never stamps the dense block, so it passes.
+        assert_eq!(
+            ExtractionBackend::MatrixFree
+                .resolve_with_budget(64, &tight)
+                .unwrap(),
+            ExtractionBackend::MatrixFree
+        );
+        // A roomy budget keeps the normal resolution.
+        let roomy = SolveBudget::unlimited().with_memory_bytes(1 << 20);
+        assert_eq!(
+            ExtractionBackend::Auto.resolve_with_budget(64, &roomy).unwrap(),
+            ExtractionBackend::Dense
         );
     }
 

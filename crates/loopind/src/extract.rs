@@ -1,7 +1,8 @@
 //! FastHenry-style loop R(f)/L(f) extraction.
 
 use ind101_circuit::{
-    AcOptions, Circuit, CircuitError, MatrixFreeAcOptions, NodeId, SourceWave,
+    AcOptions, Circuit, CircuitError, MatrixFreeAcOptions, NodeId, RecoveryReport,
+    ResilienceOptions, SourceWave,
 };
 use ind101_core::{InductanceMode, PeecModel, PeecParasitics};
 use ind101_extract::GridInductanceOperator;
@@ -263,6 +264,88 @@ pub fn extract_loop_rl_backend(
         freqs_hz: freqs_hz.to_vec(),
         r_ohm,
         l_h,
+    })
+}
+
+/// A loop extraction carried out under the solve-resilience layer:
+/// `extraction` holds `R(f)`/`L(f)` for the frequencies that solved
+/// (possibly a subset of the request), `report` records the outcome of
+/// every requested frequency.
+#[derive(Clone, Debug)]
+pub struct ResilientLoopExtraction {
+    /// `R(f)`/`L(f)` at the solved frequencies only.
+    pub extraction: LoopExtraction,
+    /// Per-frequency recovery telemetry for the whole request.
+    pub report: RecoveryReport,
+}
+
+/// [`extract_loop_rl_backend`] wrapped in the solve-resilience layer.
+///
+/// The backend resolution honours the memory budget
+/// ([`ExtractionBackend::resolve_with_budget`]): a dense path whose
+/// stamped partial-inductance block would not fit is refused with a
+/// typed [`CircuitError::BudgetExceeded`] before any allocation. The
+/// underlying AC sweep runs under `resilience`'s budget, cancellation
+/// token, rescue ladder (matrix-free path) and
+/// [`ind101_circuit::FailurePolicy`], so a single bad frequency skips
+/// with a typed record instead of destroying the sweep, and the caller
+/// gets back whatever solved.
+///
+/// With `ResilienceOptions::strict()` and no faults the result is
+/// bit-identical to [`extract_loop_rl_backend`].
+///
+/// # Errors
+///
+/// Fails if the named ports don't exist, the backend resolution is
+/// refused by the budget, or — under `FailurePolicy::Abort` — any
+/// frequency fails to solve.
+pub fn extract_loop_rl_resilient(
+    par: &PeecParasitics,
+    spec: &LoopPortSpec,
+    freqs_hz: &[f64],
+    cfg: &ParallelConfig,
+    backend: ExtractionBackend,
+    resilience: &ResilienceOptions,
+) -> Result<ResilientLoopExtraction, CircuitError> {
+    let probe = build_probe(par, spec)?;
+    let resolved = backend.resolve_with_budget(probe.inductive.len(), &resilience.budget)?;
+    let opts = AcOptions {
+        freqs_hz: freqs_hz.to_vec(),
+    };
+    let sweep = match (resolved, probe.inductor_system) {
+        (ExtractionBackend::MatrixFree, Some(sys)) => {
+            let grid = GridInductanceOperator::detect(par.layout.tech(), &probe.inductive);
+            let op: &dyn LinearOperator<Complex64> = match grid.as_ref() {
+                Some(g) => g,
+                None => &probe.circuit.inductor_systems()[sys].m,
+            };
+            probe.circuit.ac_sweep_matrix_free_resilient(
+                &opts,
+                &[(sys, op)],
+                &MatrixFreeAcOptions::default(),
+                resilience,
+            )?
+        }
+        _ => probe.circuit.ac_sweep_resilient(&opts, cfg, resilience)?,
+    };
+
+    // The resilient sweeps keep only the solved frequencies in `ac`;
+    // R/L are computed for exactly those.
+    let solved_freqs = sweep.ac.freqs_hz.clone();
+    let mut r_ohm = Vec::with_capacity(solved_freqs.len());
+    let mut l_h = Vec::with_capacity(solved_freqs.len());
+    for (i, &f) in solved_freqs.iter().enumerate() {
+        let z = sweep.ac.voltage(probe.driver_node, i) - sweep.ac.voltage(probe.port_return, i);
+        r_ohm.push(z.re);
+        l_h.push(z.im / (2.0 * std::f64::consts::PI * f));
+    }
+    Ok(ResilientLoopExtraction {
+        extraction: LoopExtraction {
+            freqs_hz: solved_freqs,
+            r_ohm,
+            l_h,
+        },
+        report: sweep.report,
     })
 }
 

@@ -1,0 +1,306 @@
+//! Resource budgets and cooperative cancellation for long solves.
+//!
+//! The matrix-free Krylov stack can run for a long time (hundreds of
+//! frequencies × thousands of matvecs) and its dense fallback can
+//! materialize an n×n matrix that does not fit in memory. This module
+//! provides the primitives every resilient entry point shares:
+//!
+//! * [`CancelToken`] — a cheap, clonable flag a caller sets from
+//!   another thread to stop a solve at the next iteration boundary.
+//! * [`SolveBudget`] — optional wall-clock and memory ceilings plus a
+//!   cancel token, threaded through solvers and sweeps.
+//! * [`SolveGuard`] — a started clock that turns a budget into typed
+//!   [`BudgetError`]s when polled inside iteration loops.
+//!
+//! All checks are cooperative: solvers poll [`SolveGuard::check`] at
+//! iteration boundaries, so a budget violation surfaces as a typed
+//! error with partial telemetry rather than a hang or an abort.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A clonable cancellation flag shared between a solve and its caller.
+///
+/// Clones observe the same underlying flag; once [`CancelToken::cancel`]
+/// is called, every holder sees [`CancelToken::is_cancelled`] become
+/// `true`. Equality is identity: two tokens compare equal iff they share
+/// the same flag.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested on this token (or any
+    /// clone of it).
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+/// Resource ceilings for a solve: wall-clock, memory, and cancellation.
+///
+/// `None` limits are unlimited. The default budget is fully unlimited
+/// with a fresh (never-cancelled) token, so budget-aware entry points
+/// behave exactly like their un-budgeted counterparts unless a caller
+/// opts in.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SolveBudget {
+    /// Wall-clock ceiling in seconds for the whole solve (all rescue
+    /// rungs included), or `None` for unlimited.
+    pub max_wall_seconds: Option<f64>,
+    /// Ceiling on any single large allocation a solve may make (most
+    /// importantly the n×n dense-fallback matrix), or `None`.
+    pub max_memory_bytes: Option<usize>,
+    /// Cooperative cancellation flag polled at iteration boundaries.
+    pub cancel: CancelToken,
+}
+
+impl SolveBudget {
+    /// An unlimited budget with a fresh token — the "resilience off"
+    /// configuration.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Sets the wall-clock ceiling.
+    #[must_use]
+    pub fn with_wall_seconds(mut self, seconds: f64) -> Self {
+        self.max_wall_seconds = Some(seconds);
+        self
+    }
+
+    /// Sets the single-allocation memory ceiling.
+    #[must_use]
+    pub fn with_memory_bytes(mut self, bytes: usize) -> Self {
+        self.max_memory_bytes = Some(bytes);
+        self
+    }
+
+    /// Attaches an externally held cancellation token.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Checks a prospective allocation of `bytes` against the memory
+    /// ceiling, without consulting the clock.
+    ///
+    /// # Errors
+    ///
+    /// [`BudgetError::Memory`] when `bytes` exceeds the ceiling.
+    pub fn check_alloc(&self, bytes: usize) -> Result<(), BudgetError> {
+        match self.max_memory_bytes {
+            Some(limit) if bytes > limit => Err(BudgetError::Memory {
+                needed_bytes: bytes,
+                limit_bytes: limit,
+            }),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Typed budget violation raised by [`SolveGuard`] polls.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum BudgetError {
+    /// The budget's [`CancelToken`] was triggered.
+    Cancelled,
+    /// The wall-clock ceiling was exceeded.
+    WallClock {
+        /// Seconds elapsed when the violation was observed.
+        elapsed_seconds: f64,
+        /// The configured ceiling.
+        limit_seconds: f64,
+    },
+    /// A prospective allocation exceeds the memory ceiling.
+    Memory {
+        /// Bytes the solve would need.
+        needed_bytes: usize,
+        /// The configured ceiling.
+        limit_bytes: usize,
+    },
+}
+
+impl fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Cancelled => write!(f, "solve cancelled"),
+            Self::WallClock {
+                elapsed_seconds,
+                limit_seconds,
+            } => write!(
+                f,
+                "wall-clock budget exceeded: {elapsed_seconds:.3} s elapsed > {limit_seconds:.3} s limit"
+            ),
+            Self::Memory {
+                needed_bytes,
+                limit_bytes,
+            } => write!(
+                f,
+                "memory budget exceeded: needs {needed_bytes} B > {limit_bytes} B limit"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+/// A [`SolveBudget`] with a started clock, polled inside solver loops.
+#[derive(Clone, Debug)]
+pub struct SolveGuard {
+    budget: SolveBudget,
+    start: Instant,
+}
+
+impl SolveGuard {
+    /// Starts the clock on `budget`.
+    #[must_use]
+    pub fn new(budget: SolveBudget) -> Self {
+        Self {
+            budget,
+            start: Instant::now(),
+        }
+    }
+
+    /// A guard that never trips — used by the plain (non-resilient)
+    /// solver entry points so both paths share one code body.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Self::new(SolveBudget::unlimited())
+    }
+
+    /// The budget this guard enforces.
+    #[must_use]
+    pub fn budget(&self) -> &SolveBudget {
+        &self.budget
+    }
+
+    /// Seconds elapsed since the guard was created.
+    #[must_use]
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Polls cancellation and the wall clock.
+    ///
+    /// # Errors
+    ///
+    /// [`BudgetError::Cancelled`] when the token fired,
+    /// [`BudgetError::WallClock`] when the deadline passed.
+    pub fn check(&self) -> Result<(), BudgetError> {
+        if self.budget.cancel.is_cancelled() {
+            return Err(BudgetError::Cancelled);
+        }
+        if let Some(limit) = self.budget.max_wall_seconds {
+            let elapsed = self.elapsed_seconds();
+            if elapsed > limit {
+                return Err(BudgetError::WallClock {
+                    elapsed_seconds: elapsed,
+                    limit_seconds: limit,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks a prospective allocation against the memory ceiling.
+    ///
+    /// # Errors
+    ///
+    /// [`BudgetError::Memory`] when `bytes` exceeds the ceiling.
+    pub fn check_alloc(&self, bytes: usize) -> Result<(), BudgetError> {
+        self.budget.check_alloc(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_clones_share_the_flag() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!c.is_cancelled());
+        t.cancel();
+        assert!(c.is_cancelled());
+        assert_eq!(t, c);
+        assert_ne!(t, CancelToken::new());
+    }
+
+    #[test]
+    fn unlimited_guard_never_trips() {
+        let g = SolveGuard::unlimited();
+        assert!(g.check().is_ok());
+        assert!(g.check_alloc(usize::MAX).is_ok());
+    }
+
+    #[test]
+    fn cancelled_token_trips_the_guard() {
+        let token = CancelToken::new();
+        let g = SolveGuard::new(SolveBudget::unlimited().with_cancel(token.clone()));
+        assert!(g.check().is_ok());
+        token.cancel();
+        assert_eq!(g.check(), Err(BudgetError::Cancelled));
+    }
+
+    #[test]
+    fn zero_wall_clock_trips_immediately() {
+        let g = SolveGuard::new(SolveBudget::unlimited().with_wall_seconds(0.0));
+        match g.check() {
+            Err(BudgetError::WallClock { limit_seconds, .. }) => {
+                assert_eq!(limit_seconds, 0.0);
+            }
+            other => panic!("expected WallClock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_ceiling_is_enforced() {
+        let b = SolveBudget::unlimited().with_memory_bytes(1024);
+        assert!(b.check_alloc(1024).is_ok());
+        assert_eq!(
+            b.check_alloc(1025),
+            Err(BudgetError::Memory {
+                needed_bytes: 1025,
+                limit_bytes: 1024,
+            })
+        );
+    }
+
+    #[test]
+    fn budget_errors_display() {
+        assert!(BudgetError::Cancelled.to_string().contains("cancelled"));
+        let e = BudgetError::WallClock {
+            elapsed_seconds: 2.0,
+            limit_seconds: 1.0,
+        };
+        assert!(e.to_string().contains("wall-clock"));
+        let e = BudgetError::Memory {
+            needed_bytes: 10,
+            limit_bytes: 5,
+        };
+        assert!(e.to_string().contains("memory"));
+    }
+}

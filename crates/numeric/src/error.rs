@@ -60,6 +60,14 @@ pub enum NumericError {
         /// The offending length.
         n: usize,
     },
+    /// The solve was cooperatively cancelled via a
+    /// [`crate::CancelToken`].
+    Cancelled,
+    /// A resource ceiling in a [`crate::SolveBudget`] was exceeded.
+    BudgetExceeded {
+        /// Which ceiling tripped and by how much.
+        what: String,
+    },
 }
 
 impl fmt::Display for NumericError {
@@ -90,6 +98,10 @@ impl fmt::Display for NumericError {
             }
             Self::NotPowerOfTwo { n } => {
                 write!(f, "length {n} is not a power of two")
+            }
+            Self::Cancelled => write!(f, "solve cancelled"),
+            Self::BudgetExceeded { what } => {
+                write!(f, "solve budget exceeded: {what}")
             }
         }
     }

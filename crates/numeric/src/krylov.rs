@@ -118,13 +118,64 @@ pub enum KrylovError {
         residual: f64,
     },
     /// The recurrence broke down (e.g. an indefinite operator fed to
-    /// CG, or a non-positive search-direction curvature).
+    /// CG, a non-positive search-direction curvature, or a non-finite
+    /// value produced by the operator).
     Breakdown {
         /// Matvecs performed.
         iterations: usize,
         /// What broke.
         what: &'static str,
     },
+    /// The solve was cooperatively cancelled via the budget's
+    /// [`crate::CancelToken`].
+    Cancelled {
+        /// Matvecs performed before cancellation was observed.
+        iterations: usize,
+    },
+    /// A [`crate::SolveBudget`] ceiling (wall clock or memory) tripped.
+    BudgetExceeded {
+        /// Matvecs performed before the violation was observed.
+        iterations: usize,
+        /// Which ceiling tripped and by how much.
+        what: String,
+    },
+}
+
+impl KrylovError {
+    /// Matvecs performed before the failure (0 for shape errors).
+    #[must_use]
+    pub fn iterations(&self) -> usize {
+        match self {
+            Self::DimensionMismatch { .. } => 0,
+            Self::IterationCap { iterations, .. }
+            | Self::Stagnation { iterations, .. }
+            | Self::Breakdown { iterations, .. }
+            | Self::Cancelled { iterations }
+            | Self::BudgetExceeded { iterations, .. } => *iterations,
+        }
+    }
+
+    /// Whether a rescue rung may retry after this failure. Convergence
+    /// failures (cap, stagnation, breakdown) are retryable with a
+    /// stronger configuration; cancellation, budget violations, and
+    /// shape errors are not.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            Self::IterationCap { .. } | Self::Stagnation { .. } | Self::Breakdown { .. }
+        )
+    }
+
+    pub(crate) fn from_budget(e: crate::BudgetError, iterations: usize) -> Self {
+        match e {
+            crate::BudgetError::Cancelled => Self::Cancelled { iterations },
+            other => Self::BudgetExceeded {
+                iterations,
+                what: other.to_string(),
+            },
+        }
+    }
 }
 
 impl fmt::Display for KrylovError {
@@ -151,6 +202,12 @@ impl fmt::Display for KrylovError {
             Self::Breakdown { iterations, what } => {
                 write!(f, "breakdown after {iterations} iterations: {what}")
             }
+            Self::Cancelled { iterations } => {
+                write!(f, "solve cancelled after {iterations} iterations")
+            }
+            Self::BudgetExceeded { iterations, what } => {
+                write!(f, "budget exceeded after {iterations} iterations: {what}")
+            }
         }
     }
 }
@@ -168,6 +225,8 @@ impl From<KrylovError> for NumericError {
             | KrylovError::Breakdown { iterations, .. } => {
                 NumericError::NoConvergence { iterations }
             }
+            KrylovError::Cancelled { .. } => NumericError::Cancelled,
+            KrylovError::BudgetExceeded { what, .. } => NumericError::BudgetExceeded { what },
         }
     }
 }
@@ -288,6 +347,41 @@ impl<T: Scalar> BlockJacobiPreconditioner<T> {
         }
         Ok(Self { block, n, factors })
     }
+
+    /// Factors the `block`-sized diagonal blocks of a sparse matrix —
+    /// the rescue-ladder escalation path for operators that are never
+    /// materialized densely. Entries outside the sparsity pattern are
+    /// zero in each block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a singular block factorization and non-square shapes.
+    pub fn from_csr(a: &CsrMatrix<T>, block: usize) -> Result<Self, NumericError> {
+        let n = a.nrows();
+        if a.ncols() != n {
+            return Err(NumericError::NotSquare {
+                rows: n,
+                cols: a.ncols(),
+            });
+        }
+        let block = block.clamp(1, n.max(1));
+        let mut factors = Vec::new();
+        let mut start = 0;
+        while start < n {
+            let len = block.min(n - start);
+            let mut sub = Matrix::zeros(len, len);
+            for i in 0..len {
+                for (j, v) in a.row_iter(start + i) {
+                    if j >= start && j < start + len {
+                        sub[(i, j - start)] = v;
+                    }
+                }
+            }
+            factors.push(sub.lu()?);
+            start += len;
+        }
+        Ok(Self { block, n, factors })
+    }
 }
 
 impl<T: Scalar> Preconditioner<T> for BlockJacobiPreconditioner<T> {
@@ -394,6 +488,30 @@ pub fn gmres<T: Scalar>(
     m: &dyn Preconditioner<T>,
     opts: &KrylovOptions,
 ) -> Result<KrylovSolution<T>, KrylovError> {
+    gmres_guarded(a, b, x0, m, opts, &crate::SolveGuard::unlimited())
+}
+
+/// [`gmres`] with a [`crate::SolveGuard`] polled at every iteration.
+///
+/// Identical arithmetic to [`gmres`] (the plain entry point delegates
+/// here with an unlimited guard), plus cooperative cancellation and
+/// wall-clock deadlines surfacing as [`KrylovError::Cancelled`] /
+/// [`KrylovError::BudgetExceeded`], and detection of non-finite
+/// residual or Arnoldi norms (NaN/Inf produced by the operator) as a
+/// typed [`KrylovError::Breakdown`] instead of a silent non-convergent
+/// spin.
+///
+/// # Errors
+///
+/// As [`gmres`], plus the budget variants above.
+pub fn gmres_guarded<T: Scalar>(
+    a: &dyn LinearOperator<T>,
+    b: &[T],
+    x0: Option<&[T]>,
+    m: &dyn Preconditioner<T>,
+    opts: &KrylovOptions,
+    guard: &crate::SolveGuard,
+) -> Result<KrylovSolution<T>, KrylovError> {
     let n = check_dims(a, b, x0)?;
     let bnorm = norm2(b);
     let mut x = x0.map_or_else(|| vec![T::zero(); n], <[T]>::to_vec);
@@ -410,6 +528,9 @@ pub fn gmres<T: Scalar>(
     let mut last_cycle_residual = f64::INFINITY;
 
     loop {
+        if let Err(e) = guard.check() {
+            return Err(KrylovError::from_budget(e, iterations));
+        }
         // True residual r = b − A·x at every cycle boundary.
         let mut r = vec![T::zero(); n];
         a.apply(&x, &mut r);
@@ -417,6 +538,19 @@ pub fn gmres<T: Scalar>(
             *ri = *bi - *ri;
         }
         let beta = norm2(&r);
+        if !beta.is_finite() {
+            return Err(KrylovError::Breakdown {
+                iterations,
+                what: "non-finite residual norm (operator produced NaN/Inf)",
+            });
+        }
+        #[cfg(feature = "solver-faults")]
+        if crate::faults::take_gmres_stagnation() {
+            return Err(KrylovError::Stagnation {
+                iterations,
+                residual: beta,
+            });
+        }
         if beta <= target {
             return Ok(KrylovSolution {
                 x,
@@ -450,10 +584,19 @@ pub fn gmres<T: Scalar>(
         let mut k = 0usize;
 
         while k < restart && iterations < opts.max_iters {
+            if let Err(e) = guard.check() {
+                return Err(KrylovError::from_budget(e, iterations));
+            }
             iterations += 1;
             let z = m.apply(&basis[k]);
             let mut w = vec![T::zero(); n];
             a.apply(&z, &mut w);
+            #[cfg(feature = "solver-faults")]
+            if crate::faults::take_matvec_nan() {
+                if let Some(w0) = w.first_mut() {
+                    *w0 = T::from_f64(f64::NAN);
+                }
+            }
             preimages.push(z);
 
             let mut hcol = vec![T::zero(); k + 2];
@@ -463,6 +606,12 @@ pub fn gmres<T: Scalar>(
                 axpy(-hik, vi, &mut w);
             }
             let hnext = norm2(&w);
+            if !hnext.is_finite() {
+                return Err(KrylovError::Breakdown {
+                    iterations,
+                    what: "non-finite Arnoldi norm (operator produced NaN/Inf)",
+                });
+            }
             hcol[k + 1] = T::from_f64(hnext);
 
             for (i, &(c, s)) in rotations.iter().enumerate() {
@@ -543,6 +692,26 @@ pub fn conjugate_gradient<T: Scalar>(
     m: &dyn Preconditioner<T>,
     opts: &KrylovOptions,
 ) -> Result<KrylovSolution<T>, KrylovError> {
+    conjugate_gradient_guarded(a, b, x0, m, opts, &crate::SolveGuard::unlimited())
+}
+
+/// [`conjugate_gradient`] with a [`crate::SolveGuard`] polled at every
+/// iteration — cancellation, wall-clock deadlines, and non-finite
+/// residual detection, with arithmetic identical to the plain entry
+/// point (which delegates here with an unlimited guard).
+///
+/// # Errors
+///
+/// As [`conjugate_gradient`], plus [`KrylovError::Cancelled`] /
+/// [`KrylovError::BudgetExceeded`].
+pub fn conjugate_gradient_guarded<T: Scalar>(
+    a: &dyn LinearOperator<T>,
+    b: &[T],
+    x0: Option<&[T]>,
+    m: &dyn Preconditioner<T>,
+    opts: &KrylovOptions,
+    guard: &crate::SolveGuard,
+) -> Result<KrylovSolution<T>, KrylovError> {
     let n = check_dims(a, b, x0)?;
     let bnorm = norm2(b);
     let mut x = x0.map_or_else(|| vec![T::zero(); n], <[T]>::to_vec);
@@ -570,7 +739,16 @@ pub fn conjugate_gradient<T: Scalar>(
     let mut ap = vec![T::zero(); n];
 
     loop {
+        if let Err(e) = guard.check() {
+            return Err(KrylovError::from_budget(e, iterations));
+        }
         let res = norm2(&r);
+        if !res.is_finite() {
+            return Err(KrylovError::Breakdown {
+                iterations,
+                what: "non-finite residual norm (operator produced NaN/Inf)",
+            });
+        }
         if res <= target {
             return Ok(KrylovSolution {
                 x,

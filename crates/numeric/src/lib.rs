@@ -38,15 +38,19 @@
 
 mod amd;
 mod banded;
+mod budget;
 mod cholesky;
 mod complex;
 mod condition;
 mod dense;
 mod eigen;
 mod error;
+#[cfg(feature = "solver-faults")]
+pub mod faults;
 mod fft;
 pub mod gemm;
 mod krylov;
+mod krylov_rescue;
 mod lu;
 mod ordering;
 pub mod partition;
@@ -60,6 +64,7 @@ mod vecops;
 
 pub use amd::approximate_minimum_degree;
 pub use banded::BandedMatrix;
+pub use budget::{BudgetError, CancelToken, SolveBudget, SolveGuard};
 pub use cholesky::CholeskyFactor;
 pub use complex::Complex64;
 pub use condition::RefinedSolve;
@@ -69,9 +74,13 @@ pub use error::NumericError;
 pub use fft::Fft;
 pub use gemm::gemm_into;
 pub use krylov::{
-    conjugate_gradient, gmres, BlockJacobiPreconditioner, IdentityPreconditioner,
-    JacobiPreconditioner, KrylovError, KrylovOptions, KrylovSolution, LinearOperator,
-    Preconditioner,
+    conjugate_gradient, conjugate_gradient_guarded, gmres, gmres_guarded,
+    BlockJacobiPreconditioner, IdentityPreconditioner, JacobiPreconditioner, KrylovError,
+    KrylovOptions, KrylovSolution, LinearOperator, Preconditioner,
+};
+pub use krylov_rescue::{
+    solve_with_rescue, KrylovRescueFailure, KrylovRescuePolicy, KrylovRescueReport,
+    KrylovRescueRung, KrylovRungTrace, NoEscalation, PrecondEscalation, RescueProvider,
 };
 pub use lu::{LuFactors, LU_BLOCK};
 pub use ordering::{bandwidth, reverse_cuthill_mckee, Permutation};

@@ -206,6 +206,61 @@ where
     })
 }
 
+/// Like [`collect_row_blocks`], but polls a [`crate::CancelToken`]
+/// before every range: ranges whose work had not started when the token
+/// fired yield `None` instead of running. Positions are preserved — the
+/// result has exactly one entry per input range, in range order — so a
+/// partially cancelled sweep still reports deterministically *which*
+/// blocks completed. Blocks that were already running when the token
+/// fired finish normally (workers may additionally poll the token
+/// themselves for finer-grained cuts).
+///
+/// # Panics
+///
+/// Panics if a worker panics.
+pub fn collect_row_blocks_until<T, F>(
+    ranges: &[Range<usize>],
+    cancel: &crate::CancelToken,
+    f: F,
+) -> Vec<Option<T>>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    if let [only] = ranges {
+        if cancel.is_cancelled() {
+            return vec![None];
+        }
+        return vec![Some(f(only.clone()))];
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|r| {
+                let f = &f;
+                let r = r.clone();
+                let cancel = cancel.clone();
+                scope.spawn(move || {
+                    if cancel.is_cancelled() {
+                        None
+                    } else {
+                        Some(f(r))
+                    }
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(handles.len());
+        for h in handles {
+            match h.join() {
+                Ok(v) => out.push(v),
+                // Re-raise the worker's panic payload in this thread.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,6 +337,24 @@ mod tests {
         let got = collect_row_blocks(&ranges, |rows| rows.collect::<Vec<_>>());
         let want: Vec<usize> = (0..100).collect();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn collect_until_yields_all_when_not_cancelled() {
+        let ranges = uniform_row_blocks(40, 4);
+        let token = crate::CancelToken::new();
+        let got = collect_row_blocks_until(&ranges, &token, |rows| rows.len());
+        assert_eq!(got, vec![Some(10); 4]);
+    }
+
+    #[test]
+    fn collect_until_skips_everything_when_pre_cancelled() {
+        let ranges = uniform_row_blocks(40, 4);
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let got = collect_row_blocks_until(&ranges, &token, |rows| rows.len());
+        assert_eq!(got.len(), 4);
+        assert!(got.iter().all(Option::is_none));
     }
 
     #[test]

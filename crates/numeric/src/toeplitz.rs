@@ -16,6 +16,7 @@
 //! extracts the leading `n1×n2` block. A 1-D Toeplitz matvec is the
 //! `n1 = 1` special case.
 
+use crate::budget::CancelToken;
 use crate::fft::Fft;
 use crate::krylov::LinearOperator;
 use crate::{Complex64, NumericError, Result};
@@ -36,6 +37,9 @@ pub struct ToeplitzOperator2D {
     khat: Vec<Complex64>,
     fft_outer: Fft,
     fft_inner: Fft,
+    /// Optional cooperative-cancellation token polled between FFT
+    /// stages of every apply.
+    cancel: Option<CancelToken>,
 }
 
 /// Smallest power of two ≥ the circulant embedding length `2n − 1`.
@@ -91,7 +95,26 @@ impl ToeplitzOperator2D {
             khat,
             fft_outer,
             fft_inner,
+            cancel: None,
         })
+    }
+
+    /// Attaches a cancellation token polled between the FFT stages of
+    /// every apply. A cancelled apply produces a zero output vector;
+    /// the surrounding guarded Krylov solve (sharing the same token)
+    /// surfaces the typed `Cancelled` error at its next iteration
+    /// boundary, so a long matvec chain cannot outlive its budget.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    fn check_cancel(&self) -> Result<()> {
+        match &self.cancel {
+            Some(token) if token.is_cancelled() => Err(NumericError::Cancelled),
+            _ => Ok(()),
+        }
     }
 
     /// Grid rows `n1`.
@@ -131,16 +154,19 @@ impl ToeplitzOperator2D {
                 found: x.len(),
             });
         }
+        self.check_cancel()?;
         let mut work = vec![Complex64::ZERO; self.m1 * self.m2];
         for i1 in 0..self.n1 {
             work[i1 * self.m2..i1 * self.m2 + self.n2]
                 .copy_from_slice(&x[i1 * self.n2..(i1 + 1) * self.n2]);
         }
         fft2(&self.fft_outer, &self.fft_inner, &mut work)?;
+        self.check_cancel()?;
         for (w, k) in work.iter_mut().zip(&self.khat) {
             *w *= *k;
         }
         ifft2(&self.fft_outer, &self.fft_inner, &mut work)?;
+        self.check_cancel()?;
         let mut y = vec![Complex64::ZERO; self.len()];
         for i1 in 0..self.n1 {
             y[i1 * self.n2..(i1 + 1) * self.n2]
@@ -326,6 +352,23 @@ mod tests {
             Err(NumericError::DimensionMismatch { expected: 12, found: 5 })
         ));
         assert!(ToeplitzOperator2D::new(0, 4, &[]).is_err());
+    }
+
+    #[test]
+    fn cancelled_apply_zero_fills() {
+        let (n1, n2) = (4usize, 4usize);
+        let k = kernel(n1, n2);
+        let token = CancelToken::new();
+        let op = ToeplitzOperator2D::new(n1, n2, &k)
+            .unwrap()
+            .with_cancel(token.clone());
+        let x = vec![1.0; n1 * n2];
+        let mut y = vec![f64::NAN; n1 * n2];
+        LinearOperator::<f64>::apply(&op, &x, &mut y);
+        assert!(y.iter().all(|v| *v != 0.0), "un-cancelled apply is live");
+        token.cancel();
+        LinearOperator::<f64>::apply(&op, &x, &mut y);
+        assert!(y.iter().all(|v| *v == 0.0), "cancelled apply zero-fills");
     }
 
     #[test]
