@@ -1,0 +1,8 @@
+//! Fixture: atomics-ordering violation on a cancellation path.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Cancellation flag written with the wrong ordering.
+pub fn cancel(flag: &AtomicBool) {
+    flag.store(true, Ordering::Relaxed);
+}

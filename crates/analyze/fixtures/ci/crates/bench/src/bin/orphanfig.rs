@@ -1,0 +1,3 @@
+//! Fixture: a bench bin no CI job references.
+
+fn main() {}

@@ -1,0 +1,6 @@
+//! Fixture: clean library code; the violations live in CI coverage.
+
+/// Nothing to see here.
+pub fn fine() -> f64 {
+    1.0
+}

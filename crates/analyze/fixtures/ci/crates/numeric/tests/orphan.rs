@@ -1,0 +1,4 @@
+//! Fixture: an integration suite no CI job runs.
+
+#[test]
+fn nothing() {}

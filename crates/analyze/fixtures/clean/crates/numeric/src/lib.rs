@@ -1,0 +1,9 @@
+//! Fixture: a fully clean tree.
+
+/// Convergence threshold, named as the contract requires.
+pub const TOL: f64 = 1e-10;
+
+/// Converged when the residual beats [`TOL`].
+pub fn converged(residual: f64) -> bool {
+    residual < TOL
+}

@@ -1,0 +1,10 @@
+//! Fixture: panic-policy and index-panic violations.
+
+/// Returns the first element, the wrong way.
+pub fn first(xs: &[f64]) -> f64 {
+    let head = xs[0];
+    if head.is_nan() {
+        panic!("nan head");
+    }
+    xs.first().copied().unwrap()
+}

@@ -1,0 +1,7 @@
+//! Fixture: reasonless suppressions are findings.
+
+/// Reasonless suppression below.
+pub fn nope(v: Option<f64>) -> f64 {
+    // ind101: allow(panic-policy)
+    v.unwrap_or(0.0)
+}

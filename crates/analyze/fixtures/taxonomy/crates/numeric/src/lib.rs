@@ -1,0 +1,9 @@
+//! Fixture: error-taxonomy drift in both directions.
+
+/// Fixture error enum.
+pub enum FixtureError {
+    /// Documented in the fixture DESIGN.md.
+    Documented,
+    /// Missing from the table.
+    Undocumented,
+}

@@ -1,0 +1,6 @@
+//! Fixture: tolerance-hygiene violation.
+
+/// Converged when the residual is tiny.
+pub fn converged(residual: f64) -> bool {
+    residual < 1e-10
+}

@@ -1,0 +1,44 @@
+//! Analyzer configuration: which contracts apply where.
+//!
+//! The defaults describe *this* workspace — the analyzer is
+//! workspace-native, not a general-purpose tool. Tests override fields
+//! to aim the passes at fixture trees.
+
+/// Scope and paths for one analysis run.
+#[derive(Clone, Debug)]
+pub struct AnalyzeConfig {
+    /// Crate directory names whose non-test library code must be
+    /// panic-free (`panic-policy`, `index-panic`). `"."` is the root
+    /// facade crate.
+    pub panic_policy_crates: Vec<String>,
+    /// Crate directory names subject to `tolerance-hygiene`.
+    pub tolerance_crates: Vec<String>,
+    /// Path suffixes of the cancellation/guard/fault files audited by
+    /// `atomics-ordering`.
+    pub atomics_files: Vec<String>,
+    /// Workspace-relative path of the design document holding the
+    /// failure-semantics table.
+    pub design_path: String,
+    /// Workspace-relative path of the CI workflow.
+    pub ci_path: String,
+}
+
+impl Default for AnalyzeConfig {
+    fn default() -> Self {
+        let all_crates = [
+            ".", "analyze", "bench", "circuit", "core", "design", "extract", "geom", "loopind",
+            "mor", "numeric", "sparsify", "verify",
+        ];
+        Self {
+            panic_policy_crates: all_crates.iter().map(|s| (*s).to_string()).collect(),
+            tolerance_crates: all_crates.iter().map(|s| (*s).to_string()).collect(),
+            atomics_files: vec![
+                "src/budget.rs".to_string(),
+                "src/faults.rs".to_string(),
+                "src/gmd_cache.rs".to_string(),
+            ],
+            design_path: "DESIGN.md".to_string(),
+            ci_path: ".github/workflows/ci.yml".to_string(),
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Findings, suppression comments, and the baseline file.
+
+use crate::lexer::LexedFile;
+use ind101_verify::{Diagnostic, Severity, VerifyReport};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// One static-analysis finding, anchored to a file and line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Finding {
+    /// Stable kebab-case lint identifier (`panic-policy`, …).
+    pub rule: &'static str,
+    /// Finding severity (reuses the verify-gate taxonomy).
+    pub severity: Severity,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-indexed line of the finding.
+    pub line: usize,
+    /// What was observed.
+    pub message: String,
+    /// How to repair or justify it.
+    pub fix_hint: String,
+}
+
+impl Finding {
+    /// Converts into the shared `ind101-verify` diagnostic shape, so
+    /// the human report rides the existing machinery.
+    #[must_use]
+    pub fn to_diagnostic(&self) -> Diagnostic {
+        Diagnostic {
+            severity: self.severity,
+            element: format!("{}:{}", self.path, self.line),
+            rule: self.rule,
+            message: self.message.clone(),
+            fix_hint: self.fix_hint.clone(),
+        }
+    }
+
+    /// The key a baseline entry matches on: rule and file, plus the
+    /// trimmed code content of the line (line *numbers* drift too
+    /// easily to pin).
+    #[must_use]
+    pub fn baseline_key(&self, lexed: Option<&LexedFile>) -> String {
+        let content = lexed
+            .and_then(|l| l.line(self.line))
+            .map(|l| l.code.trim().to_string())
+            .unwrap_or_default();
+        format!("{}|{}|{}", self.rule, self.path, content)
+    }
+}
+
+/// Collects findings into a [`VerifyReport`] for human rendering.
+#[must_use]
+pub fn to_report(findings: &[Finding]) -> VerifyReport {
+    let mut r = VerifyReport::new();
+    for f in findings {
+        r.diagnostics.push(f.to_diagnostic());
+    }
+    r
+}
+
+/// A parsed `// ind101: allow(<lint>, <reason>)` suppression comment.
+#[derive(Clone, Debug)]
+pub struct Suppression {
+    /// Line the comment sits on (1-indexed).
+    pub line: usize,
+    /// Line the suppression applies to: the same line for trailing
+    /// comments, the next code-bearing line for comment-only lines.
+    pub target_line: usize,
+    /// The lint identifier being allowed.
+    pub lint: String,
+    /// The mandatory justification.
+    pub reason: String,
+}
+
+/// The marker every suppression comment starts with.
+pub const SUPPRESS_MARKER: &str = "ind101: allow(";
+
+/// Extracts suppressions (and findings for malformed ones) from a
+/// lexed file. A suppression with an empty reason is itself a finding:
+/// justifications are the whole point of the grammar.
+#[must_use]
+pub fn collect_suppressions(path: &str, lexed: &LexedFile) -> (Vec<Suppression>, Vec<Finding>) {
+    let mut sups = Vec::new();
+    let mut bad = Vec::new();
+    for (idx, line) in lexed.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        for c in &line.comments {
+            // Only comments *starting* with the marker are suppressions;
+            // prose that merely mentions the grammar is not.
+            let trimmed = c.trim_start();
+            if !trimmed.starts_with("ind101:") {
+                continue;
+            }
+            let Some(pos) = trimmed.find(SUPPRESS_MARKER) else {
+                bad.push(malformed(path, lineno, "expected `allow(<lint>, <reason>)`"));
+                continue;
+            };
+            let body = &trimmed[pos + SUPPRESS_MARKER.len()..];
+            let Some(end) = body.rfind(')') else {
+                bad.push(malformed(path, lineno, "missing closing parenthesis"));
+                continue;
+            };
+            let body = &body[..end];
+            let (lint, reason) = match body.split_once(',') {
+                Some((l, r)) => (l.trim().to_string(), r.trim().to_string()),
+                None => (body.trim().to_string(), String::new()),
+            };
+            if lint.is_empty() {
+                bad.push(malformed(path, lineno, "missing lint identifier"));
+                continue;
+            }
+            if reason.is_empty() {
+                bad.push(malformed(
+                    path,
+                    lineno,
+                    "missing justification — a suppression without a reason is a finding",
+                ));
+                continue;
+            }
+            let target_line = if line.has_code() {
+                lineno
+            } else {
+                // Comment-only line: applies to the next code line.
+                let mut t = lineno + 1;
+                while let Some(l) = lexed.line(t) {
+                    if l.has_code() {
+                        break;
+                    }
+                    t += 1;
+                }
+                t
+            };
+            sups.push(Suppression {
+                line: lineno,
+                target_line,
+                lint,
+                reason,
+            });
+        }
+    }
+    (sups, bad)
+}
+
+fn malformed(path: &str, line: usize, what: &str) -> Finding {
+    Finding {
+        rule: "bad-suppression",
+        severity: Severity::Error,
+        path: path.to_string(),
+        line,
+        message: format!("malformed suppression comment: {what}"),
+        fix_hint: "use `// ind101: allow(<lint-id>, <reason>)` with a non-empty reason"
+            .to_string(),
+    }
+}
+
+/// Applies suppressions to `findings`: matching findings are dropped,
+/// suppressions that matched nothing become `unused-suppression`
+/// warnings (a dead suppression hides nothing and must not linger).
+#[must_use]
+pub fn apply_suppressions(
+    path: &str,
+    findings: Vec<Finding>,
+    sups: &[Suppression],
+) -> Vec<Finding> {
+    let mut used = vec![false; sups.len()];
+    let mut kept: Vec<Finding> = Vec::new();
+    for f in findings {
+        let mut suppressed = false;
+        for (k, s) in sups.iter().enumerate() {
+            if s.target_line == f.line && s.lint == f.rule {
+                used[k] = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            kept.push(f);
+        }
+    }
+    for (k, s) in sups.iter().enumerate() {
+        if !used[k] {
+            kept.push(Finding {
+                rule: "unused-suppression",
+                severity: Severity::Warning,
+                path: path.to_string(),
+                line: s.line,
+                message: format!(
+                    "suppression `ind101: allow({}, …)` matched no finding on line {}",
+                    s.lint, s.target_line
+                ),
+                fix_hint: "delete the stale suppression comment".to_string(),
+            });
+        }
+    }
+    kept
+}
+
+/// A parsed baseline file: findings matching an entry are tolerated
+/// (reported as baselined, not failing the run).
+#[derive(Clone, Debug, Default)]
+pub struct Baseline {
+    entries: BTreeSet<String>,
+}
+
+impl Baseline {
+    /// Parses the `rule|path|code` line format; `#` lines and blanks
+    /// are comments.
+    #[must_use]
+    pub fn parse(text: &str) -> Self {
+        let entries = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(str::to_string)
+            .collect();
+        Self { entries }
+    }
+
+    /// Whether a finding (keyed by [`Finding::baseline_key`]) is
+    /// baselined.
+    #[must_use]
+    pub fn contains(&self, key: &str) -> bool {
+        self.entries.contains(key)
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the baseline is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders a baseline file covering `keys`.
+    #[must_use]
+    pub fn render(keys: &[String]) -> String {
+        let mut out = String::from(
+            "# ind101-analyze baseline — findings tolerated until fixed.\n\
+             # Format: <rule>|<path>|<trimmed code of the offending line>\n\
+             # Regenerate with `cargo run -p ind101-analyze -- --write-baseline`.\n\
+             # Keep this file shrinking: new code must be clean.\n",
+        );
+        let sorted: BTreeSet<&String> = keys.iter().collect();
+        for k in sorted {
+            let _ = writeln!(out, "{k}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn finding(rule: &'static str, line: usize) -> Finding {
+        Finding {
+            rule,
+            severity: Severity::Error,
+            path: "x.rs".to_string(),
+            line,
+            message: "m".to_string(),
+            fix_hint: "f".to_string(),
+        }
+    }
+
+    #[test]
+    fn trailing_suppression_targets_its_own_line() {
+        let l = lex("let a = x.unwrap(); // ind101: allow(panic-policy, checked above)\n");
+        let (s, bad) = collect_suppressions("x.rs", &l);
+        assert!(bad.is_empty());
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].target_line, 1);
+        assert_eq!(s[0].lint, "panic-policy");
+        assert_eq!(s[0].reason, "checked above");
+    }
+
+    #[test]
+    fn standalone_suppression_targets_next_code_line() {
+        let l = lex("// ind101: allow(tolerance-hygiene, physical constant)\n\nlet t = 1e-10;\n");
+        let (s, _) = collect_suppressions("x.rs", &l);
+        assert_eq!(s[0].target_line, 3);
+    }
+
+    #[test]
+    fn reasonless_suppression_is_a_finding() {
+        let l = lex("// ind101: allow(panic-policy)\nx.unwrap();\n");
+        let (s, bad) = collect_suppressions("x.rs", &l);
+        assert!(s.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, "bad-suppression");
+    }
+
+    #[test]
+    fn suppression_consumes_matching_finding_only() {
+        let l = lex("// ind101: allow(panic-policy, justified)\nx.unwrap();\n");
+        let (s, _) = collect_suppressions("x.rs", &l);
+        let kept = apply_suppressions("x.rs", vec![finding("panic-policy", 2)], &s);
+        assert!(kept.is_empty(), "{kept:?}");
+        // Wrong lint id: finding survives AND the suppression reports unused.
+        let kept = apply_suppressions("x.rs", vec![finding("index-panic", 2)], &s);
+        assert_eq!(kept.len(), 2);
+        assert!(kept.iter().any(|f| f.rule == "unused-suppression"));
+    }
+
+    #[test]
+    fn baseline_round_trip() {
+        let keys = vec!["panic-policy|a.rs|x.unwrap();".to_string()];
+        let text = Baseline::render(&keys);
+        let b = Baseline::parse(&text);
+        assert_eq!(b.len(), 1);
+        assert!(b.contains("panic-policy|a.rs|x.unwrap();"));
+        assert!(!b.contains("panic-policy|a.rs|y.unwrap();"));
+    }
+}

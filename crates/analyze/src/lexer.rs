@@ -1,0 +1,426 @@
+//! A deliberately small Rust source scanner for the lint passes.
+//!
+//! The analyzer does not parse Rust — the vendored-offline discipline
+//! rules out `syn`, and the lints only need three things no grep can
+//! provide reliably:
+//!
+//! 1. **code vs. comment vs. string** — a `panic!` inside a doc comment
+//!    or a format string is not a violation;
+//! 2. **test-region tracking** — `#[cfg(test)]` items and `mod tests`
+//!    blocks are exempt from the production-code contracts;
+//! 3. **suppression comments** — `// ind101: allow(<lint>, <reason>)`
+//!    must be recovered *from* the comments the code view strips.
+//!
+//! The scanner is a line-preserving state machine over the raw text:
+//! every output line corresponds 1:1 to an input line, with string
+//! literal *contents* blanked (delimiters kept), comments removed from
+//! the code view and collected separately, and an `in_test` flag
+//! computed from brace-depth tracking of `#[cfg(test)]` / `#[test]`
+//! attributes and `mod tests` headers.
+
+/// One scanned source line.
+#[derive(Clone, Debug, Default)]
+pub struct Line {
+    /// The line with comments removed and string contents blanked.
+    pub code: String,
+    /// Comment text on this line (without the `//` / `/*` markers).
+    pub comments: Vec<String>,
+    /// Whether the line lies inside a test-only region.
+    pub in_test: bool,
+}
+
+impl Line {
+    /// Whether the code view contains any non-whitespace token.
+    #[must_use]
+    pub fn has_code(&self) -> bool {
+        !self.code.trim().is_empty()
+    }
+}
+
+/// A fully scanned file: one [`Line`] per input line.
+#[derive(Clone, Debug, Default)]
+pub struct LexedFile {
+    /// Scanned lines, index 0 = input line 1.
+    pub lines: Vec<Line>,
+}
+
+impl LexedFile {
+    /// 1-indexed accessor used by the lint passes.
+    #[must_use]
+    pub fn line(&self, number: usize) -> Option<&Line> {
+        self.lines.get(number.wrapping_sub(1))
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+}
+
+/// An open test region: active while `depth > open_depth`.
+struct TestRegion {
+    open_depth: i64,
+}
+
+/// Scans `text` into per-line code/comment views with test tracking.
+#[must_use]
+pub fn lex(text: &str) -> LexedFile {
+    let mut lines = Vec::new();
+    let mut state = State::Normal;
+    let mut depth: i64 = 0;
+    let mut regions: Vec<TestRegion> = Vec::new();
+    // A `#[cfg(test)]` / `#[test]` attribute (or `mod tests` header)
+    // was seen and the region it governs has not opened its brace yet.
+    let mut pending_test_item = false;
+
+    for raw in text.split('\n') {
+        let mut code = String::with_capacity(raw.len());
+        let mut comments: Vec<String> = Vec::new();
+        let mut comment = String::new();
+        let in_test_at_start = !regions.is_empty();
+
+        let bytes: Vec<char> = raw.chars().collect();
+        let mut i = 0usize;
+        if state == State::LineComment {
+            // Line comments never span lines.
+            state = State::Normal;
+        }
+        while i < bytes.len() {
+            let c = bytes[i];
+            let next = bytes.get(i + 1).copied();
+            match state {
+                State::Normal => match c {
+                    '/' if next == Some('/') => {
+                        state = State::LineComment;
+                        i += 2;
+                        // Keep doc-slashes out of the captured text.
+                        while bytes.get(i) == Some(&'/') || bytes.get(i) == Some(&'!') {
+                            i += 1;
+                        }
+                        continue;
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::BlockComment(1);
+                        i += 2;
+                        continue;
+                    }
+                    'r' | 'b' if is_raw_string_start(&bytes, i) => {
+                        let (hashes, consumed) = raw_string_open(&bytes, i);
+                        code.push('"');
+                        state = State::RawStr(hashes);
+                        i += consumed;
+                        continue;
+                    }
+                    '"' => {
+                        code.push('"');
+                        state = State::Str;
+                        i += 1;
+                        continue;
+                    }
+                    '\'' => {
+                        // Char literal vs. lifetime: a char literal is
+                        // `'x'` or `'\...'`; a lifetime has no closing
+                        // quote right after one (escaped) character.
+                        if next == Some('\\') {
+                            // Skip to the closing quote.
+                            let mut j = i + 2;
+                            while j < bytes.len() && bytes[j] != '\'' {
+                                j += 1;
+                            }
+                            code.push_str("' '");
+                            i = j + 1;
+                            continue;
+                        }
+                        if bytes.get(i + 2) == Some(&'\'') {
+                            code.push_str("' '");
+                            i += 3;
+                            continue;
+                        }
+                        // Lifetime: keep the tick, scan on.
+                        code.push('\'');
+                        i += 1;
+                        continue;
+                    }
+                    '{' => {
+                        depth += 1;
+                        if pending_test_item {
+                            regions.push(TestRegion { open_depth: depth - 1 });
+                            pending_test_item = false;
+                        }
+                        code.push(c);
+                        i += 1;
+                        continue;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        while let Some(r) = regions.last() {
+                            if depth <= r.open_depth {
+                                regions.pop();
+                            } else {
+                                break;
+                            }
+                        }
+                        code.push(c);
+                        i += 1;
+                        continue;
+                    }
+                    ';' if pending_test_item && regions.is_empty() => {
+                        // `#[cfg(test)] mod foo;` — the region lives in
+                        // another file; nothing to track here.
+                        pending_test_item = false;
+                        code.push(c);
+                        i += 1;
+                        continue;
+                    }
+                    _ => {
+                        code.push(c);
+                        i += 1;
+                        continue;
+                    }
+                },
+                State::LineComment => {
+                    comment.push(c);
+                    i += 1;
+                    continue;
+                }
+                State::BlockComment(d) => {
+                    if c == '*' && next == Some('/') {
+                        if d == 1 {
+                            state = State::Normal;
+                            comments.push(comment.trim().to_string());
+                            comment.clear();
+                        } else {
+                            state = State::BlockComment(d - 1);
+                        }
+                        i += 2;
+                    } else if c == '/' && next == Some('*') {
+                        state = State::BlockComment(d + 1);
+                        i += 2;
+                    } else {
+                        comment.push(c);
+                        i += 1;
+                    }
+                    continue;
+                }
+                State::Str => {
+                    if c == '\\' {
+                        i += 2;
+                    } else if c == '"' {
+                        code.push('"');
+                        state = State::Normal;
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                    continue;
+                }
+                State::RawStr(hashes) => {
+                    if c == '"' && raw_string_closes(&bytes, i, hashes) {
+                        code.push('"');
+                        state = State::Normal;
+                        i += 1 + hashes as usize;
+                    } else {
+                        i += 1;
+                    }
+                    continue;
+                }
+            }
+        }
+
+        match state {
+            State::LineComment => {
+                comments.push(comment.trim().to_string());
+                comment.clear();
+            }
+            State::BlockComment(_) if !comment.trim().is_empty() => {
+                comments.push(comment.trim().to_string());
+                comment.clear();
+            }
+            _ => {}
+        }
+
+        // Test-item detection on the code view of this line.
+        let trimmed = code.trim();
+        if trimmed.contains("#[test]")
+            || trimmed.contains("#[bench]")
+            || is_cfg_test_attr(trimmed)
+            || is_tests_mod_header(trimmed)
+        {
+            pending_test_item = true;
+            // `mod tests {` opens on the same line; the brace pass above
+            // already ran, so open the region retroactively.
+            if trimmed.ends_with('{') && is_tests_mod_header(trimmed) {
+                regions.push(TestRegion { open_depth: depth - 1 });
+                pending_test_item = false;
+            }
+        }
+
+        lines.push(Line {
+            code,
+            comments,
+            in_test: in_test_at_start || !regions.is_empty() || pending_test_item,
+        });
+    }
+
+    LexedFile { lines }
+}
+
+/// `#[cfg(test)]`, `#[cfg(all(test, …))]`, `#[cfg(any(test, …))]`.
+fn is_cfg_test_attr(code: &str) -> bool {
+    for start in ["#[cfg(test", "#[cfg(all(test", "#[cfg(any(test"] {
+        if let Some(pos) = code.find(start) {
+            let rest = &code[pos + start.len()..];
+            if rest.starts_with(')') || rest.starts_with(',') {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// `mod tests {` / `pub mod tests {` / `mod test {` headers (with or
+/// without the opening brace on the same line).
+fn is_tests_mod_header(code: &str) -> bool {
+    let code = code.strip_prefix("pub ").unwrap_or(code);
+    for name in ["mod tests", "mod test"] {
+        if let Some(rest) = code.strip_prefix(name) {
+            let rest = rest.trim();
+            if rest.is_empty() || rest.starts_with('{') {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Whether position `i` starts a raw/byte string literal (`r"`, `r#"`,
+/// `br#"`, `b"`), and is not just an identifier containing `r`/`b`.
+fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
+    if i > 0 {
+        let prev = bytes[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&'r') {
+        j += 1;
+        while bytes.get(j) == Some(&'#') {
+            j += 1;
+        }
+        return bytes.get(j) == Some(&'"');
+    }
+    // Plain byte string `b"…"` (no `r`): treat as a normal string.
+    bytes[i] == 'b' && bytes.get(j) == Some(&'"')
+}
+
+/// Consumes a raw-string opener at `i`; returns (hash count, chars
+/// consumed including the quote).
+fn raw_string_open(bytes: &[char], i: usize) -> (u32, usize) {
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&'r') {
+        j += 1;
+    }
+    let mut hashes = 0u32;
+    while bytes.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    // `j` is at the quote (or at `"` for plain b"").
+    (hashes, j - i + 1)
+}
+
+/// Whether a `"` at `i` closes a raw string opened with `hashes` hashes.
+fn raw_string_closes(bytes: &[char], i: usize, hashes: u32) -> bool {
+    for k in 0..hashes as usize {
+        if bytes.get(i + 1 + k) != Some(&'#') {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let l = lex("let x = 1; // panic!(later)\n/* unwrap() */ let y = 2;");
+        assert!(!l.lines[0].code.contains("panic"));
+        assert_eq!(l.lines[0].comments, vec!["panic!(later)"]);
+        assert!(!l.lines[1].code.contains("unwrap"));
+        assert!(l.lines[1].code.contains("let y"));
+    }
+
+    #[test]
+    fn blanks_string_contents() {
+        let l = lex(r#"let s = "panic!(no)"; s.unwrap();"#);
+        assert!(!l.lines[0].code.contains("panic"));
+        assert!(l.lines[0].code.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn blanks_raw_strings_with_hashes() {
+        let l = lex("let s = r#\"panic!(\"inner\")\"#; x[0];");
+        assert!(!l.lines[0].code.contains("panic"), "{:?}", l.lines[0].code);
+        assert!(l.lines[0].code.contains("x[0]"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let l = lex("fn f<'a>(c: char) -> bool { c == '\"' || c == 'x' }");
+        assert!(l.lines[0].code.contains("<'a>"));
+        // The quote char literal must not open a string state.
+        assert!(l.lines[0].code.contains('}'));
+    }
+
+    #[test]
+    fn cfg_test_region_is_tracked() {
+        let src = "fn prod() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn prod2() {}\n";
+        let l = lex(src);
+        assert!(!l.lines[0].in_test);
+        assert!(l.lines[1].in_test, "attribute line itself is test-only");
+        assert!(l.lines[2].in_test);
+        assert!(l.lines[3].in_test);
+        assert!(l.lines[4].in_test);
+        assert!(!l.lines[5].in_test);
+    }
+
+    #[test]
+    fn mod_tests_without_cfg_is_test() {
+        let l = lex("mod tests {\n  fn t() {}\n}\nfn p() {}\n");
+        assert!(l.lines[0].in_test);
+        assert!(l.lines[1].in_test);
+        assert!(!l.lines[3].in_test);
+    }
+
+    #[test]
+    fn cfg_test_mod_declaration_without_body() {
+        let l = lex("#[cfg(test)]\nmod helpers;\nfn prod() {}\n");
+        assert!(!l.lines[2].in_test);
+    }
+
+    #[test]
+    fn multiline_block_comment() {
+        let l = lex("/* a\n   unwrap()\n*/ fn f() {}");
+        assert!(!l.lines[1].code.contains("unwrap"));
+        assert!(l.lines[2].code.contains("fn f"));
+    }
+
+    #[test]
+    fn cfg_feature_is_not_a_test_region() {
+        let l = lex("#[cfg(feature = \"solver-faults\")]\nfn hook() { arm(); }\n");
+        assert!(!l.lines[1].in_test);
+    }
+}

@@ -1,0 +1,61 @@
+//! `atomics-ordering`: audit `Ordering::Relaxed` on the
+//! cancellation/guard/fault paths.
+//!
+//! A cancellation token or fault hook written with `Relaxed` ordering
+//! carries no synchronizes-with edge: the cancelling thread's store
+//! may stay invisible to a spinning solver for an unbounded number of
+//! iterations, delaying budget enforcement — exactly the "armed but
+//! not enforced" failure the resilience layer exists to prevent.
+//! Counters that are *statistics only* (cache hit/miss telemetry) are
+//! legitimately `Relaxed` and carry a written justification instead.
+
+use crate::finding::Finding;
+use crate::lexer::LexedFile;
+use ind101_verify::Severity;
+
+/// Flags `Ordering::Relaxed` in non-test lines of a guarded file.
+#[must_use]
+pub fn atomics_ordering(path: &str, lexed: &LexedFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (idx, line) in lexed.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let mut start = 0;
+        while let Some(pos) = line.code[start..].find("Ordering::Relaxed") {
+            start += pos + "Ordering::Relaxed".len();
+            out.push(Finding {
+                rule: "atomics-ordering",
+                severity: Severity::Warning,
+                path: path.to_string(),
+                line: idx + 1,
+                message: "`Ordering::Relaxed` on a cancellation/guard/fault path".to_string(),
+                fix_hint: "use Release for stores observed by solver polls and Acquire for \
+                           the polls, or justify with \
+                           `// ind101: allow(atomics-ordering, <reason>)`"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn flags_relaxed_outside_tests() {
+        let src = "fn cancel(&self) { self.0.store(true, Ordering::Relaxed); }\n#[cfg(test)]\nmod tests { fn t() { x.load(Ordering::Relaxed); } }\n";
+        let f = atomics_ordering("budget.rs", &lex(src));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn acquire_release_pass() {
+        let src = "fn c(&self) { self.0.store(true, Ordering::Release); let v = self.0.load(Ordering::Acquire); }\n";
+        assert!(atomics_ordering("budget.rs", &lex(src)).is_empty());
+    }
+}

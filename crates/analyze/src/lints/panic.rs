@@ -1,0 +1,170 @@
+//! `panic-policy` and `index-panic`: the solver crates' contract that
+//! every failure in non-test library code is a typed error, never a
+//! panic. Clippy's `unwrap_used` wall covers method calls; this pass
+//! adds the panicking macros and literal-subscript indexing, and wires
+//! all of them into the justification-required suppression grammar.
+
+use crate::finding::Finding;
+use crate::lexer::LexedFile;
+use ind101_verify::Severity;
+
+/// Panicking method calls: matched as exact substrings of the code
+/// view (string/comment content is already stripped).
+const PANIC_CALLS: [&str; 4] = [".unwrap()", ".unwrap_err()", ".expect(", ".expect_err("];
+
+/// Panicking macros. `assert!` family is deliberately absent: invariant
+/// assertions on internal state are part of the kernel idiom; the
+/// policy targets *failure handling*, not invariant checking.
+const PANIC_MACROS: [&str; 4] = ["panic!", "unreachable!", "todo!", "unimplemented!"];
+
+/// Flags panicking constructs in non-test lines.
+#[must_use]
+pub fn panic_policy(path: &str, lexed: &LexedFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (idx, line) in lexed.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for pat in PANIC_CALLS {
+            for _ in occurrences(&line.code, pat) {
+                out.push(Finding {
+                    rule: "panic-policy",
+                    severity: Severity::Error,
+                    path: path.to_string(),
+                    line: idx + 1,
+                    message: format!("`{}` in non-test library code", pat.trim_end_matches('(')),
+                    fix_hint: "return a typed error (NumericError/CircuitError/…) or justify \
+                               with `// ind101: allow(panic-policy, <reason>)`"
+                        .to_string(),
+                });
+            }
+        }
+        for pat in PANIC_MACROS {
+            for pos in occurrences(&line.code, pat) {
+                // Reject identifier contexts (`my_panic!` cannot occur:
+                // `!` ends the match, but `not_todo!` could) — require a
+                // non-ident char before the macro name.
+                if pos > 0 {
+                    let prev = line.code.as_bytes()[pos - 1];
+                    if prev.is_ascii_alphanumeric() || prev == b'_' {
+                        continue;
+                    }
+                }
+                // `!=` comparisons: require `(`/`[`/`{` after the bang.
+                let after = line.code[pos + pat.len()..].trim_start();
+                if !(after.starts_with('(') || after.starts_with('[') || after.starts_with('{')) {
+                    continue;
+                }
+                out.push(Finding {
+                    rule: "panic-policy",
+                    severity: Severity::Error,
+                    path: path.to_string(),
+                    line: idx + 1,
+                    message: format!("`{pat}(…)` in non-test library code"),
+                    fix_hint: "return a typed error or justify with \
+                               `// ind101: allow(panic-policy, <reason>)`"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Flags literal-subscript indexing (`xs[0]`, `pts[1]`) in non-test
+/// lines: the classic "first element assumed present" panic. Variable
+/// subscripts (`a[i]`, `a[(i, j)]`) are the kernels' loop-bounded
+/// bread and butter and stay out of scope.
+#[must_use]
+pub fn index_panic(path: &str, lexed: &LexedFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (idx, line) in lexed.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let bytes = line.code.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i] == b'[' && i > 0 {
+                let prev = bytes[i - 1];
+                let indexes_value =
+                    prev.is_ascii_alphanumeric() || prev == b'_' || prev == b')' || prev == b']';
+                if indexes_value {
+                    let mut j = i + 1;
+                    while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'_') {
+                        j += 1;
+                    }
+                    if j > i + 1 && j < bytes.len() && bytes[j] == b']' {
+                        out.push(Finding {
+                            rule: "index-panic",
+                            severity: Severity::Error,
+                            path: path.to_string(),
+                            line: idx + 1,
+                            message: format!(
+                                "literal-subscript indexing `{}` in non-test library code",
+                                &line.code[i - 1..=j]
+                            ),
+                            fix_hint: "use .first()/.get(n) with typed handling, or justify \
+                                       with `// ind101: allow(index-panic, <reason>)`"
+                                .to_string(),
+                        });
+                        i = j + 1;
+                        continue;
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+fn occurrences(haystack: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    while let Some(pos) = haystack[start..].find(needle) {
+        out.push(start + pos);
+        start += pos + needle.len();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn flags_unwrap_and_macros_outside_tests() {
+        let src = "fn f() { x.unwrap(); panic!(\"no\"); }\n#[cfg(test)]\nmod tests { fn t() { y.unwrap(); } }\n";
+        let f = panic_policy("a.rs", &lex(src));
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|f| f.line == 1));
+    }
+
+    #[test]
+    fn string_and_comment_content_is_ignored() {
+        let src = "let s = \"please panic!(now)\"; // then .unwrap() it\n";
+        assert!(panic_policy("a.rs", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn not_equal_is_not_a_macro() {
+        let src = "if a != b { let c = d; }\n";
+        assert!(panic_policy("a.rs", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn literal_index_flagged_variable_index_not() {
+        let src = "let a = pts[0] + pts[k] + m[(i, j)] + grid[1_000];\n";
+        let f = index_panic("a.rs", &lex(src));
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f[0].message.contains("s[0]"));
+    }
+
+    #[test]
+    fn array_types_and_attributes_are_not_indexing() {
+        let src = "struct K([i64; 6]);\nfn f(x: [f64; 3]) -> [u8; 2] { todo(x) }\n";
+        assert!(index_panic("a.rs", &lex(src)).is_empty());
+    }
+}

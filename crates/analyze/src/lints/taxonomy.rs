@@ -1,0 +1,381 @@
+//! `error-taxonomy`: DESIGN.md's failure-semantics table and the
+//! workspace's public error enums must not drift apart.
+//!
+//! The table is the repo's contract for *who consumes which failure* —
+//! a variant added without a row has no documented rescue/refusal
+//! semantics, and a row naming a deleted variant documents behavior
+//! that no longer exists. Both directions are checked mechanically.
+
+use crate::finding::Finding;
+use crate::lexer::LexedFile;
+use crate::workspace::SourceFile;
+use ind101_verify::Severity;
+use std::collections::BTreeMap;
+
+/// A discovered public error enum.
+#[derive(Clone, Debug, Default)]
+pub struct ErrorEnum {
+    /// File the enum is declared in (workspace-relative).
+    pub path: String,
+    /// Declaration line.
+    pub line: usize,
+    /// Variant name → declaration line.
+    pub variants: BTreeMap<String, usize>,
+}
+
+/// Scans library sources for `pub enum *Error` declarations and their
+/// variants (top-level identifiers one brace deep inside the enum).
+#[must_use]
+pub fn collect_error_enums(
+    files: &[(&SourceFile, &LexedFile)],
+) -> BTreeMap<String, ErrorEnum> {
+    let mut enums: BTreeMap<String, ErrorEnum> = BTreeMap::new();
+    for (file, lexed) in files {
+        let mut current: Option<(String, i64)> = None; // (name, depth inside enum)
+        let mut depth: i64 = 0;
+        for (idx, line) in lexed.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            let code = line.code.trim();
+            if current.is_none() {
+                if let Some(name) = enum_decl_name(code) {
+                    if name.ends_with("Error") {
+                        enums.insert(
+                            name.clone(),
+                            ErrorEnum {
+                                path: file.rel_path.clone(),
+                                line: idx + 1,
+                                variants: BTreeMap::new(),
+                            },
+                        );
+                        current = Some((name, depth));
+                    }
+                }
+            }
+            // Track depth and harvest variants at enum depth + 1.
+            for ch in line.code.chars() {
+                match ch {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth -= 1;
+                        if let Some((_, open)) = &current {
+                            if depth <= *open {
+                                current = None;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if let Some((name, open)) = &current {
+                // A variant line sits exactly one level inside the enum
+                // braces *after* this line's own braces are netted; use
+                // the depth at line start for struct-variant openers.
+                let line_opens = line.code.matches('{').count() as i64;
+                let line_closes = line.code.matches('}').count() as i64;
+                let depth_at_start = depth - line_opens + line_closes;
+                if depth_at_start == open + 1 || (depth_at_start == *open && line_opens > line_closes)
+                {
+                    if let Some(v) = variant_name(code) {
+                        if let Some(e) = enums.get_mut(name) {
+                            e.variants.insert(v, idx + 1);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    enums
+}
+
+/// `pub enum Name` → `Name`.
+fn enum_decl_name(code: &str) -> Option<String> {
+    let rest = code.strip_prefix("pub enum ")?;
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+/// `Variant,` / `Variant {` / `Variant(` at the start of a line.
+fn variant_name(code: &str) -> Option<String> {
+    let first = code.chars().next()?;
+    if !first.is_ascii_uppercase() {
+        return None;
+    }
+    let name: String = code
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    let rest = code[name.len()..].trim_start();
+    if rest.is_empty() || rest.starts_with(',') || rest.starts_with('{') || rest.starts_with('(')
+        || rest.starts_with('=')
+    {
+        Some(name)
+    } else {
+        None
+    }
+}
+
+/// Heading the failure-semantics table lives under.
+pub const SECTION_HEADING: &str = "### Failure semantics";
+
+/// Extracts the failure-semantics section of DESIGN.md, with its
+/// starting line number. The section runs to the next heading or EOF.
+#[must_use]
+pub fn failure_section(design_md: &str) -> Option<(usize, String)> {
+    let mut start = None;
+    let mut out = String::new();
+    for (idx, line) in design_md.lines().enumerate() {
+        match start {
+            None => {
+                if line.trim() == SECTION_HEADING {
+                    start = Some(idx + 1);
+                }
+            }
+            Some(_) => {
+                let t = line.trim_start();
+                if t.starts_with("## ") || t.starts_with("### ") || t.starts_with("# ") {
+                    break;
+                }
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+    }
+    start.map(|s| (s, out))
+}
+
+/// Expands `E::{A, B}` shorthand into `E::A E::B` so membership checks
+/// are plain substring tests.
+#[must_use]
+pub fn expand_brace_groups(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    while let Some(pos) = rest.find("::{") {
+        let (head, tail) = rest.split_at(pos);
+        out.push_str(head);
+        // The path prefix is the trailing identifier of `head`; repeat
+        // it before every expanded member.
+        let prefix_start = head
+            .rfind(|c: char| !(c.is_alphanumeric() || c == '_'))
+            .map_or(0, |p| p + 1);
+        let prefix = &head[prefix_start..];
+        let Some(end) = tail.find('}') else {
+            out.push_str(tail);
+            return out;
+        };
+        let inner = &tail[3..end];
+        let mut first = true;
+        for part in inner.split(',') {
+            if first {
+                first = false;
+            } else {
+                out.push(' ');
+                out.push_str(prefix);
+            }
+            out.push_str("::");
+            out.push_str(part.trim());
+        }
+        rest = &tail[end + 1..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Checks both drift directions between the enums and the table.
+#[must_use]
+pub fn error_taxonomy(
+    design_path: &str,
+    design_md: Option<&str>,
+    enums: &BTreeMap<String, ErrorEnum>,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let Some(design_md) = design_md else {
+        out.push(Finding {
+            rule: "error-taxonomy",
+            severity: Severity::Error,
+            path: design_path.to_string(),
+            line: 1,
+            message: "DESIGN.md not found — the failure-semantics table is a required contract"
+                .to_string(),
+            fix_hint: format!("add a `{SECTION_HEADING}` section documenting every error variant"),
+        });
+        return out;
+    };
+    let Some((section_line, section)) = failure_section(design_md) else {
+        out.push(Finding {
+            rule: "error-taxonomy",
+            severity: Severity::Error,
+            path: design_path.to_string(),
+            line: 1,
+            message: format!("DESIGN.md has no `{SECTION_HEADING}` section"),
+            fix_hint: "add the failure-semantics table (typed error | emitted by | consumed by)"
+                .to_string(),
+        });
+        return out;
+    };
+    let expanded = expand_brace_groups(&section);
+
+    // Direction 1: every live variant is documented.
+    for (ename, e) in enums {
+        for (v, vline) in &e.variants {
+            let qualified = format!("{ename}::{v}");
+            let documented = expanded.contains(&qualified)
+                || expanded.lines().any(|l| {
+                    l.contains(ename) && l.contains(&format!("`{v}`"))
+                });
+            if !documented {
+                out.push(Finding {
+                    rule: "error-taxonomy",
+                    severity: Severity::Error,
+                    path: e.path.clone(),
+                    line: *vline,
+                    message: format!(
+                        "`{qualified}` has no row in DESIGN.md's failure-semantics table"
+                    ),
+                    fix_hint: format!(
+                        "add a `| \\`{qualified}\\` | emitted by … | consumed by … |` row under `{SECTION_HEADING}`"
+                    ),
+                });
+            }
+        }
+    }
+
+    // Direction 2: every `SomethingError::Variant` mention in the table
+    // names a live enum and variant.
+    for (offset, line) in expanded.lines().enumerate() {
+        for (ename, v) in qualified_mentions(line) {
+            if !ename.ends_with("Error") {
+                continue;
+            }
+            match enums.get(&ename) {
+                None => out.push(Finding {
+                    rule: "error-taxonomy",
+                    severity: Severity::Error,
+                    path: design_path.to_string(),
+                    line: section_line + 1 + offset,
+                    message: format!(
+                        "failure-semantics table names `{ename}` but no such public error enum exists"
+                    ),
+                    fix_hint: "delete or update the stale row".to_string(),
+                }),
+                Some(e) if !e.variants.contains_key(&v) => out.push(Finding {
+                    rule: "error-taxonomy",
+                    severity: Severity::Error,
+                    path: design_path.to_string(),
+                    line: section_line + 1 + offset,
+                    message: format!(
+                        "failure-semantics table names `{ename}::{v}` but the variant does not exist"
+                    ),
+                    fix_hint: format!("update the row to a live variant of `{ename}` ({})", e.path),
+                }),
+                Some(_) => {}
+            }
+        }
+    }
+    out
+}
+
+/// Extracts `Ident::Ident` mentions from a line.
+fn qualified_mentions(line: &str) -> Vec<(String, String)> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        if bytes[i] == b':' && bytes[i + 1] == b':' {
+            // Walk back over the enum identifier.
+            let mut s = i;
+            while s > 0 && (bytes[s - 1].is_ascii_alphanumeric() || bytes[s - 1] == b'_') {
+                s -= 1;
+            }
+            // Walk forward over the variant identifier.
+            let mut e = i + 2;
+            while e < bytes.len() && (bytes[e].is_ascii_alphanumeric() || bytes[e] == b'_') {
+                e += 1;
+            }
+            if s < i && e > i + 2 {
+                let ename = line[s..i].to_string();
+                let vname = line[i + 2..e].to_string();
+                if vname.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                    out.push((ename, vname));
+                }
+            }
+            i = e.max(i + 2);
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::workspace::{FileKind, SourceFile};
+
+    fn file(text: &str) -> SourceFile {
+        SourceFile {
+            rel_path: "crates/x/src/error.rs".to_string(),
+            crate_dir: "x".to_string(),
+            package: "ind101-x".to_string(),
+            kind: FileKind::Lib,
+            text: text.to_string(),
+        }
+    }
+
+    const ENUM_SRC: &str = "pub enum TestError {\n    Cancelled,\n    WallClock {\n        elapsed: f64,\n    },\n    Memory(usize),\n}\n";
+
+    #[test]
+    fn collects_enum_variants() {
+        let f = file(ENUM_SRC);
+        let l = lex(&f.text);
+        let enums = collect_error_enums(&[(&f, &l)]);
+        let e = &enums["TestError"];
+        let names: Vec<&String> = e.variants.keys().collect();
+        assert_eq!(names, ["Cancelled", "Memory", "WallClock"]);
+        // Struct-variant fields must not be mistaken for variants.
+        assert!(!e.variants.contains_key("elapsed"));
+    }
+
+    #[test]
+    fn undocumented_variant_is_flagged() {
+        let f = file(ENUM_SRC);
+        let l = lex(&f.text);
+        let enums = collect_error_enums(&[(&f, &l)]);
+        let md = "### Failure semantics\n\n| `TestError::Cancelled` | x | y |\n| `TestError::WallClock` | x | y |\n";
+        let out = error_taxonomy("DESIGN.md", Some(md), &enums);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("TestError::Memory"));
+    }
+
+    #[test]
+    fn stale_row_is_flagged() {
+        let f = file(ENUM_SRC);
+        let l = lex(&f.text);
+        let enums = collect_error_enums(&[(&f, &l)]);
+        let md = "### Failure semantics\n\n| `TestError::{Cancelled, WallClock, Memory}` | x | y |\n| `TestError::Vanished` | x | y |\n| `GhostError::Boo` | x | y |\n";
+        let out = error_taxonomy("DESIGN.md", Some(md), &enums);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out.iter().any(|f| f.message.contains("Vanished")));
+        assert!(out.iter().any(|f| f.message.contains("GhostError")));
+    }
+
+    #[test]
+    fn brace_group_expansion() {
+        let e = expand_brace_groups("maps into `CircuitError::{Cancelled, BudgetExceeded}` fine");
+        assert!(e.contains("CircuitError::Cancelled"));
+        assert!(e.contains("CircuitError::BudgetExceeded"), "{e}");
+    }
+
+    #[test]
+    fn missing_section_is_flagged() {
+        let enums = BTreeMap::new();
+        let out = error_taxonomy("DESIGN.md", Some("# Design\n\nno table here\n"), &enums);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("Failure semantics"));
+    }
+}

@@ -1,0 +1,146 @@
+//! `tolerance-hygiene`: bare negative-exponent float literals in
+//! non-test library code must be named consts.
+//!
+//! The paper's warning is that correctness dies by a thousand sloppy
+//! thresholds: a `1e-10` convergence target here, a `1e-3` stagnation
+//! factor there, silently diverging between the guarded and plain
+//! paths. A *named, doc-commented* const is diffable, greppable and
+//! shared; a bare literal is none of those. Negative exponents are the
+//! tolerance signature (small dimensionless thresholds and epsilons);
+//! magnitudes like `1e9` Hz frequencies in table drivers stay out of
+//! scope.
+
+use crate::finding::Finding;
+use crate::lexer::LexedFile;
+use ind101_verify::Severity;
+
+/// Flags bare negative-exponent float literals outside const items and
+/// test regions.
+#[must_use]
+pub fn tolerance_hygiene(path: &str, lexed: &LexedFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    // Tracks multi-line `const` / `static` initializers (tables of
+    // physical constants): set at the declaration line, cleared at the
+    // terminating `;`.
+    let mut in_const_item = false;
+    for (idx, line) in lexed.lines.iter().enumerate() {
+        let code = line.code.trim();
+        if code.is_empty() {
+            continue;
+        }
+        let declares_const = is_const_decl(code);
+        let inside_const = in_const_item || declares_const;
+        if (declares_const && !code.ends_with(';')) || in_const_item {
+            in_const_item = !contains_top_level_semicolon_end(code);
+        }
+        if line.in_test || inside_const {
+            continue;
+        }
+        for lit in negative_exponent_literals(&line.code) {
+            out.push(Finding {
+                rule: "tolerance-hygiene",
+                severity: Severity::Error,
+                path: path.to_string(),
+                line: idx + 1,
+                message: format!("bare float literal `{lit}` in non-test library code"),
+                fix_hint: "hoist into a named, doc-commented `const` (see \
+                           KrylovOptions' DEFAULT_TOL) or justify with \
+                           `// ind101: allow(tolerance-hygiene, <reason>)`"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+fn is_const_decl(code: &str) -> bool {
+    let code = code
+        .strip_prefix("pub(crate) ")
+        .or_else(|| code.strip_prefix("pub(super) "))
+        .or_else(|| code.strip_prefix("pub "))
+        .unwrap_or(code);
+    code.starts_with("const ") || code.starts_with("static ")
+}
+
+/// Whether the (comment-stripped) line ends its statement — consts end
+/// at a `;` suffix.
+fn contains_top_level_semicolon_end(code: &str) -> bool {
+    code.trim_end().ends_with(';')
+}
+
+/// Extracts float literals with a negative exponent (`1e-10`,
+/// `2.5E-3`, `1_000e-6`) from a code-view line.
+fn negative_exponent_literals(code: &str) -> Vec<String> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_digit() && (i == 0 || !is_ident_byte(bytes[i - 1])) {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_' || bytes[i] == b'.')
+            {
+                i += 1;
+            }
+            if i + 1 < bytes.len()
+                && (bytes[i] == b'e' || bytes[i] == b'E')
+                && bytes[i + 1] == b'-'
+                && i + 2 < bytes.len()
+                && bytes[i + 2].is_ascii_digit()
+            {
+                i += 2;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                out.push(code[start..i].to_string());
+            }
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b == b'.'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn flags_bare_negative_exponent_literals() {
+        let src = "fn f() { if r < 1e-10 { done(); } let s = 2.5E-3; }\n";
+        let f = tolerance_hygiene("a.rs", &lex(src));
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f[0].message.contains("1e-10"));
+        assert!(f[1].message.contains("2.5E-3"));
+    }
+
+    #[test]
+    fn named_consts_are_the_fix_not_a_finding() {
+        let src = "/// Relative residual target.\npub const DEFAULT_TOL: f64 = 1e-10;\nstatic EPS: f64 = 1e-12;\n";
+        assert!(tolerance_hygiene("a.rs", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn multiline_const_tables_are_exempt() {
+        let src = "const TABLE: [f64; 2] = [\n    1.0e-9,\n    2.0e-6,\n];\nfn f() { g(3e-4); }\n";
+        let f = tolerance_hygiene("a.rs", &lex(src));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("3e-4"));
+    }
+
+    #[test]
+    fn positive_exponents_and_test_code_are_exempt() {
+        let src = "fn f() { let hz = 1e9; }\n#[cfg(test)]\nmod tests { fn t() { assert!(x < 1e-12); } }\n";
+        assert!(tolerance_hygiene("a.rs", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn identifier_suffixed_digits_are_not_literals() {
+        let src = "fn f() { let x = var1e - 2.0; }\n";
+        assert!(tolerance_hygiene("a.rs", &lex(src)).is_empty());
+    }
+}

@@ -1,0 +1,155 @@
+//! CLI for the workspace static-analysis pass.
+//!
+//! ```text
+//! cargo run -p ind101-analyze                 # human report, exit 1 on findings
+//! cargo run -p ind101-analyze -- --json       # machine-readable report on stdout
+//! cargo run -p ind101-analyze -- --write-baseline   # tolerate current findings
+//! cargo run -p ind101-analyze -- --list-lints
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+use ind101_analyze::{analyze_workspace, report, AnalyzeConfig, Baseline};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Default baseline location, relative to the workspace root.
+const BASELINE_PATH: &str = "crates/analyze/baseline.txt";
+
+struct Args {
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    json: bool,
+    write_baseline: bool,
+    list_lints: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        baseline: None,
+        json: false,
+        write_baseline: false,
+        list_lints: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a path")?);
+            }
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a path")?));
+            }
+            "--json" => args.json = true,
+            "--write-baseline" => args.write_baseline = true,
+            "--list-lints" => args.list_lints = true,
+            "--help" | "-h" => {
+                return Err("usage: ind101-analyze [--root PATH] [--baseline PATH] [--json] \
+                            [--write-baseline] [--list-lints]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_lints {
+        for (id, contract) in ind101_analyze::lints::LINTS {
+            println!("{id:20} {contract}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // `cargo run -p` executes from the invocation directory; walk up
+    // to the workspace root (the directory holding `crates/`).
+    let root = find_root(&args.root);
+    let baseline_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| root.join(BASELINE_PATH));
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => Baseline::parse(&text),
+        Err(_) => Baseline::default(),
+    };
+
+    let analysis = match analyze_workspace(&root, &AnalyzeConfig::default(), &baseline) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("ind101-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.write_baseline {
+        let ws = match ind101_analyze::workspace::collect(&root) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("ind101-analyze: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let keys: Vec<String> = analysis
+            .findings
+            .iter()
+            .map(|f| {
+                let lexed = ws
+                    .files
+                    .iter()
+                    .find(|s| s.rel_path == f.path)
+                    .map(|s| ind101_analyze::lexer::lex(&s.text));
+                f.baseline_key(lexed.as_ref())
+            })
+            .chain(analysis.baselined.iter().cloned())
+            .collect();
+        let rendered = Baseline::render(&keys);
+        if let Err(e) = std::fs::write(&baseline_path, rendered) {
+            eprintln!("ind101-analyze: writing {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote {} entr(ies) to {}",
+            keys.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if args.json {
+        println!("{}", report::json(&analysis));
+    } else {
+        println!("{}", report::human(&analysis));
+    }
+
+    if analysis.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// Walks up from `start` to the first directory containing `crates/`.
+fn find_root(start: &Path) -> PathBuf {
+    let mut dir = start
+        .canonicalize()
+        .unwrap_or_else(|_| start.to_path_buf());
+    loop {
+        if dir.join("crates").is_dir() {
+            return dir;
+        }
+        match dir.parent() {
+            Some(p) => dir = p.to_path_buf(),
+            None => return start.to_path_buf(),
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Report rendering: the human summary (on the shared
+//! `ind101-verify` machinery) and the machine-readable JSON.
+
+use crate::finding::to_report;
+use crate::Analysis;
+use std::fmt::Write as _;
+
+/// Renders the human report: every finding via the shared
+//  `Diagnostic` display, then a one-line verdict.
+#[must_use]
+pub fn human(analysis: &Analysis) -> String {
+    let mut out = String::new();
+    if !analysis.findings.is_empty() {
+        let report = to_report(&analysis.findings);
+        let _ = writeln!(out, "{report}");
+        let _ = writeln!(out);
+    }
+    let _ = write!(
+        out,
+        "ind101-analyze: {} file(s) scanned, {} finding(s)",
+        analysis.files_scanned,
+        analysis.findings.len()
+    );
+    if !analysis.baselined.is_empty() {
+        let _ = write!(out, ", {} baselined", analysis.baselined.len());
+    }
+    out
+}
+
+/// Renders the machine-readable JSON report (hand-rolled — the
+/// workspace is vendored-offline and the shape is flat).
+#[must_use]
+pub fn json(analysis: &Analysis) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (k, f) in analysis.findings.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"rule\": {}, \"severity\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \"fix_hint\": {}}}",
+            quote(f.rule),
+            quote(&f.severity.to_string()),
+            quote(&f.path),
+            f.line,
+            quote(&f.message),
+            quote(&f.fix_hint),
+        );
+    }
+    if analysis.findings.is_empty() {
+        out.push(']');
+    } else {
+        out.push_str("\n  ]");
+    }
+    let _ = write!(
+        out,
+        ",\n  \"baselined\": {},\n  \"files_scanned\": {},\n  \"clean\": {}\n}}",
+        analysis.baselined.len(),
+        analysis.files_scanned,
+        analysis.is_clean()
+    );
+    out
+}
+
+/// JSON string escaping for the report fields.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Finding;
+    use ind101_verify::Severity;
+
+    fn analysis() -> Analysis {
+        Analysis {
+            findings: vec![Finding {
+                rule: "panic-policy",
+                severity: Severity::Error,
+                path: "crates/x/src/a.rs".to_string(),
+                line: 3,
+                message: "`.unwrap()` in \"prod\" code".to_string(),
+                fix_hint: "fix it".to_string(),
+            }],
+            baselined: vec!["k".to_string()],
+            files_scanned: 7,
+        }
+    }
+
+    #[test]
+    fn human_report_names_rule_and_location() {
+        let h = human(&analysis());
+        assert!(h.contains("panic-policy"));
+        assert!(h.contains("crates/x/src/a.rs:3"));
+        assert!(h.contains("1 finding(s)"));
+        assert!(h.contains("1 baselined"));
+    }
+
+    #[test]
+    fn json_is_escaped_and_flags_clean() {
+        let j = json(&analysis());
+        assert!(j.contains("\\\"prod\\\""));
+        assert!(j.contains("\"clean\": false"));
+        let clean = Analysis {
+            findings: vec![],
+            baselined: vec![],
+            files_scanned: 7,
+        };
+        assert!(json(&clean).contains("\"clean\": true"));
+    }
+}

@@ -50,14 +50,28 @@ pub struct FlowResult {
     pub steps_rejected: usize,
 }
 
+/// Default input-step delay before the edge launches, seconds.
+const DEFAULT_INPUT_DELAY_S: f64 = 100e-12;
+/// Default input-step rise time, seconds.
+const DEFAULT_INPUT_RISE_S: f64 = 50e-12;
+/// Default receiver (gate) load capacitance, farads.
+const DEFAULT_RECEIVER_CAP_F: f64 = 30e-15;
+/// Default total decoupling capacitance across the grid, farads.
+const DEFAULT_DECAP_TOTAL_F: f64 = 10e-12;
+/// Floor for the extracted loop resistance, ohms — keeps a degenerate
+/// extraction from stamping a zero-R branch.
+const MIN_LOOP_R_OHM: f64 = 1e-3;
+/// Floor for the extracted loop inductance, henries.
+const MIN_LOOP_L_H: f64 = 1e-15;
+
 /// Default stimulus / supply configuration shared by the flows.
 pub fn default_spec() -> TestbenchSpec {
     TestbenchSpec {
         vdd: 1.8,
-        input: SourceWave::step(0.0, 1.8, 100e-12, 50e-12),
+        input: SourceWave::step(0.0, 1.8, DEFAULT_INPUT_DELAY_S, DEFAULT_INPUT_RISE_S),
         driver: DriverKind::Inverter(ind101_circuit::InverterParams::default().scaled(2.0)),
-        receiver_cap_f: 30e-15,
-        decap_total_f: 10e-12,
+        receiver_cap_f: DEFAULT_RECEIVER_CAP_F,
+        decap_total_f: DEFAULT_DECAP_TOTAL_F,
         decap_sites: 8,
         decap_esr: 2.0,
         activity: None,
@@ -104,7 +118,9 @@ pub fn run_peec_flow(
     }
     let runtime_s = start.elapsed().as_secs_f64();
     let delays: Vec<f64> = sink_delays.iter().map(|(_, d)| *d).collect();
-    let (worst_delay_s, worst_sink_trace) = worst.expect("clock case has sinks");
+    let (worst_delay_s, worst_sink_trace) = worst.ok_or(CircuitError::InvalidOptions {
+        what: "clock case has no sinks".to_owned(),
+    })?;
     Ok(FlowResult {
         name: name.to_owned(),
         counts,
@@ -233,8 +249,8 @@ pub fn run_loop_flow_with(
         let (r_loop, l_loop) = ext.at(0);
         let net_spec = LoopNetlistSpec {
             interconnect: LoopInterconnect::SingleFrequency {
-                r_ohm: r_loop.max(1e-3),
-                l_h: l_loop.max(1e-15),
+                r_ohm: r_loop.max(MIN_LOOP_R_OHM),
+                l_h: l_loop.max(MIN_LOOP_L_H),
             },
             segments: 4,
             // The paper lumps "all the interconnect and load capacitance"
@@ -271,7 +287,9 @@ pub fn run_loop_flow_with(
     }
     let runtime_s = start.elapsed().as_secs_f64();
     let delays: Vec<f64> = sink_delays.iter().map(|(_, d)| *d).collect();
-    let (worst_delay_s, worst_sink_trace) = worst.expect("sinks exist");
+    let (worst_delay_s, worst_sink_trace) = worst.ok_or(CircuitError::InvalidOptions {
+        what: "clock case has no sinks".to_owned(),
+    })?;
     Ok(FlowResult {
         name: "LOOP (RLC)".to_owned(),
         counts,

@@ -8,6 +8,7 @@
 //! table/figure it regenerates.
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 #![warn(missing_docs)]
 
 pub mod flows;
@@ -135,8 +136,10 @@ pub fn parallel_config_from_args(args: &mut Vec<String>) -> ParallelConfig {
         None => ParallelConfig::default(),
         Some(k) => {
             assert!(k + 1 < args.len(), "--threads needs a value");
+            #[allow(clippy::expect_used)]
             let n: usize = args[k + 1]
                 .parse()
+                // ind101: allow(panic-policy, CLI usage error; the documented contract is an immediate panic with a usage message)
                 .expect("--threads value must be a positive integer");
             args.drain(k..=k + 1);
             ParallelConfig::with_threads(n)

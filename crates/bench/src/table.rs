@@ -59,29 +59,32 @@ impl TextTable {
     }
 }
 
+/// SI engineering prefixes, femto through giga, ascending.
+const SI_PREFIXES: [(f64, &str); 9] = [
+    (1e-15, "f"),
+    (1e-12, "p"),
+    (1e-9, "n"),
+    (1e-6, "µ"),
+    (1e-3, "m"),
+    (1.0, ""),
+    (1e3, "k"),
+    (1e6, "M"),
+    (1e9, "G"),
+];
+
 /// Engineering-notation formatting: `3.25e-9 → "3.25n"`, etc.
 pub fn eng(value: f64, unit: &str) -> String {
     if value == 0.0 {
         return format!("0 {unit}");
     }
-    let prefixes = [
-        (1e-15, "f"),
-        (1e-12, "p"),
-        (1e-9, "n"),
-        (1e-6, "µ"),
-        (1e-3, "m"),
-        (1.0, ""),
-        (1e3, "k"),
-        (1e6, "M"),
-        (1e9, "G"),
-    ];
     let mag = value.abs();
-    let (scale, prefix) = prefixes
+    let (scale, prefix) = SI_PREFIXES
         .iter()
         .rev()
         .find(|(s, _)| mag >= *s)
+        .or_else(|| SI_PREFIXES.first())
         .copied()
-        .unwrap_or((1e-15, "f"));
+        .unwrap_or((1.0, ""));
     format!("{:.3}{}{}", value / scale, prefix, unit)
 }
 

@@ -201,8 +201,10 @@ impl Circuit {
         let backend = self.effective_backend();
         let sym_hint: Option<Arc<SymbolicLu>> =
             if backend != SolverBackend::Dense && layout.n > SMALL_DENSE {
-                let (t0, _) = self.ac_assemble(&layout, op.as_ref(), opts.freqs_hz[0]);
-                SymbolicLu::analyze(&t0.to_csr()).ok().map(Arc::new)
+                opts.freqs_hz.first().and_then(|&f0| {
+                    let (t0, _) = self.ac_assemble(&layout, op.as_ref(), f0);
+                    SymbolicLu::analyze(&t0.to_csr()).ok().map(Arc::new)
+                })
             } else {
                 None
             };
@@ -266,8 +268,10 @@ impl Circuit {
         let backend = self.effective_backend();
         let sym_hint: Option<Arc<SymbolicLu>> =
             if backend != SolverBackend::Dense && layout.n > SMALL_DENSE {
-                let (t0, _) = self.ac_assemble(&layout, op.as_ref(), opts.freqs_hz[0]);
-                SymbolicLu::analyze(&t0.to_csr()).ok().map(Arc::new)
+                opts.freqs_hz.first().and_then(|&f0| {
+                    let (t0, _) = self.ac_assemble(&layout, op.as_ref(), f0);
+                    SymbolicLu::analyze(&t0.to_csr()).ok().map(Arc::new)
+                })
             } else {
                 None
             };

@@ -62,10 +62,15 @@ pub struct MatrixFreeAcOptions {
     pub warm_start: bool,
 }
 
+/// Default relative residual tolerance for the AC GMRES solve — tight
+/// enough that matrix-free results are bit-comparable to the dense
+/// backend in the differential suites.
+const DEFAULT_AC_GMRES_TOL: f64 = 1e-10;
+
 impl Default for MatrixFreeAcOptions {
     fn default() -> Self {
         Self {
-            tol: 1e-10,
+            tol: DEFAULT_AC_GMRES_TOL,
             max_iters: 2000,
             restart: 80,
             warm_start: true,
@@ -232,7 +237,7 @@ impl Circuit {
         }
         let mut seen: Vec<usize> = overrides.iter().map(|&(s, _)| s).collect();
         seen.sort_unstable();
-        if seen.windows(2).any(|w| w[0] == w[1]) {
+        if seen.windows(2).any(|w| matches!(w, &[a, b] if a == b)) {
             return Err(CircuitError::InvalidOptions {
                 what: "duplicate inductor system override".to_owned(),
             });

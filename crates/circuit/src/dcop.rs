@@ -72,6 +72,10 @@ struct NewtonOutcome {
 /// system (via Woodbury) and applies the update with a per-component
 /// clamp of [`DAMP_LIMIT`]. Identical arithmetic to the historical
 /// `dc_op` loop, so a converged plain run is bit-for-bit reproducible.
+/// Source-stepping gives up when the bisected ramp step shrinks below
+/// this fraction of the full ramp — further halving cannot converge.
+const MIN_ALPHA_STEP: f64 = 1e-6;
+
 fn damped_newton(
     wb: &WoodburySolver,
     mosfets: &[Mosfet],
@@ -312,7 +316,7 @@ impl Circuit {
                 } else {
                     bisections += 1;
                     d_alpha *= 0.5;
-                    if bisections > policy.max_bisections || d_alpha < 1e-6 {
+                    if bisections > policy.max_bisections || d_alpha < MIN_ALPHA_STEP {
                         break;
                     }
                 }

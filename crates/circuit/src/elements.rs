@@ -48,6 +48,11 @@ pub struct MosLinearization {
     pub gds: f64,
 }
 
+/// Minimum small-signal conductance stamped in every MOS region,
+/// siemens — keeps the Newton Jacobian well-posed in cutoff and at
+/// region boundaries.
+const GMIN_LEAK_S: f64 = 1e-12;
+
 impl Mosfet {
     /// Evaluates current and derivatives at terminal voltages.
     ///
@@ -64,7 +69,7 @@ impl Mosfet {
         let vov = vgs - self.vt;
         let (ids, gm, gds) = if vov <= 0.0 {
             // Cutoff: tiny leakage conductance keeps Newton well-posed.
-            let gleak = 1e-12;
+            let gleak = GMIN_LEAK_S;
             (gleak * vds, 0.0, gleak)
         } else if vds < vov {
             // Triode, with the same (1 + λ·vds) factor as saturation so
@@ -73,14 +78,14 @@ impl Mosfet {
             let ids0 = self.beta * (vov * vds - 0.5 * vds * vds);
             let ids = ids0 * clm;
             let gm = self.beta * vds * clm;
-            let gds = self.beta * (vov - vds) * clm + ids0 * self.lambda + 1e-12;
+            let gds = self.beta * (vov - vds) * clm + ids0 * self.lambda + GMIN_LEAK_S;
             (ids, gm, gds)
         } else {
             // Saturation with channel-length modulation.
             let ids0 = 0.5 * self.beta * vov * vov;
             let ids = ids0 * (1.0 + self.lambda * vds);
             let gm = self.beta * vov * (1.0 + self.lambda * vds);
-            let gds = ids0 * self.lambda + 1e-12;
+            let gds = ids0 * self.lambda + GMIN_LEAK_S;
             (ids, gm, gds)
         };
         // Back to the external frame: current direction d → s flips with

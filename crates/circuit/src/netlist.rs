@@ -63,12 +63,22 @@ pub struct InverterParams {
     pub lambda: f64,
 }
 
+/// Relative symmetry tolerance for a mutual-coupling matrix: the
+/// symmetry defect must stay below this fraction of the largest entry.
+const SYMMETRY_REL_TOL: f64 = 1e-9;
+
+/// Default NMOS transconductance factor for the global-clock buffer,
+/// amperes per volt squared.
+const DEFAULT_BETA_N: f64 = 20e-3;
+/// Default PMOS transconductance factor (weaker hole mobility), A/V².
+const DEFAULT_BETA_P: f64 = 16e-3;
+
 impl Default for InverterParams {
     /// A strong global-clock buffer in a 1.8 V technology.
     fn default() -> Self {
         Self {
-            beta_n: 20e-3,
-            beta_p: 16e-3,
+            beta_n: DEFAULT_BETA_N,
+            beta_p: DEFAULT_BETA_P,
             vt: 0.45,
             lambda: 0.05,
         }
@@ -222,6 +232,7 @@ impl Circuit {
     // `try_resistor`); the unwrap lint is scoped to solver paths.
     #[allow(clippy::expect_used)]
     pub fn resistor(&mut self, a: NodeId, b: NodeId, ohms: f64) {
+        // ind101: allow(panic-policy, documented build-time panic; try_resistor is the fallible API)
         self.try_resistor(a, b, ohms).expect("invalid resistor");
     }
 
@@ -250,6 +261,7 @@ impl Circuit {
     // Same rationale as `resistor`: intentional build-time panic.
     #[allow(clippy::expect_used)]
     pub fn capacitor(&mut self, a: NodeId, b: NodeId, farads: f64) {
+        // ind101: allow(panic-policy, documented build-time panic; try_capacitor is the fallible API)
         self.try_capacitor(a, b, farads).expect("invalid capacitor");
     }
 
@@ -327,7 +339,7 @@ impl Circuit {
                 ),
             });
         }
-        if sys.m.symmetry_defect() > 1e-9 * sys.m.max_abs() {
+        if sys.m.symmetry_defect() > SYMMETRY_REL_TOL * sys.m.max_abs() {
             return Err(CircuitError::BadInductorSystem {
                 what: "coupling matrix is not symmetric".to_owned(),
             });

@@ -74,6 +74,10 @@ impl Default for RescuePolicy {
     }
 }
 
+/// Initial shunt conductance for gmin-stepping, siemens — large enough
+/// to tame any reasonable MOS Jacobian, then relaxed geometrically.
+const DEFAULT_GMIN_START_S: f64 = 1e-3;
+
 impl RescuePolicy {
     /// Plain Newton only — no rescue rungs (the default).
     pub fn disabled() -> Self {
@@ -89,7 +93,7 @@ impl RescuePolicy {
         Self {
             gmin_stepping: true,
             source_stepping: true,
-            gmin_start: 1e-3,
+            gmin_start: DEFAULT_GMIN_START_S,
             gmin_steps: 10,
             source_steps: 10,
             max_bisections: 40,

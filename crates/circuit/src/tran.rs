@@ -64,11 +64,21 @@ pub struct AdaptiveOptions {
     pub growth: f64,
 }
 
+/// Relative slack at the end of the sweep: a remaining interval below
+/// this fraction of `t_stop` is rounding noise, not a step to take.
+const END_OF_SWEEP_REL_TOL: f64 = 1e-12;
+
+/// Default relative local-truncation-error target per step.
+const DEFAULT_LTE_REL: f64 = 1e-3;
+/// Default absolute LTE floor, volts — keeps near-zero nodes from
+/// demanding infinite accuracy.
+const DEFAULT_LTE_ABS: f64 = 1e-6;
+
 impl Default for AdaptiveOptions {
     fn default() -> Self {
         Self {
-            lte_rel: 1e-3,
-            lte_abs: 1e-6,
+            lte_rel: DEFAULT_LTE_REL,
+            lte_abs: DEFAULT_LTE_ABS,
             dt_min: 0.0,
             dt_max: 0.0,
             growth: 1.5,
@@ -607,7 +617,7 @@ impl Circuit {
 
         loop {
             let remaining = opts.t_stop - t;
-            if remaining <= opts.t_stop * 1e-12 {
+            if remaining <= opts.t_stop * END_OF_SWEEP_REL_TOL {
                 break;
             }
             let h = h_ctrl.min(remaining);

@@ -27,6 +27,10 @@ pub enum SourceWave {
     Pwl(Vec<(f64, f64)>),
 }
 
+/// Floor for pulse rise/fall times, seconds — a zero-time edge would
+/// divide by zero; one femtosecond is far below any stamped timestep.
+const MIN_EDGE_TIME_S: f64 = 1e-15;
+
 impl SourceWave {
     /// Constant source.
     pub fn dc(v: f64) -> Self {
@@ -67,8 +71,8 @@ impl SourceWave {
                 if period.is_finite() && *period > 0.0 {
                     tau %= period;
                 }
-                let rise = rise.max(1e-15);
-                let fall = fall.max(1e-15);
+                let rise = rise.max(MIN_EDGE_TIME_S);
+                let fall = fall.max(MIN_EDGE_TIME_S);
                 if tau < rise {
                     v0 + (v1 - v0) * tau / rise
                 } else if tau < rise + width {
@@ -80,15 +84,16 @@ impl SourceWave {
                 }
             }
             Self::Pwl(pts) => {
-                if pts.is_empty() {
+                let Some(&(t_first, v_first)) = pts.first() else {
                     return 0.0;
-                }
-                if t <= pts[0].0 {
-                    return pts[0].1;
+                };
+                if t <= t_first {
+                    return v_first;
                 }
                 for w in pts.windows(2) {
-                    let (t0, v0) = w[0];
-                    let (t1, v1) = w[1];
+                    let &[(t0, v0), (t1, v1)] = w else {
+                        continue;
+                    };
                     if t <= t1 {
                         if t1 == t0 {
                             return v1;
@@ -147,8 +152,10 @@ impl Trace {
         if self.is_empty() {
             return 0.0;
         }
-        if t <= self.time[0] {
-            return self.values[0];
+        if let (Some(&t_first), Some(&v_first)) = (self.time.first(), self.values.first()) {
+            if t <= t_first {
+                return v_first;
+            }
         }
         if self.time.last().is_some_and(|&last| t >= last) {
             return self.last_value();

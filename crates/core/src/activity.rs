@@ -26,13 +26,18 @@ pub struct ActivitySpec {
     pub seed: u64,
 }
 
+/// Default activity period — a 1 GHz switching clock, seconds.
+const DEFAULT_ACTIVITY_PERIOD_S: f64 = 1e-9;
+/// Default triangular current-pulse width, seconds.
+const DEFAULT_PULSE_WIDTH_S: f64 = 150e-12;
+
 impl Default for ActivitySpec {
     fn default() -> Self {
         Self {
             sites: 16,
             total_peak_a: 0.2,
-            period_s: 1e-9,
-            pulse_width_s: 150e-12,
+            period_s: DEFAULT_ACTIVITY_PERIOD_S,
+            pulse_width_s: DEFAULT_PULSE_WIDTH_S,
             seed: 0x101,
         }
     }

@@ -59,14 +59,28 @@ pub struct TestbenchSpec {
     pub activity_periods: usize,
 }
 
+/// Default input-step delay before the edge launches, seconds.
+const DEFAULT_INPUT_DELAY_S: f64 = 100e-12;
+/// Default input-step rise time, seconds.
+const DEFAULT_INPUT_RISE_S: f64 = 50e-12;
+/// Default receiver (gate) load capacitance, farads.
+const DEFAULT_RECEIVER_CAP_F: f64 = 30e-15;
+/// Default total decoupling capacitance across the grid, farads.
+const DEFAULT_DECAP_TOTAL_F: f64 = 20e-12;
+/// Floor for series resistances stamped from technology parameters,
+/// ohms — a zero-ohm pad would alias two MNA nodes.
+const MIN_SERIES_RES_OHM: f64 = 1e-6;
+/// Floor for the decap effective series resistance, ohms.
+const MIN_DECAP_ESR_OHM: f64 = 1e-3;
+
 impl Default for TestbenchSpec {
     fn default() -> Self {
         Self {
             vdd: 1.8,
-            input: SourceWave::step(0.0, 1.8, 100e-12, 50e-12),
+            input: SourceWave::step(0.0, 1.8, DEFAULT_INPUT_DELAY_S, DEFAULT_INPUT_RISE_S),
             driver: DriverKind::Inverter(InverterParams::default()),
-            receiver_cap_f: 30e-15,
-            decap_total_f: 20e-12,
+            receiver_cap_f: DEFAULT_RECEIVER_CAP_F,
+            decap_total_f: DEFAULT_DECAP_TOTAL_F,
             decap_sites: 8,
             decap_esr: 2.0,
             activity: None,
@@ -126,11 +140,11 @@ pub fn build_testbench(
         };
         has_pads = true;
         let mid = circuit.node(format!("pad_{}_{}", name_tag, port.name));
-        circuit.resistor(ext, mid, tech.pad_res_ohm.max(1e-6));
+        circuit.resistor(ext, mid, tech.pad_res_ohm.max(MIN_SERIES_RES_OHM));
         if tech.pad_ind_h > 0.0 {
             circuit.inductor(mid, pad_node, tech.pad_ind_h);
         } else {
-            circuit.resistor(mid, pad_node, 1e-6);
+            circuit.resistor(mid, pad_node, MIN_SERIES_RES_OHM);
         }
     }
 
@@ -223,7 +237,7 @@ pub fn build_testbench(
                 // Nearest ground node by node-list pairing (uniform spread).
                 let vss_n = vss_nodes[(k * vss_nodes.len()) / spec.decap_sites];
                 let mid = circuit.anon_node();
-                circuit.resistor(vdd_n, mid, spec.decap_esr.max(1e-3));
+                circuit.resistor(vdd_n, mid, spec.decap_esr.max(MIN_DECAP_ESR_OHM));
                 circuit.capacitor(mid, vss_n, per_site);
             }
         }

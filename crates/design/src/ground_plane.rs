@@ -105,10 +105,12 @@ pub fn loop_l_vs_freq(
         // happens through the loop extractor's pad handling. Instead we
         // mark plane strips as part of the ground structure by adding a
         // strap on the plane layer at each end.
+        #[allow(clippy::expect_used)]
         let gnet = layout
             .nets()
             .iter()
             .find(|n| n.name == "gplane")
+            // ind101: allow(panic-policy, the gplane net is created by generate_ground_plane merged a few lines above)
             .expect("plane net exists")
             .id;
         let strip_pitch = study.plane_span_nm / study.plane_strips as i64;

@@ -124,13 +124,14 @@ fn build_layout(tech: &Technology, study: &InterdigitationStudy, strands: usize)
     // End straps: parallel the strands (signal) and stitch the shields.
     let strap = |layout: &mut Layout, net, ys: &[i64], w: i64| {
         for pair in ys.windows(2) {
+            let &[y_lo, y_hi] = pair else { continue };
             for x in [0, study.length_nm] {
                 layout.add_segment(Segment::new(
                     net,
                     layer,
                     Axis::Y,
-                    Point::new(x, pair[0]),
-                    pair[1] - pair[0],
+                    Point::new(x, y_lo),
+                    y_hi - y_lo,
                     w,
                 ));
             }
@@ -143,10 +144,14 @@ fn build_layout(tech: &Technology, study: &InterdigitationStudy, strands: usize)
     strap(&mut layout, sig, &ys_sig, strand_w.min(um(1)));
     strap(&mut layout, shield, &ys_sh, shield_w);
 
+    // Port on the first strand's centerline; an empty strand list only
+    // arises for a degenerate (zero-strand) study, which yields an
+    // empty layout anyway.
+    let sig_y0 = centers_sig.first().copied().unwrap_or(0);
     layout.add_port(
         "sig_drv",
         NodeKey {
-            at: Point::new(0, centers_sig[0]),
+            at: Point::new(0, sig_y0),
             layer,
         },
         sig,
@@ -155,7 +160,7 @@ fn build_layout(tech: &Technology, study: &InterdigitationStudy, strands: usize)
     layout.add_port(
         "sig_rcv",
         NodeKey {
-            at: Point::new(study.length_nm, centers_sig[0]),
+            at: Point::new(study.length_nm, sig_y0),
             layer,
         },
         sig,
@@ -192,7 +197,7 @@ pub fn evaluate_split(
 
     let g: f64 = strand_rows.iter().map(|&k| 1.0 / par.resistance[k]).sum();
     let r_ohm = 1.0 / g;
-    let l_self_h = parallel_inductance(&par.partial_l, &strand_rows);
+    let l_self_h = parallel_inductance(&par.partial_l, &strand_rows)?;
 
     let mut c_total = 0.0;
     for &k in &strand_rows {
@@ -208,12 +213,13 @@ pub fn evaluate_split(
         what: "layout has no ports".to_owned(),
     })?;
     let ext = extract_loop_rl(&par, &port, &[study.freq_hz])?;
+    let (_, l_loop_h) = ext.at(0); // extracted at exactly one frequency
 
     Ok(InterdigitationPoint {
         strands,
         r_ohm,
         l_self_h,
-        l_loop_h: ext.l_h[0],
+        l_loop_h,
         c_total_f: c_total,
         tracks_used: strands + strands + 1, // strands + interior & edge shields
     })
@@ -237,9 +243,13 @@ pub fn run_interdigitation_study(
 
 /// Effective inductance of branches carrying a common current with
 /// common end nodes: `L_eff = 1 / (1ᵀ·L_block⁻¹·1)`.
-fn parallel_inductance(l: &PartialInductance, rows: &[usize]) -> f64 {
+///
+/// # Errors
+///
+/// Fails if the strand block is singular (non-physical extraction).
+fn parallel_inductance(l: &PartialInductance, rows: &[usize]) -> Result<f64, CircuitError> {
     let block = l.matrix().submatrix(rows);
-    let inv = block.inverse().expect("strand block is PD");
+    let inv = block.inverse().map_err(CircuitError::from)?;
     let n = rows.len();
     let mut s = 0.0;
     for i in 0..n {
@@ -247,7 +257,7 @@ fn parallel_inductance(l: &PartialInductance, rows: &[usize]) -> f64 {
             s += inv[(i, j)];
         }
     }
-    1.0 / s
+    Ok(1.0 / s)
 }
 
 #[cfg(test)]
@@ -325,7 +335,7 @@ mod tests {
             })
             .collect();
         let l = PartialInductance::extract(&tech, &segs);
-        let leff = parallel_inductance(&l, &[0, 1, 2]);
+        let leff = parallel_inductance(&l, &[0, 1, 2]).unwrap();
         let lone = l.self_l(0);
         assert!(
             (leff - lone / 3.0).abs() / (lone / 3.0) < 0.15,

@@ -20,6 +20,7 @@
 //! | ref. \[21\] | simultaneous shield insertion + net ordering | [`ordering`] |
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 #![warn(missing_docs)]
 
 pub mod ground_plane;

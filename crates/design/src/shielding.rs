@@ -99,10 +99,11 @@ fn evaluate(
         what: "bus has no ports".to_owned(),
     })?;
     let ext = extract_loop_rl(&par, &port, &[study.freq_hz])?;
+    let (r_ohm, l_h) = ext.at(0); // extracted at exactly one frequency
     Ok(ShieldingPoint {
         spacing_nm: Some(spacing_nm),
-        r_ohm: ext.r_ohm[0],
-        l_h: ext.l_h[0],
+        r_ohm,
+        l_h,
     })
 }
 

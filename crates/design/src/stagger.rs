@@ -45,10 +45,22 @@ impl Default for StaggerStudy {
             spacing_nm: um(1),
             vdd: 1.8,
             repeater: InverterParams::default().scaled(0.3),
-            stage_cap_f: 5e-15,
+            stage_cap_f: DEFAULT_STAGE_CAP_F,
         }
     }
 }
+
+/// Default per-stage load capacitance, farads.
+const DEFAULT_STAGE_CAP_F: f64 = 5e-15;
+
+/// Aggressor input step: delay then rise time, seconds.
+const AGGRESSOR_DELAY_S: f64 = 100e-12;
+/// Aggressor input rise time, seconds.
+const AGGRESSOR_RISE_S: f64 = 40e-12;
+/// Transient timestep for the stagger study, seconds.
+const TRAN_STEP_S: f64 = 2e-12;
+/// Transient stop time for the stagger study, seconds.
+const TRAN_STOP_S: f64 = 1.2e-9;
 
 /// Result of one configuration.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -165,16 +177,16 @@ pub fn evaluate_stagger(
         Ok(probes)
     };
 
-    let agg_wave = SourceWave::step(0.0, study.vdd, 100e-12, 40e-12);
+    let agg_wave = SourceWave::step(0.0, study.vdd, AGGRESSOR_DELAY_S, AGGRESSOR_RISE_S);
     wire_chain(&mut circuit, "agg", agg_wave)?;
     let vic_probes = wire_chain(&mut circuit, "vic", SourceWave::dc(0.0))?;
 
-    let res = circuit.transient(&TranOptions::new(2e-12, 1.2e-9))?;
+    let res = circuit.transient(&TranOptions::new(TRAN_STEP_S, TRAN_STOP_S))?;
     let mut worst_internal = 0.0f64;
     let mut final_noise = 0.0f64;
     for (k, &p) in vic_probes.iter().enumerate() {
         let tr = res.voltage(p);
-        let settled = tr.values[0]; // victim starts at its DC level
+        let settled = tr.values.first().copied().unwrap_or(0.0); // victim DC level
         let noise = measure::peak_noise(&tr, settled);
         worst_internal = worst_internal.max(noise);
         if k + 1 == vic_probes.len() {

@@ -42,17 +42,20 @@ pub fn bundle_coupling(tech: &Technology, spec: &TwistedBundleSpec) -> BundleCou
     let l = PartialInductance::extract(tech, layout.segments());
     let n = spec.pairs;
     // Signed current vector per loop.
+    #[allow(clippy::expect_used)]
     let current_vec = |pair: usize| -> Vec<f64> {
         let sig = layout
             .nets()
             .iter()
             .find(|nn| nn.name == format!("tb{pair}"))
+            // ind101: allow(panic-policy, net created with this exact name by generate_twisted_bundle above)
             .expect("signal net")
             .id;
         let ret = layout
             .nets()
             .iter()
             .find(|nn| nn.name == format!("tb{pair}_ret"))
+            // ind101: allow(panic-policy, net created with this exact name by generate_twisted_bundle above)
             .expect("return net")
             .id;
         l.segments()
@@ -69,7 +72,9 @@ pub fn bundle_coupling(tech: &Technology, spec: &TwistedBundleSpec) -> BundleCou
             .collect()
     };
     let vecs: Vec<Vec<f64>> = (0..n).map(current_vec).collect();
+    #[allow(clippy::expect_used)]
     let quad = |a: &[f64], b: &[f64]| -> f64 {
+        // ind101: allow(panic-policy, vector length equals the extraction segment count by construction)
         let mb = l.matrix().matvec(b).expect("dimension");
         a.iter().zip(&mb).map(|(x, y)| x * y).sum()
     };
@@ -95,6 +100,20 @@ pub fn bundle_coupling(tech: &Technology, spec: &TwistedBundleSpec) -> BundleCou
         mean: if count == 0 { 0.0 } else { sum / count as f64 },
     }
 }
+
+/// Resistance of a butt joint between consecutive segments of one net,
+/// ohms — small enough to be electrically transparent.
+const JOINT_RES_OHM: f64 = 1e-3;
+/// Stimulus step delay, seconds.
+const STIM_DELAY_S: f64 = 50e-12;
+/// Stimulus step rise time, seconds.
+const STIM_RISE_S: f64 = 30e-12;
+/// Far-end receiver load per pair, farads.
+const RECEIVER_CAP_F: f64 = 20e-15;
+/// Transient timestep for the bundle-noise study, seconds.
+const TRAN_STEP_S: f64 = 1e-12;
+/// Transient stop time for the bundle-noise study, seconds.
+const TRAN_STOP_S: f64 = 600e-12;
 
 /// Transient crosstalk check: drives loop 0 and measures the worst
 /// *differential* victim noise (signal minus return at the receiver)
@@ -125,11 +144,11 @@ pub fn bundle_noise(tech: &Technology, spec: &TwistedBundleSpec) -> Result<f64, 
             .collect();
         segs.sort_by_key(|&k| par.segments[k].start.x);
         for w in segs.windows(2) {
-            let (a, b) = (w[0], w[1]);
+            let &[a, b] = w else { continue };
             let end_a = model.seg_end_nodes[a].1;
             let start_b = model.seg_end_nodes[b].0;
             if end_a != start_b {
-                circuit.resistor(end_a, start_b, 1e-3);
+                circuit.resistor(end_a, start_b, JOINT_RES_OHM);
             }
         }
     }
@@ -151,7 +170,7 @@ pub fn bundle_noise(tech: &Technology, spec: &TwistedBundleSpec) -> Result<f64, 
     };
 
     let stim = circuit.node("stim");
-    circuit.vsrc(stim, Circuit::GND, SourceWave::step(0.0, 1.8, 50e-12, 30e-12));
+    circuit.vsrc(stim, Circuit::GND, SourceWave::step(0.0, 1.8, STIM_DELAY_S, STIM_RISE_S));
     let mut victims = Vec::new();
     for k in 0..spec.pairs {
         let (sig_near, sig_far) = net_ends(&format!("tb{k}")).ok_or(CircuitError::UnknownNode {
@@ -161,8 +180,8 @@ pub fn bundle_noise(tech: &Technology, spec: &TwistedBundleSpec) -> Result<f64, 
             net_ends(&format!("tb{k}_ret")).ok_or(CircuitError::UnknownNode { index: k })?;
         // Every loop closes at the far end through its receiver load and
         // references ground at the near end through its return.
-        circuit.capacitor(sig_far, ret_far, 20e-15);
-        circuit.resistor(ret_near, Circuit::GND, 1e-3);
+        circuit.capacitor(sig_far, ret_far, RECEIVER_CAP_F);
+        circuit.resistor(ret_near, Circuit::GND, JOINT_RES_OHM);
         if k == 0 {
             circuit.resistor(stim, sig_near, 30.0);
         } else {
@@ -170,7 +189,7 @@ pub fn bundle_noise(tech: &Technology, spec: &TwistedBundleSpec) -> Result<f64, 
             victims.push((sig_far, ret_far));
         }
     }
-    let res = circuit.transient(&TranOptions::new(1e-12, 600e-12))?;
+    let res = circuit.transient(&TranOptions::new(TRAN_STEP_S, TRAN_STOP_S))?;
     let mut worst = 0.0f64;
     for (v, vr) in victims {
         let tv = res.voltage(v);

@@ -8,7 +8,7 @@
 //! terms fitted in `w/h`, `t/h`, `s/h`.
 
 use crate::constants::EPS0;
-use ind101_geom::{Segment, Technology};
+use ind101_geom::{Segment, Technology, M_PER_NM};
 
 /// Ground capacitance per unit length of a wire of width `w` and
 /// thickness `t` at height `h` above the return plane, F/m.
@@ -50,8 +50,8 @@ pub fn coupling_cap_per_length(w: f64, t: f64, h: f64, s: f64, eps_r: f64) -> f6
 /// the paper's grounded-capacitance RLC-π model.
 pub fn segment_ground_cap(tech: &Technology, seg: &Segment) -> f64 {
     let layer = tech.layer(seg.layer);
-    let h = (layer.z_bottom_nm as f64) * 1e-9;
-    let t = (layer.thickness_nm as f64) * 1e-9;
+    let h = (layer.z_bottom_nm as f64) * M_PER_NM;
+    let t = (layer.thickness_nm as f64) * M_PER_NM;
     ground_cap_per_length(seg.width_m(), t, h, tech.eps_r) * seg.length_m()
 }
 
@@ -62,7 +62,7 @@ pub fn segment_coupling_cap(tech: &Technology, a: &Segment, b: &Segment) -> f64 
     if !a.is_parallel(b) || a.layer != b.layer {
         return 0.0;
     }
-    let overlap_m = (a.axial_overlap_nm(b) as f64) * 1e-9;
+    let overlap_m = (a.axial_overlap_nm(b) as f64) * M_PER_NM;
     if overlap_m <= 0.0 {
         return 0.0;
     }
@@ -71,13 +71,13 @@ pub fn segment_coupling_cap(tech: &Technology, a: &Segment, b: &Segment) -> f64 
         return 0.0; // abutting/overlapping footprints: same node, no coupling cap
     }
     let layer = tech.layer(a.layer);
-    let h = (layer.z_bottom_nm as f64) * 1e-9;
-    let t = (layer.thickness_nm as f64) * 1e-9;
+    let h = (layer.z_bottom_nm as f64) * M_PER_NM;
+    let t = (layer.thickness_nm as f64) * M_PER_NM;
     coupling_cap_per_length(
         a.width_m().min(b.width_m()),
         t,
         h,
-        s_nm as f64 * 1e-9,
+        s_nm as f64 * M_PER_NM,
         tech.eps_r,
     ) * overlap_m
 }

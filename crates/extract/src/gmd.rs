@@ -15,6 +15,11 @@ const FAR_FIELD_RATIO: f64 = 8.0;
 /// Number of sample points per cross-section side for numeric GMD.
 const SAMPLES: usize = 6;
 
+/// Clamp on the sample-pair separation, as a fraction of one sample
+/// cell — overlapping footprints can bring `r` to exactly zero, and
+/// `ln(0)` would poison the whole GMD average.
+const MIN_SAMPLE_SEPARATION_FRAC: f64 = 1e-3;
+
 /// GMD between two rectangular cross-sections lying in parallel planes.
 ///
 /// Cross-sections are described in the plane perpendicular to the
@@ -55,7 +60,7 @@ pub fn rect_gmd(dx: f64, dz: f64, w1: f64, t1: f64, w2: f64, t2: f64) -> f64 {
                     let r = ddx.hypot(ddz);
                     // Overlapping footprints can bring r to 0 for stacked
                     // samples; clamp to a fraction of the sample cell.
-                    let r = r.max(1e-3 * extent / SAMPLES as f64);
+                    let r = r.max(MIN_SAMPLE_SEPARATION_FRAC * extent / SAMPLES as f64);
                     acc += r.ln();
                     count += 1;
                 }

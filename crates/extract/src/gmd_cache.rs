@@ -102,6 +102,7 @@ impl GmdCache {
     /// Panics on the same invalid inputs as [`rect_gmd`].
     pub fn gmd(&self, dx: f64, dz: f64, w1: f64, t1: f64, w2: f64, t2: f64) -> f64 {
         if self.capacity_per_shard == 0 {
+            // ind101: allow(atomics-ordering, statistics counter; no data is published under it)
             self.misses.fetch_add(1, Ordering::Relaxed);
             return rect_gmd(dx, dz, w1, t1, w2, t2);
         }
@@ -112,6 +113,7 @@ impl GmdCache {
             shard.lock().unwrap_or_else(std::sync::PoisonError::into_inner).get(&key)
         {
             if stored == args {
+                // ind101: allow(atomics-ordering, statistics counter; no data is published under it)
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return v;
             }
@@ -120,6 +122,7 @@ impl GmdCache {
             // half a quantum). Serving `v` would be wrong — compute
             // directly and leave the first occupant in place so the
             // outcome is independent of insertion order.
+            // ind101: allow(atomics-ordering, statistics counter; no data is published under it)
             self.collisions.fetch_add(1, Ordering::Relaxed);
             return rect_gmd(dx, dz, w1, t1, w2, t2);
         }
@@ -130,6 +133,7 @@ impl GmdCache {
         // entry (first occupant wins) — this lookup already has its own
         // directly computed value.
         let v = rect_gmd(dx, dz, w1, t1, w2, t2);
+        // ind101: allow(atomics-ordering, statistics counter; no data is published under it)
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut map = shard.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if map.len() < self.capacity_per_shard {
@@ -140,17 +144,20 @@ impl GmdCache {
 
     /// Number of lookups served from the cache.
     pub fn hits(&self) -> u64 {
+        // ind101: allow(atomics-ordering, monotonic counter read for reporting only)
         self.hits.load(Ordering::Relaxed)
     }
 
     /// Number of lookups that had to compute the kernel.
     pub fn misses(&self) -> u64 {
+        // ind101: allow(atomics-ordering, monotonic counter read for reporting only)
         self.misses.load(Ordering::Relaxed)
     }
 
     /// Number of lookups that found an aliased bucket (same quantized
     /// key, different exact arguments) and recomputed directly.
     pub fn collisions(&self) -> u64 {
+        // ind101: allow(atomics-ordering, monotonic counter read for reporting only)
         self.collisions.load(Ordering::Relaxed)
     }
 

@@ -9,7 +9,7 @@ use crate::gmd::rect_gmd;
 use crate::gmd_cache::GmdCache;
 use crate::mutual_inductance::filament_mutual_unchecked;
 use crate::self_inductance::{bar_self_inductance_unchecked, self_gmd};
-use ind101_geom::{Segment, Technology};
+use ind101_geom::{Segment, Technology, M_PER_NM};
 use ind101_numeric::partition::{for_each_row_chunk, triangle_row_blocks};
 use ind101_numeric::{Matrix, ParallelConfig};
 
@@ -179,7 +179,7 @@ fn fill_upper_row(
     let n = segments.len();
     let si = &segments[i];
     let li = tech.layer(si.layer);
-    let ti = li.thickness_nm as f64 * 1e-9;
+    let ti = li.thickness_nm as f64 * M_PER_NM;
     row[i] = bar_self_inductance_unchecked(si.length_m(), si.width_m(), ti);
     for j in (i + 1)..n {
         let sj = &segments[j];
@@ -187,9 +187,9 @@ fn fill_upper_row(
             continue;
         }
         let lj = tech.layer(sj.layer);
-        let tj = lj.thickness_nm as f64 * 1e-9;
-        let dx = si.lateral_separation_nm(sj) as f64 * 1e-9;
-        let dz = (li.z_center_nm() - lj.z_center_nm()).abs() as f64 * 1e-9;
+        let tj = lj.thickness_nm as f64 * M_PER_NM;
+        let dx = si.lateral_separation_nm(sj) as f64 * M_PER_NM;
+        let dz = (li.z_center_nm() - lj.z_center_nm()).abs() as f64 * M_PER_NM;
         let d = if dx == 0.0 && dz == 0.0 {
             // Collinear segments of the same wire: use the
             // average self-GMD of the two cross-sections.
@@ -200,7 +200,7 @@ fn fill_upper_row(
                 None => rect_gmd(dx, dz, si.width_m(), ti, sj.width_m(), tj),
             }
         };
-        let offset = si.axial_offset_nm(sj) as f64 * 1e-9;
+        let offset = si.axial_offset_nm(sj) as f64 * M_PER_NM;
         row[j] = filament_mutual_unchecked(si.length_m(), sj.length_m(), offset, d);
     }
 }

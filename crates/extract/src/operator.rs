@@ -22,7 +22,7 @@ use crate::gmd::rect_gmd;
 use crate::gmd_cache::GmdCache;
 use crate::mutual_inductance::filament_mutual_unchecked;
 use crate::self_inductance::bar_self_inductance_unchecked;
-use ind101_geom::{Segment, Technology};
+use ind101_geom::{Segment, Technology, M_PER_NM};
 use ind101_numeric::{Complex64, LinearOperator, ToeplitzOperator2D};
 
 /// Geometry of a regular grid of identical parallel filaments.
@@ -99,17 +99,17 @@ impl FilamentGridSpec {
     /// Filament length in meters (same conversion as
     /// [`Segment::length_m`]).
     pub fn length_m(&self) -> f64 {
-        self.length_nm as f64 * 1e-9
+        self.length_nm as f64 * M_PER_NM
     }
 
     /// Filament width in meters.
     pub fn width_m(&self) -> f64 {
-        self.width_nm as f64 * 1e-9
+        self.width_nm as f64 * M_PER_NM
     }
 
     /// Filament thickness in meters.
     pub fn thickness_m(&self) -> f64 {
-        self.thickness_nm as f64 * 1e-9
+        self.thickness_nm as f64 * M_PER_NM
     }
 }
 
@@ -144,8 +144,8 @@ pub fn grid_kernel(
                 continue;
             }
             // Same i64-nm → f64-m conversion as the dense assembler.
-            let dx = (dlat_idx as i64 * spec.pitch_lat_nm) as f64 * 1e-9;
-            let dz = (dz_idx as i64 * spec.pitch_z_nm) as f64 * 1e-9;
+            let dx = (dlat_idx as i64 * spec.pitch_lat_nm) as f64 * M_PER_NM;
+            let dz = (dz_idx as i64 * spec.pitch_z_nm) as f64 * M_PER_NM;
             let d = match cache {
                 Some(c) => c.gmd(dx, dz, w, t, w, t),
                 None => rect_gmd(dx, dz, w, t, w, t),
@@ -253,12 +253,16 @@ impl GridInductanceOperator {
             .map(|(i, s)| (s.start.along(lat), i))
             .collect();
         order.sort_unstable();
-        let pitch = order[1].0 - order[0].0;
+        let (Some(&(lat0, _)), Some(&(lat1, _))) = (order.first(), order.get(1)) else {
+            return None;
+        };
+        let pitch = lat1 - lat0;
         if pitch <= 0 {
             return None; // duplicate positions or degenerate lattice
         }
         for pair in order.windows(2) {
-            if pair[1].0 - pair[0].0 != pitch {
+            let &[(lo, _), (hi, _)] = pair else { continue };
+            if hi - lo != pitch {
                 return None;
             }
         }

@@ -74,8 +74,12 @@ impl BusSpec {
             ShieldPattern::None => vec![false; self.signals],
             ShieldPattern::Edges => {
                 let mut v = vec![false; self.signals + 2];
-                v[0] = true;
-                *v.last_mut().expect("non-empty") = true;
+                if let Some(first) = v.first_mut() {
+                    *first = true;
+                }
+                if let Some(last) = v.last_mut() {
+                    *last = true;
+                }
                 v
             }
             ShieldPattern::Every(k) => {
@@ -131,7 +135,9 @@ pub fn generate_bus(tech: &Technology, spec: &BusSpec) -> Layout {
             Axis::X => Point::new(0, lateral),
             Axis::Y => Point::new(lateral, 0),
         };
+        #[allow(clippy::expect_used)]
         let net = if is_shield {
+            // ind101: allow(panic-policy, shield_net is Some whenever any role is a shield — the condition that created it)
             shield_net.expect("shield net exists when roles contain shields")
         } else {
             let id = layout.add_net(format!("bit{bit}"), NetKind::Signal);
@@ -180,17 +186,18 @@ pub fn generate_bus(tech: &Technology, spec: &BusSpec) -> Layout {
                 .map(|(t, _)| t as i64 * pitch)
                 .collect();
             for pair in shield_tracks.windows(2) {
+                let &[lat_lo, lat_hi] = pair else { continue };
                 for axial in [0, spec.length_nm] {
                     let (start, dir) = match spec.dir {
-                        Axis::X => (Point::new(axial, pair[0]), Axis::Y),
-                        Axis::Y => (Point::new(pair[0], axial), Axis::X),
+                        Axis::X => (Point::new(axial, lat_lo), Axis::Y),
+                        Axis::Y => (Point::new(lat_lo, axial), Axis::X),
                     };
                     layout.add_segment(Segment::new(
                         net,
                         spec.layer,
                         dir,
                         start,
-                        pair[1] - pair[0],
+                        lat_hi - lat_lo,
                         spec.width_nm,
                     ));
                 }

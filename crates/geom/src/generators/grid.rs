@@ -170,12 +170,14 @@ pub fn generate_power_grid(tech: &Technology, spec: &PowerGridSpec) -> Layout {
         let x = spec.width_nm * frac / (spec.pad_pairs as i64 * 2).max(1);
         // Snap to the nearest vertical stripe x of each net so the pad
         // node coincides with a grid node.
+        #[allow(clippy::expect_used)]
         let snap = |net| {
             v_lines
                 .iter()
                 .filter(|&&(n, _)| n == net)
                 .min_by_key(|&&(_, vx)| (vx - x).abs())
                 .map(|&(_, vx)| vx)
+                // ind101: allow(panic-policy, the generator lays at least one vertical stripe per net before padding)
                 .expect("grid has at least one stripe per net")
         };
         let vdd_x = snap(vdd);

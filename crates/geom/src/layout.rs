@@ -260,6 +260,7 @@ impl Layout {
                 continue;
             }
             let fils = s.filaments(n);
+            let strap_w = fils.first().map_or(s.width_nm, |f| f.width_nm);
             // Star straps: each filament end ties to the parent's
             // original centerline endpoint, so any port or via placed on
             // the parent endpoint stays electrically connected.
@@ -278,7 +279,7 @@ impl Layout {
                             s.dir.perp(),
                             lo,
                             len,
-                            fils[0].width_nm,
+                            strap_w,
                         ));
                     }
                 }

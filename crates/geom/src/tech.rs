@@ -51,6 +51,12 @@ pub struct Technology {
     pub pad_ind_h: f64,
 }
 
+/// Package pad/bond inductance of the example copper stack, henries.
+const COPPER_PAD_IND_H: f64 = 0.5e-9;
+/// Package pad/bond inductance of the example aluminum stack, henries
+/// — older packaging, slightly longer bond wires.
+const ALUMINUM_PAD_IND_H: f64 = 0.8e-9;
+
 impl Technology {
     /// Example 6-level-metal copper technology of the paper's era.
     ///
@@ -77,7 +83,7 @@ impl Technology {
             eps_r: 3.9,
             via_res_ohm: 1.5,
             pad_res_ohm: 0.05,
-            pad_ind_h: 0.5e-9,
+            pad_ind_h: COPPER_PAD_IND_H,
         }
     }
 
@@ -108,7 +114,7 @@ impl Technology {
             eps_r: 4.1,
             via_res_ohm: 3.0,
             pad_res_ohm: 0.08,
-            pad_ind_h: 0.8e-9,
+            pad_ind_h: ALUMINUM_PAD_IND_H,
         }
     }
 

@@ -58,7 +58,8 @@ impl LoopExtraction {
         (self.r_ohm[idx], self.l_h[idx])
     }
 
-    /// Index of the sweep point nearest to `f_hz`.
+    /// Index of the sweep point nearest to `f_hz` (0 for an empty
+    /// sweep).
     pub fn nearest_index(&self, f_hz: f64) -> usize {
         self.freqs_hz
             .iter()
@@ -66,12 +67,15 @@ impl LoopExtraction {
             .min_by(|a, b| {
                 let da = (a.1 - f_hz).abs();
                 let db = (b.1 - f_hz).abs();
-                da.partial_cmp(&db).expect("finite frequencies")
+                da.total_cmp(&db)
             })
-            .map(|(i, _)| i)
-            .expect("non-empty sweep")
+            .map_or(0, |(i, _)| i)
     }
 }
+
+/// Floor for series resistances stamped from technology parameters,
+/// ohms — a zero-ohm pad would alias two MNA nodes.
+const MIN_SERIES_RES_OHM: f64 = 1e-6;
 
 /// Extracts loop `R(f)` and `L(f)` at the driver port.
 ///
@@ -143,11 +147,11 @@ fn build_probe(par: &PeecParasitics, spec: &LoopPortSpec) -> Result<ProbeCircuit
         }
         if let Some(node) = model.node(port.node) {
             let mid = circuit.anon_node();
-            circuit.resistor(node, mid, tech.pad_res_ohm.max(1e-6));
+            circuit.resistor(node, mid, tech.pad_res_ohm.max(MIN_SERIES_RES_OHM));
             if tech.pad_ind_h > 0.0 {
                 circuit.inductor(mid, Circuit::GND, tech.pad_ind_h);
             } else {
-                circuit.resistor(mid, Circuit::GND, 1e-6);
+                circuit.resistor(mid, Circuit::GND, MIN_SERIES_RES_OHM);
             }
         }
     }

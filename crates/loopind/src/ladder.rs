@@ -23,6 +23,14 @@ pub struct LadderFit {
     pub l1: f64,
 }
 
+/// Floor protecting relative-difference divisions from a zero base.
+const DIV_FLOOR: f64 = 1e-30;
+/// Relative tolerance under which R(f)/L(f) count as frequency-flat.
+const FLATNESS_REL_TOL: f64 = 1e-9;
+/// Minimum spread of the dispersion function between the two fit
+/// frequencies — below this the two points cannot pin the ladder.
+const MIN_DISPERSION_SPREAD: f64 = 1e-12;
+
 impl LadderFit {
     /// Fits the ladder to two extracted points `(f, R, L)` with
     /// `f1 < f2`.
@@ -40,7 +48,9 @@ impl LadderFit {
         let dl = la - lb;
         if dr <= 0.0 || dl <= 0.0 {
             // No frequency dependence — degenerate ladder (L1 → 0).
-            if dr.abs() / ra.max(1e-30) < 1e-9 && dl.abs() / la.max(1e-30) < 1e-9 {
+            if dr.abs() / ra.max(DIV_FLOOR) < FLATNESS_REL_TOL
+                && dl.abs() / la.max(DIV_FLOOR) < FLATNESS_REL_TOL
+            {
                 return Some(Self {
                     r0: ra,
                     l0: la,
@@ -61,7 +71,7 @@ impl LadderFit {
             wt * wt / (1.0 + wt * wt)
         };
         let (x1, x2) = (x(w1), x(w2));
-        if x2 - x1 <= 1e-12 {
+        if x2 - x1 <= MIN_DISPERSION_SPREAD {
             return None;
         }
         let r1 = dr / (x2 - x1);

@@ -23,6 +23,7 @@
 //!   end", ready to connect driver and receiver gates.
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 #![warn(missing_docs)]
 
 mod backend;

@@ -50,17 +50,31 @@ pub struct LoopNetlistSpec {
     pub driver: Option<InverterParams>,
 }
 
+/// Default loop inductance for the single-frequency model, henries.
+const DEFAULT_LOOP_L_H: f64 = 2e-9;
+/// Default total line + load capacitance, farads.
+const DEFAULT_CAP_TOTAL_F: f64 = 200e-15;
+/// Default input-step delay before the edge launches, seconds.
+const DEFAULT_INPUT_DELAY_S: f64 = 100e-12;
+/// Default input-step rise time, seconds.
+const DEFAULT_INPUT_RISE_S: f64 = 50e-12;
+/// Resistance of an electrically transparent direct-drive hookup, ohms.
+const DIRECT_DRIVE_RES_OHM: f64 = 1e-3;
+/// Floor for per-segment ladder branch resistances, ohms — a zero-ohm
+/// branch would alias two MNA nodes.
+const MIN_BRANCH_RES_OHM: f64 = 1e-6;
+
 impl Default for LoopNetlistSpec {
     fn default() -> Self {
         Self {
             interconnect: LoopInterconnect::SingleFrequency {
                 r_ohm: 5.0,
-                l_h: 2e-9,
+                l_h: DEFAULT_LOOP_L_H,
             },
             segments: 4,
-            cap_total_f: 200e-15,
+            cap_total_f: DEFAULT_CAP_TOTAL_F,
             vdd: 1.8,
-            input: SourceWave::step(0.0, 1.8, 100e-12, 50e-12),
+            input: SourceWave::step(0.0, 1.8, DEFAULT_INPUT_DELAY_S, DEFAULT_INPUT_RISE_S),
             driver: Some(InverterParams::default()),
         }
     }
@@ -126,7 +140,7 @@ pub fn build_loop_circuit(spec: &LoopNetlistSpec) -> Result<LoopCircuit, Circuit
         }
         None => {
             // Direct drive through a negligible resistance.
-            c.resistor(input, driver_out, 1e-3);
+            c.resistor(input, driver_out, DIRECT_DRIVE_RES_OHM);
         }
     }
 
@@ -149,11 +163,11 @@ pub fn build_loop_circuit(spec: &LoopNetlistSpec) -> Result<LoopCircuit, Circuit
                 // Per segment: R0/n + L0/n in series, then the shunt
                 // branch R1/n ∥ L1/n bridging the series pair.
                 let mid = c.anon_node();
-                c.resistor(prev, mid, (lad.r0 / n as f64).max(1e-6));
+                c.resistor(prev, mid, (lad.r0 / n as f64).max(MIN_BRANCH_RES_OHM));
                 if lad.l0 > 0.0 {
                     c.inductor(mid, next, lad.l0 / n as f64);
                 } else {
-                    c.resistor(mid, next, 1e-6);
+                    c.resistor(mid, next, MIN_BRANCH_RES_OHM);
                 }
                 if lad.r1 > 0.0 && lad.l1 > 0.0 {
                     let tap = c.anon_node();

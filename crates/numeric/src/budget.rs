@@ -38,15 +38,19 @@ impl CancelToken {
     }
 
     /// Requests cancellation. Idempotent; never blocks.
+    ///
+    /// Release pairs with the Acquire in [`CancelToken::is_cancelled`]:
+    /// a solver that observes the flag also observes every write the
+    /// cancelling thread made before calling this.
     pub fn cancel(&self) {
-        self.0.store(true, Ordering::Relaxed);
+        self.0.store(true, Ordering::Release);
     }
 
     /// Whether cancellation has been requested on this token (or any
     /// clone of it).
     #[must_use]
     pub fn is_cancelled(&self) -> bool {
-        self.0.load(Ordering::Relaxed)
+        self.0.load(Ordering::Acquire)
     }
 }
 

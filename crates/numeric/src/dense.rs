@@ -348,6 +348,7 @@ impl<T: Scalar> IndexMut<(usize, usize)> for Matrix<T> {
 impl<T: Scalar> Add for &Matrix<T> {
     type Output = Matrix<T>;
     fn add(self, rhs: Self) -> Matrix<T> {
+        // ind101: allow(panic-policy, operator traits cannot return Result; the documented contract is a shape panic)
         self.add_scaled(T::one(), rhs).expect("shape mismatch in +")
     }
 }
@@ -357,6 +358,7 @@ impl<T: Scalar> Sub for &Matrix<T> {
     type Output = Matrix<T>;
     fn sub(self, rhs: Self) -> Matrix<T> {
         self.add_scaled(-T::one(), rhs)
+            // ind101: allow(panic-policy, operator traits cannot return Result; the documented contract is a shape panic)
             .expect("shape mismatch in -")
     }
 }
@@ -365,6 +367,7 @@ impl<T: Scalar> Sub for &Matrix<T> {
 impl<T: Scalar> Mul for &Matrix<T> {
     type Output = Matrix<T>;
     fn mul(self, rhs: Self) -> Matrix<T> {
+        // ind101: allow(panic-policy, operator traits cannot return Result; the documented contract is a shape panic)
         self.matmul(rhs).expect("shape mismatch in *")
     }
 }

@@ -21,6 +21,13 @@ pub struct SymmetricEigen {
     pub vectors: Matrix<f64>,
 }
 
+/// Convergence threshold for the Jacobi sweep, relative to the largest
+/// matrix entry — a few ULPs above f64 roundoff for accumulated sums.
+const OFF_DIAGONAL_REL_TOL: f64 = 1e-14;
+/// Entries already this far below the sweep tolerance are not worth a
+/// rotation; skipping them saves work without affecting convergence.
+const ROTATION_SKIP_FRACTION: f64 = 1e-2;
+
 /// Computes all eigenvalues of a symmetric matrix, ascending.
 ///
 /// Only the lower triangle is read. See [`jacobi_eigenvectors`] for the
@@ -66,7 +73,7 @@ pub fn jacobi_eigenvectors(a: &Matrix<f64>) -> Result<SymmetricEigen> {
         });
     }
     let scale = m.max_abs().max(f64::MIN_POSITIVE);
-    let tol = 1e-14 * scale;
+    let tol = OFF_DIAGONAL_REL_TOL * scale;
 
     for _sweep in 0..MAX_SWEEPS {
         let mut off = 0.0f64;
@@ -85,7 +92,7 @@ pub fn jacobi_eigenvectors(a: &Matrix<f64>) -> Result<SymmetricEigen> {
         for p in 0..n {
             for q in (p + 1)..n {
                 let apq = m[(p, q)];
-                if apq.abs() <= tol * 1e-2 {
+                if apq.abs() <= tol * ROTATION_SKIP_FRACTION {
                     continue;
                 }
                 let app = m[(p, p)];

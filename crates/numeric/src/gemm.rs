@@ -167,15 +167,15 @@ pub(crate) fn gemm_chunk<T: Scalar>(
                 // fused accumulator, one α-scaled add into C).
                 while j2 < jb {
                     let bcol = b0 + jj + j2;
-                    let mut acc = [T::zero(); MICRO_ROWS];
+                    let [mut a0, mut a1, mut a2, mut a3] = [T::zero(); MICRO_ROWS];
                     for k2 in 0..kb {
                         let bv = b[(kk + k2) * bs + bcol];
-                        acc[0] = ar0[k2].mul_add(bv, acc[0]);
-                        acc[1] = ar1[k2].mul_add(bv, acc[1]);
-                        acc[2] = ar2[k2].mul_add(bv, acc[2]);
-                        acc[3] = ar3[k2].mul_add(bv, acc[3]);
+                        a0 = ar0[k2].mul_add(bv, a0);
+                        a1 = ar1[k2].mul_add(bv, a1);
+                        a2 = ar2[k2].mul_add(bv, a2);
+                        a3 = ar3[k2].mul_add(bv, a3);
                     }
-                    for (r, &v) in acc.iter().enumerate() {
+                    for (r, &v) in [a0, a1, a2, a3].iter().enumerate() {
                         c[(i + r) * cs + c0 + jj + j2] += alpha * v;
                     }
                     j2 += 1;

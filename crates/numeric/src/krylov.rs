@@ -243,10 +243,15 @@ pub struct KrylovOptions {
     pub restart: usize,
 }
 
+/// Default relative residual tolerance — tight enough that iterative
+/// and direct solves agree to well under engineering accuracy in the
+/// differential suites, with head-room above f64 roundoff.
+pub const DEFAULT_TOL: f64 = 1e-10;
+
 impl Default for KrylovOptions {
     fn default() -> Self {
         Self {
-            tol: 1e-10,
+            tol: DEFAULT_TOL,
             max_iters: 1000,
             restart: 60,
         }
@@ -580,7 +585,9 @@ pub fn gmres_guarded<T: Scalar>(
         let mut hcols: Vec<Vec<T>> = Vec::new(); // rotated Hessenberg columns
         let mut rotations: Vec<(f64, T)> = Vec::new();
         let mut g = vec![T::zero(); restart + 1];
-        g[0] = T::from_f64(beta);
+        if let Some(g0) = g.first_mut() {
+            *g0 = T::from_f64(beta);
+        }
         let mut k = 0usize;
 
         while k < restart && iterations < opts.max_iters {

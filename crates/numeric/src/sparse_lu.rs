@@ -294,6 +294,7 @@ impl<T: Scalar> SparseLu<T> {
             }
             // Eliminate along the precomputed L pattern (ascending).
             for (slot, &j) in sym.l_cols[i].iter().enumerate() {
+                // ind101: allow(index-panic, U rows store the diagonal first by construction of the symbolic pattern)
                 let lij = x[j] / self.u_vals[j][0];
                 x[j] = T::zero();
                 self.l_vals[i][slot] = lij;
@@ -309,6 +310,7 @@ impl<T: Scalar> SparseLu<T> {
                 self.u_vals[i][slot] = x[c];
                 x[c] = T::zero();
             }
+            // ind101: allow(index-panic, U rows store the diagonal first by construction of the symbolic pattern)
             let piv = self.u_vals[i][0];
             if !(piv.abs_val() > 0.0) || !piv.abs_val().is_finite() {
                 return Err(NumericError::Singular {
@@ -352,6 +354,7 @@ impl<T: Scalar> SparseLu<T> {
             for (slot, &c) in sym.u_cols[i].iter().enumerate().skip(1) {
                 acc -= self.u_vals[i][slot] * x[c];
             }
+            // ind101: allow(index-panic, U rows store the diagonal first by construction of the symbolic pattern)
             x[i] = acc / self.u_vals[i][0];
         }
         Ok(sym.perm.apply_inverse(&x))

@@ -177,11 +177,14 @@ pub fn stability_report(m: &Matrix<f64>) -> StabilityReport {
     }
     // `jacobi_eigenvalues` only fails on non-square input; report that
     // degenerate case as "not positive definite" rather than panicking.
-    match jacobi_eigenvalues(m).ok().filter(|ev| !ev.is_empty()) {
-        Some(ev) => StabilityReport {
-            min_eigenvalue: ev[0],
-            max_eigenvalue: ev[ev.len() - 1],
-            positive_definite: ev[0] > 0.0,
+    match jacobi_eigenvalues(m)
+        .ok()
+        .and_then(|ev| Some((*ev.first()?, *ev.last()?)))
+    {
+        Some((min_ev, max_ev)) => StabilityReport {
+            min_eigenvalue: min_ev,
+            max_eigenvalue: max_ev,
+            positive_definite: min_ev > 0.0,
         },
         None => StabilityReport {
             min_eigenvalue: f64::NAN,

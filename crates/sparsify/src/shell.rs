@@ -20,6 +20,11 @@
 use crate::metrics::{stability_report, Sparsified, SparsityStats};
 use ind101_extract::mutual_inductance::filament_mutual;
 use ind101_extract::PartialInductance;
+use ind101_geom::M_PER_NM;
+
+/// Floor for the automatic radius schedule, meters — keeps degenerate
+/// single-segment layouts from starting a geometric sweep at zero.
+const MIN_RADIUS_M: f64 = 1e-6;
 
 /// Applies the shift-truncate shell method with return radius `r0_m`
 /// (meters).
@@ -42,7 +47,7 @@ pub fn shell_sparsify(l: &PartialInductance, r0_m: f64) -> Sparsified {
             let d = if i == j {
                 0.0
             } else {
-                let dx = si.lateral_separation_nm(sj) as f64 * 1e-9;
+                let dx = si.lateral_separation_nm(sj) as f64 * M_PER_NM;
                 // Layer-to-layer height difference is part of the radial
                 // distance; recover it from positions (planar distance is
                 // dominant on-chip, so lateral separation is the main term).
@@ -53,7 +58,7 @@ pub fn shell_sparsify(l: &PartialInductance, r0_m: f64) -> Sparsified {
                 m[(j, i)] = 0.0;
                 continue;
             }
-            let offset = si.axial_offset_nm(sj) as f64 * 1e-9;
+            let offset = si.axial_offset_nm(sj) as f64 * M_PER_NM;
             // Segment lengths are positive by construction and r0_m is
             // validated above, so the kernel cannot fail.
             let shell_m =
@@ -89,11 +94,11 @@ pub fn shell_auto_radius(l: &PartialInductance, max_retention: f64) -> (f64, Spa
     // Radius schedule: from the minimum to the maximum observed lateral
     // separation, geometrically.
     let segs = l.segments();
-    let mut d_max = 1e-6f64;
+    let mut d_max = MIN_RADIUS_M;
     for i in 0..segs.len() {
         for j in (i + 1)..segs.len() {
             if segs[i].is_parallel(&segs[j]) {
-                let d = segs[i].lateral_separation_nm(&segs[j]) as f64 * 1e-9;
+                let d = segs[i].lateral_separation_nm(&segs[j]) as f64 * M_PER_NM;
                 d_max = d_max.max(d);
             }
         }

@@ -65,6 +65,7 @@ pub fn truncate_relative_with(
     k_min: f64,
     cfg: &ParallelConfig,
 ) -> Sparsified {
+    // ind101: allow(panic-policy, documented panicking convenience; try_truncate_relative_with is the fallible API)
     try_truncate_relative_with(l, k_min, cfg).expect("degenerate inductance diagonal")
 }
 

@@ -40,11 +40,22 @@ pub struct MatrixAuditConfig {
     pub verify_repair: bool,
 }
 
+/// Relative nudge applied to a semi-definite matrix (smallest
+/// eigenvalue exactly zero) so the repaired factorization clears the
+/// pivot threshold.
+const SEMI_DEFINITE_NUDGE: f64 = 1e-12;
+
+/// Default relative symmetry tolerance for the audit.
+const DEFAULT_SYMMETRY_TOL: f64 = 1e-9;
+/// Default slack above `k = 1` tolerated before a coupling coefficient
+/// counts as non-physical.
+const DEFAULT_COUPLING_TOL: f64 = 1e-9;
+
 impl Default for MatrixAuditConfig {
     fn default() -> Self {
         Self {
-            symmetry_tol: 1e-9,
-            coupling_tol: 1e-9,
+            symmetry_tol: DEFAULT_SYMMETRY_TOL,
+            coupling_tol: DEFAULT_COUPLING_TOL,
             repair_margin: 0.1,
             verify_repair: true,
         }
@@ -267,7 +278,7 @@ pub fn audit_matrix(m: &Matrix<f64>, label: &str, cfg: &MatrixAuditConfig) -> Ma
             let shift = min_eig.map(|lam| {
                 if lam >= 0.0 {
                     // Semi-definite edge: nudge by the matrix scale.
-                    scale * 1e-12 * (1.0 + cfg.repair_margin)
+                    scale * SEMI_DEFINITE_NUDGE * (1.0 + cfg.repair_margin)
                 } else {
                     -lam * (1.0 + cfg.repair_margin)
                 }

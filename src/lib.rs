@@ -21,6 +21,7 @@
 //! | [`design`] | `ind101-design` | Section 7 design techniques |
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub use ind101_circuit as circuit;
 pub use ind101_core as peec;
