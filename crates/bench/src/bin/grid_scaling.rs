@@ -6,19 +6,28 @@
 //!     [--backend dense|sparse|auto|all] [--quick] [--out PATH]
 //! ```
 //!
-//! Sweeps square resistive P/G meshes of growing node count, forces
-//! each [`SolverBackend`] through `dc_op`, and writes
-//! `BENCH_grid_scaling.json` (criterion-compatible shape, ids
-//! `dcop_<backend>/<unknowns>`). The committed JSON is the scaling
-//! record behind the EXPERIMENTS.md entry; CI re-runs the sweep in
-//! `--quick` mode and asserts the sparse backend keeps its ≥5× lead
-//! over dense at the largest swept size.
+//! Two stages share one JSON output:
+//!
+//! * `dcop_<backend>/<unknowns>` — square resistive P/G meshes pushed
+//!   through the full circuit engine (`dc_op`) per [`SolverBackend`];
+//! * `splu_scalar/<n>` and `splu_super/<n>` — matrix-level refactor +
+//!   solve on MNA mesh systems up to ~10⁵ unknowns, pitting the KLU
+//!   path (BTF + supernodal GEMM panels) against the scalar reference
+//!   sparse LU that PR 5 shipped. The `splu_super` rows also carry the
+//!   symbolic fill/supernode statistics.
+//!
+//! The committed JSON is the scaling record behind the EXPERIMENTS.md
+//! entry; CI re-runs the sweep in `--quick` mode and asserts the sparse
+//! backend keeps its ≥5× lead over dense and the supernodal path stays
+//! ahead of the scalar one at the largest swept sizes.
 //!
 //! Every sparse solve is cross-checked against the dense oracle before
 //! timing, so a silently wrong factorization fails the run rather than
 //! producing a fast-but-bogus number.
 
 use ind101_circuit::{Circuit, NodeId, SolverBackend, SourceWave};
+use ind101_numeric::{SparseLu, SymbolicLu, Triplets};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One timed configuration.
@@ -28,6 +37,8 @@ struct Row {
     median_ns: f64,
     mean_ns: f64,
     samples: usize,
+    /// Extra JSON fields (symbolic statistics on `splu_super` rows).
+    extra: String,
 }
 
 /// Builds a `w × w` resistive power mesh: 0.5 Ω rail segments, pad
@@ -84,8 +95,95 @@ fn time_dcop(c: &Circuit, backend: SolverBackend, samples: usize) -> (Row, Vec<f
         median_ns: times[times.len() / 2],
         mean_ns: times.iter().sum::<f64>() / times.len() as f64,
         samples,
+        extra: String::new(),
     };
     (row, op.unknowns().to_vec(), n)
+}
+
+/// Builds the MNA system of a `w × w` conductance mesh with four
+/// corner voltage-source rows (structurally zero branch diagonals —
+/// the pattern that exercises the BTF transversal): `n = w² + 4`.
+fn mesh_mna(w: usize) -> Triplets {
+    let nn = w * w;
+    let n = nn + 4;
+    let idx = |i: usize, j: usize| i * w + j;
+    let mut t = Triplets::new(n, n);
+    for i in 0..w {
+        for j in 0..w {
+            let a = idx(i, j);
+            t.push(a, a, 0.05); // ground leak keeps the mesh well posed
+            if i + 1 < w {
+                let b = idx(i + 1, j);
+                t.push(a, a, 2.0);
+                t.push(b, b, 2.0);
+                t.push(a, b, -2.0);
+                t.push(b, a, -2.0);
+            }
+            if j + 1 < w {
+                let b = idx(i, j + 1);
+                t.push(a, a, 2.0);
+                t.push(b, b, 2.0);
+                t.push(a, b, -2.0);
+                t.push(b, a, -2.0);
+            }
+        }
+    }
+    for (k, (i, j)) in [(0, 0), (0, w - 1), (w - 1, 0), (w - 1, w - 1)]
+        .into_iter()
+        .enumerate()
+    {
+        let r = nn + k;
+        let p = idx(i, j);
+        t.push(r, p, 1.0);
+        t.push(p, r, 1.0);
+    }
+    t
+}
+
+/// Times numeric refactor + solve on a prebuilt symbolic pattern (the
+/// transient-stepping hot path); the one-time `analyze` stays outside
+/// the loop.
+fn time_splu(
+    label: &str,
+    sym: Arc<SymbolicLu>,
+    csr: &ind101_numeric::CsrMatrix<f64>,
+    samples: usize,
+) -> (Row, Vec<f64>) {
+    let n = csr.nrows();
+    let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.43).sin() + 0.2).collect();
+    let stats = sym.stats();
+    let mut lu = SparseLu::factor_with(Arc::clone(&sym), csr).expect("factor");
+    let mut x = lu.solve(&b).expect("solve");
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            lu.refactor(csr).expect("refactor");
+            x = lu.solve(&b).expect("solve");
+            t0.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let extra = if label == "splu_super" {
+        format!(
+            ", \"factor_nnz\": {}, \"num_blocks\": {}, \"max_block_dim\": {}, \"num_supernodes\": {}, \"max_supernode_width\": {}",
+            stats.factor_nnz,
+            stats.num_blocks,
+            stats.max_block_dim,
+            stats.num_supernodes,
+            stats.max_supernode_width
+        )
+    } else {
+        String::new()
+    };
+    let row = Row {
+        id: format!("{label}/{n}"),
+        min_ns: times[0],
+        median_ns: times[times.len() / 2],
+        mean_ns: times.iter().sum::<f64>() / times.len() as f64,
+        samples,
+        extra,
+    };
+    (row, x)
 }
 
 fn main() {
@@ -152,16 +250,47 @@ fn main() {
         }
     }
 
+    // Matrix-level sparse-LU scaling: scalar reference vs supernodal
+    // BTF path on the same patterns, cross-checked before timing.
+    let splu_widths: &[usize] = if quick { &[32, 100] } else { &[32, 60, 100, 180, 320] };
+    println!("== grid_scaling: sparse LU refactor+solve vs MNA mesh size ==");
+    for &w in splu_widths {
+        let csr = mesh_mna(w).to_csr();
+        let n = csr.nrows();
+        let samples = if n >= 30_000 { 3 } else { 5 };
+        let scalar_sym = Arc::new(SymbolicLu::analyze_reference(&csr).expect("analyze_reference"));
+        let super_sym = Arc::new(SymbolicLu::analyze(&csr).expect("analyze"));
+        let (scalar_row, x_scalar) = time_splu("splu_scalar", scalar_sym, &csr, samples);
+        let (super_row, x_super) = time_splu("splu_super", super_sym, &csr, samples);
+        let scale = x_scalar.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        for (k, (a, b)) in x_scalar.iter().zip(&x_super).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-8 * scale,
+                "supernodal path disagrees with scalar reference at unknown {k}"
+            );
+        }
+        println!(
+            "  {:>6} unknowns  scalar min {:>10.3} ms   super min {:>10.3} ms   ({:.2}x)",
+            n,
+            scalar_row.min_ns / 1e6,
+            super_row.min_ns / 1e6,
+            scalar_row.min_ns / super_row.min_ns
+        );
+        rows.push(scalar_row);
+        rows.push(super_row);
+    }
+
     // Criterion-compatible JSON, hand-rolled (no serde in this tree).
     let mut body = String::from("{\n  \"group\": \"grid_scaling\",\n  \"benchmarks\": [\n");
     for (i, r) in rows.iter().enumerate() {
         body.push_str(&format!(
-            "    {{\"id\": \"{}\", \"min_ns\": {:.1}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"samples\": {}}}{}\n",
+            "    {{\"id\": \"{}\", \"min_ns\": {:.1}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"samples\": {}{}}}{}\n",
             r.id,
             r.min_ns,
             r.median_ns,
             r.mean_ns,
             r.samples,
+            r.extra,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -183,6 +312,12 @@ fn main() {
         println!(
             "largest grid ({n} unknowns): sparse is {:.1}x faster than dense",
             dense / sparse
+        );
+    }
+    if let (Some((n, scalar)), Some((_, sup))) = (min_of("splu_scalar"), min_of("splu_super")) {
+        println!(
+            "largest mesh ({n} unknowns): supernodal LU is {:.1}x faster than scalar",
+            scalar / sup
         );
     }
 }

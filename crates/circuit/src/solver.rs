@@ -9,8 +9,10 @@
 //!
 //! The [`SolverBackend`] knob picks the family: `Dense` keeps the dense
 //! kernel as the differential oracle, `Sparse` forces the sparse direct
-//! path, and `Auto` (the default) selects by structure — small systems
-//! dense, tight bands banded, low-density patterns sparse. `Auto` also
+//! path (KLU-class: BTF blocks + supernodal LU), and `Auto` (the
+//! default) selects by structure — small systems dense, tight bands
+//! banded, low-density patterns sparse, and denser patterns whose BTF
+//! decomposes into small irreducible blocks sparse as well. `Auto` also
 //! honours the `IND101_SOLVER_BACKEND` environment variable so CI can
 //! run the whole suite under either family without code changes.
 //!
@@ -36,8 +38,8 @@
 
 use crate::Result;
 use ind101_numeric::{
-    bandwidth, reverse_cuthill_mckee, BandedMatrix, CsrMatrix, LuFactors, Matrix, NumericError,
-    Permutation, Scalar, SparseLu, SymbolicLu, Triplets,
+    bandwidth, reverse_cuthill_mckee, BandedMatrix, BtfForm, CsrMatrix, LuFactors, Matrix,
+    NumericError, Permutation, Scalar, SparseLu, SymbolicLu, Triplets,
 };
 use std::sync::Arc;
 
@@ -53,6 +55,12 @@ const ILL_COND_THRESHOLD: f64 = 1e8;
 /// Auto heuristic: patterns at or below this stored-entry fraction route
 /// to the sparse direct kernel when they are not tightly banded.
 const SPARSE_DENSITY: f64 = 0.1;
+
+/// Auto heuristic, BTF clause: when the largest irreducible diagonal
+/// block is at most `1/BTF_SMALL_BLOCK_DIVISOR` of the system, the
+/// matrix factors block-by-block no matter how dense its overall
+/// pattern is, so the sparse kernel wins even above [`SPARSE_DENSITY`].
+const BTF_SMALL_BLOCK_DIVISOR: usize = 4;
 
 /// Iterative-refinement rounds every sparse solve performs. Static
 /// pivoting can shed digits on stiff MNA systems; two residual passes
@@ -203,20 +211,35 @@ impl<T: Scalar> Solver<T> {
                 });
             }
             Ok(Self::Banded { fac, perm })
-        } else if csr.density() <= SPARSE_DENSITY {
-            // Wide-band but sparse pattern: the sparse direct kernel. A
-            // static-pivot singularity is not proof of a singular
-            // matrix, so Auto retries densely (partial pivoting) before
-            // giving up.
+        } else if csr.density() <= SPARSE_DENSITY || Self::btf_prefers_sparse(&csr) {
+            // Wide-band but sparse pattern — or a denser pattern whose
+            // BTF decomposes into small independent blocks: the sparse
+            // direct kernel. A static-pivot singularity is not proof of
+            // a singular matrix, so Auto retries densely (partial
+            // pivoting) before giving up; a *structurally* singular
+            // pattern also retries densely so the error the caller sees
+            // names a numeric pivot, as the dense oracle always has.
             match Self::build_sparse(csr, hint) {
-                Err(crate::CircuitError::Numeric(NumericError::Singular { .. })) => {
-                    Self::build_dense(t)
-                }
+                Err(crate::CircuitError::Numeric(
+                    NumericError::Singular { .. } | NumericError::StructurallySingular { .. },
+                )) => Self::build_dense(t),
                 other => other,
             }
         } else {
             Self::build_dense(t)
         }
+    }
+
+    /// BTF-structure clause of the `Auto` heuristic: `true` when the
+    /// pattern decomposes into irreducible blocks small enough
+    /// (largest ≤ `dim / BTF_SMALL_BLOCK_DIVISOR`) that block-by-block
+    /// factorization beats a dense solve regardless of density. An
+    /// unmatchable (structurally singular) pattern reports `false` and
+    /// lets the dense path produce the canonical pivot error.
+    fn btf_prefers_sparse(csr: &CsrMatrix<T>) -> bool {
+        BtfForm::analyze(csr)
+            .map(|f| f.max_block_dim() * BTF_SMALL_BLOCK_DIVISOR <= f.dim())
+            .unwrap_or(false)
     }
 
     fn build_sparse(csr: CsrMatrix<T>, hint: Option<&Arc<SymbolicLu>>) -> Result<Self> {
@@ -509,6 +532,47 @@ mod tests {
         let r = t2.to_dense().matvec(&x).unwrap();
         for (u, v) in r.iter().zip(&b) {
             assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn auto_consults_btf_blocks_above_density_cutoff() {
+        // Eight dense 26×26 irreducible blocks, each coupled one-way
+        // into the last one: overall density ≈ 0.13 (above
+        // SPARSE_DENSITY) and the star coupling defeats RCM banding,
+        // yet BTF sees small independent blocks, so Auto must still
+        // route to the sparse kernel.
+        let nb = 8usize;
+        let w = 26usize;
+        let n = nb * w;
+        let mut t = Triplets::new(n, n);
+        for b in 0..nb {
+            for r in 0..w {
+                for c in 0..w {
+                    let v = if r == c {
+                        30.0
+                    } else {
+                        1.0 / (1.0 + (r as f64 - c as f64).abs())
+                    };
+                    t.push(b * w + r, b * w + c, v);
+                }
+            }
+        }
+        let hub = (nb - 1) * w;
+        for b in 0..nb - 1 {
+            for r in 0..w {
+                t.push(b * w + r, hub + r, 0.5);
+            }
+        }
+        let csr = t.to_csr();
+        assert!(csr.density() > SPARSE_DENSITY, "density {}", csr.density());
+        let s = Solver::build_with(&t, SolverBackend::Auto, None).unwrap();
+        assert!(s.is_sparse(), "BTF block structure should route to sparse");
+        let b: Vec<f64> = (0..n).map(|i| (0.17 * i as f64).sin()).collect();
+        let x = s.solve(&b).unwrap();
+        let r = t.to_dense().matvec(&x).unwrap();
+        for (u, v) in r.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-8);
         }
     }
 

@@ -60,6 +60,19 @@ pub enum NumericError {
         /// The offending length.
         n: usize,
     },
+    /// The sparse pattern admits no zero-free diagonal under any
+    /// permutation: the maximum transversal of the BTF pre-pass matched
+    /// only `matched` of `dim` rows, so every static-pivot order meets a
+    /// structural zero and the matrix is singular for *every* value
+    /// assignment.
+    StructurallySingular {
+        /// First row (original indexing) left without a matching column.
+        row: usize,
+        /// Rows the maximum transversal managed to match.
+        matched: usize,
+        /// Dimension of the system.
+        dim: usize,
+    },
     /// The solve was cooperatively cancelled via a
     /// [`crate::CancelToken`].
     Cancelled,
@@ -99,6 +112,10 @@ impl fmt::Display for NumericError {
             Self::NotPowerOfTwo { n } => {
                 write!(f, "length {n} is not a power of two")
             }
+            Self::StructurallySingular { row, matched, dim } => write!(
+                f,
+                "matrix is structurally singular: row {row} unmatched ({matched}/{dim} rows matched)"
+            ),
             Self::Cancelled => write!(f, "solve cancelled"),
             Self::BudgetExceeded { what } => {
                 write!(f, "solve budget exceeded: {what}")

@@ -38,6 +38,7 @@
 
 mod amd;
 mod banded;
+mod btf;
 mod budget;
 mod cholesky;
 mod complex;
@@ -59,11 +60,13 @@ mod scalar;
 mod sparse;
 mod sparse_cholesky;
 mod sparse_lu;
+mod supernode;
 mod toeplitz;
 mod vecops;
 
 pub use amd::approximate_minimum_degree;
 pub use banded::BandedMatrix;
+pub use btf::BtfForm;
 pub use budget::{BudgetError, CancelToken, SolveBudget, SolveGuard};
 pub use cholesky::CholeskyFactor;
 pub use complex::Complex64;
@@ -89,7 +92,8 @@ pub use qr::{mgs_orthonormalize, orthonormalize_against};
 pub use scalar::Scalar;
 pub use sparse::{CsrMatrix, Triplets};
 pub use sparse_cholesky::{SparseCholesky, SymbolicCholesky};
-pub use sparse_lu::{SparseLu, SymbolicLu};
+pub use sparse_lu::{SparseLu, SparseLuStats, SymbolicLu};
+pub use supernode::SupernodePartition;
 pub use toeplitz::ToeplitzOperator2D;
 pub use vecops::{axpy, dot, norm2, norm_inf, scale};
 

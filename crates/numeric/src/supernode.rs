@@ -1,0 +1,532 @@
+//! Supernode detection and the supernodal panel factorization kernel.
+//!
+//! A **supernode** is a run of consecutive pivot columns whose `L`/`U`
+//! fill patterns (nearly) coincide. Grouping them lets the sparse LU
+//! replace its scalar axpy inner loops with dense panel operations: the
+//! update a factored supernode applies to a later panel is a small
+//! dense triangular solve followed by a GEMM, which this module routes
+//! through the cache-blocked [`crate::gemm`] micro-kernel — the sparse
+//! path inherits the dense kernels' throughput.
+//!
+//! Detection is **relaxed**: adjacent columns whose patterns differ are
+//! still merged while the explicit-zero padding this introduces stays
+//! below a graduated fraction of the panel's dense footprint (see
+//! [`relax_denom`] — narrow panels tolerate more). Padding is
+//! numerically inert — a padded position is a structural zero, every
+//! product it enters has a zero factor, so it stays exactly `±0.0`
+//! through the whole factorization and is discarded on gather.
+//!
+//! The numeric kernel [`factor_supernodal`] is an up-looking *blocked
+//! row* factorization: each panel of rows is scattered into a dense
+//! workspace, updated by every earlier supernode it touches (triangular
+//! solve + GEMM + scatter), then eliminated in place. It produces
+//! values aligned with the scalar symbolic pattern, so the caller's
+//! forward/backward substitution is unchanged.
+
+use crate::budget::{BudgetError, SolveGuard};
+use crate::gemm::gemm_chunk;
+use crate::scalar::Scalar;
+
+/// Columns merged into one supernode at most. Bounds the dense row
+/// workspace (`width × block-dim`) and keeps the in-panel elimination's
+/// O(w²·support) term small next to the GEMM-routed source updates.
+pub(crate) const MAX_SUPERNODE_WIDTH: usize = 64;
+
+/// Graduated relaxation: the explicit-zero padding fraction a merge may
+/// introduce, as `1/denom` of the panel's dense footprint. Narrow
+/// panels tolerate proportionally more padding — they are scalar-bound
+/// either way, and widening them is what lets the GEMM kernel engage —
+/// while wide panels already amortize well and should stay tight.
+/// Padding costs flops only, never storage: the gathered `l_vals` /
+/// `u_vals` follow the exact symbolic pattern.
+const fn relax_denom(width: usize) -> usize {
+    match width {
+        0..=8 => 2,
+        9..=24 => 4,
+        _ => 8,
+    }
+}
+
+/// Source updates at or below this flop count skip the blocked GEMM
+/// kernel and scatter the product directly into the row workspace: at
+/// this size the kernel's workspace resize and extra scatter pass
+/// outweigh the arithmetic.
+const DIRECT_UPDATE_FLOPS: usize = 16384;
+
+/// Column grouping of one diagonal block's fill pattern into
+/// supernodes, plus each supernode's structural tail (the union of its
+/// rows' `U` columns beyond the panel).
+#[derive(Clone, Debug)]
+pub struct SupernodePartition {
+    /// Supernode `s` spans columns `sn_ptr[s] .. sn_ptr[s+1]`.
+    sn_ptr: Vec<usize>,
+    /// `owner[col]` = supernode containing `col`.
+    owner: Vec<usize>,
+    /// Per supernode: sorted union of `U` columns beyond the panel.
+    tails: Vec<Vec<usize>>,
+}
+
+/// Sorted merge of `a` and `b`, dropping `skip` and duplicates.
+fn merge_sorted(a: &[usize], b: &[usize], skip: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        let next = match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) if x <= y => {
+                i += 1;
+                if x == y {
+                    j += 1;
+                }
+                x
+            }
+            (Some(&x), None) => {
+                i += 1;
+                x
+            }
+            (_, Some(&y)) => {
+                j += 1;
+                y
+            }
+            (None, None) => break,
+        };
+        if next != skip {
+            out.push(next);
+        }
+    }
+    out
+}
+
+impl SupernodePartition {
+    /// Partitions the columns of one block's fill pattern (`l_cols`
+    /// strictly-lower, `u_cols` diagonal-first, both block-local and
+    /// ascending) into relaxed supernodes.
+    #[must_use]
+    pub fn detect(l_cols: &[Vec<usize>], u_cols: &[Vec<usize>]) -> Self {
+        let nb = u_cols.len();
+        let mut sn_ptr = vec![0usize];
+        let mut tails: Vec<Vec<usize>> = Vec::new();
+        let mut owner = vec![0usize; nb];
+        if nb == 0 {
+            return Self {
+                sn_ptr,
+                owner,
+                tails,
+            };
+        }
+        // Running state of the open supernode [js .. i): union U tail
+        // beyond the panel, union L columns before the panel, and the
+        // count of structural entries inside the panel's dense regions.
+        let mut js = 0usize;
+        let mut tail: Vec<usize> = u_cols[js].iter().skip(1).copied().collect();
+        let mut lunion: Vec<usize> = l_cols[js].clone();
+        let mut entries = u_cols[js].len() + l_cols[js].len();
+        for i in 1..=nb {
+            let close = if i == nb {
+                true
+            } else {
+                let w2 = i - js + 1;
+                if w2 > MAX_SUPERNODE_WIDTH {
+                    true
+                } else {
+                    // Cost of admitting column i: padding of the merged
+                    // panel (dense footprint minus structural entries).
+                    let tail2 = merge_sorted(&tail, &u_cols[i][1..], i);
+                    let lunion2 = merge_sorted(&lunion, &l_cols[i], usize::MAX)
+                        .into_iter()
+                        .filter(|&c| c < js)
+                        .collect::<Vec<_>>();
+                    let entries2 = entries + u_cols[i].len() + l_cols[i].len();
+                    let dense2 = w2 * (w2 + tail2.len()) + w2 * lunion2.len();
+                    let padding = dense2.saturating_sub(entries2);
+                    if padding * relax_denom(w2) < dense2 {
+                        tail = tail2;
+                        lunion = lunion2;
+                        entries = entries2;
+                        false
+                    } else {
+                        true
+                    }
+                }
+            };
+            if close {
+                for c in js..i {
+                    owner[c] = tails.len();
+                }
+                sn_ptr.push(i);
+                tails.push(std::mem::take(&mut tail));
+                if i < nb {
+                    js = i;
+                    tail = u_cols[js].iter().skip(1).copied().collect();
+                    lunion = l_cols[js].clone();
+                    entries = u_cols[js].len() + l_cols[js].len();
+                }
+            }
+        }
+        Self {
+            sn_ptr,
+            owner,
+            tails,
+        }
+    }
+
+    /// Number of supernodes.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.tails.len()
+    }
+
+    /// Column range of supernode `s`.
+    #[must_use]
+    pub fn range(&self, s: usize) -> core::ops::Range<usize> {
+        self.sn_ptr[s]..self.sn_ptr[s + 1]
+    }
+
+    /// Width (column count) of supernode `s`.
+    #[must_use]
+    pub fn width(&self, s: usize) -> usize {
+        self.sn_ptr[s + 1] - self.sn_ptr[s]
+    }
+
+    /// Supernode owning column `col`.
+    #[must_use]
+    pub fn owner_of(&self, col: usize) -> usize {
+        self.owner[col]
+    }
+
+    /// Sorted union of the `U` columns of supernode `s` beyond its
+    /// panel.
+    #[must_use]
+    pub fn tail(&self, s: usize) -> &[usize] {
+        &self.tails[s]
+    }
+
+    /// Width of the widest supernode (0 for an empty block).
+    #[must_use]
+    pub fn max_width(&self) -> usize {
+        (0..self.count()).map(|s| self.width(s)).max().unwrap_or(0)
+    }
+}
+
+/// Failure of one diagonal block's numeric factorization, in
+/// block-local coordinates (the caller owns the permutations needed to
+/// name the original unknown).
+#[derive(Clone, Debug)]
+pub(crate) enum BlockFactorError {
+    /// Zero or non-finite static pivot at this block-local index.
+    Singular(usize),
+    /// A [`crate::SolveBudget`] guard tripped between panels.
+    Budget(BudgetError),
+}
+
+/// Supernodal up-looking numeric factorization of one diagonal block.
+///
+/// `rows[i]` holds block-local `(col, value)` entries of row `i`;
+/// `l_cols`/`u_cols` are the block's fill pattern and `l_vals`/`u_vals`
+/// (same shapes) receive the factor values. The budget `guard` is
+/// polled once per panel, so cancellation latency is one panel's work.
+pub(crate) fn factor_supernodal<T: Scalar>(
+    sn: &SupernodePartition,
+    l_cols: &[Vec<usize>],
+    u_cols: &[Vec<usize>],
+    rows: &[Vec<(usize, T)>],
+    l_vals: &mut [Vec<T>],
+    u_vals: &mut [Vec<T>],
+    guard: &SolveGuard,
+) -> Result<(), BlockFactorError> {
+    let nb = l_cols.len();
+    let wmax = sn.max_width();
+    if nb == 0 {
+        return Ok(());
+    }
+    // Dense U panels of already-factored supernodes, kept for the
+    // triangular solves and GEMMs of later panels. Panel `s` stores
+    // `width(s)` rows of stride `width(s) + tail(s).len()`: the upper
+    // triangle of the panel's own columns, then the tail columns. All
+    // panels live in one flat buffer (one allocation instead of one
+    // per supernode); only the upper triangle and tail slots are ever
+    // read, and every read position is written when its panel factors.
+    let mut poff = Vec::with_capacity(sn.count());
+    let mut panel_total = 0usize;
+    for s in 0..sn.count() {
+        poff.push(panel_total);
+        panel_total += sn.width(s) * (sn.width(s) + sn.tail(s).len());
+    }
+    let mut panel_store = vec![T::zero(); panel_total];
+    // Row workspace: the current panel's rows, dense over the block.
+    let mut w = vec![T::zero(); wmax * nb];
+    // Scratch for the per-source dense L panel and GEMM result.
+    let mut ltmp = vec![T::zero(); wmax * wmax];
+    let mut gtmp: Vec<T> = Vec::new();
+    // Per-panel-row cursor into `l_cols` (gather position).
+    let mut lpos = vec![0usize; wmax];
+    // Per-panel-row flag: did this row pick up anything from the
+    // current source? Rows land in a panel whose source list is the
+    // *union* over all its rows, so many (row, source) pairs are
+    // structurally empty and skip the dense solve entirely.
+    let mut active = vec![false; wmax];
+    // (source supernode, first touched column) scratch.
+    let mut sources: Vec<(usize, usize)> = Vec::new();
+
+    for s in 0..sn.count() {
+        guard.check().map_err(BlockFactorError::Budget)?;
+        let js = sn.range(s).start;
+        let je = sn.range(s).end;
+        let width = je - js;
+        guard
+            .check_alloc(width * (width + sn.tail(s).len()) * std::mem::size_of::<T>())
+            .map_err(BlockFactorError::Budget)?;
+        // Scatter the panel's structural rows into the workspace.
+        for r in 0..width {
+            let wrow = &mut w[r * nb..(r + 1) * nb];
+            for &(c, v) in &rows[js + r] {
+                wrow[c] = v;
+            }
+            lpos[r] = 0;
+        }
+        // Source supernodes this panel depends on, ascending, with the
+        // first column any panel row touches in each.
+        sources.clear();
+        for r in 0..width {
+            for &c in &l_cols[js + r] {
+                if c < js {
+                    sources.push((sn.owner_of(c), c));
+                }
+            }
+        }
+        sources.sort_unstable();
+        sources.dedup_by_key(|&mut (t, _)| t);
+
+        for &(t, first_col) in &sources {
+            let jt = sn.range(t).start;
+            let wt = sn.width(t);
+            let tail_t = sn.tail(t);
+            let stride_t = wt + tail_t.len();
+            let panel_t = &panel_store[poff[t]..poff[t] + wt * stride_t];
+            let off = first_col - jt;
+            let sw = wt - off;
+            // Dense triangular solve against the source's upper block:
+            // L(P, suffix) = W(P, suffix) · U(suffix, suffix)⁻¹,
+            // consuming (zeroing) the workspace columns as the scalar
+            // up-looking elimination would.
+            let mut any_active = false;
+            for r in 0..width {
+                let wrow = &mut w[r * nb..(r + 1) * nb];
+                let lrow = &mut ltmp[r * sw..(r + 1) * sw];
+                if wrow[jt + off..jt + off + sw].iter().all(|v| v.is_zero()) {
+                    // This row accumulated nothing over the source's
+                    // columns: its L values there are exactly zero
+                    // (including any structural-only slots), so the
+                    // dense solve is skipped and the row contributes
+                    // nothing to the tail update.
+                    active[r] = false;
+                    for lv in lrow.iter_mut() {
+                        *lv = T::zero();
+                    }
+                } else {
+                    active[r] = true;
+                    any_active = true;
+                    for cr in 0..sw {
+                        let mut acc = wrow[jt + off + cr];
+                        for (d, &lv) in lrow.iter().enumerate().take(cr) {
+                            acc -= lv * panel_t[(off + d) * stride_t + off + cr];
+                        }
+                        let lv = acc / panel_t[(off + cr) * stride_t + off + cr];
+                        lrow[cr] = lv;
+                        wrow[jt + off + cr] = T::zero();
+                    }
+                }
+                // Gather the freshly eliminated L values of this row.
+                let lc = &l_cols[js + r];
+                while lpos[r] < lc.len() && lc[lpos[r]] < jt + off + sw {
+                    let c = lc[lpos[r]];
+                    l_vals[js + r][lpos[r]] = lrow[c - (jt + off)];
+                    lpos[r] += 1;
+                }
+            }
+            // Tail update: W(P, tail_t) −= L(P, suffix) · U(suffix, tail_t).
+            let nd = tail_t.len();
+            if nd > 0 && any_active {
+                if width * sw * nd <= DIRECT_UPDATE_FLOPS {
+                    // Small update: the blocked kernel's workspace
+                    // resize and scatter pass cost more than the
+                    // arithmetic. Apply the product straight into the
+                    // workspace rows instead.
+                    for r in 0..width {
+                        if !active[r] {
+                            continue;
+                        }
+                        let lrow = &ltmp[r * sw..(r + 1) * sw];
+                        let wrow = &mut w[r * nb..(r + 1) * nb];
+                        for (d, &lv) in lrow.iter().enumerate() {
+                            if lv.is_zero() {
+                                continue;
+                            }
+                            let base = (off + d) * stride_t + wt;
+                            let brow = &panel_t[base..base + nd];
+                            for (q, &tc) in tail_t.iter().enumerate() {
+                                wrow[tc] -= lv * brow[q];
+                            }
+                        }
+                    }
+                } else {
+                    gtmp.clear();
+                    gtmp.resize(width * nd, T::zero());
+                    gemm_chunk(
+                        &mut gtmp,
+                        nd,
+                        0,
+                        &ltmp[..width * sw],
+                        sw,
+                        0,
+                        &panel_t[off * stride_t..],
+                        stride_t,
+                        wt,
+                        width,
+                        sw,
+                        nd,
+                        -T::one(),
+                    );
+                    for r in 0..width {
+                        if !active[r] {
+                            continue;
+                        }
+                        let grow = &gtmp[r * nd..(r + 1) * nd];
+                        let wrow = &mut w[r * nb..(r + 1) * nb];
+                        for (q, &tc) in tail_t.iter().enumerate() {
+                            wrow[tc] += grow[q];
+                        }
+                    }
+                }
+            }
+        }
+
+        // In-panel right-looking elimination over the panel's own
+        // columns and its tail support.
+        let tail_s = sn.tail(s);
+        for k in 0..width {
+            let (top, rest) = w.split_at_mut((k + 1) * nb);
+            let krow = &top[k * nb..(k + 1) * nb];
+            let piv = krow[js + k];
+            if !(piv.abs_val() > 0.0) || !piv.abs_val().is_finite() {
+                return Err(BlockFactorError::Singular(js + k));
+            }
+            for rrow in rest.chunks_exact_mut(nb).take(width - k - 1) {
+                let lv = rrow[js + k] / piv;
+                rrow[js + k] = lv;
+                if lv.is_zero() {
+                    continue;
+                }
+                for c in js + k + 1..je {
+                    rrow[c] -= lv * krow[c];
+                }
+                for &tc in tail_s {
+                    rrow[tc] -= lv * krow[tc];
+                }
+            }
+        }
+
+        // Build this supernode's dense U panel for later consumers
+        // (upper triangle of the panel columns, then the tail), gather
+        // the factor values into the scalar layout, and wipe the
+        // workspace for the next panel.
+        let stride = width + tail_s.len();
+        let panel = &mut panel_store[poff[s]..poff[s] + width * stride];
+        for k in 0..width {
+            let wrow = &w[k * nb..(k + 1) * nb];
+            let prow = &mut panel[k * stride..(k + 1) * stride];
+            prow[k..width].copy_from_slice(&wrow[js + k..js + width]);
+            for (q, &tc) in tail_s.iter().enumerate() {
+                prow[width + q] = wrow[tc];
+            }
+        }
+        for k in 0..width {
+            let i = js + k;
+            let wrow = &w[k * nb..(k + 1) * nb];
+            for (slot, &c) in u_cols[i].iter().enumerate() {
+                u_vals[i][slot] = wrow[c];
+            }
+            // Remaining L entries of this row live inside the panel.
+            let lc = &l_cols[i];
+            while lpos[k] < lc.len() {
+                l_vals[i][lpos[k]] = wrow[lc[lpos[k]]];
+                lpos[k] += 1;
+            }
+        }
+        for k in 0..width {
+            let wrow = &mut w[k * nb..(k + 1) * nb];
+            for c in js..je {
+                wrow[c] = T::zero();
+            }
+            for &tc in tail_s {
+                wrow[tc] = T::zero();
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_columns_merge_into_one_supernode() {
+        // Three columns with perfectly nested patterns (a dense 3×3
+        // trailing block): one supernode.
+        let l_cols = vec![vec![], vec![0], vec![0, 1]];
+        let u_cols = vec![vec![0, 1, 2], vec![1, 2], vec![2]];
+        let sn = SupernodePartition::detect(&l_cols, &u_cols);
+        assert_eq!(sn.count(), 1);
+        assert_eq!(sn.range(0), 0..3);
+        assert_eq!(sn.max_width(), 3);
+        assert!(sn.tail(0).is_empty());
+    }
+
+    #[test]
+    fn disjoint_patterns_stay_separate() {
+        // Two structurally independent 2-chains: the chains merge
+        // internally (identical patterns), but even the narrow-width
+        // relaxation must not merge across the gap — a fully disjoint
+        // pair is pure padding.
+        let l_cols = vec![vec![], vec![0], vec![], vec![2]];
+        let u_cols = vec![vec![0, 1], vec![1], vec![2, 3], vec![3]];
+        let sn = SupernodePartition::detect(&l_cols, &u_cols);
+        assert_eq!(sn.count(), 2, "expected two supernodes, got {sn:?}");
+        assert_eq!(sn.owner_of(1), 0);
+        assert_eq!(sn.owner_of(2), 1);
+    }
+
+    #[test]
+    fn width_cap_is_respected() {
+        // A fully dense pattern wants one huge supernode; the cap must
+        // split it.
+        let n = MAX_SUPERNODE_WIDTH * 2 + 5;
+        let l_cols: Vec<Vec<usize>> = (0..n).map(|i| (0..i).collect()).collect();
+        let u_cols: Vec<Vec<usize>> = (0..n).map(|i| (i..n).collect()).collect();
+        let sn = SupernodePartition::detect(&l_cols, &u_cols);
+        assert!(sn.max_width() <= MAX_SUPERNODE_WIDTH);
+        let covered: usize = (0..sn.count()).map(|s| sn.width(s)).sum();
+        assert_eq!(covered, n);
+    }
+
+    #[test]
+    fn tails_are_sorted_unions() {
+        // Columns 0,1 share most structure; tails must be the union of
+        // their beyond-panel U columns.
+        let l_cols = vec![vec![], vec![0], vec![0, 1], vec![1, 2]];
+        let u_cols = vec![vec![0, 1, 2, 3], vec![1, 2, 3], vec![2, 3], vec![3]];
+        let sn = SupernodePartition::detect(&l_cols, &u_cols);
+        for s in 0..sn.count() {
+            let t = sn.tail(s);
+            assert!(t.windows(2).all(|p| p[0] < p[1]), "tail not sorted: {t:?}");
+            assert!(t.iter().all(|&c| c >= sn.range(s).end));
+        }
+    }
+
+    #[test]
+    fn merge_sorted_drops_skip_and_duplicates() {
+        assert_eq!(merge_sorted(&[1, 3, 5], &[2, 3, 6], 5), vec![1, 2, 3, 6]);
+        assert_eq!(merge_sorted(&[], &[4], 4), Vec::<usize>::new());
+        assert_eq!(merge_sorted(&[7], &[], usize::MAX), vec![7]);
+    }
+}
