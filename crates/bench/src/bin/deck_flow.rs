@@ -1,0 +1,92 @@
+//! Deck-driven analysis flow: runs the checked-in exemplar decks end
+//! to end (`parse → flatten → lower → solve`) and prints a summary
+//! table — the same paper scenarios as the constructor-driven
+//! binaries, but entering through the SPICE front door.
+//!
+//! ```text
+//! cargo run --release -p ind101-bench --bin deck_flow            # checked-in decks
+//! cargo run --release -p ind101-bench --bin deck_flow -- my.cir  # any deck
+//! ```
+//!
+//! The solver backend honors `IND101_SOLVER_BACKEND` like every other
+//! harness binary, so CI exercises this flow across the matrix.
+
+use ind101_bench::table::TextTable;
+use ind101_netlist::{flatten, lower_flat, parse_deck, AnalysisPlan};
+use std::path::PathBuf;
+
+fn default_decks() -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/decks");
+    vec![dir.join("table1_clock_net.cir"), dir.join("sec4_bus.cir")]
+}
+
+/// Runs every analysis in one deck; returns table rows or a typed
+/// failure string (deck name, analysis, result summary).
+fn run_deck(path: &PathBuf, table: &mut TextTable) -> Result<(), String> {
+    let name = path
+        .file_stem()
+        .map_or_else(|| path.display().to_string(), |s| s.to_string_lossy().into_owned());
+    let src =
+        std::fs::read_to_string(path).map_err(|e| format!("{}: read failed: {e}", path.display()))?;
+    let deck = parse_deck(&src).map_err(|e| format!("{name}: {e}"))?;
+    let flat = flatten(&deck).map_err(|e| format!("{name}: {e}"))?;
+    let lowered = lower_flat(&flat).map_err(|e| format!("{name}: {e}"))?;
+    let c = &lowered.circuit;
+    for plan in &lowered.analyses {
+        match plan {
+            AnalysisPlan::Op => {
+                let op = c.dc_op().map_err(|e| format!("{name}: dc op: {e}"))?;
+                let vmax = lowered
+                    .nodes
+                    .iter()
+                    .map(|&(_, id)| op.voltage(id).abs())
+                    .fold(0.0f64, f64::max);
+                table.row(vec![
+                    name.clone(),
+                    "OP".to_owned(),
+                    format!("{} nodes", lowered.nodes.len()),
+                    format!("max |V| = {vmax:.6} V"),
+                ]);
+            }
+            AnalysisPlan::Ac(opts) => {
+                let res = c.ac_sweep(opts).map_err(|e| format!("{name}: ac: {e}"))?;
+                let last = res.freqs_hz.len() - 1;
+                let peak = lowered
+                    .nodes
+                    .iter()
+                    .map(|&(_, id)| res.voltage(id, last).abs())
+                    .fold(0.0f64, f64::max);
+                table.row(vec![
+                    name.clone(),
+                    "AC".to_owned(),
+                    format!("{} freqs", res.freqs_hz.len()),
+                    format!("peak |V| @ {:.3e} Hz = {peak:.6}", res.freqs_hz[last]),
+                ]);
+            }
+            AnalysisPlan::Tran(opts) => {
+                let res = c.transient(opts).map_err(|e| format!("{name}: tran: {e}"))?;
+                let steps = res.len();
+                table.row(vec![
+                    name.clone(),
+                    "TRAN".to_owned(),
+                    format!("{steps} steps"),
+                    format!("t_stop = {:.3e} s", opts.t_stop),
+                ]);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
+    let decks = if args.is_empty() { default_decks() } else { args };
+    let mut table = TextTable::new(vec!["deck", "analysis", "size", "result"]);
+    for path in &decks {
+        if let Err(e) = run_deck(path, &mut table) {
+            eprintln!("deck_flow: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!("{}", table.render());
+}

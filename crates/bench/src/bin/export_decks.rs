@@ -1,0 +1,119 @@
+//! Writes (or verifies) the checked-in exemplar decks under
+//! `tests/decks/`.
+//!
+//! The decks are the deck-side half of the differential suite
+//! (`tests/deck_differential.rs`): each is exported from the exact
+//! shared construction in [`ind101_bench::scenarios`], so the suite
+//! can assert that parsing the checked-in text reproduces the
+//! hand-built circuits to solver precision.
+//!
+//! ```text
+//! cargo run -p ind101-bench --bin export_decks            # regenerate
+//! cargo run -p ind101-bench --bin export_decks -- --check # CI freshness gate
+//! ```
+//!
+//! `--check` exits 1 if any checked-in deck differs from what the
+//! current code would export — the signal that a scenario changed and
+//! the decks need regenerating. Extraction runs serially so the
+//! exported values are independent of the host's core count.
+
+use ind101_bench::scenarios::{sec4_bus_circuit, sec4_bus_inductance, table1_linear_testbench};
+use ind101_netlist::{export_deck, AcSweep, AnalysisCard, Span};
+use ind101_circuit::Circuit;
+use ind101_geom::Technology;
+use ind101_numeric::ParallelConfig;
+use std::path::PathBuf;
+
+/// Analysis cards shared by both exemplars: a DC operating point and
+/// a 3-points-per-decade AC sweep over the paper's 0.1–10 GHz band.
+fn cards() -> Vec<AnalysisCard> {
+    vec![
+        AnalysisCard::Op {
+            span: Span::default(),
+        },
+        AnalysisCard::Ac {
+            span: Span::default(),
+            sweep: AcSweep::Dec,
+            points: 3,
+            fstart: 1e8,
+            fstop: 1e10,
+        },
+    ]
+}
+
+fn decks_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/decks")
+}
+
+fn build(name: &str) -> Result<(String, Circuit), String> {
+    match name {
+        "table1_clock_net" => {
+            let tb = table1_linear_testbench(&ParallelConfig::serial())
+                .map_err(|e| format!("table1 testbench: {e}"))?;
+            let text = export_deck(&tb.circuit, "table1 clock net (linear testbench)", &cards())
+                .map_err(|e| format!("table1 export: {e}"))?;
+            Ok((text, tb.circuit))
+        }
+        "sec4_bus" => {
+            let tech = Technology::example_copper_6lm();
+            let l = sec4_bus_inductance(&tech);
+            let sc = sec4_bus_circuit(l.matrix(), 1.0).map_err(|e| format!("sec4 bus: {e}"))?;
+            let text = export_deck(&sc.circuit, "section 4 coupled bus", &cards())
+                .map_err(|e| format!("sec4 export: {e}"))?;
+            Ok((text, sc.circuit))
+        }
+        other => Err(format!("unknown deck {other}")),
+    }
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let dir = decks_dir();
+    let mut stale = 0usize;
+    for name in ["table1_clock_net", "sec4_bus"] {
+        let (text, _) = match build(name) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("export_decks: {e}");
+                std::process::exit(1);
+            }
+        };
+        let path = dir.join(format!("{name}.cir"));
+        if check {
+            match std::fs::read_to_string(&path) {
+                Ok(on_disk) if on_disk == text => {
+                    println!("export_decks: {} is fresh", path.display());
+                }
+                Ok(_) => {
+                    eprintln!(
+                        "export_decks: {} is STALE — rerun `cargo run -p ind101-bench \
+                         --bin export_decks` and commit the result",
+                        path.display()
+                    );
+                    stale += 1;
+                }
+                Err(e) => {
+                    eprintln!("export_decks: cannot read {}: {e}", path.display());
+                    stale += 1;
+                }
+            }
+        } else {
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                eprintln!("export_decks: cannot create {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+            if let Err(e) = std::fs::write(&path, &text) {
+                eprintln!("export_decks: cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            println!(
+                "export_decks: wrote {} ({} lines)",
+                path.display(),
+                text.lines().count()
+            );
+        }
+    }
+    if stale > 0 {
+        std::process::exit(1);
+    }
+}

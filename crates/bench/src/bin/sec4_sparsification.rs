@@ -14,14 +14,13 @@
 //! verified diagonal repair shift for non-passive outputs — before any
 //! transient runs.
 
+use ind101_bench::scenarios::{sec4_bus_circuit, sec4_bus_inductance};
 use ind101_bench::table::TextTable;
 use ind101_bench::{clock_case, Scale};
-use ind101_circuit::{Circuit, InductorSystem, SourceWave, TranOptions};
+use ind101_circuit::TranOptions;
 use ind101_core::testbench::{build_testbench, TestbenchSpec};
 use ind101_core::InductanceMode;
-use ind101_extract::PartialInductance;
-use ind101_geom::generators::{generate_bus, BusSpec};
-use ind101_geom::{um, Technology};
+use ind101_geom::Technology;
 use ind101_bench::{parallel_config_from_args, verify_flag_from_args};
 use ind101_verify::{audit_sparsified, MatrixAuditConfig};
 use ind101_numeric::ParallelConfig;
@@ -147,16 +146,7 @@ fn part_a(cfg: &ParallelConfig, verify: bool) {
 fn part_b(cfg: &ParallelConfig, verify: bool) {
     println!("\n== Section 4 (B): truncation instability on a long bus ==");
     let tech = Technology::example_copper_6lm();
-    let bus = generate_bus(
-        &tech,
-        &BusSpec {
-            signals: 10,
-            length_nm: um(3000),
-            spacing_nm: um(1),
-            ..BusSpec::default()
-        },
-    );
-    let l = PartialInductance::extract(&tech, bus.segments());
+    let l = sec4_bus_inductance(&tech);
     // Find a threshold that destroys positive definiteness.
     let mut unstable = None;
     for k_min in [0.3, 0.4, 0.5, 0.6, 0.7, 0.8] {
@@ -179,8 +169,8 @@ fn part_b(cfg: &ParallelConfig, verify: bool) {
     if verify {
         print_audit(&s);
     }
-    let full_peak = bus_transient_peak(&l, l.matrix());
-    let trunc_peak = bus_transient_peak(&l, &s.matrix);
+    let full_peak = bus_transient_peak(l.matrix());
+    let trunc_peak = bus_transient_peak(&s.matrix);
     println!(
         "transient peak |v|: full matrix {:.2} V, truncated {}",
         full_peak,
@@ -198,38 +188,16 @@ fn part_b(cfg: &ParallelConfig, verify: bool) {
 
 /// Drives bit 0 of the bus with all mutuals stamped from `m`; returns
 /// the peak |v| across the far ends.
-fn bus_transient_peak(l: &PartialInductance, m: &ind101_numeric::Matrix<f64>) -> f64 {
-    let mut c = Circuit::new();
-    let stim = c.node("stim");
-    c.vsrc(stim, Circuit::GND, SourceWave::step(0.0, 1.8, 20e-12, 20e-12));
-    let n = l.len();
-    let mut branches = Vec::with_capacity(n);
-    let mut far_nodes = Vec::with_capacity(n);
-    for k in 0..n {
-        let near = c.node(format!("near{k}"));
-        let far = c.node(format!("far{k}"));
-        branches.push((near, far));
-        far_nodes.push(far);
-        c.capacitor(far, Circuit::GND, 50e-15);
-        if k == 0 {
-            c.resistor(stim, near, 25.0);
-        } else {
-            c.resistor(near, Circuit::GND, 25.0);
-        }
-        c.resistor(far, Circuit::GND, 1e6); // leak
-    }
-    if c
-        .add_inductor_system(InductorSystem {
-            branches,
-            m: m.clone(),
-        })
-        .is_err()
-    {
+fn bus_transient_peak(m: &ind101_numeric::Matrix<f64>) -> f64 {
+    // Shared scenario (also exported as a deck and differentially
+    // tested): step into wire 0, everything else terminated.
+    let Ok(sc) = sec4_bus_circuit(m, 0.0) else {
         return f64::INFINITY;
-    }
-    match c.transient(&TranOptions::new(1e-12, 2e-9)) {
+    };
+    match sc.circuit.transient(&TranOptions::new(1e-12, 2e-9)) {
         Err(_) => f64::INFINITY,
-        Ok(res) => far_nodes
+        Ok(res) => sc
+            .far_nodes
             .iter()
             .map(|&f| {
                 let v = res.voltage(f);

@@ -69,6 +69,7 @@ pub fn default_spec() -> TestbenchSpec {
     TestbenchSpec {
         vdd: 1.8,
         input: SourceWave::step(0.0, 1.8, DEFAULT_INPUT_DELAY_S, DEFAULT_INPUT_RISE_S),
+        input_ac_mag: 0.0,
         driver: DriverKind::Inverter(ind101_circuit::InverterParams::default().scaled(2.0)),
         receiver_cap_f: DEFAULT_RECEIVER_CAP_F,
         decap_total_f: DEFAULT_DECAP_TOTAL_F,

@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod flows;
+pub mod scenarios;
 pub mod table;
 
 use ind101_core::PeecParasitics;

@@ -1,0 +1,152 @@
+//! Canonical paper scenarios shared by the harness binaries, the deck
+//! exporter, and the differential test suite.
+//!
+//! Two circuits are built here instead of inline in the binaries so
+//! that the exact same construction feeds three consumers:
+//!
+//! 1. `sec4_sparsification` (Part B transient blow-up demo),
+//! 2. `export_decks` (writes the checked-in `.cir` exemplars),
+//! 3. `tests/deck_differential.rs` (asserts the parsed decks reproduce
+//!    these circuits to ≤ 1e-10 across solver backends).
+
+use crate::{clock_case_with, Scale};
+use ind101_circuit::{Circuit, CircuitError, InductorSystem, NodeId, SourceWave};
+use ind101_core::testbench::{build_testbench, DriverKind, Testbench, TestbenchSpec};
+use ind101_core::InductanceMode;
+use ind101_extract::PartialInductance;
+use ind101_geom::generators::{generate_bus, BusSpec};
+use ind101_geom::{um, Technology};
+use ind101_numeric::{Matrix, ParallelConfig};
+
+/// Section 4 Part B bus geometry: 10 signals, 3 mm long, 1 µm spacing —
+/// long and tightly coupled enough that relative truncation destroys
+/// positive definiteness.
+#[must_use]
+pub fn sec4_bus_spec() -> BusSpec {
+    BusSpec {
+        signals: 10,
+        length_nm: um(3000),
+        spacing_nm: um(1),
+        ..BusSpec::default()
+    }
+}
+
+/// Extracts the Section 4 bus partial-inductance matrix.
+#[must_use]
+pub fn sec4_bus_inductance(tech: &Technology) -> PartialInductance {
+    let bus = generate_bus(tech, &sec4_bus_spec());
+    PartialInductance::extract(tech, bus.segments())
+}
+
+/// The Section 4 Part B transient testbench: a step-driven aggressor
+/// into wire 0 with every wire terminated near (25 Ω) and loaded far
+/// (50 fF + 1 MΩ leak), all wires coupled through `m`.
+///
+/// `ac_mag` is the stimulus AC magnitude (the transient demo uses 0;
+/// the differential suite drives 1 V to compare AC transfer).
+#[derive(Clone, Debug)]
+pub struct BusScenario {
+    /// The assembled circuit.
+    pub circuit: Circuit,
+    /// The stimulus node.
+    pub stim: NodeId,
+    /// Far-end node of every wire, in wire order.
+    pub far_nodes: Vec<NodeId>,
+}
+
+/// Stimulus step delay and rise time, seconds (20 ps: a sharp edge
+/// with energy well past 10 GHz, where the coupling bites).
+const BUS_EDGE_S: f64 = 20e-12;
+
+/// Far-end load capacitance, farads (50 fF receiver gate).
+const BUS_FAR_CAP_F: f64 = 50e-15;
+
+/// Stimulus step: 0 → 1.8 V, 20 ps delay, 20 ps rise.
+#[must_use]
+pub fn sec4_bus_wave() -> SourceWave {
+    SourceWave::step(0.0, 1.8, BUS_EDGE_S, BUS_EDGE_S)
+}
+
+/// Builds the Part B bus circuit over an explicit inductance matrix
+/// (full or sparsified; must be `n×n` for `n` wires).
+///
+/// # Errors
+///
+/// [`CircuitError::BadInductorSystem`] when `m` is not symmetric
+/// positive-diagonal (e.g. a sparsified matrix that lost passivity).
+pub fn sec4_bus_circuit(m: &Matrix<f64>, ac_mag: f64) -> Result<BusScenario, CircuitError> {
+    let n = m.nrows();
+    let mut c = Circuit::new();
+    let stim = c.node("stim");
+    c.vsrc_ac(stim, Circuit::GND, sec4_bus_wave(), ac_mag);
+    let mut branches = Vec::with_capacity(n);
+    let mut far_nodes = Vec::with_capacity(n);
+    for k in 0..n {
+        let near = c.node(format!("near{k}"));
+        let far = c.node(format!("far{k}"));
+        branches.push((near, far));
+        far_nodes.push(far);
+        c.capacitor(far, Circuit::GND, BUS_FAR_CAP_F);
+        if k == 0 {
+            c.resistor(stim, near, 25.0);
+        } else {
+            c.resistor(near, Circuit::GND, 25.0);
+        }
+        c.resistor(far, Circuit::GND, 1e6); // leak
+    }
+    c.add_inductor_system(InductorSystem {
+        branches,
+        m: m.clone(),
+    })?;
+    Ok(BusScenario {
+        circuit: c,
+        stim,
+        far_nodes,
+    })
+}
+
+/// Table 1 testbench in its deck-expressible (fully linear) form: the
+/// small clock-over-grid case driven through a 50 Ω Thévenin stage
+/// with a 1 V AC probe on the input.
+///
+/// # Errors
+///
+/// Propagates testbench construction failures.
+pub fn table1_linear_testbench(cfg: &ParallelConfig) -> Result<Testbench, CircuitError> {
+    let case = clock_case_with(Scale::Small, cfg);
+    build_testbench(
+        &case.par,
+        InductanceMode::Full,
+        &TestbenchSpec {
+            driver: DriverKind::Thevenin { r_out: 50.0 },
+            input_ac_mag: 1.0,
+            ..TestbenchSpec::default()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bus_scenario_solves() {
+        let tech = Technology::example_copper_6lm();
+        let l = sec4_bus_inductance(&tech);
+        let sc = sec4_bus_circuit(l.matrix(), 1.0).unwrap();
+        assert_eq!(sc.far_nodes.len(), 10);
+        let op = sc.circuit.dc_op().unwrap();
+        // DC: the aggressor's divider (25 Ω into 1 MΩ leak) pins the
+        // near end at ~0; all voltages finite.
+        for &f in &sc.far_nodes {
+            assert!(op.voltage(f).is_finite());
+        }
+    }
+
+    #[test]
+    fn table1_testbench_is_linear() {
+        let tb = table1_linear_testbench(&ParallelConfig::default()).unwrap();
+        assert!(!tb.circuit.is_nonlinear());
+        assert!(!tb.sinks.is_empty());
+    }
+}

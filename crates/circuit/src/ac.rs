@@ -199,15 +199,10 @@ impl Circuit {
         // pattern only, no numeric work — and shared read-only across
         // the worker threads.
         let backend = self.effective_backend();
-        let sym_hint: Option<Arc<SymbolicLu>> =
-            if backend != SolverBackend::Dense && layout.n > SMALL_DENSE {
-                opts.freqs_hz.first().and_then(|&f0| {
-                    let (t0, _) = self.ac_assemble(&layout, op.as_ref(), f0);
-                    SymbolicLu::analyze(&t0.to_csr()).ok().map(Arc::new)
-                })
-            } else {
-                None
-            };
+        let sym_hint = opts
+            .freqs_hz
+            .first()
+            .and_then(|&f0| self.ac_symbolic_for(&layout, op.as_ref(), backend, f0));
 
         let nf = opts.freqs_hz.len();
         let ranges = uniform_row_blocks(nf, cfg.blocks_for(nf));
@@ -258,6 +253,34 @@ impl Circuit {
         cfg: &ParallelConfig,
         resilience: &ResilienceOptions,
     ) -> Result<ResilientAcSweep> {
+        self.ac_sweep_resilient_with_symbolic(opts, cfg, resilience, None)
+    }
+
+    /// [`Circuit::ac_sweep_resilient`] seeded with an externally held
+    /// symbolic factorization, the cross-circuit reuse hook for the job
+    /// server: circuits lowered from different decks often share one
+    /// MNA sparsity pattern (same topology, different values), and the
+    /// AMD analysis is the expensive frequency-independent part of a
+    /// sparse sweep. Obtain a pattern from [`Circuit::ac_symbolic`] and
+    /// pass it to sweeps over structurally identical circuits.
+    ///
+    /// Safety of a wrong hint: the sparse solver validates the pattern
+    /// against each assembled matrix and silently re-analyzes on
+    /// mismatch, so a stale hint costs the analysis it tried to save —
+    /// it can never produce wrong numbers. `None` recovers the
+    /// self-analyzing behavior of [`Circuit::ac_sweep_resilient`]
+    /// exactly.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Circuit::ac_sweep_resilient`].
+    pub fn ac_sweep_resilient_with_symbolic(
+        &self,
+        opts: &AcOptions,
+        cfg: &ParallelConfig,
+        resilience: &ResilienceOptions,
+        external_hint: Option<Arc<SymbolicLu>>,
+    ) -> Result<ResilientAcSweep> {
         opts.validate()?;
         let layout = MnaLayout::build(self);
         let op = if self.is_nonlinear() {
@@ -266,15 +289,11 @@ impl Circuit {
             None
         };
         let backend = self.effective_backend();
-        let sym_hint: Option<Arc<SymbolicLu>> =
-            if backend != SolverBackend::Dense && layout.n > SMALL_DENSE {
-                opts.freqs_hz.first().and_then(|&f0| {
-                    let (t0, _) = self.ac_assemble(&layout, op.as_ref(), f0);
-                    SymbolicLu::analyze(&t0.to_csr()).ok().map(Arc::new)
-                })
-            } else {
-                None
-            };
+        let sym_hint = external_hint.or_else(|| {
+            opts.freqs_hz
+                .first()
+                .and_then(|&f0| self.ac_symbolic_for(&layout, op.as_ref(), backend, f0))
+        });
 
         enum FreqItem {
             Solved(Vec<Complex64>, f64),
@@ -416,6 +435,45 @@ impl Circuit {
                 stopped,
             },
         })
+    }
+
+    /// Analyzes the circuit's complex MNA sparsity pattern at a probe
+    /// frequency, for reuse across sweeps (and across structurally
+    /// identical circuits) via
+    /// [`Circuit::ac_sweep_resilient_with_symbolic`].
+    ///
+    /// Returns `None` when a symbolic factorization would not be used
+    /// anyway: dense backend, system at or below the small-dense
+    /// floor, or a probe at which analysis fails. The pattern is
+    /// frequency-independent for `probe_hz > 0` (every jωC/jωM stamp
+    /// is structurally nonzero), so any in-band probe yields the same
+    /// pattern.
+    #[must_use]
+    pub fn ac_symbolic(&self, probe_hz: f64) -> Option<Arc<SymbolicLu>> {
+        let layout = MnaLayout::build(self);
+        let op = if self.is_nonlinear() {
+            self.dc_op().ok()
+        } else {
+            None
+        };
+        self.ac_symbolic_for(&layout, op.as_ref(), self.effective_backend(), probe_hz)
+    }
+
+    /// Shared symbolic-analysis step of the AC sweeps: pattern-only AMD
+    /// analysis of the first frequency's assembled system, skipped
+    /// whenever the solver would not consult it.
+    fn ac_symbolic_for(
+        &self,
+        layout: &MnaLayout,
+        op: Option<&DcOperatingPoint>,
+        backend: SolverBackend,
+        f0: f64,
+    ) -> Option<Arc<SymbolicLu>> {
+        if backend == SolverBackend::Dense || layout.n <= SMALL_DENSE || !(f0 > 0.0) {
+            return None;
+        }
+        let (t0, _) = self.ac_assemble(layout, op, f0);
+        SymbolicLu::analyze(&t0.to_csr()).ok().map(Arc::new)
     }
 
     /// Assembles and solves the complex MNA system at one frequency.

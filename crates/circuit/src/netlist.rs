@@ -322,6 +322,31 @@ impl Circuit {
         });
     }
 
+    /// Fallible [`Circuit::inductor`] — the panic-free path for
+    /// programmatically generated circuits (e.g. deck lowering).
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::BadInductorSystem`] on a non-positive or
+    /// non-finite inductance; [`CircuitError::UnknownNode`] on nodes
+    /// this circuit never created.
+    pub fn try_inductor(&mut self, a: NodeId, b: NodeId, henries: f64) -> Result<()> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        if !(henries > 0.0 && henries.is_finite()) {
+            return Err(CircuitError::BadInductorSystem {
+                what: format!("self inductance {henries} is not positive and finite"),
+            });
+        }
+        let mut m = Matrix::zeros(1, 1);
+        m[(0, 0)] = henries;
+        self.inductors.push(InductorSystem {
+            branches: vec![(a, b)],
+            m,
+        });
+        Ok(())
+    }
+
     /// Adds a coupled inductor system.
     ///
     /// # Errors

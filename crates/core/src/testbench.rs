@@ -43,6 +43,9 @@ pub struct TestbenchSpec {
     pub vdd: f64,
     /// Input waveform at the driver.
     pub input: SourceWave,
+    /// AC magnitude of the input stimulus, volts (0 disables the
+    /// testbench in AC analysis; set to 1 for transfer functions).
+    pub input_ac_mag: f64,
     /// Driver model.
     pub driver: DriverKind,
     /// Receiver gate capacitance per sink, farads.
@@ -78,6 +81,7 @@ impl Default for TestbenchSpec {
         Self {
             vdd: 1.8,
             input: SourceWave::step(0.0, 1.8, DEFAULT_INPUT_DELAY_S, DEFAULT_INPUT_RISE_S),
+            input_ac_mag: 0.0,
             driver: DriverKind::Inverter(InverterParams::default()),
             receiver_cap_f: DEFAULT_RECEIVER_CAP_F,
             decap_total_f: DEFAULT_DECAP_TOTAL_F,
@@ -190,7 +194,7 @@ pub fn build_testbench(
 
     // --- Driver ----------------------------------------------------------
     let input = circuit.node("drv_in");
-    circuit.vsrc(input, Circuit::GND, spec.input.clone());
+    circuit.vsrc_ac(input, Circuit::GND, spec.input.clone(), spec.input_ac_mag);
     match &spec.driver {
         DriverKind::Inverter(p) => {
             let vdd_tap = supply_at(&mut circuit, NetKind::Power, driver_port.node.at);

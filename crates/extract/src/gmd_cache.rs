@@ -173,6 +173,48 @@ impl GmdCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Consistent snapshot of the counters for reporting (the job
+    /// server prints one per batch). Counters are monotonic, so the
+    /// snapshot is exact for a quiesced cache and a lower bound while
+    /// lookups are in flight.
+    pub fn stats(&self) -> GmdCacheStats {
+        GmdCacheStats {
+            hits: self.hits(),
+            misses: self.misses(),
+            collisions: self.collisions(),
+            entries: self.len(),
+        }
+    }
+}
+
+/// Counter snapshot from [`GmdCache::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GmdCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that computed the kernel.
+    pub misses: u64,
+    /// Aliased-bucket lookups (recomputed directly).
+    pub collisions: u64,
+    /// Distinct entries stored.
+    pub entries: usize,
+}
+
+impl GmdCacheStats {
+    /// Hit rate over all lookups, in `[0, 1]` (0 when no lookups ran).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.collisions;
+        if total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.hits as f64 / total as f64
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -49,7 +49,7 @@ pub mod resistance;
 pub mod self_inductance;
 
 pub use error::ExtractError;
-pub use gmd_cache::GmdCache;
+pub use gmd_cache::{GmdCache, GmdCacheStats};
 pub use matrix::PartialInductance;
 pub use operator::{grid_kernel, FilamentGridSpec, GridInductanceOperator};
 pub use ind101_numeric::ParallelConfig;

@@ -1,0 +1,236 @@
+//! Typed deck diagnostics.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Everything that can go wrong between raw deck text and a lowered
+/// [`ind101_circuit::Circuit`] (or between raw JSON/TOML text and a
+/// typed job description).
+///
+/// Every variant carries the [`Span`] of the offending token so
+/// front-ends can annotate the source; the fuzz harness asserts that
+/// every rejection of parser-reachable input has a valid span. The
+/// enum is non-exhaustive: matching code must keep a wildcard arm so
+/// future grammar growth stays additive.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A character the lexer cannot place in any token (e.g. a control
+    /// character), or a continuation line with nothing to continue.
+    Lex {
+        /// Offending position.
+        span: Span,
+        /// What the lexer saw.
+        what: String,
+    },
+    /// A token in value position that is not a number with an optional
+    /// engineering suffix.
+    BadNumber {
+        /// Offending position.
+        span: Span,
+        /// The rejected token text.
+        text: String,
+    },
+    /// A card whose shape does not match its grammar (missing fields,
+    /// trailing junk, odd PWL pairs, a misplaced `.ENDS`, …).
+    Expected {
+        /// Offending position.
+        span: Span,
+        /// What the parser needed to see there.
+        what: String,
+    },
+    /// A line starting with an element letter or dot-card the grammar
+    /// subset does not know.
+    UnknownCard {
+        /// Offending position.
+        span: Span,
+        /// The unrecognized leading token.
+        card: String,
+    },
+    /// Two elements in the same (flattened) scope share a name; `K`
+    /// coupling resolution would be ambiguous.
+    DuplicateElement {
+        /// Position of the second definition.
+        span: Span,
+        /// The colliding element name.
+        name: String,
+    },
+    /// `.SUBCKT` inside a `.SUBCKT` body (the subset keeps definitions
+    /// top-level; instantiation nests, definition does not).
+    NestedSubckt {
+        /// Position of the inner `.SUBCKT`.
+        span: Span,
+    },
+    /// A `.SUBCKT` body that reaches end-of-deck without `.ENDS`.
+    UnterminatedSubckt {
+        /// Position of the unterminated `.SUBCKT` card.
+        span: Span,
+        /// The subcircuit name.
+        name: String,
+    },
+    /// Two `.SUBCKT` definitions with the same name.
+    DuplicateSubckt {
+        /// Position of the second definition.
+        span: Span,
+        /// The colliding subcircuit name.
+        name: String,
+    },
+    /// An `X` instance referencing a subcircuit the deck never defines.
+    UnknownSubckt {
+        /// Position of the instance card.
+        span: Span,
+        /// The missing subcircuit name.
+        name: String,
+    },
+    /// An `X` instance whose node count differs from the subcircuit's
+    /// port count.
+    PortArity {
+        /// Position of the instance card.
+        span: Span,
+        /// The subcircuit name.
+        name: String,
+        /// Ports declared by the `.SUBCKT`.
+        expected: usize,
+        /// Nodes supplied by the instance.
+        got: usize,
+    },
+    /// Subcircuit expansion that re-enters a definition already on the
+    /// instantiation stack (or exceeds the nesting-depth bound).
+    RecursiveSubckt {
+        /// Position of the instance that closed the cycle.
+        span: Span,
+        /// The re-entered subcircuit name.
+        name: String,
+    },
+    /// A `K` card naming an inductor the flattened deck does not
+    /// contain.
+    UnknownInductor {
+        /// Position of the `K` card.
+        span: Span,
+        /// The coupling element's name.
+        coupling: String,
+        /// The missing inductor name.
+        inductor: String,
+    },
+    /// A coupling coefficient outside `(-1, 1)` (would make the branch
+    /// inductance matrix indefinite) or non-finite.
+    BadCoupling {
+        /// Position of the `K` card.
+        span: Span,
+        /// The rejected coefficient.
+        k: f64,
+    },
+    /// A structurally well-formed card with a physically invalid value
+    /// (non-positive R/L/C, negative delay, non-ascending PWL knots,
+    /// empty or inverted sweep bounds, …).
+    BadValue {
+        /// Offending position.
+        span: Span,
+        /// What was wrong with the value.
+        what: String,
+    },
+    /// The circuit layer rejected a lowered element; wraps the
+    /// [`ind101_circuit::CircuitError`] message with the deck position
+    /// that produced it.
+    Lowering {
+        /// Position of the element that failed to lower.
+        span: Span,
+        /// The circuit-layer rejection, rendered.
+        what: String,
+    },
+    /// Malformed JSON or TOML job-description text.
+    Json {
+        /// Offending position in the JSON/TOML source.
+        span: Span,
+        /// What the reader expected.
+        what: String,
+    },
+    /// Well-formed JSON/TOML that does not satisfy the job-description
+    /// schema (missing keys, wrong types, unknown kinds or enum names).
+    Job {
+        /// Position of the offending value (the enclosing object for
+        /// missing keys).
+        span: Span,
+        /// The schema violation.
+        what: String,
+    },
+}
+
+impl NetlistError {
+    /// The source position the diagnostic points at.
+    pub fn span(&self) -> Span {
+        match self {
+            Self::Lex { span, .. }
+            | Self::BadNumber { span, .. }
+            | Self::Expected { span, .. }
+            | Self::UnknownCard { span, .. }
+            | Self::DuplicateElement { span, .. }
+            | Self::NestedSubckt { span }
+            | Self::UnterminatedSubckt { span, .. }
+            | Self::DuplicateSubckt { span, .. }
+            | Self::UnknownSubckt { span, .. }
+            | Self::PortArity { span, .. }
+            | Self::RecursiveSubckt { span, .. }
+            | Self::UnknownInductor { span, .. }
+            | Self::BadCoupling { span, .. }
+            | Self::BadValue { span, .. }
+            | Self::Lowering { span, .. }
+            | Self::Json { span, .. }
+            | Self::Job { span, .. } => *span,
+        }
+    }
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Lex { span, what } => write!(f, "{span}: lexical error: {what}"),
+            Self::BadNumber { span, text } => {
+                write!(f, "{span}: not a number (with optional suffix): {text:?}")
+            }
+            Self::Expected { span, what } => write!(f, "{span}: expected {what}"),
+            Self::UnknownCard { span, card } => write!(f, "{span}: unknown card {card:?}"),
+            Self::DuplicateElement { span, name } => {
+                write!(f, "{span}: duplicate element name {name:?}")
+            }
+            Self::NestedSubckt { span } => {
+                write!(f, "{span}: .SUBCKT definitions cannot nest")
+            }
+            Self::UnterminatedSubckt { span, name } => {
+                write!(f, "{span}: .SUBCKT {name} has no matching .ENDS")
+            }
+            Self::DuplicateSubckt { span, name } => {
+                write!(f, "{span}: duplicate .SUBCKT {name}")
+            }
+            Self::UnknownSubckt { span, name } => {
+                write!(f, "{span}: unknown subcircuit {name:?}")
+            }
+            Self::PortArity {
+                span,
+                name,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{span}: subcircuit {name} has {expected} port(s) but instance supplies {got}"
+            ),
+            Self::RecursiveSubckt { span, name } => {
+                write!(f, "{span}: recursive subcircuit expansion through {name}")
+            }
+            Self::UnknownInductor {
+                span,
+                coupling,
+                inductor,
+            } => write!(f, "{span}: {coupling} couples unknown inductor {inductor:?}"),
+            Self::BadCoupling { span, k } => {
+                write!(f, "{span}: coupling coefficient {k} outside (-1, 1)")
+            }
+            Self::BadValue { span, what } => write!(f, "{span}: invalid value: {what}"),
+            Self::Lowering { span, what } => write!(f, "{span}: cannot lower element: {what}"),
+            Self::Json { span, what } => write!(f, "{span}: malformed job text: {what}"),
+            Self::Job { span, what } => write!(f, "{span}: bad job description: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}

@@ -1,0 +1,524 @@
+//! Job descriptions for the extraction job server.
+//!
+//! A job file (JSON or the TOML subset, see [`crate::json`]) describes
+//! a batch of solve/extraction jobs:
+//!
+//! ```json
+//! {
+//!   "threads": 4,
+//!   "jobs": [
+//!     {"name": "clock", "kind": "deck", "deck": "title\nR1 a 0 50\n.OP\n.END\n"},
+//!     {"name": "grid",  "kind": "filament_grid",
+//!      "count_z": 2, "count_lat": 8, "pitch_z_nm": 200, "pitch_lat_nm": 200,
+//!      "length_nm": 100000, "width_nm": 100, "thickness_nm": 100,
+//!      "freqs_hz": [1e8, 1e9]},
+//!     {"name": "bus",   "kind": "loop_bus",
+//!      "signals": 4, "length_nm": 1000000, "spacing_nm": 1000,
+//!      "freqs_hz": [1e9], "backend": "sparse", "policy": "skip",
+//!      "wall_seconds": 10, "verify": true}
+//!   ]
+//! }
+//! ```
+//!
+//! or equivalently in TOML:
+//!
+//! ```toml
+//! threads = 4
+//!
+//! [[jobs]]
+//! name = "clock"
+//! kind = "deck"
+//! path = "tests/decks/table1_clock_net.cir"
+//! ```
+//!
+//! The geometry jobs carry plain dimensions rather than depending on
+//! the extraction crates — the server maps them onto
+//! `FilamentGridSpec` / `BusSpec`, keeping this crate's dependency
+//! cone at circuit + numeric.
+
+use crate::error::NetlistError;
+use crate::json::{parse_json, parse_toml, Value};
+use crate::span::Span;
+use ind101_circuit::{FailurePolicy, SolverBackend};
+use ind101_numeric::SolveBudget;
+
+/// Ceiling on jobs per file: a fuzzed or malformed file must not be
+/// able to queue unbounded work.
+pub const MAX_JOBS_PER_FILE: usize = 4096;
+
+/// A parsed job file: shared settings plus the job list.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobFile {
+    /// Worker threads the server should use (`None`: server default).
+    pub threads: Option<usize>,
+    /// The jobs, in file order.
+    pub jobs: Vec<JobRequest>,
+}
+
+/// One job: a name, what to run, and resource/solver options.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobRequest {
+    /// Job name (unique within a file).
+    pub name: String,
+    /// What to run.
+    pub spec: JobSpec,
+    /// Solver and budget options.
+    pub options: JobOptions,
+}
+
+/// Where a deck job's text comes from.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DeckSource {
+    /// Deck text embedded in the job file.
+    Inline(String),
+    /// Path to a `.cir` file, resolved by the server relative to its
+    /// working directory.
+    Path(String),
+}
+
+/// A filament-grid partial-inductance extraction job.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FilamentGridJob {
+    /// Vertical (stacking) grid dimension, ≥ 1.
+    pub count_z: usize,
+    /// Lateral grid dimension, ≥ 1.
+    pub count_lat: usize,
+    /// Vertical pitch, nm.
+    pub pitch_z_nm: i64,
+    /// Lateral pitch, nm.
+    pub pitch_lat_nm: i64,
+    /// Filament length, nm.
+    pub length_nm: i64,
+    /// Filament width, nm.
+    pub width_nm: i64,
+    /// Filament thickness, nm.
+    pub thickness_nm: i64,
+}
+
+/// A generated-bus loop R/L extraction job.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoopBusJob {
+    /// Number of signal wires.
+    pub signals: usize,
+    /// Wire length, nm.
+    pub length_nm: i64,
+    /// Edge-to-edge spacing, nm.
+    pub spacing_nm: i64,
+    /// Frequencies for the loop sweep, Hz.
+    pub freqs_hz: Vec<f64>,
+}
+
+/// What one job runs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobSpec {
+    /// Parse, lower, verify, and run a deck's analysis cards.
+    Deck(DeckSource),
+    /// Filament-grid extraction (shares the server's GMD cache).
+    FilamentGrid(FilamentGridJob),
+    /// Bus loop R/L extraction through the resilient sweep.
+    LoopBus(LoopBusJob),
+}
+
+/// Solver and budget options, uniform across job kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobOptions {
+    /// Linear-solver family.
+    pub backend: SolverBackend,
+    /// What a failing frequency does to the rest of a sweep.
+    pub policy: FailurePolicy,
+    /// Wall-clock ceiling for the job's solves, seconds.
+    pub wall_seconds: Option<f64>,
+    /// Single-allocation memory ceiling for the job's solves, bytes.
+    pub memory_bytes: Option<usize>,
+    /// Run the ERC/verify gate before solving (deck jobs).
+    pub verify: bool,
+}
+
+impl Default for JobOptions {
+    fn default() -> Self {
+        Self {
+            backend: SolverBackend::Auto,
+            policy: FailurePolicy::Abort,
+            wall_seconds: None,
+            memory_bytes: None,
+            verify: true,
+        }
+    }
+}
+
+impl JobOptions {
+    /// The solve budget these options imply (fresh cancellation token).
+    #[must_use]
+    pub fn budget(&self) -> SolveBudget {
+        let mut b = SolveBudget::unlimited();
+        if let Some(s) = self.wall_seconds {
+            b = b.with_wall_seconds(s);
+        }
+        if let Some(m) = self.memory_bytes {
+            b = b.with_memory_bytes(m);
+        }
+        b
+    }
+
+    /// A stable text form folded into the server's content hash: two
+    /// option sets with the same semantics render identically.
+    #[must_use]
+    pub fn cache_token(&self) -> String {
+        format!(
+            "backend={:?};policy={};wall={:?};mem={:?};verify={}",
+            self.backend, self.policy, self.wall_seconds, self.memory_bytes, self.verify
+        )
+    }
+}
+
+/// Parses a job file, auto-detecting JSON vs TOML: documents whose
+/// first non-blank byte is `{` are JSON.
+///
+/// # Errors
+///
+/// [`NetlistError::Json`] for syntax errors, [`NetlistError::Job`] for
+/// schema violations.
+pub fn jobs_from_str(src: &str) -> Result<JobFile, NetlistError> {
+    if src.trim_start().starts_with('{') {
+        jobs_from_json(src)
+    } else {
+        jobs_from_toml(src)
+    }
+}
+
+/// Parses a JSON job file.
+///
+/// # Errors
+///
+/// See [`jobs_from_str`].
+pub fn jobs_from_json(src: &str) -> Result<JobFile, NetlistError> {
+    decode_job_file(&parse_json(src)?)
+}
+
+/// Parses a TOML-subset job file.
+///
+/// # Errors
+///
+/// See [`jobs_from_str`].
+pub fn jobs_from_toml(src: &str) -> Result<JobFile, NetlistError> {
+    decode_job_file(&parse_toml(src)?)
+}
+
+/// The schema layer has no source positions (the tree is already
+/// decoupled from the text), so schema diagnostics use a document
+/// -level span.
+fn jerr(what: impl Into<String>) -> NetlistError {
+    NetlistError::Job {
+        span: Span::new(1, 1, 1),
+        what: what.into(),
+    }
+}
+
+fn decode_job_file(root: &Value) -> Result<JobFile, NetlistError> {
+    let Value::Obj(_) = root else {
+        return Err(jerr("job file must be an object/table at top level"));
+    };
+    let threads = match root.get("threads") {
+        None => None,
+        Some(v) => Some(decode_usize(v, "threads")?),
+    };
+    let jobs_v = root
+        .get("jobs")
+        .ok_or_else(|| jerr("missing `jobs` array"))?;
+    let items = jobs_v
+        .as_arr()
+        .ok_or_else(|| jerr("`jobs` must be an array"))?;
+    if items.len() > MAX_JOBS_PER_FILE {
+        return Err(jerr(format!(
+            "{} jobs exceeds the per-file ceiling of {MAX_JOBS_PER_FILE}",
+            items.len()
+        )));
+    }
+    let mut jobs = Vec::with_capacity(items.len());
+    let mut names = std::collections::HashSet::new();
+    for (i, item) in items.iter().enumerate() {
+        let job = decode_job(item, i)?;
+        if !names.insert(job.name.clone()) {
+            return Err(jerr(format!("duplicate job name `{}`", job.name)));
+        }
+        jobs.push(job);
+    }
+    Ok(JobFile { threads, jobs })
+}
+
+fn decode_job(v: &Value, index: usize) -> Result<JobRequest, NetlistError> {
+    let Value::Obj(_) = v else {
+        return Err(jerr(format!("job #{index} must be an object")));
+    };
+    let name = match v.get("name") {
+        Some(n) => n
+            .as_str()
+            .ok_or_else(|| jerr(format!("job #{index}: `name` must be a string")))?
+            .to_owned(),
+        None => format!("job{index}"),
+    };
+    let ctx = |what: &str| jerr(format!("job `{name}`: {what}"));
+    let kind = v
+        .get("kind")
+        .map(|k| k.as_str().ok_or_else(|| ctx("`kind` must be a string")))
+        .transpose()?
+        .unwrap_or("deck");
+    let spec = match kind {
+        "deck" => match (v.get("deck"), v.get("path")) {
+            (Some(d), None) => JobSpec::Deck(DeckSource::Inline(
+                d.as_str()
+                    .ok_or_else(|| ctx("`deck` must be a string"))?
+                    .to_owned(),
+            )),
+            (None, Some(p)) => JobSpec::Deck(DeckSource::Path(
+                p.as_str()
+                    .ok_or_else(|| ctx("`path` must be a string"))?
+                    .to_owned(),
+            )),
+            (Some(_), Some(_)) => return Err(ctx("give `deck` or `path`, not both")),
+            (None, None) => return Err(ctx("deck job needs `deck` (inline) or `path`")),
+        },
+        "filament_grid" => JobSpec::FilamentGrid(FilamentGridJob {
+            count_z: decode_field_usize(v, &name, "count_z")?,
+            count_lat: decode_field_usize(v, &name, "count_lat")?,
+            pitch_z_nm: decode_field_nm(v, &name, "pitch_z_nm", 0)?,
+            pitch_lat_nm: decode_field_nm(v, &name, "pitch_lat_nm", 0)?,
+            length_nm: decode_field_nm(v, &name, "length_nm", 1)?,
+            width_nm: decode_field_nm(v, &name, "width_nm", 1)?,
+            thickness_nm: decode_field_nm(v, &name, "thickness_nm", 1)?,
+        }),
+        "loop_bus" => JobSpec::LoopBus(LoopBusJob {
+            signals: decode_field_usize(v, &name, "signals")?,
+            length_nm: decode_field_nm(v, &name, "length_nm", 1)?,
+            spacing_nm: decode_field_nm(v, &name, "spacing_nm", 1)?,
+            freqs_hz: decode_freqs(v, &name)?,
+        }),
+        other => return Err(ctx(&format!("unknown job kind `{other}`"))),
+    };
+    let options = decode_options(v, &name)?;
+    Ok(JobRequest {
+        name,
+        spec,
+        options,
+    })
+}
+
+fn decode_options(v: &Value, name: &str) -> Result<JobOptions, NetlistError> {
+    let ctx = |what: String| jerr(format!("job `{name}`: {what}"));
+    let mut o = JobOptions::default();
+    if let Some(b) = v.get("backend") {
+        let s = b
+            .as_str()
+            .ok_or_else(|| ctx("`backend` must be a string".to_owned()))?;
+        o.backend = SolverBackend::parse(s)
+            .ok_or_else(|| ctx(format!("unknown backend `{s}` (dense|sparse|auto)")))?;
+    }
+    if let Some(p) = v.get("policy") {
+        let s = p
+            .as_str()
+            .ok_or_else(|| ctx("`policy` must be a string".to_owned()))?;
+        o.policy = match s.trim().to_ascii_lowercase().as_str() {
+            "abort" => FailurePolicy::Abort,
+            "skip" | "skip-and-report" => FailurePolicy::SkipAndReport,
+            "degrade" | "degrade-to-dense" => FailurePolicy::DegradeToDense,
+            _ => return Err(ctx(format!("unknown policy `{s}` (abort|skip|degrade)"))),
+        };
+    }
+    if let Some(w) = v.get("wall_seconds") {
+        let s = w
+            .as_num()
+            .filter(|s| *s > 0.0)
+            .ok_or_else(|| ctx("`wall_seconds` must be a positive number".to_owned()))?;
+        o.wall_seconds = Some(s);
+    }
+    if let Some(m) = v.get("memory_bytes") {
+        let b = decode_usize(m, "memory_bytes").map_err(|e| ctx(e.to_string()))?;
+        o.memory_bytes = Some(b);
+    }
+    if let Some(b) = v.get("verify") {
+        o.verify = b
+            .as_bool()
+            .ok_or_else(|| ctx("`verify` must be a boolean".to_owned()))?;
+    }
+    Ok(o)
+}
+
+fn decode_freqs(v: &Value, name: &str) -> Result<Vec<f64>, NetlistError> {
+    let arr = v
+        .get("freqs_hz")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| jerr(format!("job `{name}`: `freqs_hz` must be an array")))?;
+    if arr.is_empty() {
+        return Err(jerr(format!("job `{name}`: `freqs_hz` must be non-empty")));
+    }
+    arr.iter()
+        .map(|f| {
+            f.as_num()
+                .filter(|f| *f > 0.0)
+                .ok_or_else(|| jerr(format!("job `{name}`: frequencies must be positive numbers")))
+        })
+        .collect()
+}
+
+fn decode_field_usize(v: &Value, name: &str, field: &str) -> Result<usize, NetlistError> {
+    let f = v
+        .get(field)
+        .ok_or_else(|| jerr(format!("job `{name}`: missing `{field}`")))?;
+    decode_usize(f, field).map_err(|e| jerr(format!("job `{name}`: {e}")))
+}
+
+/// Decodes a dimension in nm with an inclusive floor (pitches may be 0
+/// for 1-wide grids, lengths must be ≥ 1).
+fn decode_field_nm(v: &Value, name: &str, field: &str, min: i64) -> Result<i64, NetlistError> {
+    let f = v
+        .get(field)
+        .ok_or_else(|| jerr(format!("job `{name}`: missing `{field}`")))?;
+    let n = f
+        .as_num()
+        .filter(|n| n.fract() == 0.0 && n.abs() < 9.0e18)
+        .ok_or_else(|| jerr(format!("job `{name}`: `{field}` must be an integer (nm)")))?;
+    #[allow(clippy::cast_possible_truncation)]
+    let n = n as i64;
+    if n < min {
+        return Err(jerr(format!(
+            "job `{name}`: `{field}` must be ≥ {min} nm, got {n}"
+        )));
+    }
+    Ok(n)
+}
+
+fn decode_usize(v: &Value, what: &str) -> Result<usize, NetlistError> {
+    v.as_num()
+        .filter(|n| n.fract() == 0.0 && *n >= 1.0 && *n <= 1e15)
+        .map(|n| {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            {
+                n as usize
+            }
+        })
+        .ok_or_else(|| jerr(format!("`{what}` must be a positive integer")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const JSON: &str = r#"{
+      "threads": 2,
+      "jobs": [
+        {"name": "clock", "kind": "deck", "deck": "t\nR1 a 0 50\n.OP\n.END\n",
+         "backend": "dense", "policy": "skip", "wall_seconds": 5, "verify": false},
+        {"name": "grid", "kind": "filament_grid",
+         "count_z": 1, "count_lat": 4, "pitch_z_nm": 0, "pitch_lat_nm": 200,
+         "length_nm": 100000, "width_nm": 100, "thickness_nm": 100},
+        {"name": "bus", "kind": "loop_bus",
+         "signals": 3, "length_nm": 1000000, "spacing_nm": 1000,
+         "freqs_hz": [1e9, 2e9]}
+      ]
+    }"#;
+
+    #[test]
+    fn decodes_all_three_kinds_from_json() {
+        let file = jobs_from_str(JSON).unwrap();
+        assert_eq!(file.threads, Some(2));
+        assert_eq!(file.jobs.len(), 3);
+        let clock = &file.jobs[0];
+        assert!(matches!(clock.spec, JobSpec::Deck(DeckSource::Inline(_))));
+        assert_eq!(clock.options.backend, SolverBackend::Dense);
+        assert_eq!(clock.options.policy, FailurePolicy::SkipAndReport);
+        assert_eq!(clock.options.wall_seconds, Some(5.0));
+        assert!(!clock.options.verify);
+        let JobSpec::FilamentGrid(g) = &file.jobs[1].spec else {
+            panic!("expected grid job");
+        };
+        assert_eq!((g.count_z, g.count_lat), (1, 4));
+        let JobSpec::LoopBus(b) = &file.jobs[2].spec else {
+            panic!("expected bus job");
+        };
+        assert_eq!(b.freqs_hz, vec![1e9, 2e9]);
+    }
+
+    #[test]
+    fn decodes_toml_form() {
+        let src = "\
+threads = 3
+
+[[jobs]]
+name = \"a\"
+kind = \"deck\"
+path = \"tests/decks/table1_clock_net.cir\"
+backend = \"sparse\"
+
+[[jobs]]
+name = \"b\"
+kind = \"loop_bus\"
+signals = 2
+length_nm = 500000
+spacing_nm = 1000
+freqs_hz = [1e9]
+";
+        let file = jobs_from_str(src).unwrap();
+        assert_eq!(file.threads, Some(3));
+        assert!(matches!(
+            &file.jobs[0].spec,
+            JobSpec::Deck(DeckSource::Path(p)) if p.ends_with(".cir")
+        ));
+        assert_eq!(file.jobs[0].options.backend, SolverBackend::Sparse);
+    }
+
+    #[test]
+    fn schema_violations_are_typed() {
+        let cases = [
+            (r#"{"jobs": [{"kind": "nope"}]}"#, "unknown job kind"),
+            (r#"{"jobs": [{"kind": "deck"}]}"#, "needs `deck`"),
+            (
+                r#"{"jobs": [{"kind": "deck", "deck": "t", "path": "p"}]}"#,
+                "not both",
+            ),
+            (
+                r#"{"jobs": [{"name":"a","deck":"t"},{"name":"a","deck":"t"}]}"#,
+                "duplicate job name",
+            ),
+            (
+                r#"{"jobs": [{"deck": "t", "backend": "gpu"}]}"#,
+                "unknown backend",
+            ),
+            (
+                r#"{"jobs": [{"deck": "t", "wall_seconds": -1}]}"#,
+                "positive number",
+            ),
+            (
+                r#"{"jobs": [{"kind": "loop_bus", "signals": 2, "length_nm": 5, "spacing_nm": 5, "freqs_hz": []}]}"#,
+                "non-empty",
+            ),
+            (r#"{"threads": 0, "jobs": []}"#, "positive integer"),
+            (r#"{}"#, "missing `jobs`"),
+        ];
+        for (src, what) in cases {
+            let err = jobs_from_str(src).unwrap_err();
+            let NetlistError::Job { what: got, span } = &err else {
+                panic!("{src}: expected Job error, got {err:?}");
+            };
+            assert!(span.is_valid());
+            assert!(got.contains(what), "{src}: `{got}` lacks `{what}`");
+        }
+    }
+
+    #[test]
+    fn options_budget_and_token_are_stable() {
+        let o = JobOptions {
+            wall_seconds: Some(2.5),
+            memory_bytes: Some(1 << 20),
+            ..JobOptions::default()
+        };
+        let b = o.budget();
+        assert_eq!(b.max_wall_seconds, Some(2.5));
+        assert_eq!(b.max_memory_bytes, Some(1 << 20));
+        assert_eq!(o.cache_token(), o.clone().cache_token());
+        assert_ne!(
+            o.cache_token(),
+            JobOptions::default().cache_token(),
+            "budget options must change the cache key"
+        );
+    }
+}

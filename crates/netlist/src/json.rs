@@ -1,0 +1,659 @@
+//! Dependency-free JSON and TOML-subset readers.
+//!
+//! Job descriptions (see [`crate::job`]) arrive as JSON or a flat TOML
+//! subset; both parse into the same [`Value`] tree so the job layer
+//! has a single decode path. Spans point into the original text so
+//! malformed documents get the same line/column diagnostics as decks.
+//!
+//! The JSON grammar is full RFC 8259 minus `\u` surrogate pairs
+//! handled pairwise (lone surrogates are rejected). The TOML subset
+//! covers what job files need: `[table]` / `[[array-of-table]]`
+//! headers, `key = value` with string/number/boolean/array values, and
+//! `#` comments — no dotted keys, no inline tables, no multi-line
+//! strings.
+
+use crate::error::NetlistError;
+use crate::span::Span;
+use std::collections::BTreeMap;
+
+/// Nesting bound for arrays/objects: fuzzed documents must not be able
+/// to overflow the parser's recursion.
+const MAX_DEPTH: usize = 128;
+
+/// A parsed JSON/TOML value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (JSON numbers and TOML integers/floats both land here).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object / table. Sorted by key: job semantics never depend on
+    /// key order, and a canonical order keeps content hashes stable.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The value under `key` if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Self::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as a finite number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Self::Num(v) if v.is_finite() => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Self::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Self::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Self::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as compact JSON (object keys in sorted order).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Self::Null => out.push_str("null"),
+            Self::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Self::Num(v) => {
+                if v.is_finite() {
+                    out.push_str(&crate::value::format_value(*v));
+                } else {
+                    // JSON has no Inf/NaN; render as null like most emitters.
+                    out.push_str("null");
+                }
+            }
+            Self::Str(s) => render_string(s, out),
+            Self::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render_into(out);
+                }
+                out.push(']');
+            }
+            Self::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// [`NetlistError::Json`] with a span at the offending character.
+pub fn parse_json(src: &str) -> Result<Value, NetlistError> {
+    let mut p = Cursor::new(src);
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("trailing content after JSON value"));
+    }
+    Ok(v)
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn err(&self, what: &str) -> NetlistError {
+        NetlistError::Json {
+            span: Span::new(self.line, self.col, 1),
+            what: what.to_owned(),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xC0 != 0x80 {
+            // Count code points, not UTF-8 continuation bytes.
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), NetlistError> {
+        if self.peek() == Some(b) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            for _ in 0..kw.len() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, NetlistError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("document nests too deeply"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("expected a JSON value")),
+            None => Err(self.err("unexpected end of document")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, NetlistError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.bump();
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected object key string"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            if map.insert(key, val).is_some() {
+                return Err(self.err("duplicate object key"));
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.bump();
+                }
+                Some(b'}') => {
+                    self.bump();
+                    return Ok(Value::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, NetlistError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.bump();
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.bump();
+                }
+                Some(b']') => {
+                    self.bump();
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, NetlistError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while matches!(self.peek(), Some(b) if b != b'"' && b != b'\\' && b >= 0x20) {
+                self.bump();
+            }
+            if self.pos > start {
+                // The source is valid UTF-8 and we only stopped on
+                // ASCII boundaries, so the run is valid UTF-8.
+                s.push_str(&String::from_utf8_lossy(&self.bytes[start..self.pos]));
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.bump();
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.bump();
+                    match self.bump() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'u') => {
+                            let hi = self.hex4()?;
+                            let cp = if (0xD800..0xDC00).contains(&hi) {
+                                // High surrogate: require the paired low.
+                                if !(self.eat_keyword("\\u")) {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err(self.err("lone low surrogate"));
+                            } else {
+                                hi
+                            };
+                            match char::from_u32(cp) {
+                                Some(c) => s.push(c),
+                                None => return Err(self.err("invalid unicode escape")),
+                            }
+                        }
+                        _ => return Err(self.err("invalid string escape")),
+                    }
+                }
+                Some(_) => return Err(self.err("control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, NetlistError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let Some(b) = self.bump() else {
+                return Err(self.err("truncated \\u escape"));
+            };
+            let d = match b {
+                b'0'..=b'9' => u32::from(b - b'0'),
+                b'a'..=b'f' => u32::from(b - b'a') + 10,
+                b'A'..=b'F' => u32::from(b - b'A') + 10,
+                _ => return Err(self.err("non-hex digit in \\u escape")),
+            };
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, NetlistError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.bump();
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.peek() == Some(b'.') {
+            self.bump();
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.bump();
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.bump();
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|t| t.parse::<f64>().ok());
+        match text {
+            Some(v) if v.is_finite() => Ok(Value::Num(v)),
+            _ => Err(self.err("malformed number")),
+        }
+    }
+}
+
+/// Parses the flat TOML subset into the same [`Value`] tree: top-level
+/// keys plus one level of `[table]` and `[[array-of-table]]` headers.
+///
+/// # Errors
+///
+/// [`NetlistError::Json`] (shared diagnostic variant) with the
+/// offending line/column.
+pub fn parse_toml(src: &str) -> Result<Value, NetlistError> {
+    let mut root: BTreeMap<String, Value> = BTreeMap::new();
+    // Where `key = value` lines currently land.
+    let mut target: Vec<String> = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = u32::try_from(idx + 1).unwrap_or(u32::MAX);
+        let line = strip_toml_comment(raw);
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let col = u32::try_from(raw.len() - raw.trim_start().len() + 1).unwrap_or(1);
+        let span = Span::new(lineno, col, u32::try_from(trimmed.len()).unwrap_or(1));
+        let jerr = |what: &str| NetlistError::Json {
+            span,
+            what: what.to_owned(),
+        };
+        if let Some(name) = trimmed
+            .strip_prefix("[[")
+            .and_then(|r| r.strip_suffix("]]"))
+        {
+            let name = name.trim();
+            check_toml_key(name).map_err(|w| jerr(&w))?;
+            let entry = root
+                .entry(name.to_owned())
+                .or_insert_with(|| Value::Arr(Vec::new()));
+            let Value::Arr(items) = entry else {
+                return Err(jerr("key already used with a non-array value"));
+            };
+            items.push(Value::Obj(BTreeMap::new()));
+            target = vec![name.to_owned()];
+        } else if let Some(name) = trimmed.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+            let name = name.trim();
+            check_toml_key(name).map_err(|w| jerr(&w))?;
+            if root.contains_key(name) {
+                return Err(jerr("duplicate table header"));
+            }
+            root.insert(name.to_owned(), Value::Obj(BTreeMap::new()));
+            target = vec![name.to_owned()];
+        } else if let Some((key, rest)) = trimmed.split_once('=') {
+            let key = key.trim();
+            check_toml_key(key).map_err(|w| jerr(&w))?;
+            let val = parse_toml_value(rest.trim(), span)?;
+            let table = toml_target(&mut root, &target).ok_or_else(|| jerr("bad table state"))?;
+            if table.insert(key.to_owned(), val).is_some() {
+                return Err(jerr("duplicate key"));
+            }
+        } else {
+            return Err(jerr("expected `key = value` or a [table] header"));
+        }
+    }
+    Ok(Value::Obj(root))
+}
+
+fn toml_target<'m>(
+    root: &'m mut BTreeMap<String, Value>,
+    path: &[String],
+) -> Option<&'m mut BTreeMap<String, Value>> {
+    match path {
+        [] => Some(root),
+        [name] => match root.get_mut(name)? {
+            Value::Obj(m) => Some(m),
+            Value::Arr(items) => match items.last_mut()? {
+                Value::Obj(m) => Some(m),
+                _ => None,
+            },
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn check_toml_key(key: &str) -> Result<(), String> {
+    if key.is_empty() {
+        return Err("empty key".to_owned());
+    }
+    if key
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        Ok(())
+    } else {
+        Err(format!("invalid key `{key}` (bare keys only)"))
+    }
+}
+
+fn strip_toml_comment(line: &str) -> &str {
+    // A `#` outside quotes starts a comment.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_toml_value(text: &str, span: Span) -> Result<Value, NetlistError> {
+    let jerr = |what: String| NetlistError::Json { span, what };
+    if text.is_empty() {
+        return Err(jerr("missing value".to_owned()));
+    }
+    if let Some(inner) = text.strip_prefix('"') {
+        let Some(body) = inner.strip_suffix('"') else {
+            return Err(jerr("unterminated string".to_owned()));
+        };
+        if body.contains('"') || body.contains('\\') {
+            return Err(jerr(
+                "escapes and embedded quotes are outside the TOML subset".to_owned(),
+            ));
+        }
+        return Ok(Value::Str(body.to_owned()));
+    }
+    if text == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if text == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(inner) = text.strip_prefix('[') {
+        let Some(body) = inner.strip_suffix(']') else {
+            return Err(jerr("unterminated array".to_owned()));
+        };
+        let body = body.trim();
+        let mut items = Vec::new();
+        if !body.is_empty() {
+            for part in body.split(',') {
+                let part = part.trim();
+                if part.is_empty() {
+                    continue; // tolerate trailing comma
+                }
+                items.push(parse_toml_value(part, span)?);
+            }
+        }
+        return Ok(Value::Arr(items));
+    }
+    // TOML integers allow underscores.
+    let cleaned: String = text.chars().filter(|&c| c != '_').collect();
+    match cleaned.parse::<f64>() {
+        Ok(v) if v.is_finite() => Ok(Value::Num(v)),
+        _ => Err(jerr(format!("malformed value `{text}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip() {
+        let src = r#"{"jobs":[{"deck":"a\nb","n":3,"opts":{"verify":true,"tol":1e-10}}],"z":null}"#;
+        let v = parse_json(src).unwrap();
+        let rendered = v.render();
+        assert_eq!(parse_json(&rendered).unwrap(), v);
+        let job = &v.get("jobs").unwrap().as_arr().unwrap()[0];
+        assert_eq!(job.get("deck").unwrap().as_str(), Some("a\nb"));
+        assert_eq!(job.get("n").unwrap().as_num(), Some(3.0));
+        assert_eq!(
+            job.get("opts").unwrap().get("verify").unwrap().as_bool(),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn json_errors_carry_positions() {
+        let cases = [
+            ("{\"a\":}", "expected a JSON value"),
+            ("{\"a\":1,\"a\":2}", "duplicate object key"),
+            ("[1,2", "expected ',' or ']' in array"),
+            ("\"\\ud800\"", "lone high surrogate"),
+            ("1e999", "malformed number"),
+            ("{} extra", "trailing content"),
+        ];
+        for (src, what) in cases {
+            let err = parse_json(src).unwrap_err();
+            let NetlistError::Json { span, what: got } = &err else {
+                panic!("{src}: expected Json error, got {err:?}");
+            };
+            assert!(span.is_valid(), "{src}: invalid span");
+            assert!(got.contains(what), "{src}: {got}");
+        }
+    }
+
+    #[test]
+    fn json_depth_is_bounded() {
+        let deep = "[".repeat(300) + &"]".repeat(300);
+        let err = parse_json(&deep).unwrap_err();
+        assert!(matches!(err, NetlistError::Json { .. }));
+    }
+
+    #[test]
+    fn toml_subset_maps_onto_values() {
+        let src = "\
+# job file
+threads = 4
+verify = true
+
+[defaults]
+backend = \"sparse\"
+tol = 1e-10
+
+[[jobs]]
+name = \"clock\"
+freqs = [1e8, 1e9, 1e10]
+
+[[jobs]]
+name = \"bus\"
+";
+        let v = parse_toml(src).unwrap();
+        assert_eq!(v.get("threads").unwrap().as_num(), Some(4.0));
+        assert_eq!(
+            v.get("defaults").unwrap().get("backend").unwrap().as_str(),
+            Some("sparse")
+        );
+        let jobs = v.get("jobs").unwrap().as_arr().unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].get("name").unwrap().as_str(), Some("clock"));
+        assert_eq!(jobs[0].get("freqs").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(jobs[1].get("name").unwrap().as_str(), Some("bus"));
+    }
+
+    #[test]
+    fn toml_errors_are_typed() {
+        for src in ["= 3\n", "[t]\n[t]\n", "a = \n", "x y z\n", "k = \"open\n"] {
+            let err = parse_toml(src).unwrap_err();
+            assert!(matches!(err, NetlistError::Json { .. }), "{src}: {err:?}");
+            assert!(err.span().is_valid());
+        }
+    }
+}

@@ -1,0 +1,562 @@
+//! Recursive-descent deck parser.
+//!
+//! Grammar subset (one card per logical line; see [`crate::lexer`]):
+//!
+//! ```text
+//! deck      := title-line card* [".END"]
+//! card      := element | instance | subckt | analysis
+//! element   := R|C|L name node node value
+//!            | K name lname lname value
+//!            | V|I name node node source
+//! source    := [value] ("DC" value | "AC" value
+//!            | "PULSE" value{2,7} | "PWL" (value value)+)*
+//! instance  := X name node* subname
+//! subckt    := ".SUBCKT" name port* (element | instance)* ".ENDS" [name]
+//! analysis  := ".OP" | ".AC" ("DEC"|"LIN") n fstart fstop
+//!            | ".TRAN" tstep tstop
+//! ```
+//!
+//! The first line of the file is always the title card (classic SPICE
+//! behaviour: an element on line 1 is swallowed as the title).
+
+use crate::ast::{
+    AcSweep, AnalysisCard, Deck, ElementKind, ElementStmt, InstanceStmt, SourceSpec, Stmt,
+    SubcktDef, WaveSpec,
+};
+use crate::error::NetlistError;
+use crate::lexer::{lex_from, Line, Tok};
+use crate::value::parse_value;
+
+/// Parses a full deck.
+///
+/// # Errors
+///
+/// Any [`NetlistError`] from the lexer or grammar; the span points at
+/// the offending token (or just past the last token for missing
+/// fields).
+pub fn parse_deck(src: &str) -> Result<Deck, NetlistError> {
+    let (title, rest) = match src.split_once('\n') {
+        Some((t, rest)) => (t.strip_suffix('\r').unwrap_or(t), rest),
+        None => (src, ""),
+    };
+    let lines = lex_from(rest, 2)?;
+    let mut i = 0usize;
+    let stmts = parse_stmts(&lines, &mut i, None)?;
+    let mut deck = Deck {
+        title: title.to_owned(),
+        stmts,
+    };
+    check_duplicate_subckts(&deck)?;
+    normalize_nop(&mut deck);
+    Ok(deck)
+}
+
+/// No-op hook kept for symmetry with future canonicalization passes.
+fn normalize_nop(_deck: &mut Deck) {}
+
+fn check_duplicate_subckts(deck: &Deck) -> Result<(), NetlistError> {
+    let mut seen: Vec<&str> = Vec::new();
+    for s in &deck.stmts {
+        if let Stmt::Subckt(d) = s {
+            if seen.iter().any(|n| *n == d.name) {
+                return Err(NetlistError::DuplicateSubckt {
+                    span: d.span,
+                    name: d.name.clone(),
+                });
+            }
+            seen.push(&d.name);
+        }
+    }
+    Ok(())
+}
+
+/// Parses cards until end-of-deck, `.END`, or (inside a subckt body)
+/// `.ENDS`. `inside` carries the enclosing `.SUBCKT` for context.
+fn parse_stmts(
+    lines: &[Line],
+    i: &mut usize,
+    inside: Option<&SubcktDef>,
+) -> Result<Vec<Stmt>, NetlistError> {
+    let mut out = Vec::new();
+    while *i < lines.len() {
+        let line = &lines[*i];
+        let head = &line.toks[0];
+        let head_up = head.text.to_ascii_uppercase();
+        if head_up == ".ENDS" {
+            if inside.is_some() {
+                return Ok(out); // caller consumes the .ENDS line
+            }
+            return Err(NetlistError::Expected {
+                span: head.span,
+                what: ".ENDS only closes a .SUBCKT body".to_owned(),
+            });
+        }
+        if head_up == ".END" {
+            if let Some(d) = inside {
+                return Err(NetlistError::UnterminatedSubckt {
+                    span: d.span,
+                    name: d.name.clone(),
+                });
+            }
+            *i = lines.len();
+            return Ok(out);
+        }
+        if head_up == ".SUBCKT" {
+            if inside.is_some() {
+                return Err(NetlistError::NestedSubckt { span: head.span });
+            }
+            out.push(Stmt::Subckt(parse_subckt(lines, i)?));
+            continue;
+        }
+        let stmt = match head_up.as_bytes().first() {
+            Some(b'.') => {
+                if inside.is_some() {
+                    return Err(NetlistError::Expected {
+                        span: head.span,
+                        what: "only elements and X instances inside .SUBCKT".to_owned(),
+                    });
+                }
+                Stmt::Analysis(parse_analysis(line, &head_up)?)
+            }
+            Some(b'R' | b'C' | b'L' | b'K' | b'V' | b'I') => {
+                Stmt::Element(parse_element(line, &head_up)?)
+            }
+            Some(b'X') => Stmt::Instance(parse_instance(line, &head_up)?),
+            _ => {
+                return Err(NetlistError::UnknownCard {
+                    span: head.span,
+                    card: head.text.clone(),
+                })
+            }
+        };
+        out.push(stmt);
+        *i += 1;
+    }
+    if let Some(d) = inside {
+        return Err(NetlistError::UnterminatedSubckt {
+            span: d.span,
+            name: d.name.clone(),
+        });
+    }
+    Ok(out)
+}
+
+fn parse_subckt(lines: &[Line], i: &mut usize) -> Result<SubcktDef, NetlistError> {
+    let line = &lines[*i];
+    let head = &line.toks[0];
+    if line.toks.len() < 2 {
+        return Err(NetlistError::Expected {
+            span: line.end_span(),
+            what: "subcircuit name after .SUBCKT".to_owned(),
+        });
+    }
+    let mut def = SubcktDef {
+        name: line.toks[1].text.to_ascii_uppercase(),
+        span: head.span,
+        ports: line.toks[2..].iter().map(|t| t.text.clone()).collect(),
+        body: Vec::new(),
+    };
+    *i += 1;
+    def.body = parse_stmts(lines, i, Some(&def))?;
+    // parse_stmts returned at a `.ENDS` line; consume it (an optional
+    // name operand must match).
+    let ends = &lines[*i];
+    if let Some(tok) = ends.toks.get(1) {
+        if tok.text.to_ascii_uppercase() != def.name {
+            return Err(NetlistError::Expected {
+                span: tok.span,
+                what: format!(".ENDS {} (or bare .ENDS)", def.name),
+            });
+        }
+    }
+    *i += 1;
+    Ok(def)
+}
+
+/// Expects exactly `n` operand tokens after the card keyword/name.
+fn operands<'l>(line: &'l Line, n: usize, what: &str) -> Result<&'l [Tok], NetlistError> {
+    let ops = &line.toks[1..];
+    if ops.len() < n {
+        return Err(NetlistError::Expected {
+            span: line.end_span(),
+            what: format!("{what} ({n} field(s), got {})", ops.len()),
+        });
+    }
+    if ops.len() > n {
+        return Err(NetlistError::Expected {
+            span: ops[n].span,
+            what: format!("end of card after {what}"),
+        });
+    }
+    Ok(ops)
+}
+
+fn parse_element(line: &Line, head_up: &str) -> Result<ElementStmt, NetlistError> {
+    let head = &line.toks[0];
+    let name = head_up.to_owned();
+    let kind = match head_up.as_bytes()[0] {
+        b'R' => {
+            let ops = operands(line, 3, "node node value")?;
+            ElementKind::Resistor {
+                a: ops[0].text.clone(),
+                b: ops[1].text.clone(),
+                ohms: parse_value(&ops[2].text, ops[2].span)?,
+            }
+        }
+        b'C' => {
+            let ops = operands(line, 3, "node node value")?;
+            ElementKind::Capacitor {
+                a: ops[0].text.clone(),
+                b: ops[1].text.clone(),
+                farads: parse_value(&ops[2].text, ops[2].span)?,
+            }
+        }
+        b'L' => {
+            let ops = operands(line, 3, "node node value")?;
+            ElementKind::Inductor {
+                a: ops[0].text.clone(),
+                b: ops[1].text.clone(),
+                henries: parse_value(&ops[2].text, ops[2].span)?,
+            }
+        }
+        b'K' => {
+            let ops = operands(line, 3, "inductor inductor k")?;
+            ElementKind::Coupling {
+                l1: ops[0].text.to_ascii_uppercase(),
+                l2: ops[1].text.to_ascii_uppercase(),
+                k: parse_value(&ops[2].text, ops[2].span)?,
+            }
+        }
+        b'V' | b'I' => {
+            if line.toks.len() < 3 {
+                return Err(NetlistError::Expected {
+                    span: line.end_span(),
+                    what: "two nodes after source name".to_owned(),
+                });
+            }
+            let plus = line.toks[1].text.clone();
+            let minus = line.toks[2].text.clone();
+            let source = parse_source(&line.toks[3..])?;
+            if head_up.as_bytes()[0] == b'V' {
+                ElementKind::Vsrc {
+                    plus,
+                    minus,
+                    source,
+                }
+            } else {
+                ElementKind::Isrc {
+                    plus,
+                    minus,
+                    source,
+                }
+            }
+        }
+        // Dispatch guarantees an element letter; keep a typed fallback
+        // instead of a panic for defence in depth.
+        _ => {
+            return Err(NetlistError::UnknownCard {
+                span: head.span,
+                card: head.text.clone(),
+            })
+        }
+    };
+    Ok(ElementStmt {
+        name,
+        span: head.span,
+        kind,
+    })
+}
+
+/// Parses the source-specification tail of a `V`/`I` card.
+fn parse_source(toks: &[Tok]) -> Result<SourceSpec, NetlistError> {
+    let mut wave: Option<WaveSpec> = None;
+    let mut ac_mag: Option<f64> = None;
+    let mut i = 0usize;
+    // Collects the numeric run starting at `i` (up to `max` values).
+    let numeric_run = |toks: &[Tok], i: &mut usize, max: usize| -> Result<Vec<f64>, NetlistError> {
+        let mut vals = Vec::new();
+        while *i < toks.len() && vals.len() < max {
+            let t = &toks[*i];
+            if is_source_keyword(&t.text) {
+                break;
+            }
+            vals.push(parse_value(&t.text, t.span)?);
+            *i += 1;
+        }
+        Ok(vals)
+    };
+    while i < toks.len() {
+        let t = &toks[i];
+        let up = t.text.to_ascii_uppercase();
+        match up.as_str() {
+            "DC" => {
+                i += 1;
+                let Some(v) = toks.get(i) else {
+                    return Err(NetlistError::Expected {
+                        span: t.span,
+                        what: "value after DC".to_owned(),
+                    });
+                };
+                wave = Some(WaveSpec::Dc(parse_value(&v.text, v.span)?));
+                i += 1;
+            }
+            "AC" => {
+                i += 1;
+                let Some(v) = toks.get(i) else {
+                    return Err(NetlistError::Expected {
+                        span: t.span,
+                        what: "magnitude after AC".to_owned(),
+                    });
+                };
+                ac_mag = Some(parse_value(&v.text, v.span)?);
+                i += 1;
+            }
+            "PULSE" => {
+                i += 1;
+                let vals = numeric_run(toks, &mut i, 7)?;
+                if vals.len() < 2 {
+                    return Err(NetlistError::Expected {
+                        span: t.span,
+                        what: "PULSE needs at least v0 and v1".to_owned(),
+                    });
+                }
+                let rise = vals.get(3).copied().unwrap_or(0.0);
+                wave = Some(WaveSpec::Pulse {
+                    v0: vals[0],
+                    v1: vals[1],
+                    delay: vals.get(2).copied().unwrap_or(0.0),
+                    rise,
+                    fall: vals.get(4).copied().unwrap_or(rise),
+                    width: vals.get(5).copied().unwrap_or(f64::INFINITY),
+                    period: vals.get(6).copied().unwrap_or(f64::INFINITY),
+                });
+            }
+            "PWL" => {
+                i += 1;
+                let vals = numeric_run(toks, &mut i, usize::MAX)?;
+                if vals.is_empty() || vals.len() % 2 != 0 {
+                    return Err(NetlistError::Expected {
+                        span: t.span,
+                        what: "PWL needs an even, nonzero number of values".to_owned(),
+                    });
+                }
+                wave = Some(WaveSpec::Pwl(
+                    vals.chunks_exact(2).map(|p| (p[0], p[1])).collect(),
+                ));
+            }
+            _ => {
+                // A bare leading number is shorthand for `DC <number>`.
+                if wave.is_none() && ac_mag.is_none() {
+                    wave = Some(WaveSpec::Dc(parse_value(&t.text, t.span)?));
+                    i += 1;
+                } else {
+                    return Err(NetlistError::Expected {
+                        span: t.span,
+                        what: "DC, AC, PULSE, or PWL".to_owned(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(SourceSpec {
+        wave: wave.unwrap_or(WaveSpec::Dc(0.0)),
+        ac_mag,
+    })
+}
+
+fn is_source_keyword(text: &str) -> bool {
+    matches!(
+        text.to_ascii_uppercase().as_str(),
+        "DC" | "AC" | "PULSE" | "PWL"
+    )
+}
+
+fn parse_instance(line: &Line, head_up: &str) -> Result<InstanceStmt, NetlistError> {
+    let head = &line.toks[0];
+    if line.toks.len() < 2 {
+        return Err(NetlistError::Expected {
+            span: line.end_span(),
+            what: "nodes and a subcircuit name after X instance".to_owned(),
+        });
+    }
+    let last = line.toks.len() - 1;
+    Ok(InstanceStmt {
+        name: head_up.to_owned(),
+        span: head.span,
+        nodes: line.toks[1..last].iter().map(|t| t.text.clone()).collect(),
+        subckt: line.toks[last].text.to_ascii_uppercase(),
+    })
+}
+
+fn parse_analysis(line: &Line, head_up: &str) -> Result<AnalysisCard, NetlistError> {
+    let head = &line.toks[0];
+    match head_up {
+        ".OP" => {
+            operands(line, 0, ".OP takes no fields")?;
+            Ok(AnalysisCard::Op { span: head.span })
+        }
+        ".AC" => {
+            let ops = operands(line, 4, "DEC|LIN n fstart fstop")?;
+            let sweep = match ops[0].text.to_ascii_uppercase().as_str() {
+                "DEC" => AcSweep::Dec,
+                "LIN" => AcSweep::Lin,
+                _ => {
+                    return Err(NetlistError::Expected {
+                        span: ops[0].span,
+                        what: "DEC or LIN".to_owned(),
+                    })
+                }
+            };
+            let points = parse_count(&ops[1])?;
+            Ok(AnalysisCard::Ac {
+                span: head.span,
+                sweep,
+                points,
+                fstart: parse_value(&ops[2].text, ops[2].span)?,
+                fstop: parse_value(&ops[3].text, ops[3].span)?,
+            })
+        }
+        ".TRAN" => {
+            let ops = operands(line, 2, "tstep tstop")?;
+            Ok(AnalysisCard::Tran {
+                span: head.span,
+                tstep: parse_value(&ops[0].text, ops[0].span)?,
+                tstop: parse_value(&ops[1].text, ops[1].span)?,
+            })
+        }
+        _ => Err(NetlistError::UnknownCard {
+            span: head.span,
+            card: head.text.clone(),
+        }),
+    }
+}
+
+/// Parses a positive integer count field.
+fn parse_count(tok: &Tok) -> Result<usize, NetlistError> {
+    match tok.text.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(NetlistError::BadNumber {
+            span: tok.span,
+            text: tok.text.clone(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_basic_subset() {
+        let deck = parse_deck(
+            "basic RC deck\n\
+             R1 in out 5k\n\
+             C1 out 0 2p\n\
+             V1 in 0 DC 1.8 AC 1\n\
+             .OP\n\
+             .AC DEC 3 1e8 1e10\n\
+             .TRAN 2p 900p\n\
+             .END\n",
+        )
+        .unwrap();
+        assert_eq!(deck.title, "basic RC deck");
+        assert_eq!(deck.stmts.len(), 6);
+        let Stmt::Element(r) = &deck.stmts[0] else {
+            panic!("expected element");
+        };
+        assert_eq!(r.name, "R1");
+        assert_eq!(
+            r.kind,
+            ElementKind::Resistor {
+                a: "in".to_owned(),
+                b: "out".to_owned(),
+                ohms: 5e3,
+            }
+        );
+        let Stmt::Element(v) = &deck.stmts[2] else {
+            panic!("expected source");
+        };
+        let ElementKind::Vsrc { source, .. } = &v.kind else {
+            panic!("expected vsrc");
+        };
+        assert_eq!(source.wave, WaveSpec::Dc(1.8));
+        assert_eq!(source.ac_mag, Some(1.0));
+    }
+
+    #[test]
+    fn subckt_roundtrip_structure() {
+        let deck = parse_deck(
+            "subckt deck\n\
+             .SUBCKT seg a b\n\
+             R1 a mid 10\n\
+             L1 mid b 1n\n\
+             .ENDS seg\n\
+             X1 in out SEG\n\
+             V1 in 0 PULSE(0 1.8 10p 10p)\n",
+        )
+        .unwrap();
+        let Stmt::Subckt(d) = &deck.stmts[0] else {
+            panic!("expected subckt");
+        };
+        assert_eq!(d.name, "SEG");
+        assert_eq!(d.ports, vec!["a", "b"]);
+        assert_eq!(d.body.len(), 2);
+        let Stmt::Instance(x) = &deck.stmts[1] else {
+            panic!("expected instance");
+        };
+        assert_eq!(x.subckt, "SEG");
+        assert_eq!(x.nodes, vec!["in", "out"]);
+        let Stmt::Element(v) = &deck.stmts[2] else {
+            panic!("expected source");
+        };
+        let ElementKind::Vsrc { source, .. } = &v.kind else {
+            panic!("expected vsrc");
+        };
+        assert_eq!(
+            source.wave,
+            WaveSpec::Pulse {
+                v0: 0.0,
+                v1: 1.8,
+                delay: 10e-12,
+                rise: 10e-12,
+                fall: 10e-12,
+                width: f64::INFINITY,
+                period: f64::INFINITY,
+            }
+        );
+    }
+
+    #[test]
+    fn errors_carry_spans() {
+        let cases = [
+            ("t\nQ1 a b c\n", 2u32),           // unknown element
+            ("t\nR1 a b\n", 2),                // missing value
+            ("t\nR1 a b 5 extra\n", 2),        // trailing junk
+            ("t\n.SUBCKT s a\nR1 a 0 1\n", 2), // unterminated
+            ("t\n.SUBCKT s a\n.SUBCKT t b\n", 3),
+            ("t\n.ENDS\n", 2),
+            ("t\n.AC OCT 3 1 10\n", 2),
+            ("t\nV1 a 0 DC\n", 2),
+            ("t\nV1 a 0 PWL(1 2 3)\n", 2),
+            ("t\n.SUBCKT s a\nR1 a 0 1\n.ENDS other\n", 4),
+        ];
+        for (src, line) in cases {
+            let e = parse_deck(src).unwrap_err();
+            assert!(e.span().is_valid(), "{src:?}: {e}");
+            assert_eq!(e.span().line, line, "{src:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn duplicate_subckts_rejected() {
+        let e = parse_deck("t\n.SUBCKT s a\n.ENDS\n.SUBCKT s b\n.ENDS\n").unwrap_err();
+        assert!(matches!(e, NetlistError::DuplicateSubckt { .. }));
+        assert_eq!(e.span().line, 4);
+    }
+
+    #[test]
+    fn dot_end_stops_parsing() {
+        let deck = parse_deck("t\nR1 a 0 1\n.END\ngarbage beyond end\n").unwrap();
+        assert_eq!(deck.stmts.len(), 1);
+    }
+}

@@ -1,0 +1,55 @@
+//! Source positions for deck diagnostics.
+
+use std::fmt;
+
+/// A region of deck (or JSON/TOML) text: 1-indexed line and column of
+/// the first character, plus the length in characters.
+///
+/// Every [`crate::NetlistError`] carries one of these so a rejected
+/// deck can be annotated at the offending token. A span produced by the
+/// lexer or parser always satisfies [`Span::is_valid`]; the all-zero
+/// [`Span::default`] marks synthesized AST nodes (e.g. from
+/// [`crate::export`]) that never came from text.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// 1-indexed source line of the first character.
+    pub line: u32,
+    /// 1-indexed column (in characters) of the first character.
+    pub col: u32,
+    /// Length in characters (0 for point spans such as end-of-line).
+    pub len: u32,
+}
+
+impl Span {
+    /// Builds a span.
+    pub fn new(line: u32, col: u32, len: u32) -> Self {
+        Self { line, col, len }
+    }
+
+    /// Whether the span points at real text (1-indexed fields set).
+    ///
+    /// The fuzz harness asserts this on every parser rejection: a typed
+    /// error without a usable position is a diagnostics bug.
+    pub fn is_valid(&self) -> bool {
+        self.line >= 1 && self.col >= 1
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, col {}", self.line, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validity_and_display() {
+        assert!(!Span::default().is_valid());
+        let s = Span::new(3, 7, 2);
+        assert!(s.is_valid());
+        assert_eq!(s.to_string(), "line 3, col 7");
+    }
+}

@@ -1,0 +1,202 @@
+//! Engineering-notation numbers.
+//!
+//! SPICE values are a decimal number with an optional case-insensitive
+//! scale suffix (`5k`, `30f`, `2.5MEG`) and optional trailing unit
+//! letters that are ignored (`5pF` ≡ `5p`). Plain numbers take the
+//! standard-library `f64` path, so a value printed by
+//! [`crate::print`] (shortest round-trip formatting, no suffix)
+//! re-parses to the bit-identical `f64` — the property the deck
+//! round-trip tests and the ≤1e-10 differential suite lean on.
+
+use crate::error::NetlistError;
+use crate::span::Span;
+
+/// Power-of-ten scale suffixes, longest-match first (`MEG` before
+/// `M`). Stored as decimal exponents so scaling happens in the decimal
+/// domain (string recomposition + one std parse): `30f` produces the
+/// same correctly-rounded bits as the literal `30e-15`, not the
+/// one-ulp-off product `30.0 * 1e-15`.
+const SUFFIXES: [(&str, i32); 9] = [
+    ("MEG", 6),
+    ("T", 12),
+    ("G", 9),
+    ("K", 3),
+    ("M", -3),
+    ("U", -6),
+    ("N", -9),
+    ("P", -12),
+    ("F", -15),
+];
+
+/// `MIL` (25.4 µm) is not a power of ten; it scales by multiplication.
+const MIL_SCALE: f64 = 25.4e-6;
+
+/// Parses a SPICE value token.
+///
+/// # Errors
+///
+/// [`NetlistError::BadNumber`] when the token is not a number, has a
+/// non-alphabetic trailer, or evaluates to NaN.
+pub fn parse_value(text: &str, span: Span) -> Result<f64, NetlistError> {
+    let bad = || NetlistError::BadNumber {
+        span,
+        text: text.to_owned(),
+    };
+    // Fast exact path: the whole token is a std-parseable number
+    // (covers everything the canonical printer emits, including `inf`).
+    if let Ok(v) = text.parse::<f64>() {
+        if v.is_nan() {
+            return Err(bad());
+        }
+        return Ok(v);
+    }
+    // Otherwise: numeric prefix + suffix + ignored unit letters.
+    let split = numeric_prefix_len(text);
+    if split == 0 {
+        return Err(bad());
+    }
+    let prefix = &text[..split];
+    let rest = &text[split..];
+    if !rest.chars().all(|c| c.is_ascii_alphabetic()) {
+        return Err(bad());
+    }
+    // Any letters past the matched suffix (or all of them, when none
+    // matched) are a unit annotation and ignored — `5pF`, `3V`, `10Hz`.
+    let rest_up = rest.to_ascii_uppercase();
+    if rest_up.starts_with("MIL") {
+        let mantissa: f64 = prefix.parse().map_err(|_| bad())?;
+        let v = mantissa * MIL_SCALE;
+        return if v.is_nan() { Err(bad()) } else { Ok(v) };
+    }
+    let exp = SUFFIXES
+        .iter()
+        .find(|(s, _)| rest_up.starts_with(s))
+        .map_or(0, |&(_, e)| e);
+    let v = scale_decimal(prefix, exp).ok_or_else(bad)?;
+    if v.is_nan() {
+        return Err(bad());
+    }
+    Ok(v)
+}
+
+/// Parses `prefix` with `exp` added to its decimal exponent, i.e. the
+/// correctly-rounded value of `prefix × 10^exp`.
+fn scale_decimal(prefix: &str, exp: i32) -> Option<f64> {
+    if exp == 0 {
+        return prefix.parse().ok();
+    }
+    let (base, e0) = match prefix.split_once(['e', 'E']) {
+        Some((b, e)) => (b, e.parse::<i32>().ok()?),
+        None => (prefix, 0),
+    };
+    format!("{base}e{}", e0.checked_add(exp)?).parse().ok()
+}
+
+/// Length in bytes of the leading `[+-]?digits[.digits][e[+-]digits]`
+/// prefix (0 when the token does not start with a number).
+fn numeric_prefix_len(text: &str) -> usize {
+    let b = text.as_bytes();
+    let mut i = 0;
+    if matches!(b.first(), Some(b'+') | Some(b'-')) {
+        i += 1;
+    }
+    let digits = |b: &[u8], mut i: usize| {
+        while i < b.len() && b[i].is_ascii_digit() {
+            i += 1;
+        }
+        i
+    };
+    let int_start = i;
+    i = digits(b, i);
+    if i < b.len() && b[i] == b'.' {
+        i = digits(b, i + 1);
+    }
+    if i == int_start || (i == int_start + 1 && b[int_start] == b'.') {
+        return 0; // no digits at all
+    }
+    // Exponent only counts when a digit (or signed digit) follows the
+    // `e`; otherwise the `e` belongs to a unit/suffix trailer.
+    if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+        let mut j = i + 1;
+        if matches!(b.get(j), Some(b'+') | Some(b'-')) {
+            j += 1;
+        }
+        let k = digits(b, j);
+        if k > j {
+            i = k;
+        }
+    }
+    i
+}
+
+/// Canonical value formatting: shortest representation that re-parses
+/// to the bit-identical `f64` (Rust's float formatter guarantees
+/// this). Integral magnitudes print positionally (`25`), everything
+/// else in scientific notation (`2.5e-11`); no engineering suffixes,
+/// so [`parse_value`] takes the exact std path on re-parse.
+pub fn format_value(v: f64) -> String {
+    if v.is_finite() && v == v.trunc() && v.abs() < 1e16 {
+        format!("{v}")
+    } else {
+        format!("{v:e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> f64 {
+        parse_value(s, Span::new(1, 1, s.len() as u32)).unwrap()
+    }
+
+    #[test]
+    fn plain_and_suffixed() {
+        assert_eq!(p("5"), 5.0);
+        assert_eq!(p("-2.5e-3"), -2.5e-3);
+        assert_eq!(p("5k"), 5e3);
+        assert_eq!(p("5K"), 5e3);
+        assert_eq!(p("2.5MEG"), 2.5e6);
+        assert_eq!(p("3m"), 3e-3);
+        assert_eq!(p("30f"), 30e-15);
+        assert_eq!(p("1mil"), 25.4e-6);
+        assert_eq!(p("inf"), f64::INFINITY);
+    }
+
+    #[test]
+    fn unit_trailers_ignored() {
+        assert_eq!(p("5pF"), 5e-12);
+        assert_eq!(p("1.8V"), 1.8);
+        assert_eq!(p("10Hz"), 10.0);
+        // `e` not followed by digits is a trailer, not an exponent.
+        assert_eq!(p("5end"), 5.0);
+    }
+
+    #[test]
+    fn rejections_are_typed() {
+        for s in ["", "k", "--5", "5p$", "nan", "1.2.3", ".", "+."] {
+            let e = parse_value(s, Span::new(3, 4, 1)).unwrap_err();
+            assert!(matches!(e, NetlistError::BadNumber { .. }), "{s:?}");
+            assert!(e.span().is_valid());
+        }
+    }
+
+    #[test]
+    fn format_round_trips_exactly() {
+        for v in [
+            0.0,
+            25.0,
+            -3.0,
+            1.8,
+            2e-12,
+            f64::INFINITY,
+            900e-12,
+            25.4e-6,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+        ] {
+            let s = format_value(v);
+            assert_eq!(p(&s).to_bits(), v.to_bits(), "{v} -> {s}");
+        }
+    }
+}

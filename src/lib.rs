@@ -19,6 +19,8 @@
 //! | [`mor`] | `ind101-mor` | PRIMA model-order reduction |
 //! | [`loopind`] | `ind101-loop` | Section 5 loop methodology |
 //! | [`design`] | `ind101-design` | Section 7 design techniques |
+//! | [`netlist`] | `ind101-netlist` | SPICE-deck frontend + deck export |
+//! | [`serve`] | `ind101-serve` | concurrent job server over the frontend |
 
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
@@ -32,4 +34,6 @@ pub use ind101_loop as loopind;
 pub use ind101_mor as mor;
 pub use ind101_numeric as numeric;
 pub use ind101_sparsify as sparsify;
+pub use ind101_netlist as netlist;
+pub use ind101_serve as serve;
 pub use ind101_verify as verify;

@@ -1,0 +1,130 @@
+//! Differential suite: the checked-in exemplar decks, parsed and
+//! lowered through the SPICE frontend, must reproduce the hand-built
+//! constructor circuits to ≤ 1e-10 (relative) — DC operating point
+//! and AC sweep, across all three solver backends.
+//!
+//! The decks under `tests/decks/` are written by
+//! `cargo run -p ind101-bench --bin export_decks` from the exact same
+//! [`ind101_bench::scenarios`] constructions used here; CI keeps them
+//! fresh via the bin's `--check` mode. Uncoupled values survive the
+//! text round trip bit-exactly; mutual inductances go through the `K`
+//! coefficient and back, which costs a few ulps — far inside budget.
+
+use ind101_bench::scenarios::{sec4_bus_circuit, sec4_bus_inductance, table1_linear_testbench};
+use ind101_circuit::{Circuit, NodeId, SolverBackend};
+use ind101_geom::Technology;
+use ind101_netlist::{flatten, lower_flat, parse_deck, AnalysisPlan};
+use ind101_numeric::ParallelConfig;
+use std::path::PathBuf;
+
+const TOL: f64 = 1e-10;
+
+const BACKENDS: [SolverBackend; 3] =
+    [SolverBackend::Dense, SolverBackend::Sparse, SolverBackend::Auto];
+
+fn deck_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("tests/decks/{name}.cir"))
+}
+
+/// `|a - b| <= TOL * max(1, |b|)`.
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= TOL * b.abs().max(1.0)
+}
+
+/// Lowers a checked-in deck and compares every named node's DC and AC
+/// voltages against the hand-built reference, on every backend.
+fn assert_deck_matches(name: &str, reference: &mut Circuit) {
+    let src = std::fs::read_to_string(deck_path(name)).unwrap_or_else(|e| {
+        panic!(
+            "{name}.cir missing ({e}); regenerate with \
+             `cargo run -p ind101-bench --bin export_decks`"
+        )
+    });
+    let deck = parse_deck(&src).unwrap();
+    let flat = flatten(&deck).unwrap();
+    let lowered = lower_flat(&flat).unwrap();
+    let mut from_deck = lowered.circuit;
+    assert!(!lowered.nodes.is_empty(), "{name}: no named nodes");
+
+    // Node-name ↔ NodeId pairing between the two circuits. The
+    // reference may hold anonymous nodes (`_n3`), which `find_node`
+    // does not index, so pair by scanning every node's name.
+    let by_name: std::collections::HashMap<String, NodeId> = (0..reference.num_nodes())
+        .map(|i| (reference.node_name(NodeId(i)).to_owned(), NodeId(i)))
+        .collect();
+    let pairs: Vec<(String, NodeId, NodeId)> = lowered
+        .nodes
+        .iter()
+        .map(|(n, id)| {
+            let ref_id = *by_name
+                .get(n)
+                .unwrap_or_else(|| panic!("{name}: node {n} missing from reference"));
+            (n.clone(), *id, ref_id)
+        })
+        .collect();
+
+    let ac_plans: Vec<_> = lowered
+        .analyses
+        .iter()
+        .filter_map(|p| match p {
+            AnalysisPlan::Ac(opts) => Some(opts.clone()),
+            _ => None,
+        })
+        .collect();
+    assert!(!ac_plans.is_empty(), "{name}: deck requested no AC sweep");
+    assert!(
+        lowered.analyses.contains(&AnalysisPlan::Op),
+        "{name}: deck requested no .OP"
+    );
+
+    for backend in BACKENDS {
+        from_deck.set_solver_backend(backend);
+        reference.set_solver_backend(backend);
+
+        let op_deck = from_deck.dc_op().unwrap();
+        let op_ref = reference.dc_op().unwrap();
+        for (n, deck_id, ref_id) in &pairs {
+            let (a, b) = (op_deck.voltage(*deck_id), op_ref.voltage(*ref_id));
+            assert!(
+                close(a, b),
+                "{name}/{backend:?}: DC {n}: deck {a:.15e} vs reference {b:.15e}"
+            );
+        }
+
+        for opts in &ac_plans {
+            let ac_deck = from_deck.ac_sweep(opts).unwrap();
+            let ac_ref = reference.ac_sweep(opts).unwrap();
+            assert_eq!(ac_deck.freqs_hz, ac_ref.freqs_hz);
+            for idx in 0..ac_deck.freqs_hz.len() {
+                for (n, deck_id, ref_id) in &pairs {
+                    let a = ac_deck.voltage(*deck_id, idx);
+                    let b = ac_ref.voltage(*ref_id, idx);
+                    assert!(
+                        (a - b).abs() <= TOL * b.abs().max(1.0),
+                        "{name}/{backend:?}: AC {n} @ {:.3e} Hz: deck {a:?} vs reference {b:?}",
+                        ac_deck.freqs_hz[idx]
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Table 1 clock-over-grid testbench (linear, Thévenin-driven).
+#[test]
+fn table1_clock_net_deck_matches_constructors() {
+    let tb = table1_linear_testbench(&ParallelConfig::serial()).unwrap();
+    let mut reference = tb.circuit;
+    assert_deck_matches("table1_clock_net", &mut reference);
+}
+
+/// Section 4 coupled bus (10 signals, full partial-inductance
+/// coupling through K cards).
+#[test]
+fn sec4_bus_deck_matches_constructors() {
+    let tech = Technology::example_copper_6lm();
+    let l = sec4_bus_inductance(&tech);
+    let sc = sec4_bus_circuit(l.matrix(), 1.0).unwrap();
+    let mut reference = sc.circuit;
+    assert_deck_matches("sec4_bus", &mut reference);
+}
